@@ -1,0 +1,92 @@
+"""Ablation 3: the plan-size trade-off (Section 2.4).
+
+Bigger conditional plans execute cheaper but cost more to disseminate:
+the paper's combined objective is ``C(P) + alpha * zeta(P)`` with
+``alpha = (cost to transmit a byte) / (tuples processed in the query
+lifetime)``.  This ablation sweeps the split budget k, reporting execution
+cost, plan size zeta(P) in bytes, and the combined objective at several
+query lifetimes — verifying the paper's intuition that short-lived queries
+prefer small plans while "as the running time of a continuous query gets
+large, the time spent in query execution will dominate the cost of
+sending the plan".
+"""
+
+import numpy as np
+
+from repro.core import combined_objective, simplify_plan
+from repro.data import lab_queries
+from repro.planning import CorrSeqPlanner, GreedyConditionalPlanner
+
+from common import lab_standard_setting, measured_cost, print_table
+
+SPLIT_BUDGETS = (0, 2, 5, 10, 20)
+RADIO_COST_PER_BYTE = 25.0
+LIFETIMES = (10, 1_000, 100_000)  # tuples processed over the query's life
+
+
+def test_ablation_plan_size_tradeoff(benchmark):
+    lab, _train, test, distribution = lab_standard_setting()
+    query = lab_queries(lab, 1, seed=21)[0]
+
+    plans = {}
+    for budget in SPLIT_BUDGETS:
+        result = GreedyConditionalPlanner(
+            distribution, CorrSeqPlanner(distribution), max_splits=budget
+        ).plan(query)
+        plans[budget] = simplify_plan(result.plan)
+
+    benchmark(
+        lambda: GreedyConditionalPlanner(
+            distribution, CorrSeqPlanner(distribution), max_splits=10
+        ).plan(query)
+    )
+
+    rows = []
+    objective = {lifetime: {} for lifetime in LIFETIMES}
+    execution = {}
+    for budget, plan in plans.items():
+        execution[budget] = measured_cost(plan, test, lab.schema)
+        row = [budget, plan.size_bytes(), execution[budget]]
+        for lifetime in LIFETIMES:
+            alpha = RADIO_COST_PER_BYTE / lifetime
+            objective[lifetime][budget] = combined_objective(
+                plan, distribution, alpha
+            )
+            row.append(objective[lifetime][budget])
+        rows.append(row)
+
+    print_table(
+        "Ablation: split budget vs plan size vs combined objective "
+        f"(radio cost {RADIO_COST_PER_BYTE}/byte)",
+        ["k", "zeta(P) bytes", "exec cost"]
+        + [f"obj@{lifetime}" for lifetime in LIFETIMES],
+        rows,
+    )
+
+    sizes = [plans[budget].size_bytes() for budget in SPLIT_BUDGETS]
+    # Plan size grows with the split budget...
+    assert sizes[-1] > sizes[0]
+    # ...execution cost does not get worse with more splits (training-
+    # distribution monotonicity carries to test within tolerance)...
+    assert execution[SPLIT_BUDGETS[-1]] <= execution[0] * 1.05
+    # ...and the optimal budget shifts with lifetime: for a very short
+    # query the smallest plan wins the combined objective; for a long one,
+    # a larger plan does.
+    short = objective[LIFETIMES[0]]
+    long_lived = objective[LIFETIMES[-1]]
+    best_short = min(short, key=short.get)
+    best_long = min(long_lived, key=long_lived.get)
+    print(
+        f"\nbest split budget: lifetime={LIFETIMES[0]} -> k={best_short}; "
+        f"lifetime={LIFETIMES[-1]} -> k={best_long}"
+    )
+    # Short-lived query: the dissemination term dominates, so the smallest
+    # plan wins the combined objective outright.
+    assert best_short == 0
+    # Long-lived query: execution dominates, so the biggest (cheapest-to-
+    # run) plan beats the unsplit plan, and the preferred budget can only
+    # move up as the lifetime grows.
+    largest = SPLIT_BUDGETS[-1]
+    assert long_lived[largest] < long_lived[0]
+    assert best_long >= best_short
+    assert plans[best_long].size_bytes() > plans[best_short].size_bytes()

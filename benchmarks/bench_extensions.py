@@ -1,0 +1,189 @@
+"""Section 7 extensions: quantified.
+
+The paper's "Applications and extensions" section sketches several
+directions beyond the core evaluation; this repository implements them,
+and this bench records what each is worth:
+
+- **Existential queries**: answering EXISTS over the fleet by polling
+  motes in descending historical match rate, stopping at the first hit —
+  vs exhaustively polling everyone.
+- **Disjunctive queries**: optimal conditional plans for OR-of-AND
+  formulas (the general problem class of Section 3.1), vs decompressing /
+  acquiring every referenced attribute.
+- **Plan-size joint objective**: the SizeAwareConditionalPlanner's
+  combined objective vs the best fixed split budget, across deployment
+  lifetimes.
+"""
+
+import numpy as np
+
+from repro.core import (
+    And,
+    Attribute,
+    BooleanQuery,
+    ConjunctiveQuery,
+    ExistentialQuery,
+    Leaf,
+    Or,
+    RangePredicate,
+    Schema,
+    combined_objective,
+    dataset_execution,
+)
+from repro.execution import Mote, SensorNetworkSimulator
+from repro.planning import (
+    ExhaustivePlanner,
+    GreedyConditionalPlanner,
+    NaivePlanner,
+    OptimalSequentialPlanner,
+    SizeAwareConditionalPlanner,
+    SplitPointPolicy,
+)
+from repro.probability import EmpiricalDistribution
+
+from common import print_table
+
+
+def test_extension_existential_polling(benchmark):
+    """EXISTS with match-rate-ordered polling touches far fewer motes."""
+    rng = np.random.default_rng(0)
+    schema = Schema([Attribute("hour", 6, 1.0), Attribute("temp", 6, 100.0)])
+    epochs = 400
+    motes = []
+    # Heterogeneous fleet: mote k matches with probability ~ k / 12.
+    for mote_id in range(1, 9):
+        rate = mote_id / 12.0
+        hot = rng.random(epochs) < rate
+        temp = np.where(hot, 6, rng.integers(1, 6, epochs))
+        readings = np.stack(
+            [rng.integers(1, 7, epochs), temp], axis=1
+        ).astype(np.int64)
+        motes.append(Mote(mote_id, readings))
+    simulator = SensorNetworkSimulator(schema, motes, radio_cost_per_byte=0.0)
+
+    query = ConjunctiveQuery(schema, [RangePredicate("temp", 6, 6)])
+    history = np.vstack([mote.readings for mote in motes])
+    distribution = EmpiricalDistribution(schema, history)
+    plan = NaivePlanner(distribution).plan(query).plan
+
+    ordered = simulator.run_existential(plan, ExistentialQuery(query))
+    # Worst-case baseline: consult every mote every epoch.
+    exhaustive_polls = epochs * len(motes)
+
+    benchmark(
+        lambda: simulator.run_existential(
+            plan, ExistentialQuery(query), epochs=50
+        )
+    )
+
+    print_table(
+        "Extension: EXISTS over the fleet (8 motes, 400 epochs)",
+        ["strategy", "acquisitions", "fraction of exhaustive"],
+        [
+            ["poll-all", exhaustive_polls, 1.0],
+            [
+                "ordered early-stop",
+                ordered.acquisitions_performed,
+                ordered.acquisitions_performed / exhaustive_polls,
+            ],
+        ],
+    )
+    # The best mote matches ~2/3 of epochs, so ordered polling should cut
+    # acquisitions well below half of exhaustive.
+    assert ordered.acquisitions_performed < exhaustive_polls * 0.6
+
+
+def test_extension_disjunctive_queries(benchmark):
+    """Conditional plans for OR-formulas beat acquire-everything."""
+    rng = np.random.default_rng(1)
+    n = 3000
+    schema = Schema(
+        [
+            Attribute("mode", 2, 1.0),
+            Attribute("x", 3, 50.0),
+            Attribute("y", 3, 80.0),
+            Attribute("z", 3, 30.0),
+        ]
+    )
+    mode = rng.integers(1, 3, n)
+    x = np.where(mode == 1, rng.integers(1, 3, n), rng.integers(2, 4, n))
+    y = np.where(mode == 2, rng.integers(1, 3, n), rng.integers(2, 4, n))
+    z = rng.integers(1, 4, n)
+    data = np.stack([mode, x, y, z], axis=1).astype(np.int64)
+    distribution = EmpiricalDistribution(schema, data)
+
+    query = BooleanQuery(
+        schema,
+        Or(
+            And(Leaf(RangePredicate("x", 3, 3)), Leaf(RangePredicate("y", 3, 3))),
+            Leaf(RangePredicate("z", 3, 3)),
+        ),
+    )
+    result = benchmark(lambda: ExhaustivePlanner(distribution).plan(query))
+    outcome = dataset_execution(result.plan, data, schema)
+    truth = np.fromiter(
+        (query.evaluate(row) for row in data), dtype=bool, count=n
+    )
+    assert np.array_equal(outcome.verdicts, truth)
+    acquire_all = 50.0 + 80.0 + 30.0
+    print_table(
+        "Extension: disjunctive query planning",
+        ["strategy", "cost/tuple"],
+        [
+            ["acquire every referenced attribute", acquire_all],
+            ["optimal conditional plan", outcome.mean_cost],
+        ],
+    )
+    assert outcome.mean_cost < acquire_all * 0.75
+
+
+def test_extension_size_aware_objective(benchmark):
+    """The size-aware planner matches the best fixed budget at every
+    lifetime — without being told the budget."""
+    from tests.conftest import correlated_dataset
+
+    schema, data = correlated_dataset(n_rows=4000, seed=9)
+    distribution = EmpiricalDistribution(schema, data)
+    query = ConjunctiveQuery(
+        schema, [RangePredicate("a", 1, 2), RangePredicate("b", 3, 5)]
+    )
+    base = OptimalSequentialPlanner(distribution)
+    radio = 25.0
+
+    fixed_plans = {
+        budget: GreedyConditionalPlanner(distribution, base, max_splits=budget)
+        .plan(query)
+        .plan
+        for budget in (0, 1, 2, 4, 8)
+    }
+    rows = []
+    for lifetime in (10, 1_000, 100_000):
+        alpha = radio / lifetime
+        size_aware = SizeAwareConditionalPlanner(
+            distribution, base, alpha=alpha
+        ).plan(query)
+        own = combined_objective(size_aware.plan, distribution, alpha)
+        best_fixed = min(
+            combined_objective(plan, distribution, alpha)
+            for plan in fixed_plans.values()
+        )
+        rows.append(
+            [
+                lifetime,
+                size_aware.plan.condition_count(),
+                own,
+                best_fixed,
+            ]
+        )
+        assert own <= best_fixed * 1.001, f"lifetime {lifetime}"
+
+    benchmark(
+        lambda: SizeAwareConditionalPlanner(
+            distribution, base, alpha=radio / 1_000
+        ).plan(query)
+    )
+    print_table(
+        "Extension: size-aware planning vs best fixed split budget",
+        ["lifetime (tuples)", "chosen splits", "own objective", "best fixed"],
+        rows,
+    )

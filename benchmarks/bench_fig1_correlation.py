@@ -1,0 +1,77 @@
+"""Figure 1: hour-of-day vs light at a single sensor.
+
+The paper's Figure 1 is a scatter plot showing that light values at one
+mote are tightly banded given the hour — near zero at night, high and
+variable during the day.  This benchmark reproduces the figure as a
+per-hour quantile table plus the mutual information between hour and
+light, and asserts the banding the paper's argument rests on: given the
+hour, light is far more predictable than marginally.
+"""
+
+import numpy as np
+
+from common import lab_standard_setting, print_table
+
+
+def _entropy(values: np.ndarray, domain: int) -> float:
+    counts = np.bincount(values - 1, minlength=domain).astype(float)
+    probabilities = counts / counts.sum()
+    nonzero = probabilities[probabilities > 0]
+    return float(-(nonzero * np.log2(nonzero)).sum())
+
+
+def test_fig1_hour_light_banding(benchmark):
+    lab, train, _test, _distribution = lab_standard_setting()
+    single = train[train[:, 0] == 1]  # one sensor, as in the figure
+    hour = single[:, lab.schema.index_of("hour")]
+    light = single[:, lab.schema.index_of("light")]
+    light_domain = lab.schema["light"].domain_size
+
+    def quantile_band(values: np.ndarray):
+        return (
+            float(np.percentile(values, 10)),
+            float(np.percentile(values, 50)),
+            float(np.percentile(values, 90)),
+        )
+
+    benchmark(lambda: quantile_band(light))
+
+    rows = []
+    hour_domain = lab.schema["hour"].domain_size
+    band_widths = []
+    for hour_bin in range(1, hour_domain + 1, 2):
+        in_hour = (hour == hour_bin) | (hour == hour_bin + 1)
+        if not in_hour.any():
+            continue
+        low, median, high = quantile_band(light[in_hour])
+        band_widths.append(high - low)
+        rows.append(
+            [f"{(hour_bin - 1):02d}:00-{hour_bin + 1:02d}:59", low, median, high]
+        )
+    print_table(
+        "Figure 1: light bins vs hour of day (10th/50th/90th percentile)",
+        ["hour window", "p10", "p50", "p90"],
+        rows,
+    )
+
+    marginal_entropy = _entropy(light, light_domain)
+    conditional_entropy = 0.0
+    for hour_bin in range(1, hour_domain + 1):
+        in_hour = hour == hour_bin
+        if not in_hour.any():
+            continue
+        weight = in_hour.mean()
+        conditional_entropy += weight * _entropy(light[in_hour], light_domain)
+    information = marginal_entropy - conditional_entropy
+    print(
+        f"\nH(light) = {marginal_entropy:.2f} bits, "
+        f"H(light | hour) = {conditional_entropy:.2f} bits, "
+        f"I(light; hour) = {information:.2f} bits"
+    )
+
+    # Shape assertions: night bands are narrow and low; hour carries
+    # substantial information about light.
+    night_band = rows[0]  # 00:00-01:59
+    midday_band = rows[len(rows) // 2]
+    assert night_band[3] <= midday_band[3], "night p90 should sit below midday p90"
+    assert information > 0.5, "hour must carry substantial information about light"

@@ -1,0 +1,125 @@
+"""Figure 8(a): Exhaustive vs Naive vs Heuristic-k on the lab dataset.
+
+The paper compares, over 95 random three-predicate lab queries with ~50 %
+per-predicate selectivity, the plans of the Naive optimizer, the exhaustive
+optimal conditional planner, and the greedy heuristic with 0/5/10 splits —
+reporting costs normalized to Exhaustive.  Findings to reproduce:
+
+- every algorithm beats Naive;
+- Heuristic-10's average (and worst case) sit very close to Exhaustive;
+- Heuristic-0 (the bare sequential base plan) trails the conditional
+  variants.
+
+Exhaustive planning is exponential, so this bench runs on a projected
+4-attribute lab table with reduced domains and a restricted split policy —
+the same concession the paper makes ("the largest problems we could solve
+were still several orders of magnitude smaller than ... our data sets").
+"""
+
+import numpy as np
+
+from repro.core import ConjunctiveQuery, RangePredicate
+from repro.planning import (
+    ExhaustivePlanner,
+    GreedyConditionalPlanner,
+    NaivePlanner,
+    OptimalSequentialPlanner,
+    SplitPointPolicy,
+)
+from repro.probability import EmpiricalDistribution
+
+from common import measured_cost, print_table
+from common import lab_exhaustive_setting
+
+SPLIT_BUDGETS = (0, 5, 10)
+# Exhaustive planning dominates this bench's runtime; fewer queries than
+# the lab CDF benches keep it tractable (the paper uses 95).
+N_QUERIES_EXHAUSTIVE = 12
+
+
+def planning_setting():
+    lab, _schema, _train, _test, _distribution = lab_exhaustive_setting()
+    schema, data = lab.project(["hour", "light", "temp", "humidity"])
+    half = len(data) // 2
+    train, test = data[:half], data[half:]
+    return lab, schema, train, test, EmpiricalDistribution(schema, train)
+
+
+def random_queries(lab, schema, train, count: int, seed: int):
+    """Three-predicate queries in the paper's ~50 %-selectivity regime."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(count):
+        predicates = []
+        for name in ("light", "temp", "humidity"):
+            column = train[:, schema.index_of(name)]
+            domain = schema[name].domain_size
+            width = max(1, min(int(round(2.0 * column.std())), domain - 1))
+            left = int(rng.integers(1, domain - width + 1))
+            predicates.append(RangePredicate(name, left, left + width))
+        queries.append(ConjunctiveQuery(schema, predicates))
+    return queries
+
+
+def test_fig8a_heuristic_tracks_exhaustive(benchmark):
+    _lab, schema, train, test, distribution = planning_setting()
+    lab = _lab
+    queries = random_queries(lab, schema, train, N_QUERIES_EXHAUSTIVE, seed=1)
+    exhaustive_policy = SplitPointPolicy.equal_width(schema, [3, 2, 2, 2])
+
+    costs: dict[str, list[float]] = {
+        "Naive": [],
+        "Exhaustive": [],
+        **{f"Heuristic-{k}": [] for k in SPLIT_BUDGETS},
+    }
+    for query in queries:
+        naive = NaivePlanner(distribution).plan(query)
+        costs["Naive"].append(measured_cost(naive.plan, test, schema))
+        exhaustive = ExhaustivePlanner(
+            distribution, split_policy=exhaustive_policy
+        ).plan(query)
+        costs["Exhaustive"].append(measured_cost(exhaustive.plan, test, schema))
+        for budget in SPLIT_BUDGETS:
+            # Same SPSF for Heuristic and Exhaustive, as in the paper's
+            # Figure 8(a) ("both ... running on the dataset with SPSF set
+            # to 10^8").
+            heuristic = GreedyConditionalPlanner(
+                distribution,
+                OptimalSequentialPlanner(distribution),
+                max_splits=budget,
+                split_policy=exhaustive_policy,
+            ).plan(query)
+            costs[f"Heuristic-{budget}"].append(
+                measured_cost(heuristic.plan, test, schema)
+            )
+
+    # Time one representative exhaustive planning run.
+    benchmark(
+        lambda: ExhaustivePlanner(
+            distribution, split_policy=exhaustive_policy
+        ).plan(queries[0])
+    )
+
+    exhaustive_mean = float(np.mean(costs["Exhaustive"]))
+    rows = []
+    for name, values in costs.items():
+        mean = float(np.mean(values))
+        worst = float(np.max(np.asarray(values) / np.asarray(costs["Exhaustive"])))
+        rows.append([name, mean, mean / exhaustive_mean, worst])
+    print_table(
+        f"Figure 8(a): average plan cost over {N_QUERIES_EXHAUSTIVE} lab "
+        "queries (normalized to Exhaustive)",
+        ["algorithm", "mean cost", "mean/exhaustive", "worst/exhaustive"],
+        rows,
+    )
+
+    naive_mean = float(np.mean(costs["Naive"]))
+    h0_mean = float(np.mean(costs["Heuristic-0"]))
+    h10_mean = float(np.mean(costs["Heuristic-10"]))
+    # Paper shape: all algorithms beat Naive; Heuristic-10 ~= Exhaustive
+    # (test-set drift can put either side ahead by a hair).
+    assert h0_mean <= naive_mean * 1.001
+    assert h10_mean <= h0_mean * 1.001
+    assert 0.90 <= h10_mean / exhaustive_mean <= 1.10, (
+        "Heuristic-10 should closely track the exhaustive optimum"
+    )

@@ -1,0 +1,205 @@
+"""Section 6.4: scalability of the planners.
+
+The paper's claims (verified but not plotted, "due to space limitations"):
+
+- the heuristic scales **linearly in dataset size**, **linearly in domain
+  size**, and **exponentially (base 2) in the number of query predicates**
+  (through the OptSeq base planner; with GreedySeq it is polynomial);
+- the exhaustive algorithm is also linear in dataset size, **polynomial in
+  domain size** and **exponential in query variables with base the domain
+  size**.
+
+This bench measures planning wall-time along each axis with
+pytest-benchmark and asserts the growth *orders* (ratios between scale
+points), not absolute times.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Attribute, ConjunctiveQuery, RangePredicate, Schema
+from repro.planning import (
+    ExhaustivePlanner,
+    GreedyConditionalPlanner,
+    GreedySequentialPlanner,
+    OptimalSequentialPlanner,
+)
+from repro.probability import EmpiricalDistribution
+
+
+def correlated_table(n_attributes: int, domain: int, n_rows: int, seed: int = 0):
+    """A generic correlated table: attribute 0 is a cheap regime driver."""
+    rng = np.random.default_rng(seed)
+    regime = rng.integers(1, domain + 1, n_rows)
+    columns = [regime]
+    for _ in range(n_attributes - 1):
+        noise = rng.integers(-1, 2, n_rows)
+        columns.append(np.clip(regime + noise, 1, domain))
+    data = np.stack(columns, axis=1).astype(np.int64)
+    attributes = [Attribute("driver", domain, 1.0)] + [
+        Attribute(f"x{i}", domain, 100.0) for i in range(1, n_attributes)
+    ]
+    return Schema(attributes), data
+
+
+def query_over(schema: Schema, n_predicates: int) -> ConjunctiveQuery:
+    domain = schema[1].domain_size
+    names = [f"x{i}" for i in range(1, n_predicates + 1)]
+    half = max(1, domain // 2)
+    return ConjunctiveQuery(
+        schema, [RangePredicate(name, 1, half) for name in names]
+    )
+
+
+def plan_seconds(planner_factory, schema, data, query) -> float:
+    distribution = EmpiricalDistribution(schema, data)
+    planner = planner_factory(distribution)
+    start = time.perf_counter()
+    planner.plan(query)
+    return time.perf_counter() - start
+
+
+def heuristic_factory(distribution):
+    return GreedyConditionalPlanner(
+        distribution, GreedySequentialPlanner(distribution), max_splits=5
+    )
+
+
+def test_scaling_heuristic_with_dataset_size(benchmark):
+    schema, data = correlated_table(n_attributes=6, domain=6, n_rows=32_000)
+    query = query_over(schema, 4)
+    times = {}
+    for rows in (4_000, 8_000, 16_000, 32_000):
+        times[rows] = plan_seconds(heuristic_factory, schema, data[:rows], query)
+    benchmark(lambda: plan_seconds(heuristic_factory, schema, data[:4_000], query))
+
+    print("\nheuristic planning time vs dataset size:")
+    for rows, seconds in times.items():
+        print(f"  d={rows:6d}: {seconds * 1e3:7.1f} ms")
+    # Linear in d: 8x the data should cost clearly less than ~quadratic
+    # growth would (allow generous constant slack for numpy overheads).
+    ratio = times[32_000] / max(times[4_000], 1e-9)
+    assert ratio < 8 * 4, f"super-linear dataset scaling: {ratio:.1f}x for 8x rows"
+
+
+def test_scaling_heuristic_with_predicates(benchmark):
+    """With the GreedySeq base the heuristic is polynomial in m; the
+    OptSeq base costs O(m * 2**m) per sequential plan."""
+    schema, data = correlated_table(n_attributes=13, domain=4, n_rows=4_000)
+    greedy_times = {}
+    optimal_times = {}
+    for n_predicates in (4, 8, 12):
+        query = query_over(schema, n_predicates)
+        greedy_times[n_predicates] = plan_seconds(
+            heuristic_factory, schema, data, query
+        )
+        optimal_times[n_predicates] = plan_seconds(
+            lambda dist: OptimalSequentialPlanner(dist), schema, data, query
+        )
+    benchmark(
+        lambda: plan_seconds(
+            lambda dist: OptimalSequentialPlanner(dist),
+            schema,
+            data,
+            query_over(schema, 8),
+        )
+    )
+
+    print("\nplanning time vs number of predicates:")
+    print(f"  {'m':>3} {'heuristic(greedy base)':>24} {'OptSeq':>10}")
+    for n_predicates in (4, 8, 12):
+        print(
+            f"  {n_predicates:>3} {greedy_times[n_predicates] * 1e3:>21.1f} ms"
+            f" {optimal_times[n_predicates] * 1e3:>7.1f} ms"
+        )
+    # OptSeq's DP state count grows 2**m: m=12 over m=8 costs at least
+    # ~2**4 more DP states; wall-clock should reflect clearly super-linear
+    # growth while the greedy-based heuristic stays polynomial.
+    optseq_growth = optimal_times[12] / max(optimal_times[8], 1e-9)
+    greedy_growth = greedy_times[12] / max(greedy_times[8], 1e-9)
+    assert optseq_growth > 3.0, f"OptSeq growth too small: {optseq_growth:.1f}"
+    assert greedy_growth < optseq_growth, (
+        "greedy-based heuristic must scale better than OptSeq"
+    )
+
+
+def test_scaling_exhaustive_with_domain_size(benchmark):
+    """Exhaustive subproblem count grows polynomially (degree ~2n) in K."""
+    times = {}
+    subproblems = {}
+    for domain in (2, 3, 4):
+        schema, data = correlated_table(n_attributes=3, domain=domain, n_rows=2_000)
+        query = query_over(schema, 2)
+        distribution = EmpiricalDistribution(schema, data)
+        planner = ExhaustivePlanner(distribution)
+        start = time.perf_counter()
+        result = planner.plan(query)
+        times[domain] = time.perf_counter() - start
+        subproblems[domain] = result.stats.subproblems
+    schema, data = correlated_table(n_attributes=3, domain=3, n_rows=2_000)
+    timed_distribution = EmpiricalDistribution(schema, data)
+    benchmark(
+        lambda: ExhaustivePlanner(timed_distribution).plan(query_over(schema, 2))
+    )
+
+    print("\nexhaustive search size vs domain size K (n=3 attributes):")
+    for domain in (2, 3, 4):
+        print(
+            f"  K={domain}: {subproblems[domain]:6d} subproblems, "
+            f"{times[domain] * 1e3:7.1f} ms"
+        )
+    # Subproblem count must grow super-linearly in K.
+    assert subproblems[4] > subproblems[2] * 4
+
+
+def test_scaling_exhaustive_with_attributes(benchmark):
+    """Exhaustive growth in n is exponential with base ~K**2."""
+    counts = {}
+    for n_attributes in (2, 3, 4):
+        schema, data = correlated_table(
+            n_attributes=n_attributes, domain=3, n_rows=2_000, seed=1
+        )
+        query = query_over(schema, n_attributes - 1)
+        distribution = EmpiricalDistribution(schema, data)
+        result = ExhaustivePlanner(distribution).plan(query)
+        counts[n_attributes] = result.stats.subproblems
+
+    schema, data = correlated_table(n_attributes=3, domain=3, n_rows=2_000, seed=1)
+    query = query_over(schema, 2)
+    distribution = EmpiricalDistribution(schema, data)
+    benchmark(lambda: ExhaustivePlanner(distribution).plan(query))
+
+    print("\nexhaustive subproblems vs attribute count (K=3):")
+    for n_attributes, count in counts.items():
+        print(f"  n={n_attributes}: {count:8d} subproblems")
+    growth_23 = counts[3] / max(counts[2], 1)
+    growth_34 = counts[4] / max(counts[3], 1)
+    assert growth_34 > 2.0, "adding an attribute must multiply the search"
+
+
+def test_scaling_probability_cost_linear_in_rows(benchmark):
+    """Section 5: per-subproblem probability computation is O(|D|)."""
+    schema, data = correlated_table(n_attributes=5, domain=8, n_rows=64_000)
+    from repro.core import RangeVector
+
+    distribution_small = EmpiricalDistribution(schema, data[:8_000])
+    distribution_large = EmpiricalDistribution(schema, data)
+
+    def histogram_time(distribution) -> float:
+        distribution.clear_caches()
+        full = RangeVector.full(schema)
+        start = time.perf_counter()
+        for attribute_index in range(len(schema)):
+            distribution.attribute_histogram(attribute_index, full)
+        return time.perf_counter() - start
+
+    small = min(histogram_time(distribution_small) for _ in range(5))
+    large = min(histogram_time(distribution_large) for _ in range(5))
+    benchmark(lambda: histogram_time(distribution_small))
+    print(
+        f"\nhistogram pass: 8k rows {small * 1e3:.2f} ms, "
+        f"64k rows {large * 1e3:.2f} ms (8x data -> {large / small:.1f}x time)"
+    )
+    assert large / small < 8 * 3, "histogram pass must stay ~linear in |D|"

@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Benchmarks live outside the ``tests`` tree; run them with
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark times a representative planning operation with
+pytest-benchmark and prints the paper-style result table to stdout (use
+``-s`` to see the tables inline; they are also printed under
+``--benchmark-only`` because table generation happens inside the test
+body, not in the timed callable).
+"""
+
+import sys
+from pathlib import Path
+
+# Make `common` importable regardless of where pytest is invoked from.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,147 @@
+"""Conditional plans in a compressed database (Section 7).
+
+"In compressed databases, the cost of acquiring attributes may include the
+cost of decompression, which can be very high.  Conditional plans can
+reduce the amount of decompression required to execute a query."
+
+This example models a columnar store where each column is compressed with
+a different codec: metadata columns are stored as plain integers (free to
+read), while measure columns sit behind heavy per-value decompression.
+Predicates over measures can often be decided *without decompressing*
+anything, because the cheap dictionary-encoded dimensions (region, product
+tier) are correlated with the measures — exactly the acquisitional
+structure of the paper, with "decompression CPU" in place of "sensor
+energy".
+
+The example also demonstrates the boolean-query extension: the analyst's
+alert condition is a disjunction, which the exhaustive planner optimizes
+directly.
+
+Run:  python examples/compressed_database.py
+"""
+
+import numpy as np
+
+from repro import (
+    And,
+    Attribute,
+    BooleanQuery,
+    ConjunctiveQuery,
+    EmpiricalDistribution,
+    ExhaustivePlanner,
+    GreedyConditionalPlanner,
+    Leaf,
+    NaivePlanner,
+    OptimalSequentialPlanner,
+    Or,
+    RangePredicate,
+    Schema,
+    SplitPointPolicy,
+    empirical_cost,
+)
+from repro.core import dataset_execution
+
+
+def make_sales_table(n_rows: int = 30_000, seed: int = 2) -> np.ndarray:
+    """A synthetic sales fact table with dimension/measure correlations."""
+    rng = np.random.default_rng(seed)
+    region = rng.integers(1, 5, n_rows)  # dictionary-encoded, free
+    tier = rng.integers(1, 4, n_rows)  # product tier, free
+
+    # Revenue: premium tiers and region 4 sell high; 8 buckets.
+    revenue_level = 1.5 + 1.2 * tier + 1.5 * (region == 4)
+    revenue = np.clip(
+        np.round(revenue_level + rng.normal(0, 1.0, n_rows)), 1, 8
+    ).astype(np.int64)
+
+    # Units: inversely related to tier (premium sells fewer units).
+    units_level = 6.5 - 1.4 * tier
+    units = np.clip(
+        np.round(units_level + rng.normal(0, 1.0, n_rows)), 1, 8
+    ).astype(np.int64)
+
+    # Discount: deep discounts cluster in region 2's channel.
+    discount_level = 2.0 + 3.0 * (region == 2)
+    discount = np.clip(
+        np.round(discount_level + rng.normal(0, 1.2, n_rows)), 1, 8
+    ).astype(np.int64)
+
+    return np.stack([region, tier, revenue, units, discount], axis=1)
+
+
+def main() -> None:
+    # Costs are per-value decompression times (microseconds): the
+    # dimensions are plain-stored, the measures heavily compressed.
+    schema = Schema(
+        [
+            Attribute("region", 4, cost=0.1),
+            Attribute("tier", 3, cost=0.1),
+            Attribute("revenue", 8, cost=60.0),  # delta + entropy coded
+            Attribute("units", 8, cost=35.0),  # bit-packed
+            Attribute("discount", 8, cost=80.0),  # dictionary + rle chain
+        ]
+    )
+    table = make_sales_table()
+    train, live = table[:15_000], table[15_000:]
+    distribution = EmpiricalDistribution(schema, train)
+
+    # -- Part 1: a conjunctive audit query ------------------------------
+    audit = ConjunctiveQuery(
+        schema,
+        [
+            RangePredicate("revenue", 6, 8),  # high revenue
+            RangePredicate("units", 1, 3),  # few units
+            RangePredicate("discount", 5, 8),  # deep discount
+        ],
+    )
+    print(f"audit query: {audit.describe()}\n")
+    naive = NaivePlanner(distribution).plan(audit)
+    heuristic = GreedyConditionalPlanner(
+        distribution, OptimalSequentialPlanner(distribution), max_splits=6
+    ).plan(audit)
+    naive_cost = empirical_cost(naive.plan, live, schema)
+    heuristic_cost = empirical_cost(heuristic.plan, live, schema)
+    print("decompression time per row (held-out partition):")
+    print(f"  naive column order    : {naive_cost:7.1f} us")
+    print(f"  conditional plan      : {heuristic_cost:7.1f} us")
+    print(f"  speedup               : {naive_cost / heuristic_cost:7.2f}x\n")
+    print(heuristic.plan.pretty())
+
+    # -- Part 2: a disjunctive alert via the boolean extension ----------
+    # Alert: (high revenue AND deep discount) OR (premium-priced bucket
+    # moving high units) — margin anomalies either way.
+    alert = BooleanQuery(
+        schema,
+        Or(
+            And(
+                Leaf(RangePredicate("revenue", 7, 8)),
+                Leaf(RangePredicate("discount", 6, 8)),
+            ),
+            And(
+                Leaf(RangePredicate("revenue", 7, 8)),
+                Leaf(RangePredicate("units", 7, 8)),
+            ),
+        ),
+    )
+    print(f"\nalert condition: {alert.describe()}")
+    # Exhaustive planning is exponential; keep the candidate splits coarse
+    # (the predicate decision boundaries are always added automatically).
+    policy = SplitPointPolicy.equal_width(schema, [2, 1, 1, 1, 1])
+    optimal = ExhaustivePlanner(distribution, split_policy=policy).plan(alert)
+    outcome = dataset_execution(optimal.plan, live, schema)
+    truth = np.fromiter(
+        (alert.evaluate(row) for row in live), dtype=bool, count=len(live)
+    )
+    assert np.array_equal(outcome.verdicts, truth)
+    acquire_all = sum(
+        schema[index].cost for index in set(alert.attribute_indices)
+    )
+    print(
+        f"decompression per row: {outcome.mean_cost:.1f} us "
+        f"(decompress-everything would cost {acquire_all:.1f} us); "
+        f"alerts fired on {outcome.pass_fraction:.1%} of rows"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so ``pip install -e . --no-use-pep517`` works on machines without the
+``wheel`` package (PEP 517 editable installs require bdist_wheel).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,179 @@
+"""repro — conditional query plans for acquisitional query processing.
+
+A from-scratch reproduction of Deshpande, Guestrin, Hong, and Madden,
+*Exploiting Correlated Attributes in Acquisitional Query Processing*
+(ICDE 2005).
+
+The library's flow mirrors the paper's architecture (Section 2.5):
+
+1. Build a :class:`~repro.core.Schema` describing attributes, their
+   discretized domains, and their acquisition costs.
+2. Fit a probability model on historical data —
+   :class:`~repro.probability.EmpiricalDistribution` (raw counting) or
+   :class:`~repro.probability.ChowLiuDistribution` (tree graphical model).
+3. Plan a :class:`~repro.core.ConjunctiveQuery` with one of the planners:
+   :class:`~repro.planning.NaivePlanner`,
+   :class:`~repro.planning.GreedySequentialPlanner`,
+   :class:`~repro.planning.OptimalSequentialPlanner`,
+   :class:`~repro.planning.ExhaustivePlanner` (optimal conditional plans),
+   or :class:`~repro.planning.GreedyConditionalPlanner` (the Heuristic-k
+   algorithm).
+4. Execute the plan — per tuple with
+   :class:`~repro.execution.PlanExecutor`, over a dataset with
+   :func:`~repro.core.dataset_execution`, or in the
+   :class:`~repro.execution.SensorNetworkSimulator`.
+
+See ``examples/quickstart.py`` for a complete end-to-end walk-through.
+"""
+
+from repro.core import (
+    AcquisitionCostModel,
+    And,
+    Attribute,
+    BoardAwareCostModel,
+    BooleanQuery,
+    ConditionNode,
+    ConjunctiveQuery,
+    DatasetExecution,
+    Formula,
+    Leaf,
+    Or,
+    ExistentialQuery,
+    LimitQuery,
+    NotRangePredicate,
+    PlanNode,
+    Predicate,
+    Range,
+    RangePredicate,
+    RangeVector,
+    Schema,
+    SchemaCostModel,
+    SequentialNode,
+    SequentialStep,
+    Truth,
+    VerdictLeaf,
+    combined_objective,
+    dataset_execution,
+    empirical_cost,
+    expected_cost,
+    validate_plan,
+    plan_from_dict,
+    simplify_plan,
+    traversal_cost,
+)
+from repro.exceptions import (
+    AcquisitionError,
+    DiscretizationError,
+    DistributionError,
+    PlanError,
+    PlanningError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from repro.execution import (
+    AdaptiveStreamExecutor,
+    ByteCodeInterpreter,
+    compile_plan,
+    decompile_plan,
+    Mote,
+    PlanExecutor,
+    SensorBoardSource,
+    SensorNetworkSimulator,
+    TupleSource,
+)
+from repro.planning import (
+    CorrSeqPlanner,
+    SizeAwareConditionalPlanner,
+    ExhaustivePlanner,
+    GreedyConditionalPlanner,
+    GreedySequentialPlanner,
+    NaivePlanner,
+    OptimalSequentialPlanner,
+    PlanningResult,
+    SplitPointPolicy,
+)
+from repro.engine import AcquisitionalEngine, parse_query
+from repro.probability import (
+    ChowLiuDistribution,
+    EmpiricalDistribution,
+    IndependenceDistribution,
+    SlidingWindowDistribution,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Attribute",
+    "Schema",
+    "Range",
+    "RangeVector",
+    "Truth",
+    "Predicate",
+    "RangePredicate",
+    "NotRangePredicate",
+    "ConjunctiveQuery",
+    "BooleanQuery",
+    "Formula",
+    "Leaf",
+    "And",
+    "Or",
+    "ExistentialQuery",
+    "LimitQuery",
+    "PlanNode",
+    "VerdictLeaf",
+    "SequentialNode",
+    "SequentialStep",
+    "ConditionNode",
+    "plan_from_dict",
+    "simplify_plan",
+    "validate_plan",
+    "traversal_cost",
+    "dataset_execution",
+    "empirical_cost",
+    "expected_cost",
+    "combined_objective",
+    "DatasetExecution",
+    "AcquisitionCostModel",
+    "SchemaCostModel",
+    "BoardAwareCostModel",
+    # probability
+    "EmpiricalDistribution",
+    "ChowLiuDistribution",
+    "IndependenceDistribution",
+    "SlidingWindowDistribution",
+    # planning
+    "NaivePlanner",
+    "GreedySequentialPlanner",
+    "OptimalSequentialPlanner",
+    "CorrSeqPlanner",
+    "ExhaustivePlanner",
+    "GreedyConditionalPlanner",
+    "SizeAwareConditionalPlanner",
+    "SplitPointPolicy",
+    "PlanningResult",
+    # execution
+    "PlanExecutor",
+    "compile_plan",
+    "decompile_plan",
+    "ByteCodeInterpreter",
+    "TupleSource",
+    "SensorBoardSource",
+    "Mote",
+    "SensorNetworkSimulator",
+    "AdaptiveStreamExecutor",
+    # engine
+    "AcquisitionalEngine",
+    "parse_query",
+    # exceptions
+    "ReproError",
+    "SchemaError",
+    "QueryError",
+    "PlanError",
+    "PlanningError",
+    "DistributionError",
+    "AcquisitionError",
+    "DiscretizationError",
+]

@@ -1,0 +1,322 @@
+"""Command-line interface for the acquisitional query planner.
+
+Mirrors the basestation workflow of the paper's architecture
+(Section 2.5) as shell commands:
+
+    repro generate lab --rows 50000 --out-dir ./trace
+    repro plan    --schema trace/schema.json --trace trace/train.csv \
+                  --query "SELECT * WHERE light >= 9 AND temp <= 5" \
+                  --planner heuristic --max-splits 5 --out plan.json
+    repro explain --schema trace/schema.json --trace trace/train.csv \
+                  --query "SELECT * WHERE light >= 9 AND temp <= 5"
+    repro execute --schema trace/schema.json --plan plan.json \
+                  --trace trace/test.csv
+    repro compare --schema trace/schema.json --trace trace/train.csv \
+                  --test trace/test.csv --query "SELECT * WHERE ..."
+
+Every command reads/writes the JSON/CSV formats of
+:mod:`repro.data.trace_io`, so artifacts interoperate with the library
+API and external tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.analysis import annotate_plan, plan_summary
+from repro.core.cost import dataset_execution
+from repro.data.garden import generate_garden_dataset
+from repro.data.lab import generate_lab_dataset
+from repro.data.split import time_split
+from repro.data.synthetic import generate_synthetic_dataset
+from repro.data.trace_io import (
+    load_plan,
+    load_schema,
+    load_trace,
+    save_plan,
+    save_schema,
+    save_trace,
+)
+from repro.engine.language import parse_query
+from repro.exceptions import ReproError
+from repro.planning.corrseq import CorrSeqPlanner
+from repro.planning.exhaustive import ExhaustivePlanner
+from repro.planning.greedy_conditional import GreedyConditionalPlanner
+from repro.planning.greedy_sequential import GreedySequentialPlanner
+from repro.planning.naive import NaivePlanner
+from repro.planning.optimal_sequential import OptimalSequentialPlanner
+from repro.planning.split_points import SplitPointPolicy
+from repro.probability.empirical import EmpiricalDistribution
+
+__all__ = ["main", "build_parser"]
+
+PLANNER_CHOICES = ("naive", "greedy-seq", "opt-seq", "corr-seq", "heuristic", "exhaustive")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conditional query plans for acquisitional query processing",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a dataset (schema JSON + train/test CSV)"
+    )
+    generate.add_argument(
+        "dataset", choices=("lab", "garden", "synthetic"), help="generator"
+    )
+    generate.add_argument("--rows", type=int, default=20_000)
+    generate.add_argument("--motes", type=int, default=None)
+    generate.add_argument("--gamma", type=int, default=3, help="synthetic only")
+    generate.add_argument(
+        "--selectivity", type=float, default=0.5, help="synthetic only"
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--train-fraction", type=float, default=0.5)
+    generate.add_argument("--out-dir", type=Path, required=True)
+
+    def add_common(sub, with_trace=True):
+        sub.add_argument("--schema", type=Path, required=True)
+        if with_trace:
+            sub.add_argument(
+                "--trace", type=Path, required=True, help="training trace CSV"
+            )
+
+    plan = commands.add_parser("plan", help="plan a query and save the plan")
+    add_common(plan)
+    plan.add_argument("--query", required=True, help="SELECT ... WHERE ...")
+    plan.add_argument("--planner", choices=PLANNER_CHOICES, default="heuristic")
+    plan.add_argument("--max-splits", type=int, default=5)
+    plan.add_argument("--spsf", type=float, default=None)
+    plan.add_argument("--smoothing", type=float, default=0.0)
+    plan.add_argument("--out", type=Path, default=None, help="plan JSON path")
+
+    explain = commands.add_parser(
+        "explain", help="print an annotated plan for a query"
+    )
+    add_common(explain)
+    explain.add_argument("--query", required=True)
+    explain.add_argument("--planner", choices=PLANNER_CHOICES, default="heuristic")
+    explain.add_argument("--max-splits", type=int, default=5)
+    explain.add_argument("--spsf", type=float, default=None)
+    explain.add_argument("--smoothing", type=float, default=0.0)
+
+    execute = commands.add_parser(
+        "execute", help="run a saved plan over a trace and report costs"
+    )
+    execute.add_argument("--schema", type=Path, required=True)
+    execute.add_argument("--plan", type=Path, required=True)
+    execute.add_argument("--trace", type=Path, required=True)
+
+    compare = commands.add_parser(
+        "compare", help="plan with every algorithm and compare test costs"
+    )
+    add_common(compare)
+    compare.add_argument("--test", type=Path, required=True, help="test trace CSV")
+    compare.add_argument("--query", required=True)
+    compare.add_argument("--max-splits", type=int, default=5)
+    compare.add_argument("--smoothing", type=float, default=0.0)
+    compare.add_argument(
+        "--include-exhaustive",
+        action="store_true",
+        help="also run the exponential optimal planner (small inputs only)",
+    )
+
+    return parser
+
+
+def _planner_for(
+    parsed,
+    name: str,
+    distribution: EmpiricalDistribution,
+    max_splits: int,
+    spsf: float | None,
+):
+    """Planner for a parsed statement, honouring its query class.
+
+    Boolean (OR-containing) WHERE clauses only run through the exhaustive
+    planner; sequential/heuristic planning is conjunctive-only.
+    """
+    if not parsed.is_conjunctive:
+        schema = distribution.schema
+        if spsf is not None:
+            policy = SplitPointPolicy.from_spsf(schema, spsf)
+        else:
+            # Coarse default: two candidates per attribute plus the always-
+            # included predicate boundaries keeps the exponential search
+            # tractable on full-size schemas.
+            policy = SplitPointPolicy.equal_width(schema, [2] * len(schema))
+        return ExhaustivePlanner(
+            distribution, split_policy=policy, max_subproblems=500_000
+        )
+    return _build_planner(name, distribution, max_splits, spsf)
+
+
+def _build_planner(
+    name: str,
+    distribution: EmpiricalDistribution,
+    max_splits: int,
+    spsf: float | None,
+):
+    policy = None
+    if spsf is not None:
+        policy = SplitPointPolicy.from_spsf(distribution.schema, spsf)
+    if name == "naive":
+        return NaivePlanner(distribution)
+    if name == "greedy-seq":
+        return GreedySequentialPlanner(distribution)
+    if name == "opt-seq":
+        return OptimalSequentialPlanner(distribution)
+    if name == "corr-seq":
+        return CorrSeqPlanner(distribution)
+    if name == "heuristic":
+        return GreedyConditionalPlanner(
+            distribution,
+            CorrSeqPlanner(distribution),
+            max_splits=max_splits,
+            split_policy=policy,
+        )
+    if name == "exhaustive":
+        return ExhaustivePlanner(distribution, split_policy=policy)
+    raise ReproError(f"unknown planner {name!r}")
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    out_dir: Path = args.out_dir
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if args.dataset == "lab":
+        dataset = generate_lab_dataset(
+            n_readings=args.rows, n_motes=args.motes or 12, seed=args.seed
+        )
+        schema, data = dataset.schema, dataset.data
+    elif args.dataset == "garden":
+        dataset = generate_garden_dataset(
+            n_motes=args.motes or 11, n_epochs=args.rows, seed=args.seed
+        )
+        schema, data = dataset.schema, dataset.data
+    else:
+        dataset = generate_synthetic_dataset(
+            n_attributes=args.motes or 10,
+            gamma=args.gamma,
+            selectivity=args.selectivity,
+            n_rows=args.rows,
+            seed=args.seed,
+        )
+        schema, data = dataset.schema, dataset.data
+
+    train, test = time_split(data, args.train_fraction)
+    save_schema(schema, out_dir / "schema.json")
+    save_trace(train, schema, out_dir / "train.csv")
+    save_trace(test, schema, out_dir / "test.csv")
+    print(
+        f"wrote {out_dir}/schema.json ({len(schema)} attributes), "
+        f"train.csv ({len(train)} rows), test.csv ({len(test)} rows)"
+    )
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    train = load_trace(args.trace, schema)
+    distribution = EmpiricalDistribution(schema, train, smoothing=args.smoothing)
+    parsed = parse_query(args.query, schema)
+    planner = _planner_for(
+        parsed, args.planner, distribution, args.max_splits, args.spsf
+    )
+    result = planner.plan(parsed.query)
+    summary = plan_summary(result.plan)
+    print(f"planner: {result.planner}")
+    print(f"expected cost/tuple: {result.expected_cost:.2f}")
+    print(f"plan: {summary.describe()}")
+    print(result.plan.pretty())
+    if args.out is not None:
+        save_plan(result.plan, args.out)
+        print(f"plan written to {args.out}")
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    train = load_trace(args.trace, schema)
+    distribution = EmpiricalDistribution(schema, train, smoothing=args.smoothing)
+    parsed = parse_query(args.query, schema)
+    planner = _planner_for(
+        parsed, args.planner, distribution, args.max_splits, args.spsf
+    )
+    result = planner.plan(parsed.query)
+    print(f"query: {args.query.strip()}")
+    print(f"where clause: {parsed.query.describe()}")
+    print(f"planner: {result.planner}")
+    print(f"expected cost/tuple: {result.expected_cost:.2f}")
+    print(f"plan: {plan_summary(result.plan).describe()}\n")
+    print(annotate_plan(result.plan, distribution))
+    return 0
+
+
+def _command_execute(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    plan = load_plan(args.plan)
+    trace = load_trace(args.trace, schema)
+    outcome = dataset_execution(plan, trace, schema)
+    matches = int(outcome.verdicts.sum())
+    print(f"tuples scanned : {len(trace)}")
+    print(f"tuples matched : {matches} ({outcome.pass_fraction:.1%})")
+    print(f"total cost     : {outcome.total_cost:.1f}")
+    print(f"mean cost/tuple: {outcome.mean_cost:.2f}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    train = load_trace(args.trace, schema)
+    test = load_trace(args.test, schema)
+    distribution = EmpiricalDistribution(schema, train, smoothing=args.smoothing)
+    parsed = parse_query(args.query, schema)
+
+    names = ["naive", "corr-seq", "heuristic"]
+    if args.include_exhaustive:
+        names.append("exhaustive")
+    print(f"{'planner':<12} {'expected':>10} {'test cost':>10} {'vs naive':>9}")
+    baseline = None
+    if not parsed.is_conjunctive:
+        names = ["exhaustive"]
+    for name in names:
+        planner = _planner_for(parsed, name, distribution, args.max_splits, None)
+        result = planner.plan(parsed.query)
+        measured = dataset_execution(result.plan, test, schema).mean_cost
+        if baseline is None:
+            baseline = measured
+        gain = baseline / measured if measured > 0 else float("inf")
+        print(
+            f"{name:<12} {result.expected_cost:>10.2f} "
+            f"{measured:>10.2f} {gain:>8.2f}x"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "plan": _command_plan,
+        "explain": _command_explain,
+        "execute": _command_execute,
+        "compare": _command_compare,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

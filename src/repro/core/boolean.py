@@ -1,0 +1,208 @@
+"""General boolean queries: beyond conjunctions.
+
+The paper's optimization problem is an instance of the minimum-cost
+resolution strategy problem over an arbitrary boolean formula ``phi``
+(Section 3.1), but its algorithms and evaluation focus on conjunctions of
+unary predicates — noting that "if we were to include disjunctions the
+complexity will usually not decrease" and deferring sequential planning
+for arbitrary queries to the full version.
+
+The *exhaustive* planner, however, only needs two things from a query:
+three-valued truth under range knowledge, and the set of still-undecided
+predicates.  This module provides AND/OR formula trees with exactly that
+interface, so :class:`~repro.planning.ExhaustivePlanner` optimizes
+arbitrary monotone boolean combinations (negation lives at the leaves via
+:class:`~repro.core.predicates.NotRangePredicate`) without modification.
+
+    formula = Or(
+        And(Leaf(RangePredicate("temp", 9, 12)), Leaf(RangePredicate("light", 9, 12))),
+        Leaf(NotRangePredicate("humidity", 1, 8)),
+    )
+    query = BooleanQuery(schema, formula)
+    plan = ExhaustivePlanner(distribution).plan(query).plan
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.attributes import Schema
+from repro.core.predicates import Predicate, Truth
+from repro.core.ranges import RangeVector
+from repro.exceptions import QueryError
+
+__all__ = ["Formula", "Leaf", "And", "Or", "BooleanQuery"]
+
+
+class Formula(ABC):
+    """A monotone boolean combination of unary predicates."""
+
+    @abstractmethod
+    def evaluate(self, values: Sequence[int], schema: Schema) -> bool:
+        """Ground-truth evaluation on a complete tuple."""
+
+    @abstractmethod
+    def truth_under(self, ranges: RangeVector, schema: Schema) -> Truth:
+        """Three-valued truth given per-attribute range knowledge."""
+
+    @abstractmethod
+    def leaves(self) -> Iterator["Leaf"]:
+        """All predicate leaves, left to right."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable rendering."""
+
+
+@dataclass(frozen=True)
+class Leaf(Formula):
+    """A single predicate."""
+
+    predicate: Predicate
+
+    def evaluate(self, values: Sequence[int], schema: Schema) -> bool:
+        index = schema.index_of(self.predicate.attribute)
+        return self.predicate.satisfied_by(values[index])
+
+    def truth_under(self, ranges: RangeVector, schema: Schema) -> Truth:
+        index = schema.index_of(self.predicate.attribute)
+        return self.predicate.truth_under(ranges[index])
+
+    def leaves(self) -> Iterator["Leaf"]:
+        yield self
+
+    def describe(self) -> str:
+        return self.predicate.describe()
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction: FALSE dominates, TRUE requires all TRUE."""
+
+    children: tuple[Formula, ...]
+
+    def __init__(self, *children: Formula) -> None:
+        if len(children) < 2:
+            raise QueryError("And requires at least two children")
+        object.__setattr__(self, "children", tuple(children))
+
+    def evaluate(self, values: Sequence[int], schema: Schema) -> bool:
+        return all(child.evaluate(values, schema) for child in self.children)
+
+    def truth_under(self, ranges: RangeVector, schema: Schema) -> Truth:
+        all_true = True
+        for child in self.children:
+            truth = child.truth_under(ranges, schema)
+            if truth is Truth.FALSE:
+                return Truth.FALSE
+            if truth is not Truth.TRUE:
+                all_true = False
+        return Truth.TRUE if all_true else Truth.UNDETERMINED
+
+    def leaves(self) -> Iterator[Leaf]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def describe(self) -> str:
+        return "(" + " AND ".join(child.describe() for child in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction: TRUE dominates, FALSE requires all FALSE."""
+
+    children: tuple[Formula, ...]
+
+    def __init__(self, *children: Formula) -> None:
+        if len(children) < 2:
+            raise QueryError("Or requires at least two children")
+        object.__setattr__(self, "children", tuple(children))
+
+    def evaluate(self, values: Sequence[int], schema: Schema) -> bool:
+        return any(child.evaluate(values, schema) for child in self.children)
+
+    def truth_under(self, ranges: RangeVector, schema: Schema) -> Truth:
+        all_false = True
+        for child in self.children:
+            truth = child.truth_under(ranges, schema)
+            if truth is Truth.TRUE:
+                return Truth.TRUE
+            if truth is not Truth.FALSE:
+                all_false = False
+        return Truth.FALSE if all_false else Truth.UNDETERMINED
+
+    def leaves(self) -> Iterator[Leaf]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def describe(self) -> str:
+        return "(" + " OR ".join(child.describe() for child in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class BooleanQuery:
+    """A query over an arbitrary monotone formula.
+
+    Exposes the same interface the exhaustive planner consumes from
+    :class:`~repro.core.query.ConjunctiveQuery` (``truth_under``,
+    ``undetermined_predicates``, ``evaluate``), so conditional plans for
+    disjunctive queries come for free.  Sequential planners do not apply —
+    the paper defers them to its full version — and the heuristic planner
+    requires one, so use :class:`~repro.planning.ExhaustivePlanner`.
+    """
+
+    schema: Schema
+    formula: Formula
+    _indices: dict = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        indices = {}
+        for leaf in self.formula.leaves():
+            indices[id(leaf)] = self.schema.index_of(leaf.predicate.attribute)
+        if not indices:
+            raise QueryError("formula contains no predicates")
+        object.__setattr__(self, "_indices", indices)
+
+    def evaluate(self, values: Sequence[int]) -> bool:
+        return self.formula.evaluate(values, self.schema)
+
+    def truth_under(self, ranges: RangeVector) -> Truth:
+        return self.formula.truth_under(ranges, self.schema)
+
+    def undetermined_predicates(
+        self, ranges: RangeVector
+    ) -> list[tuple[Predicate, int]]:
+        """Predicate leaves still undecided under the range knowledge.
+
+        Unlike the conjunctive case, the same attribute may appear in
+        several leaves; duplicates are collapsed (deciding the attribute's
+        value decides every leaf over it).
+        """
+        seen: set[int] = set()
+        remaining = []
+        for leaf in self.formula.leaves():
+            index = self.schema.index_of(leaf.predicate.attribute)
+            if index in seen:
+                continue
+            if leaf.predicate.truth_under(ranges[index]) is Truth.UNDETERMINED:
+                seen.add(index)
+                remaining.append((leaf.predicate, index))
+        return remaining
+
+    @property
+    def predicates(self) -> tuple[Predicate, ...]:
+        """All leaf predicates (duplicates possible across Or branches)."""
+        return tuple(leaf.predicate for leaf in self.formula.leaves())
+
+    @property
+    def attribute_indices(self) -> tuple[int, ...]:
+        """Schema index of each leaf predicate, parallel to ``predicates``."""
+        return tuple(
+            self.schema.index_of(leaf.predicate.attribute)
+            for leaf in self.formula.leaves()
+        )
+
+    def describe(self) -> str:
+        return self.formula.describe()

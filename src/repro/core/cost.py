@@ -1,0 +1,280 @@
+"""Plan cost models.
+
+Implements the paper's three cost quantities plus the Section 2.4 extension:
+
+- :func:`traversal_cost` — Equation 1: the acquisition cost a plan pays on
+  one concrete tuple.
+- :func:`dataset_execution` / :func:`empirical_cost` — Equation 4: the
+  dataset-approximated expected cost (and, as a byproduct, the plan's
+  verdict on every row — used to verify plans never change query answers).
+- :func:`expected_cost` — Equation 3: the model-expected cost under any
+  :class:`~repro.probability.base.Distribution`, computed by recursing over
+  the plan tree while tracking the subproblem ranges each branch implies.
+- :func:`combined_objective` — Section 2.4: ``C(P) + alpha * zeta(P)``,
+  folding plan-dissemination cost into the optimization target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.attributes import Schema
+from repro.core.cost_models import AcquisitionCostModel
+from repro.core.plan import (
+    ConditionNode,
+    PlanNode,
+    SequentialNode,
+    VerdictLeaf,
+)
+from repro.core.predicates import Predicate
+from repro.core.ranges import RangeVector
+from repro.exceptions import PlanError
+from repro.probability.base import Distribution
+
+__all__ = [
+    "traversal_cost",
+    "dataset_execution",
+    "empirical_cost",
+    "expected_cost",
+    "combined_objective",
+    "DatasetExecution",
+    "predicate_mask",
+]
+
+
+def predicate_mask(predicate: Predicate, values: np.ndarray) -> np.ndarray:
+    """Vectorized predicate evaluation over an array of attribute values."""
+    low = getattr(predicate, "low", None)
+    high = getattr(predicate, "high", None)
+    if low is not None and high is not None:
+        inside = (values >= low) & (values <= high)
+        return inside if predicate.satisfied_by(low) else ~inside
+    return np.fromiter(
+        (predicate.satisfied_by(int(value)) for value in values),
+        dtype=bool,
+        count=values.size,
+    )
+
+
+def traversal_cost(
+    plan: PlanNode,
+    values: Sequence[int],
+    schema: Schema,
+    cost_model: AcquisitionCostModel | None = None,
+) -> float:
+    """Equation 1: acquisition cost of running ``plan`` on one tuple.
+
+    ``cost_model`` generalizes the flat per-attribute costs to the
+    Section 7 conditional-cost setting; acquisitions fire in traversal
+    order, so the model sees the correct acquired-so-far set.
+    """
+    costs = schema.costs
+    total = 0.0
+    acquired: set[int] = set()
+
+    def on_acquire(index: int) -> None:
+        nonlocal total
+        if cost_model is None:
+            total += costs[index]
+        else:
+            total += cost_model.cost(index, acquired)
+        acquired.add(index)
+
+    plan.evaluate(values, on_acquire=on_acquire)
+    return total
+
+
+@dataclass(frozen=True)
+class DatasetExecution:
+    """Per-row outcome of running a plan over a dataset."""
+
+    costs: np.ndarray
+    verdicts: np.ndarray
+
+    @property
+    def mean_cost(self) -> float:
+        """Equation 4: the empirical expected plan cost."""
+        if self.costs.size == 0:
+            return 0.0
+        return float(self.costs.mean())
+
+    @property
+    def total_cost(self) -> float:
+        return float(self.costs.sum())
+
+    @property
+    def pass_fraction(self) -> float:
+        return float(self.verdicts.mean())
+
+
+def dataset_execution(
+    plan: PlanNode,
+    data: np.ndarray,
+    schema: Schema,
+    cost_model: AcquisitionCostModel | None = None,
+) -> DatasetExecution:
+    """Run a plan over every row of ``data`` with vectorized tree routing.
+
+    Rows are pushed down the plan tree in batches: a condition node charges
+    its attribute cost to every routed row that has not acquired the
+    attribute on its path, then partitions the batch by the split test; a
+    sequential node walks its predicate order with a shrinking "alive" set.
+    The result carries per-row costs (Equation 1 applied to every tuple) and
+    per-row verdicts.
+    """
+    matrix = np.asarray(data)
+    if matrix.ndim != 2 or matrix.shape[1] != len(schema):
+        raise PlanError(
+            f"data shape {matrix.shape} incompatible with schema of "
+            f"{len(schema)} attributes"
+        )
+    attribute_costs = schema.costs
+    row_costs = np.zeros(matrix.shape[0], dtype=np.float64)
+    verdicts = np.zeros(matrix.shape[0], dtype=bool)
+
+    def charge(index: int, acquired: frozenset[int] | set[int]) -> float:
+        if cost_model is None:
+            return attribute_costs[index]
+        return cost_model.cost(index, acquired)
+
+    def walk(node: PlanNode, rows: np.ndarray, acquired: frozenset[int]) -> None:
+        if rows.size == 0:
+            return
+        if isinstance(node, VerdictLeaf):
+            verdicts[rows] = node.verdict
+            return
+        if isinstance(node, ConditionNode):
+            index = node.attribute_index
+            if index not in acquired:
+                row_costs[rows] += charge(index, acquired)
+                acquired = acquired | {index}
+            column = matrix[rows, index]
+            below = column < node.split_value
+            walk(node.below, rows[below], acquired)
+            walk(node.above, rows[~below], acquired)
+            return
+        if isinstance(node, SequentialNode):
+            alive = rows
+            mutable_acquired = set(acquired)
+            for step in node.steps:
+                if alive.size == 0:
+                    break
+                index = step.attribute_index
+                if index not in mutable_acquired:
+                    row_costs[alive] += charge(index, mutable_acquired)
+                    mutable_acquired.add(index)
+                satisfied = predicate_mask(step.predicate, matrix[alive, index])
+                verdicts[alive[~satisfied]] = False
+                alive = alive[satisfied]
+            verdicts[alive] = True
+            return
+        raise PlanError(f"unknown plan node type {type(node).__name__}")
+
+    walk(plan, np.arange(matrix.shape[0]), frozenset())
+    return DatasetExecution(costs=row_costs, verdicts=verdicts)
+
+
+def empirical_cost(
+    plan: PlanNode,
+    data: np.ndarray,
+    schema: Schema,
+    cost_model: AcquisitionCostModel | None = None,
+) -> float:
+    """Equation 4: mean traversal cost of ``plan`` over a dataset."""
+    return dataset_execution(plan, data, schema, cost_model).mean_cost
+
+
+def expected_cost(
+    plan: PlanNode,
+    distribution: Distribution,
+    ranges: RangeVector | None = None,
+    cost_model: AcquisitionCostModel | None = None,
+) -> float:
+    """Equation 3: model-expected cost of a plan.
+
+    ``ranges`` carries the subproblem context reached so far (defaults to
+    the full attribute space); condition nodes recurse with split ranges and
+    branch probabilities from ``distribution``, and sequential leaves charge
+    each step weighted by the probability that every earlier predicate in
+    the order held.
+    """
+    schema = distribution.schema
+    if ranges is None:
+        ranges = RangeVector.full(schema)
+    return _expected_cost(plan, distribution, ranges, schema, cost_model)
+
+
+def _expected_cost(
+    plan: PlanNode,
+    distribution: Distribution,
+    ranges: RangeVector,
+    schema: Schema,
+    cost_model: AcquisitionCostModel | None = None,
+) -> float:
+    if isinstance(plan, VerdictLeaf):
+        return 0.0
+    if isinstance(plan, ConditionNode):
+        index = plan.attribute_index
+        if ranges.is_acquired(index):
+            acquisition = 0.0
+        elif cost_model is None:
+            acquisition = schema[index].cost
+        else:
+            acquisition = cost_model.cost(index, ranges.acquired_indices())
+        interval = ranges[index]
+        if not interval.low < plan.split_value <= interval.high:
+            raise PlanError(
+                f"plan splits {plan.attribute!r} at {plan.split_value} outside "
+                f"the reachable range [{interval.low}, {interval.high}]"
+            )
+        probability_below = distribution.split_probability(
+            index, plan.split_value, ranges
+        )
+        below_ranges, above_ranges = ranges.split(index, plan.split_value)
+        total = acquisition
+        if probability_below > 0.0:
+            total += probability_below * _expected_cost(
+                plan.below, distribution, below_ranges, schema, cost_model
+            )
+        if probability_below < 1.0:
+            total += (1.0 - probability_below) * _expected_cost(
+                plan.above, distribution, above_ranges, schema, cost_model
+            )
+        return total
+    if isinstance(plan, SequentialNode):
+        total = 0.0
+        survival = 1.0
+        conditioner = distribution.sequential_conditioner(ranges)
+        acquired = set(ranges.acquired_indices())
+        for step in plan.steps:
+            if survival <= 0.0:
+                break
+            index = step.attribute_index
+            if index not in acquired:
+                if cost_model is None:
+                    total += survival * schema[index].cost
+                else:
+                    total += survival * cost_model.cost(index, acquired)
+                acquired.add(index)
+            binding = (step.predicate, step.attribute_index)
+            survival *= conditioner.pass_probability(binding)
+            conditioner.condition_on(binding)
+        return total
+    raise PlanError(f"unknown plan node type {type(plan).__name__}")
+
+
+def combined_objective(
+    plan: PlanNode, distribution: Distribution, alpha: float
+) -> float:
+    """Section 2.4: expected execution cost plus dissemination cost.
+
+    ``alpha`` is (cost to transmit a byte) / (number of tuples processed in
+    the query's lifetime) — it amortizes sending ``zeta(P)`` bytes of plan
+    into the network over the query's life.
+    """
+    if alpha < 0:
+        raise PlanError(f"alpha must be >= 0, got {alpha}")
+    return expected_cost(plan, distribution) + alpha * plan.size_bytes()

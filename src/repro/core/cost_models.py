@@ -1,0 +1,106 @@
+"""Acquisition cost models (Section 7, "Complex acquisition costs").
+
+The paper's core cost model charges a fixed ``C_i`` per attribute, but
+notes that real hardware is richer: "motes have sensor boards with
+multiple sensors that are powered up simultaneously.  Thus, the cost of
+acquiring a reading can be decomposed as the high cost of powering up the
+board, plus a low cost for a reading of each sensor in the board.  This
+can be simulated in our planning algorithms by making the costs of
+acquiring attributes themselves conditional on the attributes acquired so
+far."
+
+:class:`AcquisitionCostModel` is that conditioning: the cost of an
+attribute is a function of the set of attributes already acquired.  The
+planners' dynamic programs stay exact under such models because their
+states (subproblem ranges for ExhaustivePlan, satisfied-predicate sets for
+OptSeq) determine the acquired set.
+
+Two concrete models:
+
+- :class:`SchemaCostModel` — the paper's flat per-attribute costs
+  (the default everywhere);
+- :class:`BoardAwareCostModel` — shared power-up per board plus a small
+  per-read cost, matching the runtime
+  :class:`~repro.execution.acquisition.SensorBoardSource`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import AbstractSet, Mapping
+
+from repro.core.attributes import Schema
+from repro.exceptions import SchemaError
+
+__all__ = ["AcquisitionCostModel", "SchemaCostModel", "BoardAwareCostModel"]
+
+
+class AcquisitionCostModel(ABC):
+    """Cost of acquiring an attribute, conditional on prior acquisitions."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @abstractmethod
+    def cost(self, attribute_index: int, acquired: AbstractSet[int]) -> float:
+        """Cost of a first read of ``attribute_index`` after ``acquired``."""
+
+
+class SchemaCostModel(AcquisitionCostModel):
+    """The paper's base model: a constant ``C_i`` per attribute."""
+
+    def cost(self, attribute_index: int, acquired: AbstractSet[int]) -> float:
+        return self._schema[attribute_index].cost
+
+
+class BoardAwareCostModel(AcquisitionCostModel):
+    """Shared board power-up plus per-read cost.
+
+    Parameters
+    ----------
+    schema:
+        Table schema.  Attributes absent from ``boards`` keep their plain
+        schema cost.
+    boards:
+        Maps attribute index to a board label.
+    power_up_cost:
+        One-time surcharge for the first acquisition on each board.
+    per_read_cost:
+        Cost of each board-resident read once the board is powered.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        boards: Mapping[int, str],
+        power_up_cost: float,
+        per_read_cost: float = 1.0,
+    ) -> None:
+        super().__init__(schema)
+        if power_up_cost < 0 or per_read_cost < 0:
+            raise SchemaError("board costs must be >= 0")
+        for index in boards:
+            if not 0 <= index < len(schema):
+                raise SchemaError(f"board attribute index {index} out of range")
+        self._boards = dict(boards)
+        self._power_up_cost = float(power_up_cost)
+        self._per_read_cost = float(per_read_cost)
+
+    def cost(self, attribute_index: int, acquired: AbstractSet[int]) -> float:
+        board = self._boards.get(attribute_index)
+        if board is None:
+            return self._schema[attribute_index].cost
+        powered = any(
+            self._boards.get(other) == board for other in acquired
+        )
+        if powered:
+            return self._per_read_cost
+        return self._per_read_cost + self._power_up_cost
+
+    @property
+    def boards(self) -> dict[int, str]:
+        return dict(self._boards)

@@ -1,0 +1,313 @@
+"""Conditional plan trees.
+
+A *conditional plan* (Section 2.1) is a binary decision tree whose interior
+nodes are conditioning predicates ``T(X_i >= x)`` and whose leaves either
+declare the query verdict outright or run a short *sequential plan* — a fixed
+predicate order — to finish the job.  Three node types cover every plan the
+paper's algorithms produce:
+
+- :class:`ConditionNode` — a binary split from ExhaustivePlan (Figure 5) or
+  GreedyPlan (Figure 7);
+- :class:`SequentialNode` — an ordered list of query predicates, the building
+  block contributed by Naive / OptSeq / GreedySeq (Section 4.1);
+- :class:`VerdictLeaf` — a branch whose outcome is already decided.
+
+Plans also know their size :math:`\\zeta(P)` in nodes and in serialized bytes
+(Section 2.4's dissemination-cost model), can round-trip through plain dicts
+for storage, and render themselves in the style of the paper's Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.predicates import NotRangePredicate, Predicate, RangePredicate
+from repro.exceptions import PlanError
+
+__all__ = [
+    "PlanNode",
+    "VerdictLeaf",
+    "SequentialStep",
+    "SequentialNode",
+    "ConditionNode",
+    "plan_from_dict",
+]
+
+# Byte-size model for the compact on-mote plan encoding used by zeta(P):
+# a condition node stores an attribute id (1 byte), a split value (2 bytes)
+# and two child offsets (2 bytes each); a sequential step stores an attribute
+# id, a low and a high bound and a negation flag; a verdict leaf is a tag
+# byte.  The constants only matter relative to each other — the alpha scaling
+# factor of Section 2.4 absorbs units.
+_CONDITION_NODE_BYTES = 7
+_SEQUENTIAL_STEP_BYTES = 6
+_VERDICT_LEAF_BYTES = 1
+_SEQUENTIAL_HEADER_BYTES = 2
+
+
+class PlanNode:
+    """Base class for plan-tree nodes."""
+
+    __slots__ = ()
+
+    def size_nodes(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        return sum(1 for _node in self.iter_nodes())
+
+    def size_bytes(self) -> int:
+        """Serialized size of the subtree under the byte model above."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (a leaf has depth 0)."""
+        raise NotImplementedError
+
+    def condition_count(self) -> int:
+        """Number of :class:`ConditionNode` splits in the subtree."""
+        return sum(
+            1 for node in self.iter_nodes() if isinstance(node, ConditionNode)
+        )
+
+    def iter_nodes(self) -> Iterator["PlanNode"]:
+        """Pre-order traversal of the subtree."""
+        raise NotImplementedError
+
+    def evaluate(
+        self, values: Sequence[int], on_acquire: Callable[[int], None] | None = None
+    ) -> bool:
+        """Run the plan on a concrete tuple and return the query verdict.
+
+        ``on_acquire`` is invoked with the schema index of every attribute
+        the traversal *reads* (the executor uses it for cost accounting and
+        first-read caching; passing the same index twice is the caller's
+        signal that an attribute was re-used, so the callback is only fired
+        on first read within this call).
+        """
+        acquired: set[int] = set()
+
+        def read(index: int) -> int:
+            if index not in acquired:
+                acquired.add(index)
+                if on_acquire is not None:
+                    on_acquire(index)
+            return values[index]
+
+        return self._evaluate(read)
+
+    def _evaluate(self, read: Callable[[int], int]) -> bool:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict representation for storage / transmission."""
+        raise NotImplementedError
+
+    def pretty(self, indent: str = "") -> str:
+        """Figure 9-style text rendering of the subtree."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+@dataclass(frozen=True, slots=True)
+class VerdictLeaf(PlanNode):
+    """A leaf whose branch already determines the query outcome."""
+
+    verdict: bool
+
+    def size_bytes(self) -> int:
+        return _VERDICT_LEAF_BYTES
+
+    def depth(self) -> int:
+        return 0
+
+    def iter_nodes(self) -> Iterator[PlanNode]:
+        yield self
+
+    def _evaluate(self, read: Callable[[int], int]) -> bool:
+        return self.verdict
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": "verdict", "verdict": self.verdict}
+
+    def pretty(self, indent: str = "") -> str:
+        return f"{indent}=> {'T' if self.verdict else 'F'}"
+
+
+@dataclass(frozen=True, slots=True)
+class SequentialStep:
+    """One predicate evaluation inside a sequential plan."""
+
+    predicate: Predicate
+    attribute_index: int
+
+    def to_dict(self) -> dict[str, Any]:
+        predicate = self.predicate
+        kind = "not_range" if isinstance(predicate, NotRangePredicate) else "range"
+        return {
+            "kind": kind,
+            "attribute": predicate.attribute,
+            "attribute_index": self.attribute_index,
+            "low": predicate.low,  # type: ignore[attr-defined]
+            "high": predicate.high,  # type: ignore[attr-defined]
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SequentialStep":
+        predicate_cls = (
+            NotRangePredicate if payload["kind"] == "not_range" else RangePredicate
+        )
+        predicate = predicate_cls(
+            attribute=payload["attribute"],
+            low=payload["low"],
+            high=payload["high"],
+        )
+        return cls(predicate=predicate, attribute_index=payload["attribute_index"])
+
+
+@dataclass(frozen=True, slots=True)
+class SequentialNode(PlanNode):
+    """Evaluate predicates in a fixed order; fail fast, pass when exhausted.
+
+    The node implements conjunctive semantics: the first failing predicate
+    yields ``False``; a tuple surviving every step yields ``True``.  An empty
+    step list means every remaining predicate was already proven true, so
+    the node behaves as a TRUE leaf.
+    """
+
+    steps: tuple[SequentialStep, ...]
+
+    def size_bytes(self) -> int:
+        return _SEQUENTIAL_HEADER_BYTES + _SEQUENTIAL_STEP_BYTES * len(self.steps)
+
+    def depth(self) -> int:
+        return 0
+
+    def iter_nodes(self) -> Iterator[PlanNode]:
+        yield self
+
+    def _evaluate(self, read: Callable[[int], int]) -> bool:
+        return all(
+            step.predicate.satisfied_by(read(step.attribute_index))
+            for step in self.steps
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "sequential",
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    def pretty(self, indent: str = "") -> str:
+        if not self.steps:
+            return f"{indent}=> T"
+        chain = " -> ".join(step.predicate.describe() for step in self.steps)
+        return f"{indent}seq: {chain}"
+
+
+@dataclass(frozen=True, slots=True)
+class ConditionNode(PlanNode):
+    """A conditioning-predicate split ``T(X >= split_value)``.
+
+    ``below`` is taken when the observed value is ``< split_value`` and
+    ``above`` when it is ``>= split_value``.  Reading the attribute at this
+    node costs :math:`C_i` unless an ancestor already acquired it
+    (Section 2.2) — the executor's read cache implements that rule.
+    """
+
+    attribute: str
+    attribute_index: int
+    split_value: int
+    below: PlanNode
+    above: PlanNode
+
+    def __post_init__(self) -> None:
+        if self.split_value < 2:
+            raise PlanError(
+                f"split value must be >= 2 (got {self.split_value}); "
+                "splitting at the domain minimum produces an empty branch"
+            )
+
+    def size_bytes(self) -> int:
+        return (
+            _CONDITION_NODE_BYTES + self.below.size_bytes() + self.above.size_bytes()
+        )
+
+    def depth(self) -> int:
+        return 1 + max(self.below.depth(), self.above.depth())
+
+    def iter_nodes(self) -> Iterator[PlanNode]:
+        yield self
+        yield from self.below.iter_nodes()
+        yield from self.above.iter_nodes()
+
+    def _evaluate(self, read: Callable[[int], int]) -> bool:
+        branch = self.above if read(self.attribute_index) >= self.split_value else self.below
+        return branch._evaluate(read)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "condition",
+            "attribute": self.attribute,
+            "attribute_index": self.attribute_index,
+            "split_value": self.split_value,
+            "below": self.below.to_dict(),
+            "above": self.above.to_dict(),
+        }
+
+    def pretty(self, indent: str = "") -> str:
+        child_indent = indent + "    "
+        lines = [
+            f"{indent}if {self.attribute} < {self.split_value}:",
+            self.below.pretty(child_indent),
+            f"{indent}else ({self.attribute} >= {self.split_value}):",
+            self.above.pretty(child_indent),
+        ]
+        return "\n".join(lines)
+
+
+def simplify_plan(plan: PlanNode) -> PlanNode:
+    """Structurally simplify a plan without changing its behaviour.
+
+    Collapses condition nodes whose branches are identical subtrees (the
+    exhaustive DP produces such free-split ties) and rewrites empty
+    sequential nodes as TRUE leaves.  Useful when plan size matters — the
+    dissemination-cost objective of Section 2.4 — since the simplified plan
+    acquires exactly the same attributes on every tuple except the dropped
+    no-op splits.
+    """
+    if isinstance(plan, ConditionNode):
+        below = simplify_plan(plan.below)
+        above = simplify_plan(plan.above)
+        if below == above:
+            return below
+        return ConditionNode(
+            attribute=plan.attribute,
+            attribute_index=plan.attribute_index,
+            split_value=plan.split_value,
+            below=below,
+            above=above,
+        )
+    if isinstance(plan, SequentialNode) and not plan.steps:
+        return VerdictLeaf(verdict=True)
+    return plan
+
+
+def plan_from_dict(payload: dict[str, Any]) -> PlanNode:
+    """Reconstruct a plan tree from :meth:`PlanNode.to_dict` output."""
+    kind = payload.get("kind")
+    if kind == "verdict":
+        return VerdictLeaf(verdict=bool(payload["verdict"]))
+    if kind == "sequential":
+        steps = tuple(SequentialStep.from_dict(step) for step in payload["steps"])
+        return SequentialNode(steps=steps)
+    if kind == "condition":
+        return ConditionNode(
+            attribute=payload["attribute"],
+            attribute_index=payload["attribute_index"],
+            split_value=payload["split_value"],
+            below=plan_from_dict(payload["below"]),
+            above=plan_from_dict(payload["above"]),
+        )
+    raise PlanError(f"unknown plan node kind {kind!r}")

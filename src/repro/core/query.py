@@ -1,0 +1,149 @@
+"""Queries over acquisitional tables.
+
+:class:`ConjunctiveQuery` is the paper's problem class: a conjunction of
+unary predicates over *distinct* attributes (Section 2.1, Theorem 3.1).  The
+Section 7 extensions :class:`ExistentialQuery` and :class:`LimitQuery` wrap a
+conjunctive query and apply it across a fleet of tuples/sensors; they are
+used by the sensor-network simulator to short-circuit acquisition across
+motes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.attributes import Schema
+from repro.core.predicates import Predicate, Truth
+from repro.core.ranges import RangeVector
+from repro.exceptions import QueryError
+
+__all__ = ["ConjunctiveQuery", "ExistentialQuery", "LimitQuery"]
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunction of unary predicates over distinct schema attributes.
+
+    Parameters
+    ----------
+    schema:
+        The table schema the query is posed against.
+    predicates:
+        One :class:`~repro.core.predicates.Predicate` per referenced
+        attribute.  Attributes must be distinct — the paper's problem class —
+        and every referenced name must exist in the schema.
+    """
+
+    schema: Schema
+    predicates: tuple[Predicate, ...]
+    _indices: tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __init__(self, schema: Schema, predicates: Iterable[Predicate]) -> None:
+        preds = tuple(predicates)
+        if not preds:
+            raise QueryError("query must contain at least one predicate")
+        indices = []
+        seen: set[str] = set()
+        for predicate in preds:
+            if predicate.attribute in seen:
+                raise QueryError(
+                    f"duplicate predicate on attribute {predicate.attribute!r}; "
+                    "the paper's problem class uses distinct attributes"
+                )
+            seen.add(predicate.attribute)
+            index = schema.index_of(predicate.attribute)
+            attribute = schema[index]
+            if isinstance(getattr(predicate, "low", None), int):
+                low = predicate.low  # type: ignore[attr-defined]
+                high = predicate.high  # type: ignore[attr-defined]
+                if low < 1 or high > attribute.domain_size:
+                    raise QueryError(
+                        f"predicate range [{low}, {high}] exceeds domain "
+                        f"[1, {attribute.domain_size}] of {predicate.attribute!r}"
+                    )
+            indices.append(index)
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "predicates", preds)
+        object.__setattr__(self, "_indices", tuple(indices))
+
+    @property
+    def attribute_indices(self) -> tuple[int, ...]:
+        """Schema index of each predicate's attribute, in predicate order."""
+        return self._indices
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def evaluate(self, values: Sequence[int]) -> bool:
+        """Ground-truth evaluation of the query on a complete tuple."""
+        return all(
+            predicate.satisfied_by(values[index])
+            for predicate, index in zip(self.predicates, self._indices)
+        )
+
+    def truth_under(self, ranges: RangeVector) -> Truth:
+        """Three-valued query truth given per-attribute range knowledge.
+
+        The conjunction is FALSE as soon as one predicate is proven false,
+        TRUE only when every predicate is proven true, UNDETERMINED
+        otherwise.  This is the exhaustive planner's leaf test (Figure 5).
+        """
+        all_true = True
+        for predicate, index in zip(self.predicates, self._indices):
+            truth = predicate.truth_under(ranges[index])
+            if truth is Truth.FALSE:
+                return Truth.FALSE
+            if truth is not Truth.TRUE:
+                all_true = False
+        return Truth.TRUE if all_true else Truth.UNDETERMINED
+
+    def undetermined_predicates(
+        self, ranges: RangeVector
+    ) -> list[tuple[Predicate, int]]:
+        """Predicates (with schema indices) still undecided under ``ranges``."""
+        return [
+            (predicate, index)
+            for predicate, index in zip(self.predicates, self._indices)
+            if predicate.truth_under(ranges[index]) is Truth.UNDETERMINED
+        ]
+
+    def describe(self) -> str:
+        """SQL-ish rendering of the WHERE clause."""
+        return " AND ".join(predicate.describe() for predicate in self.predicates)
+
+
+@dataclass(frozen=True)
+class ExistentialQuery:
+    """``EXISTS`` over a fleet: is there any tuple satisfying ``inner``?
+
+    Section 7 ("Generalization to other types of queries") motivates such
+    queries for sensor networks — e.g. *is there a sensor recording high
+    light and temperature?* — where acquisition can stop at the first match.
+    """
+
+    inner: ConjunctiveQuery
+
+    def evaluate(self, rows: Iterable[Sequence[int]]) -> bool:
+        return any(self.inner.evaluate(row) for row in rows)
+
+
+@dataclass(frozen=True)
+class LimitQuery:
+    """``LIMIT k`` over a fleet: return at most ``k`` satisfying tuples."""
+
+    inner: ConjunctiveQuery
+    limit: int
+
+    def __post_init__(self) -> None:
+        if self.limit < 1:
+            raise QueryError(f"limit must be >= 1, got {self.limit}")
+
+    def evaluate(self, rows: Iterable[Sequence[int]]) -> list[tuple[int, ...]]:
+        matches: list[tuple[int, ...]] = []
+        for row in rows:
+            if self.inner.evaluate(row):
+                matches.append(tuple(row))
+                if len(matches) == self.limit:
+                    break
+        return matches

@@ -1,0 +1,42 @@
+"""Dataset substrates: generators, discretization, splitting, workloads."""
+
+from repro.data.discretize import EqualWidthDiscretizer
+from repro.data.garden import GardenDataset, generate_garden_dataset
+from repro.data.intel_lab import load_intel_lab_trace
+from repro.data.lab import LabDataset, generate_lab_dataset
+from repro.data.split import time_split
+from repro.data.synthetic import SyntheticDataset, generate_synthetic_dataset
+from repro.data.trace_io import (
+    load_plan,
+    load_schema,
+    load_trace,
+    save_plan,
+    save_schema,
+    save_trace,
+    schema_from_json,
+    schema_to_json,
+)
+from repro.data.workload import garden_queries, lab_queries, random_range_query
+
+__all__ = [
+    "EqualWidthDiscretizer",
+    "LabDataset",
+    "generate_lab_dataset",
+    "load_intel_lab_trace",
+    "GardenDataset",
+    "generate_garden_dataset",
+    "SyntheticDataset",
+    "generate_synthetic_dataset",
+    "time_split",
+    "save_schema",
+    "load_schema",
+    "schema_to_json",
+    "schema_from_json",
+    "save_trace",
+    "load_trace",
+    "save_plan",
+    "load_plan",
+    "lab_queries",
+    "garden_queries",
+    "random_range_query",
+]

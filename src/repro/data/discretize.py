@@ -1,0 +1,114 @@
+"""Equal-width discretization of real-valued sensor data (Section 4.3).
+
+The planners operate on integer domains ``1 .. K_i``; real-valued sensor
+readings must be discretized first.  The paper uses the natural quantization
+of the sensors' ADCs; for finer control (and for the SPSF experiments, which
+vary the effective resolution) this module provides an equal-width
+discretizer that remembers its bin edges so real-valued query ranges can be
+translated into bin ranges and bin values mapped back to representative
+real values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DiscretizationError
+
+__all__ = ["EqualWidthDiscretizer"]
+
+
+class EqualWidthDiscretizer:
+    """Per-column equal-width binning onto ``1 .. K`` integer domains.
+
+    Parameters
+    ----------
+    domain_sizes:
+        Number of bins per column.
+    """
+
+    def __init__(self, domain_sizes: list[int] | tuple[int, ...]) -> None:
+        if not domain_sizes:
+            raise DiscretizationError("need at least one column")
+        for size in domain_sizes:
+            if size < 1:
+                raise DiscretizationError(f"domain size must be >= 1, got {size}")
+        self._domain_sizes = tuple(int(size) for size in domain_sizes)
+        self._lows: np.ndarray | None = None
+        self._widths: np.ndarray | None = None
+
+    @property
+    def domain_sizes(self) -> tuple[int, ...]:
+        return self._domain_sizes
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._lows is not None
+
+    def fit(self, matrix: np.ndarray) -> "EqualWidthDiscretizer":
+        """Learn per-column [min, max] spans from training data."""
+        data = np.asarray(matrix, dtype=np.float64)
+        if data.ndim != 2 or data.shape[1] != len(self._domain_sizes):
+            raise DiscretizationError(
+                f"expected shape (*, {len(self._domain_sizes)}), got {data.shape}"
+            )
+        if data.shape[0] == 0:
+            raise DiscretizationError("cannot fit on an empty matrix")
+        if not np.isfinite(data).all():
+            raise DiscretizationError("training data contains NaN or infinity")
+        lows = data.min(axis=0)
+        highs = data.max(axis=0)
+        spans = highs - lows
+        # Degenerate (constant) columns get a unit span so every value maps
+        # to bin 1 without dividing by zero.
+        spans[spans <= 0.0] = 1.0
+        self._lows = lows
+        self._widths = spans / np.asarray(self._domain_sizes, dtype=np.float64)
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Map real values to bins ``1 .. K``; out-of-span values clamp."""
+        self._require_fitted()
+        data = np.asarray(matrix, dtype=np.float64)
+        if data.ndim != 2 or data.shape[1] != len(self._domain_sizes):
+            raise DiscretizationError(
+                f"expected shape (*, {len(self._domain_sizes)}), got {data.shape}"
+            )
+        bins = np.floor((data - self._lows) / self._widths).astype(np.int64) + 1
+        sizes = np.asarray(self._domain_sizes, dtype=np.int64)
+        return np.clip(bins, 1, sizes)
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+    def bin_of(self, column: int, value: float) -> int:
+        """The bin a single real value falls into."""
+        self._require_fitted()
+        size = self._domain_sizes[column]
+        offset = (value - self._lows[column]) / self._widths[column]
+        return int(np.clip(int(np.floor(offset)) + 1, 1, size))
+
+    def bin_range(self, column: int, low: float, high: float) -> tuple[int, int]:
+        """Smallest bin interval covering the real interval ``[low, high]``.
+
+        Used to translate a real-valued query predicate into the integer
+        range predicate the planners understand.
+        """
+        if low > high:
+            raise DiscretizationError(f"empty interval [{low}, {high}]")
+        return self.bin_of(column, low), self.bin_of(column, high)
+
+    def bin_center(self, column: int, bin_value: int) -> float:
+        """Representative real value (midpoint) of a bin."""
+        self._require_fitted()
+        size = self._domain_sizes[column]
+        if not 1 <= bin_value <= size:
+            raise DiscretizationError(
+                f"bin {bin_value} out of domain [1, {size}] for column {column}"
+            )
+        width = self._widths[column]
+        return float(self._lows[column] + (bin_value - 0.5) * width)
+
+    def _require_fitted(self) -> None:
+        if self._lows is None or self._widths is None:
+            raise DiscretizationError("discretizer has not been fitted")

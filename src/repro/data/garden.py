@@ -1,0 +1,171 @@
+"""Synthetic Garden dataset: a forest mote deployment (Section 6.2).
+
+The paper's Garden dataset covers 11 motes in a forest, each reporting
+*temperature*, *voltage*, and *humidity*; queries treat the network as one
+wide table of ``3 * n_motes + 1`` attributes (3 per mote, plus time), i.e.
+16 attributes for Garden-5 and 34 for Garden-11.  Temperature and humidity
+cost 100 units; voltage and time cost 1.
+
+The structure the experiments exploit is **cross-mote correlation**: motes
+share the forest's micro-climate, so one mote's (cheap-to-infer) state
+predicts its neighbours'.  The generator drives all motes from a shared
+weather process — a diurnal cycle plus slowly-varying AR(1) weather noise —
+with small per-mote canopy offsets, so cross-mote temperature correlations
+are strong, exactly the regime in which the paper reports up to 4x gains
+over Naive (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.attributes import Attribute, Schema
+from repro.data.discretize import EqualWidthDiscretizer
+from repro.exceptions import SchemaError
+
+__all__ = ["GardenDataset", "generate_garden_dataset"]
+
+_DEFAULT_DOMAINS: Mapping[str, int] = {
+    "hour": 24,
+    "temp": 10,
+    "humidity": 10,
+    "voltage": 8,
+}
+
+EXPENSIVE_COST = 100.0
+CHEAP_COST = 1.0
+
+_EPOCH_MINUTES = 5.0
+
+
+@dataclass(frozen=True)
+class GardenDataset:
+    """Generated garden trace; one row per epoch over the whole network."""
+
+    schema: Schema
+    data: np.ndarray
+    raw: np.ndarray
+    discretizer: EqualWidthDiscretizer
+    n_motes: int
+
+    def attribute_names(self, kind: str) -> list[str]:
+        """Names of one sensor kind across motes (e.g. all temperatures)."""
+        return [f"m{mote}_{kind}" for mote in range(1, self.n_motes + 1)]
+
+    def project(self, names: Sequence[str]) -> tuple[Schema, np.ndarray]:
+        """Schema and data restricted to a subset of attributes."""
+        indices = [self.schema.index_of(name) for name in names]
+        schema = Schema([self.schema[index] for index in indices])
+        return schema, self.data[:, indices]
+
+
+def generate_garden_dataset(
+    n_motes: int = 11,
+    n_epochs: int = 20_000,
+    seed: int = 0,
+    domain_sizes: Mapping[str, int] | None = None,
+) -> GardenDataset:
+    """Generate a Garden-style trace with ``3 * n_motes + 1`` attributes.
+
+    Parameters
+    ----------
+    n_motes:
+        Deployment size: 5 reproduces Garden-5, 11 reproduces Garden-11.
+    n_epochs:
+        Rows to generate — each row is a network-wide snapshot.
+    seed:
+        RNG seed.
+    domain_sizes:
+        Overrides for discretized domains (keys ``hour``, ``temp``,
+        ``humidity``, ``voltage``).
+    """
+    if n_motes < 1:
+        raise SchemaError(f"n_motes must be >= 1, got {n_motes}")
+    if n_epochs < 1:
+        raise SchemaError(f"n_epochs must be >= 1, got {n_epochs}")
+    domains = dict(_DEFAULT_DOMAINS)
+    if domain_sizes:
+        domains.update(domain_sizes)
+
+    rng = np.random.default_rng(seed)
+    epoch = np.arange(n_epochs)
+    hour = (epoch * _EPOCH_MINUTES / 60.0) % 24.0
+
+    # Shared forest micro-climate: diurnal cycle plus AR(1) weather drift.
+    diurnal = 6.0 * np.sin(np.pi * (hour - 9.0) / 12.0)
+    weather = _ar1(rng, n_epochs, phi=0.995, sigma=0.25, scale=3.0)
+    base_temp = 12.0 + diurnal + weather
+
+    moisture = _ar1(rng, n_epochs, phi=0.99, sigma=0.4, scale=6.0)
+
+    columns = [hour]
+    names_costs: list[tuple[str, float]] = [("hour", CHEAP_COST)]
+    horizon = max(n_epochs - 1, 1)
+    for mote in range(1, n_motes + 1):
+        canopy = rng.normal(0.0, 1.2)  # fixed per-mote shade offset
+        # Sun fleck: each mote sits under a different canopy gap, so direct
+        # sun hits it during its own daily window.  This per-mote,
+        # time-localized effect is what makes *which* mote's predicate
+        # fails depend on the hour — the structure conditional plans
+        # exploit beyond a static correlation-aware order.
+        fleck_start = rng.uniform(8.0, 15.0)
+        fleck_length = rng.uniform(1.5, 4.0)
+        fleck_gain = rng.uniform(3.0, 8.0)
+        in_fleck = (hour >= fleck_start) & (hour < fleck_start + fleck_length)
+        fleck = fleck_gain * in_fleck * rng.uniform(0.7, 1.0, n_epochs)
+        temp = base_temp + canopy + fleck + rng.normal(0.0, 0.5, n_epochs)
+        humidity = np.clip(
+            85.0 - 1.8 * (temp - 12.0) + moisture + rng.normal(0.0, 2.0, n_epochs),
+            10.0,
+            100.0,
+        )
+        decay_rate = 0.2 + 0.2 * rng.random()
+        voltage = 3.0 - decay_rate * (epoch / horizon) + rng.normal(0.0, 0.01, n_epochs)
+        columns.extend([temp, voltage, humidity])
+        names_costs.extend(
+            [
+                (f"m{mote}_temp", EXPENSIVE_COST),
+                (f"m{mote}_voltage", CHEAP_COST),
+                (f"m{mote}_humidity", EXPENSIVE_COST),
+            ]
+        )
+
+    raw = np.stack(columns, axis=1)
+    sizes = [
+        domains["hour"]
+        if name == "hour"
+        else domains[name.split("_", 1)[1]]
+        for name, _cost in names_costs
+    ]
+    discretizer = EqualWidthDiscretizer(sizes)
+    data = discretizer.fit_transform(raw)
+
+    attributes = [
+        Attribute(name, size, cost)
+        for (name, cost), size in zip(names_costs, sizes)
+    ]
+    return GardenDataset(
+        schema=Schema(attributes),
+        data=data,
+        raw=raw,
+        discretizer=discretizer,
+        n_motes=n_motes,
+    )
+
+
+def _ar1(
+    rng: np.random.Generator, n: int, phi: float, sigma: float, scale: float
+) -> np.ndarray:
+    """A stationary AR(1) series scaled to roughly +-``scale``."""
+    noise = rng.normal(0.0, sigma, n)
+    series = np.empty(n)
+    series[0] = noise[0] / np.sqrt(1.0 - phi * phi)
+    for step in range(1, n):
+        series[step] = phi * series[step - 1] + noise[step]
+    deviation = series.std()
+    if deviation > 0.0:
+        series = series / deviation
+    return series * scale

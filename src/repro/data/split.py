@@ -1,0 +1,32 @@
+"""Train/test splitting by time windows (Section 6, "Test v. Training").
+
+The paper builds plans on a *training* window of historical readings and
+costs them on a disjoint, later, *test* window — simulating a model trained
+once and then deployed in the network for days or weeks.  Rows are assumed
+to be in time order (all generators in :mod:`repro.data` emit them that
+way), so the split is a simple prefix/suffix cut, never a shuffle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+
+__all__ = ["time_split"]
+
+
+def time_split(
+    data: np.ndarray, train_fraction: float = 0.5
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split time-ordered rows into (train, test) non-overlapping windows."""
+    if not 0.0 < train_fraction < 1.0:
+        raise SchemaError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    matrix = np.asarray(data)
+    if matrix.ndim != 2:
+        raise SchemaError(f"data must be 2-D, got shape {matrix.shape}")
+    cut = int(round(matrix.shape[0] * train_fraction))
+    cut = min(max(cut, 1), matrix.shape[0] - 1)
+    return matrix[:cut], matrix[cut:]

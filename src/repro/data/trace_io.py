@@ -1,0 +1,129 @@
+"""Saving and loading traces, schemas, and plans.
+
+The paper's architecture separates the basestation (plans, statistics)
+from the network (execution); a released system needs durable formats for
+the artifacts that cross that boundary:
+
+- **schemas** round-trip through JSON (names, domains, costs);
+- **traces** (discretized readings) through CSV with a header row, so they
+  interoperate with any data tooling;
+- **plans** through JSON via :meth:`PlanNode.to_dict` — the payload a real
+  deployment would compile into the on-mote byte format modelled by
+  ``zeta(P)``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.attributes import Attribute, Schema
+from repro.core.plan import PlanNode, plan_from_dict
+from repro.exceptions import SchemaError
+
+__all__ = [
+    "schema_to_json",
+    "schema_from_json",
+    "save_schema",
+    "load_schema",
+    "save_trace",
+    "load_trace",
+    "save_plan",
+    "load_plan",
+]
+
+
+def schema_to_json(schema: Schema) -> str:
+    """Serialize a schema to a JSON string."""
+    payload = {
+        "attributes": [
+            {
+                "name": attribute.name,
+                "domain_size": attribute.domain_size,
+                "cost": attribute.cost,
+            }
+            for attribute in schema
+        ]
+    }
+    return json.dumps(payload, indent=2)
+
+
+def schema_from_json(text: str) -> Schema:
+    """Parse a schema from :func:`schema_to_json` output."""
+    try:
+        payload = json.loads(text)
+        attributes = [
+            Attribute(
+                name=entry["name"],
+                domain_size=int(entry["domain_size"]),
+                cost=float(entry.get("cost", 1.0)),
+            )
+            for entry in payload["attributes"]
+        ]
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as error:
+        raise SchemaError(f"malformed schema JSON: {error}") from error
+    return Schema(attributes)
+
+
+def save_schema(schema: Schema, path: str | Path) -> None:
+    Path(path).write_text(schema_to_json(schema), encoding="utf-8")
+
+
+def load_schema(path: str | Path) -> Schema:
+    return schema_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def save_trace(data: np.ndarray, schema: Schema, path: str | Path) -> None:
+    """Write a discretized trace as CSV with attribute-name header."""
+    matrix = np.asarray(data)
+    if matrix.ndim != 2 or matrix.shape[1] != len(schema):
+        raise SchemaError(
+            f"trace shape {matrix.shape} incompatible with schema of "
+            f"{len(schema)} attributes"
+        )
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(schema.names)
+        writer.writerows(matrix.tolist())
+
+
+def load_trace(path: str | Path, schema: Schema) -> np.ndarray:
+    """Read a CSV trace, validating the header against the schema."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"empty trace file {path}") from None
+        if tuple(header) != schema.names:
+            raise SchemaError(
+                f"trace header {tuple(header)} does not match schema "
+                f"{schema.names}"
+            )
+        rows = [[int(cell) for cell in row] for row in reader if row]
+    if not rows:
+        raise SchemaError(f"trace file {path} contains no data rows")
+    matrix = np.asarray(rows, dtype=np.int64)
+    for index, attribute in enumerate(schema):
+        column = matrix[:, index]
+        if column.min() < 1 or column.max() > attribute.domain_size:
+            raise SchemaError(
+                f"trace column {attribute.name!r} outside domain "
+                f"[1, {attribute.domain_size}]"
+            )
+    return matrix
+
+
+def save_plan(plan: PlanNode, path: str | Path) -> None:
+    """Write a plan as JSON (the basestation-to-network payload)."""
+    Path(path).write_text(
+        json.dumps(plan.to_dict(), indent=2), encoding="utf-8"
+    )
+
+
+def load_plan(path: str | Path) -> PlanNode:
+    """Read a plan written by :func:`save_plan`."""
+    return plan_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

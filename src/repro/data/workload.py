@@ -1,0 +1,114 @@
+"""Query workload generators reproducing the Section 6 recipes.
+
+- :func:`lab_queries` (Section 6.1): multi-predicate range queries over the
+  lab's expensive sensors; each predicate's width is two standard deviations
+  of its attribute and the left endpoint is uniform at random — the paper's
+  deliberately challenging ~50 %-selectivity regime.
+- :func:`garden_queries` (Section 6.2): identical range (or negated-range)
+  predicates over temperature and humidity across *all* motes; the range
+  covers ``domain / f`` for a divisor ``f`` drawn from [1.25, 3.25].
+- Synthetic queries come from
+  :meth:`repro.data.synthetic.SyntheticDataset.query` (all expensive
+  attributes equal to 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.attributes import Schema
+from repro.core.predicates import NotRangePredicate, RangePredicate
+from repro.core.query import ConjunctiveQuery
+from repro.data.garden import GardenDataset
+from repro.data.lab import LabDataset
+from repro.exceptions import QueryError
+
+__all__ = ["lab_queries", "garden_queries", "random_range_query"]
+
+_LAB_EXPENSIVE = ("light", "temp", "humidity")
+
+
+def lab_queries(
+    dataset: LabDataset,
+    n_queries: int,
+    seed: int = 0,
+    width_stds: float = 2.0,
+    attributes: tuple[str, ...] = _LAB_EXPENSIVE,
+) -> list[ConjunctiveQuery]:
+    """Random lab queries: one two-standard-deviation range per sensor.
+
+    Follows Section 6.1: "we select, uniformly and at random, the left
+    endpoint of the range of the query; the width of each predicate is
+    chosen to be two standard deviations of the attribute which it is
+    over."
+    """
+    if n_queries < 1:
+        raise QueryError(f"n_queries must be >= 1, got {n_queries}")
+    rng = np.random.default_rng(seed)
+    schema = dataset.schema
+    queries = []
+    for _query_number in range(n_queries):
+        predicates = []
+        for name in attributes:
+            column = dataset.column(name)
+            domain = schema[name].domain_size
+            width = max(1, int(round(width_stds * float(column.std()))))
+            width = min(width, domain - 1)
+            left = int(rng.integers(1, domain - width + 1))
+            predicates.append(RangePredicate(name, left, left + width))
+        queries.append(ConjunctiveQuery(schema, predicates))
+    return queries
+
+
+def garden_queries(
+    dataset: GardenDataset,
+    n_queries: int,
+    seed: int = 0,
+    divisor_range: tuple[float, float] = (1.25, 3.25),
+    negated: bool = False,
+) -> list[ConjunctiveQuery]:
+    """Random garden queries: identical predicates replicated across motes.
+
+    Each query carries one temperature range and one humidity range, applied
+    to every mote (``2 * n_motes`` predicates).  The range covers
+    ``domain_size / f`` values for ``f`` uniform in ``divisor_range``; with
+    ``negated=True`` the predicates become ``not(a <= X <= b)`` — the
+    paper's second query set.
+    """
+    if n_queries < 1:
+        raise QueryError(f"n_queries must be >= 1, got {n_queries}")
+    rng = np.random.default_rng(seed)
+    schema = dataset.schema
+    predicate_cls = NotRangePredicate if negated else RangePredicate
+    queries = []
+    for _query_number in range(n_queries):
+        predicates = []
+        for kind in ("temp", "humidity"):
+            names = dataset.attribute_names(kind)
+            domain = schema[names[0]].domain_size
+            divisor = rng.uniform(*divisor_range)
+            width = max(1, int(round(domain / divisor)))
+            width = min(width, domain - 1)
+            left = int(rng.integers(1, domain - width + 1))
+            for name in names:
+                predicates.append(predicate_cls(name, left, left + width))
+        queries.append(ConjunctiveQuery(schema, predicates))
+    return queries
+
+
+def random_range_query(
+    schema: Schema,
+    attributes: list[str],
+    seed: int = 0,
+    max_width_fraction: float = 0.75,
+) -> ConjunctiveQuery:
+    """A generic random conjunctive range query (used by tests/examples)."""
+    rng = np.random.default_rng(seed)
+    predicates = []
+    for name in attributes:
+        domain = schema[name].domain_size
+        width = max(0, int(rng.integers(0, max(1, int(domain * max_width_fraction)))))
+        width = min(width, domain - 1)
+        left = int(rng.integers(1, domain - width + 1))
+        predicates.append(RangePredicate(name, left, left + width))
+    return ConjunctiveQuery(schema, predicates)

@@ -1,0 +1,12 @@
+"""TinyDB-flavoured facade: textual queries over the acquisitional stack."""
+
+from repro.engine.engine import AcquisitionalEngine, PreparedQuery, QueryResult
+from repro.engine.language import ParsedQuery, parse_query
+
+__all__ = [
+    "AcquisitionalEngine",
+    "PreparedQuery",
+    "QueryResult",
+    "ParsedQuery",
+    "parse_query",
+]

@@ -1,0 +1,272 @@
+"""The acquisitional query engine facade.
+
+Ties the whole pipeline together behind a TinyDB-flavoured interface
+(the system lineage the paper builds on): register a schema and historical
+readings, then issue textual queries.  The engine plans each query with the
+conditional heuristic (or any planner you inject), executes it over live
+readings with full cost accounting — including the cost of acquiring
+*selected* attributes for matching tuples, which the WHERE plan may not
+have touched — and can EXPLAIN its plans with branch probabilities.
+
+    engine = AcquisitionalEngine(schema, history)
+    result = engine.execute("SELECT temp WHERE light >= 9 AND temp <= 4", live)
+    print(engine.explain("SELECT temp WHERE light >= 9 AND temp <= 4"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.analysis import annotate_plan, plan_summary
+from repro.core.attributes import Schema
+from repro.core.cost import dataset_execution
+from repro.core.plan import PlanNode
+from repro.core.query import ConjunctiveQuery
+from repro.engine.language import ParsedQuery, parse_query
+from repro.exceptions import QueryError
+from repro.planning.base import Planner
+from repro.planning.corrseq import CorrSeqPlanner
+from repro.planning.exhaustive import ExhaustivePlanner
+from repro.planning.greedy_conditional import GreedyConditionalPlanner
+from repro.planning.split_points import SplitPointPolicy
+from repro.probability.empirical import EmpiricalDistribution
+
+__all__ = ["PreparedQuery", "QueryResult", "AcquisitionalEngine"]
+
+# Builds the planner used for each statement; receives the engine's fitted
+# distribution so statistics are shared across statements.
+PlannerFactory = Callable[[EmpiricalDistribution], Planner]
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A parsed, planned statement ready for repeated execution."""
+
+    text: str
+    parsed: ParsedQuery
+    plan: PlanNode
+    expected_where_cost: float
+    planner: str
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        return self.parsed.query
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Rows plus the acquisition-cost accounting for one execution."""
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple[int, ...], ...]
+    tuples_scanned: int
+    where_cost: float
+    projection_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        return self.where_cost + self.projection_cost
+
+    @property
+    def mean_cost_per_tuple(self) -> float:
+        if self.tuples_scanned == 0:
+            return 0.0
+        return self.total_cost / self.tuples_scanned
+
+
+class AcquisitionalEngine:
+    """Plan and execute textual acquisitional queries.
+
+    Parameters
+    ----------
+    schema:
+        The acquisitional table's schema.
+    history:
+        Historical readings used to fit planning statistics (the
+        basestation's training data, Section 2.5).
+    planner_factory:
+        Optional override for how statements are planned; defaults to
+        Heuristic-5 over a CorrSeq base, the paper's best practical
+        configuration.
+    smoothing:
+        Laplace smoothing for the engine's statistics.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        history: np.ndarray,
+        planner_factory: PlannerFactory | None = None,
+        smoothing: float = 0.0,
+    ) -> None:
+        self._schema = schema
+        self._distribution = EmpiricalDistribution(
+            schema, history, smoothing=smoothing
+        )
+        self._planner_factory = planner_factory or (
+            lambda distribution: GreedyConditionalPlanner(
+                distribution, CorrSeqPlanner(distribution), max_splits=5
+            )
+        )
+        self._prepared: dict[str, PreparedQuery] = {}
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def distribution(self) -> EmpiricalDistribution:
+        return self._distribution
+
+    def prepare(self, text: str) -> PreparedQuery:
+        """Parse and plan a statement (cached per query text).
+
+        Conjunctive WHERE clauses go to the configured planner (Heuristic-5
+        by default); disjunctive clauses go to the exhaustive planner with
+        a coarse split-point policy, since sequential base planners carry
+        conjunctive semantics only (Section 3.1 vs Section 4.1).
+        """
+        cached = self._prepared.get(text)
+        if cached is not None:
+            return cached
+        parsed = parse_query(text, self._schema)
+        if parsed.is_conjunctive:
+            planner = self._planner_factory(self._distribution)
+        else:
+            policy = SplitPointPolicy.equal_width(
+                self._schema, [2] * len(self._schema)
+            )
+            planner = ExhaustivePlanner(
+                self._distribution,
+                split_policy=policy,
+                max_subproblems=500_000,
+            )
+        result = planner.plan(parsed.query)
+        prepared = PreparedQuery(
+            text=text,
+            parsed=parsed,
+            plan=result.plan,
+            expected_where_cost=result.expected_cost,
+            planner=result.planner,
+        )
+        self._prepared[text] = prepared
+        return prepared
+
+    def execute(self, text: str, readings: np.ndarray) -> QueryResult:
+        """Run a statement over live readings with cost accounting.
+
+        The WHERE clause runs through the conditional plan; for matching
+        tuples, any *selected* attributes the plan did not already acquire
+        are then acquired at their schema cost (the plan may well have read
+        some of them while filtering — those are free to return).
+        """
+        matrix = np.asarray(readings)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._schema):
+            raise QueryError(
+                f"readings shape {matrix.shape} incompatible with schema of "
+                f"{len(self._schema)} attributes"
+            )
+        prepared = self.prepare(text)
+        outcome = dataset_execution(prepared.plan, matrix, self._schema)
+
+        if prepared.parsed.select_all:
+            columns = self._schema.names
+            select_indices = list(range(len(self._schema)))
+        else:
+            columns = prepared.parsed.select
+            select_indices = [self._schema.index_of(name) for name in columns]
+
+        matching = np.flatnonzero(outcome.verdicts)
+        rows = tuple(
+            tuple(int(value) for value in matrix[row, select_indices])
+            for row in matching
+        )
+        projection_cost = self._projection_cost(
+            prepared, matrix, matching, select_indices
+        )
+        return QueryResult(
+            columns=tuple(columns),
+            rows=rows,
+            tuples_scanned=matrix.shape[0],
+            where_cost=outcome.total_cost,
+            projection_cost=projection_cost,
+        )
+
+    def explain(self, text: str) -> str:
+        """Human-readable plan report with branch probabilities."""
+        prepared = self.prepare(text)
+        summary = plan_summary(prepared.plan)
+        lines = [
+            f"query: {text.strip()}",
+            f"where clause: {prepared.query.describe()}",
+            f"planner: {prepared.planner}",
+            f"expected WHERE cost/tuple: {prepared.expected_where_cost:.2f}",
+            f"plan: {summary.describe()}",
+            "",
+            annotate_plan(prepared.plan, self._distribution),
+        ]
+        return "\n".join(lines)
+
+    def _projection_cost(
+        self,
+        prepared: PreparedQuery,
+        matrix: np.ndarray,
+        matching: np.ndarray,
+        select_indices: list[int],
+    ) -> float:
+        """Cost of acquiring selected attributes for matching tuples.
+
+        Attributes the WHERE plan acquired on a tuple's path are already
+        cached on the mote; only genuinely-unread attributes cost extra.
+        Per-path acquired sets are recovered with the same vectorized tree
+        routing used for costing.
+        """
+        if matching.size == 0 or not select_indices:
+            return 0.0
+        extra = np.zeros(matrix.shape[0], dtype=np.float64)
+        costs = self._schema.costs
+
+        from repro.core.plan import ConditionNode, SequentialNode, VerdictLeaf
+
+        def walk(node, rows: np.ndarray, acquired: frozenset[int]) -> None:
+            if rows.size == 0:
+                return
+            if isinstance(node, (VerdictLeaf,)):
+                _charge(rows, acquired)
+                return
+            if isinstance(node, ConditionNode):
+                branch_acquired = acquired | {node.attribute_index}
+                column = matrix[rows, node.attribute_index]
+                below = column < node.split_value
+                walk(node.below, rows[below], branch_acquired)
+                walk(node.above, rows[~below], branch_acquired)
+                return
+            if isinstance(node, SequentialNode):
+                from repro.core.cost import predicate_mask
+
+                alive = rows
+                local = set(acquired)
+                for step in node.steps:
+                    if alive.size == 0:
+                        break
+                    local.add(step.attribute_index)
+                    satisfied = predicate_mask(
+                        step.predicate, matrix[alive, step.attribute_index]
+                    )
+                    # Tuples rejected here never reach projection.
+                    alive = alive[satisfied]
+                _charge(alive, frozenset(local))
+                return
+
+        def _charge(rows: np.ndarray, acquired: frozenset[int]) -> None:
+            unread = [
+                index for index in select_indices if index not in acquired
+            ]
+            if unread:
+                extra[rows] += sum(costs[index] for index in unread)
+
+        walk(prepared.plan, np.arange(matrix.shape[0]), frozenset())
+        return float(extra[matching].sum())

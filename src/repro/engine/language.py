@@ -1,0 +1,300 @@
+"""A small declarative query language for acquisitional queries.
+
+The paper's query class (Query 1, Section 1) is
+
+    SELECT a1, a2, ..., an
+    WHERE l1 <= a1 <= r1 AND ... AND lk <= ak <= rk
+
+This module parses a TinyDB-flavoured text form of those queries — plus
+disjunctions, the Section 3.1 general problem class — into the library's
+typed objects:
+
+    SELECT light, temp WHERE temp >= 5 AND light BETWEEN 2 AND 6
+    SELECT * WHERE NOT humidity BETWEEN 3 AND 7 AND temp > 4
+    SELECT * WHERE (temp >= 7 AND light >= 9) OR humidity <= 2
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT select_list WHERE expr
+    select_list:= '*' | name (',' name)*
+    expr       := term (OR term)*
+    term       := factor (AND factor)*
+    factor     := '(' expr ')' | condition
+    condition  := NOT? name BETWEEN int AND int
+                | name ('<=' | '>=' | '<' | '>' | '=') int
+
+A purely conjunctive WHERE clause lowers to
+:class:`~repro.core.query.ConjunctiveQuery` (multiple comparisons over the
+same attribute are intersected into one range predicate — the paper's one-
+predicate-per-attribute class); anything containing OR lowers to
+:class:`~repro.core.boolean.BooleanQuery`, which the exhaustive planner
+optimizes directly.  ``NOT ... BETWEEN`` produces the Garden workload's
+negated ranges.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.attributes import Schema
+from repro.core.boolean import And, BooleanQuery, Formula, Leaf, Or
+from repro.core.predicates import NotRangePredicate, RangePredicate
+from repro.core.query import ConjunctiveQuery
+from repro.exceptions import QueryError
+
+__all__ = ["ParsedQuery", "parse_query"]
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<number>-?\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|=|<|>)|(?P<comma>,)|(?P<star>\*)|(?P<paren>[()]))"
+)
+
+_KEYWORDS = {"select", "where", "and", "or", "between", "not"}
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """The outcome of parsing: projection list plus the typed query.
+
+    ``query`` is a :class:`ConjunctiveQuery` when the WHERE clause is a
+    pure conjunction and a :class:`BooleanQuery` otherwise; both expose
+    ``evaluate``, ``truth_under``, ``describe`` and the planner interface.
+    """
+
+    select: tuple[str, ...]
+    query: ConjunctiveQuery | BooleanQuery
+
+    @property
+    def select_all(self) -> bool:
+        return self.select == ("*",)
+
+    @property
+    def is_conjunctive(self) -> bool:
+        return isinstance(self.query, ConjunctiveQuery)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QueryError(f"cannot tokenize query near {remainder[:20]!r}")
+        token = match.group().strip()
+        if token:
+            tokens.append(token)
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[str], schema: Schema) -> None:
+        self._tokens = tokens
+        self._position = 0
+        self._schema = schema
+
+    def parse(self) -> ParsedQuery:
+        self._expect_keyword("select")
+        select = self._parse_select_list()
+        self._expect_keyword("where")
+        formula = self._parse_expr()
+        if self._position != len(self._tokens):
+            raise QueryError(
+                f"unexpected trailing tokens: {self._tokens[self._position:]}"
+            )
+        query = _lower(self._schema, formula)
+        if select != ("*",):
+            for name in select:
+                self._schema.index_of(name)  # validates existence
+        return ParsedQuery(select=select, query=query)
+
+    # -- token helpers --------------------------------------------------
+
+    def _peek(self) -> str | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _take(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self._position += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._take()
+        if token.lower() != keyword:
+            raise QueryError(f"expected {keyword.upper()!r}, got {token!r}")
+
+    def _at_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        return token is not None and token.lower() == keyword
+
+    # -- grammar --------------------------------------------------------
+
+    def _parse_select_list(self) -> tuple[str, ...]:
+        if self._peek() == "*":
+            self._take()
+            return ("*",)
+        names = [self._parse_name()]
+        while self._peek() == ",":
+            self._take()
+            names.append(self._parse_name())
+        return tuple(names)
+
+    def _parse_name(self) -> str:
+        token = self._take()
+        if token.lower() in _KEYWORDS or not re.match(r"[A-Za-z_]", token):
+            raise QueryError(f"expected attribute name, got {token!r}")
+        return token
+
+    def _parse_expr(self) -> Formula:
+        terms = [self._parse_term()]
+        while self._at_keyword("or"):
+            self._take()
+            terms.append(self._parse_term())
+        if len(terms) == 1:
+            return terms[0]
+        return Or(*terms)
+
+    def _parse_term(self) -> Formula:
+        factors = [self._parse_factor()]
+        while self._at_keyword("and"):
+            self._take()
+            factors.append(self._parse_factor())
+        if len(factors) == 1:
+            return factors[0]
+        return And(*factors)
+
+    def _parse_factor(self) -> Formula:
+        if self._peek() == "(":
+            self._take()
+            inner = self._parse_expr()
+            closing = self._take()
+            if closing != ")":
+                raise QueryError(f"expected ')', got {closing!r}")
+            return inner
+        return Leaf(self._parse_condition())
+
+    def _parse_condition(self):
+        negated = False
+        if self._at_keyword("not"):
+            self._take()
+            negated = True
+        name = self._parse_name()
+        self._schema.index_of(name)  # validates attribute exists
+        domain = self._schema[name].domain_size
+        if self._at_keyword("between"):
+            self._take()
+            low = self._parse_int()
+            self._expect_keyword("and")
+            high = self._parse_int()
+            if low > high:
+                raise QueryError(
+                    f"BETWEEN bounds reversed for {name!r}: {low} > {high}"
+                )
+            return self._make_predicate(name, low, high, negated)
+        if negated:
+            raise QueryError("NOT is only supported with BETWEEN")
+        operator = self._take()
+        value = self._parse_int()
+        if operator == "=":
+            return self._make_predicate(name, value, value, False)
+        if operator == "<=":
+            return self._make_predicate(name, 1, value, False)
+        if operator == ">=":
+            return self._make_predicate(name, value, domain, False)
+        if operator == "<":
+            return self._make_predicate(name, 1, value - 1, False)
+        if operator == ">":
+            return self._make_predicate(name, value + 1, domain, False)
+        raise QueryError(f"unknown operator {operator!r}")
+
+    def _make_predicate(self, name: str, low: int, high: int, negated: bool):
+        domain = self._schema[name].domain_size
+        low = max(1, low)
+        high = min(domain, high)
+        if low > high:
+            raise QueryError(
+                f"constraint on {name!r} excludes the whole domain"
+            )
+        predicate_cls = NotRangePredicate if negated else RangePredicate
+        return predicate_cls(name, low, high)
+
+    def _parse_int(self) -> int:
+        token = self._take()
+        try:
+            return int(token)
+        except ValueError:
+            raise QueryError(f"expected integer, got {token!r}") from None
+
+
+def _lower(schema: Schema, formula: Formula) -> ConjunctiveQuery | BooleanQuery:
+    """Lower a formula to the tightest query class.
+
+    Pure conjunctions become :class:`ConjunctiveQuery` with same-attribute
+    ranges intersected; anything with OR stays a :class:`BooleanQuery`.
+    """
+    leaves = _conjunctive_leaves(formula)
+    if leaves is None:
+        return BooleanQuery(schema, formula)
+    merged: dict[str, RangePredicate | NotRangePredicate] = {}
+    for leaf in leaves:
+        predicate = leaf.predicate
+        existing = merged.get(predicate.attribute)
+        if existing is None:
+            merged[predicate.attribute] = predicate
+            continue
+        negated_pair = isinstance(existing, NotRangePredicate) or isinstance(
+            predicate, NotRangePredicate
+        )
+        if negated_pair:
+            raise QueryError(
+                f"cannot combine multiple constraints on "
+                f"{predicate.attribute!r} when one is negated"
+            )
+        low = max(existing.low, predicate.low)
+        high = min(existing.high, predicate.high)
+        if low > high:
+            raise QueryError(
+                f"constraints on {predicate.attribute!r} are contradictory "
+                "(empty range)"
+            )
+        merged[predicate.attribute] = RangePredicate(
+            predicate.attribute, low, high
+        )
+    return ConjunctiveQuery(schema, list(merged.values()))
+
+
+def _conjunctive_leaves(formula: Formula) -> list[Leaf] | None:
+    """The flat leaf list when ``formula`` is a pure conjunction, else None."""
+    if isinstance(formula, Leaf):
+        return [formula]
+    if isinstance(formula, And):
+        leaves: list[Leaf] = []
+        for child in formula.children:
+            child_leaves = _conjunctive_leaves(child)
+            if child_leaves is None:
+                return None
+            leaves.extend(child_leaves)
+        return leaves
+    return None
+
+
+def parse_query(text: str, schema: Schema) -> ParsedQuery:
+    """Parse a query string against a schema.
+
+    Raises :class:`~repro.exceptions.QueryError` with a pointed message on
+    any syntax or semantic problem.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryError("empty query")
+    return _Parser(tokens, schema).parse()

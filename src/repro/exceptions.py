@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes from runtime planning failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A schema, attribute, or domain was specified inconsistently."""
+
+
+class QueryError(ReproError):
+    """A query references unknown attributes or is otherwise malformed."""
+
+
+class PlanError(ReproError):
+    """A plan tree is structurally invalid or cannot be executed."""
+
+
+class PlanningError(ReproError):
+    """A planner could not produce a plan for the given inputs."""
+
+
+class DistributionError(ReproError):
+    """A probability model was queried outside its supported domain."""
+
+
+class AcquisitionError(ReproError):
+    """An acquisition source failed to produce an attribute value."""
+
+
+class DiscretizationError(ReproError):
+    """Real-valued data could not be mapped onto a discrete domain."""

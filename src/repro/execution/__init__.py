@@ -1,0 +1,48 @@
+"""Execution substrate: per-tuple executors, cost models, the
+sensor-network simulator, and streaming/adaptive replanning."""
+
+from repro.execution.acquisition import (
+    AcquisitionSource,
+    SensorBoardSource,
+    TupleSource,
+)
+from repro.execution.bytecode import (
+    ByteCodeInterpreter,
+    compile_plan,
+    decompile_plan,
+)
+from repro.execution.executor import (
+    ExecutionResult,
+    PlanExecutor,
+    VerificationReport,
+)
+from repro.execution.simulator import (
+    LifetimeReport,
+    Mote,
+    SensorNetworkSimulator,
+    SimulationReport,
+)
+from repro.execution.streaming import (
+    AdaptiveStreamExecutor,
+    ReplanEvent,
+    StreamReport,
+)
+
+__all__ = [
+    "AcquisitionSource",
+    "TupleSource",
+    "SensorBoardSource",
+    "PlanExecutor",
+    "compile_plan",
+    "decompile_plan",
+    "ByteCodeInterpreter",
+    "ExecutionResult",
+    "VerificationReport",
+    "Mote",
+    "LifetimeReport",
+    "SensorNetworkSimulator",
+    "SimulationReport",
+    "AdaptiveStreamExecutor",
+    "ReplanEvent",
+    "StreamReport",
+]

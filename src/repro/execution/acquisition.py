@@ -1,0 +1,137 @@
+"""Acquisition sources: where attribute values (and their costs) come from.
+
+In an acquisitional system the executor does not *have* the tuple — it must
+pay to read each attribute (Section 1).  An :class:`AcquisitionSource`
+models one tuple's worth of acquirable state: the executor calls
+:meth:`acquire` as the plan demands and the source meters the cost.
+
+Two cost models are provided:
+
+- :class:`TupleSource` — the paper's model: a fixed per-attribute cost,
+  charged once per attribute (repeat reads are free, matching the
+  Section 2.2 semantics);
+- :class:`SensorBoardSource` — the Section 7 "complex acquisition costs"
+  extension: attributes live on sensor boards that must be powered up, so
+  the first read on a board pays a shared power-up surcharge and further
+  reads on the same board are cheap.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+from repro.core.attributes import Schema
+from repro.exceptions import AcquisitionError
+
+__all__ = ["AcquisitionSource", "TupleSource", "SensorBoardSource"]
+
+
+class AcquisitionSource(ABC):
+    """One tuple's acquirable attributes with metered access."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._cache: dict[int, int] = {}
+        self._total_cost = 0.0
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def total_cost(self) -> float:
+        """Cost paid so far on this tuple."""
+        return self._total_cost
+
+    @property
+    def acquired_indices(self) -> frozenset[int]:
+        return frozenset(self._cache)
+
+    def acquire(self, attribute_index: int) -> int:
+        """Read one attribute, paying its cost on first access."""
+        if not 0 <= attribute_index < len(self._schema):
+            raise AcquisitionError(
+                f"attribute index {attribute_index} out of range "
+                f"[0, {len(self._schema) - 1}]"
+            )
+        cached = self._cache.get(attribute_index)
+        if cached is not None:
+            return cached
+        value = self._read(attribute_index)
+        self._total_cost += self._cost_of(attribute_index)
+        self._cache[attribute_index] = value
+        return value
+
+    def reset(self) -> None:
+        """Forget cached values and accumulated cost (new tuple)."""
+        self._cache.clear()
+        self._total_cost = 0.0
+
+    @abstractmethod
+    def _read(self, attribute_index: int) -> int:
+        """Produce the attribute's value (uncached path)."""
+
+    def _cost_of(self, attribute_index: int) -> float:
+        """Cost of a first read; override for richer cost models."""
+        return self._schema[attribute_index].cost
+
+
+class TupleSource(AcquisitionSource):
+    """Replay one dataset row with the paper's per-attribute costs."""
+
+    def __init__(self, schema: Schema, values: Sequence[int]) -> None:
+        super().__init__(schema)
+        self._values = schema.validate_tuple(values)
+
+    def _read(self, attribute_index: int) -> int:
+        return self._values[attribute_index]
+
+
+class SensorBoardSource(TupleSource):
+    """Board-aware costs: shared power-up plus a small per-read cost.
+
+    Parameters
+    ----------
+    schema, values:
+        As for :class:`TupleSource`.
+    boards:
+        Maps attribute index to a board label; attributes absent from the
+        mapping keep their plain per-attribute cost.
+    power_up_cost:
+        One-time cost the first read on each board adds.
+    per_read_cost:
+        Cost of each first-read on a board-resident attribute (replaces the
+        attribute's schema cost, which is assumed to have modelled the
+        monolithic read).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        values: Sequence[int],
+        boards: Mapping[int, str],
+        power_up_cost: float,
+        per_read_cost: float = 1.0,
+    ) -> None:
+        super().__init__(schema, values)
+        if power_up_cost < 0 or per_read_cost < 0:
+            raise AcquisitionError("board costs must be >= 0")
+        self._boards = dict(boards)
+        self._power_up_cost = float(power_up_cost)
+        self._per_read_cost = float(per_read_cost)
+        self._powered: set[str] = set()
+
+    def reset(self) -> None:
+        super().reset()
+        self._powered.clear()
+
+    def _cost_of(self, attribute_index: int) -> float:
+        board = self._boards.get(attribute_index)
+        if board is None:
+            return self._schema[attribute_index].cost
+        cost = self._per_read_cost
+        if board not in self._powered:
+            self._powered.add(board)
+            cost += self._power_up_cost
+        return cost

@@ -1,0 +1,192 @@
+"""Adaptive planning over data streams (Section 7, "Queries over data
+streams").
+
+When query evaluation runs over a continuous stream whose distribution
+drifts, a plan trained once can decay.  The paper sketches the remedy:
+maintain statistics over a sliding window and periodically re-run the
+(greedy) planner against them.  :class:`AdaptiveStreamExecutor` implements
+that loop:
+
+- tuples are processed with the current plan, costs metered per tuple;
+- a sliding window of the most recent tuples is retained;
+- every ``replan_interval`` tuples — or earlier, when the observed mean
+  cost exceeds the plan's predicted cost by ``drift_threshold`` — the
+  planner is re-invoked on the window and the plan swapped in-place.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.attributes import Schema
+from repro.core.cost import dataset_execution
+from repro.core.plan import PlanNode
+from repro.core.query import ConjunctiveQuery
+from repro.exceptions import PlanningError
+from repro.planning.base import Planner
+from repro.probability.empirical import EmpiricalDistribution
+
+__all__ = ["ReplanEvent", "StreamReport", "AdaptiveStreamExecutor"]
+
+# A factory building a planner for a freshly-fitted window distribution.
+PlannerFactory = Callable[[EmpiricalDistribution], Planner]
+
+
+@dataclass(frozen=True)
+class ReplanEvent:
+    """One plan swap: when it happened and what the new plan promised."""
+
+    position: int
+    expected_cost: float
+    reason: str  # "interval" or "drift"
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Outcome of streaming execution."""
+
+    costs: np.ndarray
+    verdicts: np.ndarray
+    replans: tuple[ReplanEvent, ...]
+
+    @property
+    def mean_cost(self) -> float:
+        return float(self.costs.mean()) if self.costs.size else 0.0
+
+
+class AdaptiveStreamExecutor:
+    """Sliding-window replanning executor.
+
+    Parameters
+    ----------
+    schema, query:
+        The continuous query being evaluated.
+    planner_factory:
+        Builds a planner from an :class:`EmpiricalDistribution` fitted on
+        the current window (e.g. ``lambda dist:
+        GreedyConditionalPlanner(dist, CorrSeqPlanner(dist), max_splits=5)``).
+    window:
+        Sliding-window length (tuples) used to fit statistics.
+    replan_interval:
+        Re-plan after this many tuples since the last plan swap.
+    drift_threshold:
+        Re-plan early when the observed mean cost since the last swap
+        exceeds the plan's predicted expected cost by this multiplicative
+        factor.  ``None`` disables drift-triggered replanning.
+    smoothing:
+        Laplace smoothing for the window distributions (small windows make
+        raw counts noisy).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        query: ConjunctiveQuery,
+        planner_factory: PlannerFactory,
+        window: int = 4_000,
+        replan_interval: int = 1_000,
+        drift_threshold: float | None = 1.5,
+        smoothing: float = 0.5,
+    ) -> None:
+        if window < 2:
+            raise PlanningError(f"window must be >= 2, got {window}")
+        if replan_interval < 1:
+            raise PlanningError(
+                f"replan_interval must be >= 1, got {replan_interval}"
+            )
+        if drift_threshold is not None and drift_threshold <= 1.0:
+            raise PlanningError(
+                f"drift_threshold must exceed 1.0, got {drift_threshold}"
+            )
+        self._schema = schema
+        self._query = query
+        self._factory = planner_factory
+        self._window = int(window)
+        self._replan_interval = int(replan_interval)
+        self._drift_threshold = drift_threshold
+        self._smoothing = float(smoothing)
+
+    def process(self, stream: np.ndarray) -> StreamReport:
+        """Run the query over ``stream`` (rows in arrival order)."""
+        matrix = np.asarray(stream)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._schema):
+            raise PlanningError(
+                f"stream shape {matrix.shape} incompatible with schema of "
+                f"{len(self._schema)} attributes"
+            )
+        total = matrix.shape[0]
+        costs = np.zeros(total, dtype=np.float64)
+        verdicts = np.zeros(total, dtype=bool)
+        replans: list[ReplanEvent] = []
+
+        window: deque = deque(maxlen=self._window)
+        plan: PlanNode | None = None
+        predicted = 0.0
+        since_replan = 0
+        cost_since_replan = 0.0
+
+        # Bootstrap: collect an initial window before the first plan.
+        warmup = min(self._window, self._replan_interval, total)
+        for position in range(total):
+            row = matrix[position]
+            if plan is None:
+                # During warm-up, acquire every query attribute (the
+                # plan-less baseline) and record statistics.
+                cost = sum(
+                    self._schema[index].cost
+                    for index in self._query.attribute_indices
+                )
+                costs[position] = cost
+                verdicts[position] = self._query.evaluate(row)
+                window.append(row)
+                if position + 1 >= warmup:
+                    plan, predicted = self._replan(window)
+                    replans.append(
+                        ReplanEvent(position + 1, predicted, "interval")
+                    )
+                    since_replan = 0
+                    cost_since_replan = 0.0
+                continue
+
+            outcome = dataset_execution(plan, row[None, :], self._schema)
+            costs[position] = outcome.costs[0]
+            verdicts[position] = outcome.verdicts[0]
+            window.append(row)
+            since_replan += 1
+            cost_since_replan += float(outcome.costs[0])
+
+            drifted = (
+                self._drift_threshold is not None
+                and since_replan >= 50  # need a stable estimate first
+                and predicted > 0.0
+                and cost_since_replan / since_replan
+                > self._drift_threshold * predicted
+            )
+            if since_replan >= self._replan_interval or drifted:
+                plan, predicted = self._replan(window)
+                replans.append(
+                    ReplanEvent(
+                        position + 1,
+                        predicted,
+                        "drift" if drifted else "interval",
+                    )
+                )
+                since_replan = 0
+                cost_since_replan = 0.0
+
+        return StreamReport(
+            costs=costs, verdicts=verdicts, replans=tuple(replans)
+        )
+
+    def _replan(self, window: deque) -> tuple[PlanNode, float]:
+        snapshot = np.asarray(list(window), dtype=np.int64)
+        distribution = EmpiricalDistribution(
+            self._schema, snapshot, smoothing=self._smoothing
+        )
+        planner = self._factory(distribution)
+        result = planner.plan(self._query)
+        return result.plan, result.expected_cost

@@ -1,0 +1,66 @@
+"""The Naive sequential planner (Section 4.1.1).
+
+Traditional optimizers order conjunctive predicates by rank
+``cost / rejection-probability`` computed from *marginal* statistics — no
+correlations, no conditioning.  The paper's evaluation uses this as the
+baseline every other algorithm is measured against.
+
+Note on conventions: the paper states the rank as ``cost/(1 - selectivity)``
+with "selectivity = the marginal probability that the predicate does not
+output a tuple".  Read literally that divides by the *pass* probability,
+which contradicts both the classical expensive-predicate rule and the
+paper's own GreedySeq (Section 4.1.3), which explicitly minimizes
+``C_j / (1 - p_j)`` with ``p_j = P(satisfied)``.  We implement the reading
+consistent with GreedySeq: rank ascending by ``C_i / P(reject)`` — buy the
+most rejection probability per unit cost first.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cost import expected_cost
+from repro.core.plan import PlanNode
+from repro.core.query import ConjunctiveQuery
+from repro.core.ranges import RangeVector
+from repro.planning.base import (
+    SequentialPlanner,
+    effective_cost,
+    resolved_leaf,
+    sequential_node_from_order,
+)
+
+__all__ = ["NaivePlanner"]
+
+
+class NaivePlanner(SequentialPlanner):
+    """Rank-ordering by marginal selectivity, correlation-blind."""
+
+    name = "naive"
+
+    def plan_sequence(
+        self, query: ConjunctiveQuery, ranges: RangeVector
+    ) -> tuple[float, PlanNode]:
+        leaf = resolved_leaf(query, ranges)
+        if leaf is not None:
+            return 0.0, leaf
+
+        distribution = self.distribution
+        schema = self.schema
+        full = RangeVector.full(schema)
+        ranked = []
+        for position, binding in enumerate(query.undetermined_predicates(ranges)):
+            cost = effective_cost(schema, ranges, binding[1], self.cost_model)
+            # Marginal pass probability over the full space: Naive never
+            # conditions on anything, even inside a subproblem.
+            pass_probability = distribution.conjunction_probability([binding], full)
+            reject_probability = 1.0 - pass_probability
+            if reject_probability <= 0.0:
+                rank = math.inf  # never rejects: evaluate last
+            else:
+                rank = cost / reject_probability
+            ranked.append((rank, position, binding))
+        ranked.sort(key=lambda entry: (entry[0], entry[1]))
+
+        node = sequential_node_from_order([binding for _r, _p, binding in ranked])
+        return expected_cost(node, distribution, ranges, self.cost_model), node

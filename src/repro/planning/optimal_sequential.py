@@ -1,0 +1,123 @@
+"""OptSeq: the optimal sequential planner (Section 4.1.2).
+
+Any conjunctive query can be *rediscretized* onto binary attributes
+``X'_i = 1 iff predicate phi_i holds``; the optimal order in which to
+evaluate the predicates then follows from a dynamic program over the lattice
+of satisfied-predicate sets.  Because evaluation stops at the first failing
+predicate, the only states that matter are "the predicates in S all held",
+giving the recursion
+
+    J(S) = min over j not in S of  C'_j + P(phi_j | S) * J(S + {j})
+
+with ``J(all) = 0``.  The conditionals come from one joint pmf over
+predicate-outcome bitmasks (``Distribution.predicate_joint``) turned into
+superset sums (:mod:`repro.probability.joint`), so each planning call costs
+``O(m * 2**m)`` DP work plus one pass over the subproblem's rows — exactly
+the complexity the paper reports.
+
+Finding the optimal sequential plan is NP-hard in general (Munagala et al.),
+so this planner guards against large ``m``; the evaluation uses it for small
+queries (Lab) and GreedySeq elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cost import expected_cost
+from repro.core.plan import PlanNode
+from repro.core.query import ConjunctiveQuery
+from repro.core.ranges import RangeVector
+from repro.exceptions import PlanningError
+from repro.planning.base import (
+    SequentialPlanner,
+    effective_cost,
+    resolved_leaf,
+    sequential_node_from_order,
+)
+from repro.probability.joint import conditional_from_superset_sums, superset_sums
+
+__all__ = ["OptimalSequentialPlanner"]
+
+# 2**m DP states; past this the joint table and DP are impractical and the
+# caller should switch to GreedySeq (the paper does the same).
+_MAX_PREDICATES = 18
+
+
+class OptimalSequentialPlanner(SequentialPlanner):
+    """Exact sequential ordering via subset DP on rediscretized predicates."""
+
+    name = "opt-seq"
+
+    def plan_sequence(
+        self, query: ConjunctiveQuery, ranges: RangeVector
+    ) -> tuple[float, PlanNode]:
+        leaf = resolved_leaf(query, ranges)
+        if leaf is not None:
+            return 0.0, leaf
+
+        bindings = query.undetermined_predicates(ranges)
+        count = len(bindings)
+        if count > _MAX_PREDICATES:
+            raise PlanningError(
+                f"OptSeq over {count} predicates needs 2**{count} DP states; "
+                "use GreedySequentialPlanner for large queries"
+            )
+        schema = self.schema
+        distribution = self.distribution
+        cost_model = self.cost_model
+        static_costs = [
+            effective_cost(schema, ranges, binding[1]) for binding in bindings
+        ]
+        base_acquired = ranges.acquired_indices()
+        attribute_of = [binding[1] for binding in bindings]
+        joint = distribution.predicate_joint(bindings, ranges)
+        sums = superset_sums(joint)
+
+        def state_cost(j: int, state: int) -> float:
+            """C'_j at DP state ``state`` (set of predicates already held).
+
+            Under a conditional cost model (Section 7) the acquired set is
+            exactly the base acquisitions plus the state's attributes, so
+            the DP remains exact.
+            """
+            if cost_model is None or ranges.is_acquired(attribute_of[j]):
+                return static_costs[j]
+            acquired = set(base_acquired)
+            for k in range(count):
+                if state & (1 << k):
+                    acquired.add(attribute_of[k])
+            return cost_model.cost(attribute_of[j], acquired)
+
+        full_mask = (1 << count) - 1
+        best_cost = [0.0] * (1 << count)
+        best_choice = [-1] * (1 << count)
+        # J(S) depends only on J(S | bit) — numerically larger masks — so a
+        # single descending sweep evaluates states in a valid order.
+        for state in range(full_mask - 1, -1, -1):
+            minimum = math.inf
+            choice = -1
+            for j in range(count):
+                bit = 1 << j
+                if state & bit:
+                    continue
+                passed = conditional_from_superset_sums(sums, state, bit)
+                value = state_cost(j, state) + passed * best_cost[state | bit]
+                if value < minimum:
+                    minimum = value
+                    choice = j
+            best_cost[state] = minimum
+            best_choice[state] = choice
+
+        order = []
+        state = 0
+        while state != full_mask:
+            j = best_choice[state]
+            order.append(bindings[j])
+            state |= 1 << j
+
+        node = sequential_node_from_order(order)
+        # Report the cost under the planner's distribution (same yardstick
+        # as every other planner) rather than the raw DP value; the two
+        # agree exactly when the distribution is unsmoothed.
+        return expected_cost(node, distribution, ranges, self.cost_model), node

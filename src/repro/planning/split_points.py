@@ -1,0 +1,168 @@
+"""Candidate split-point selection (Section 4.3).
+
+Conditional planners choose conditioning predicates ``T(X_i >= x)``; the set
+of ``x`` values they may consider per attribute is the *split-point policy*.
+The paper restricts candidates by dividing each domain into equal-width
+ranges and keeping only the endpoints, quantified by the Split Point
+Selection Factor ``SPSF = prod_i r_i`` where ``r_i`` is the number of
+candidates for attribute ``X_i``.
+
+Two practical refinements:
+
+- query predicate boundaries can be force-included
+  (:meth:`SplitPointPolicy.with_extra_points`): the exhaustive planner needs
+  them to be able to *decide* each predicate, and the heuristic benefits for
+  the same reason;
+- candidates are filtered to the interior of the current subproblem's range
+  at lookup time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.attributes import Schema
+from repro.core.query import ConjunctiveQuery
+from repro.core.ranges import RangeVector
+from repro.exceptions import PlanningError
+
+__all__ = ["SplitPointPolicy"]
+
+
+class SplitPointPolicy:
+    """Per-attribute candidate split values for conditional planning.
+
+    A split value ``x`` for attribute ``X_i`` denotes the conditioning
+    predicate ``T(X_i >= x)`` and must lie in ``2 .. K_i`` (splitting at the
+    domain minimum would create an empty branch).
+    """
+
+    def __init__(
+        self, schema: Schema, points: Mapping[int, Iterable[int]]
+    ) -> None:
+        self._schema = schema
+        validated: dict[int, tuple[int, ...]] = {}
+        for index, attribute in enumerate(schema):
+            values = sorted(set(points.get(index, ())))
+            for value in values:
+                if not 2 <= value <= attribute.domain_size:
+                    raise PlanningError(
+                        f"split value {value} out of bounds [2, "
+                        f"{attribute.domain_size}] for {attribute.name!r}"
+                    )
+            validated[index] = tuple(values)
+        self._points = validated
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def full(cls, schema: Schema) -> "SplitPointPolicy":
+        """Every interior domain value is a candidate (maximum SPSF)."""
+        points = {
+            index: range(2, attribute.domain_size + 1)
+            for index, attribute in enumerate(schema)
+        }
+        return cls(schema, points)
+
+    @classmethod
+    def equal_width(
+        cls, schema: Schema, points_per_attribute: Sequence[int]
+    ) -> "SplitPointPolicy":
+        """``r_i`` equally spaced candidates per attribute (Section 4.3)."""
+        if len(points_per_attribute) != len(schema):
+            raise PlanningError(
+                f"{len(points_per_attribute)} point counts for "
+                f"{len(schema)} attributes"
+            )
+        points: dict[int, tuple[int, ...]] = {}
+        for index, (attribute, requested) in enumerate(
+            zip(schema, points_per_attribute)
+        ):
+            available = attribute.domain_size - 1
+            count = max(0, min(int(requested), available))
+            if count == 0:
+                points[index] = ()
+                continue
+            # Spread candidates evenly over the interior values 2 .. K_i.
+            positions = np.linspace(2, attribute.domain_size, count)
+            points[index] = tuple(sorted({int(round(p)) for p in positions}))
+        return cls(schema, points)
+
+    @classmethod
+    def from_spsf(cls, schema: Schema, spsf: float) -> "SplitPointPolicy":
+        """Equal per-attribute budget targeting a total SPSF.
+
+        The paper reports SPSF as the product of per-attribute candidate
+        counts; this constructor takes the geometric mean, giving each
+        attribute ``round(spsf ** (1/n))`` candidates (capped by its domain).
+        """
+        if spsf < 1:
+            raise PlanningError(f"spsf must be >= 1, got {spsf}")
+        per_attribute = max(1, int(round(spsf ** (1.0 / len(schema)))))
+        return cls.equal_width(schema, [per_attribute] * len(schema))
+
+    def with_extra_points(
+        self, extra: Mapping[int, Iterable[int]]
+    ) -> "SplitPointPolicy":
+        """A copy with additional candidate values merged in."""
+        merged: dict[int, list[int]] = {
+            index: list(values) for index, values in self._points.items()
+        }
+        for index, values in extra.items():
+            merged.setdefault(index, []).extend(values)
+        return SplitPointPolicy(self._schema, merged)
+
+    def with_query_boundaries(self, query: ConjunctiveQuery) -> "SplitPointPolicy":
+        """Force-include each predicate's decision boundaries.
+
+        For a predicate over ``[low, high]`` the splits ``T(X >= low)`` and
+        ``T(X >= high + 1)`` are exactly what a plan needs to decide it, so
+        they are always worth considering (and the exhaustive planner cannot
+        terminate without them).
+        """
+        extra: dict[int, list[int]] = {}
+        for predicate, index in zip(query.predicates, query.attribute_indices):
+            domain = self._schema[index].domain_size
+            low = getattr(predicate, "low", None)
+            high = getattr(predicate, "high", None)
+            # Accumulate — boolean queries may carry several predicates
+            # over the same attribute.
+            bounds = extra.setdefault(index, [])
+            if low is not None and low >= 2:
+                bounds.append(low)
+            if high is not None and high + 1 <= domain:
+                bounds.append(high + 1)
+        return self.with_extra_points(extra)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def candidates(self, attribute_index: int, ranges: RangeVector) -> list[int]:
+        """Allowed split values interior to the subproblem's range."""
+        interval = ranges[attribute_index]
+        return [
+            value
+            for value in self._points[attribute_index]
+            if interval.low < value <= interval.high
+        ]
+
+    def points_for(self, attribute_index: int) -> tuple[int, ...]:
+        """All candidate split values for one attribute."""
+        return self._points[attribute_index]
+
+    @property
+    def spsf(self) -> float:
+        """The Split Point Selection Factor ``prod_i r_i`` (Section 4.3).
+
+        Attributes with no candidates contribute a factor of 1 (they simply
+        cannot be split on).
+        """
+        return float(
+            math.prod(max(1, len(values)) for values in self._points.values())
+        )

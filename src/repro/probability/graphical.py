@@ -1,0 +1,300 @@
+"""Graphical-model probability estimation (the Section 7 extension).
+
+Estimating conditionals directly from data has two failure modes the paper
+calls out: each probability costs a pass over the dataset, and after a few
+conditioning splits the matching row set shrinks exponentially, so estimates
+become high-variance and plans overfit.  The remedy it proposes is a
+*probabilistic graphical model* — a compact parametric joint that supports
+efficient conditional queries.
+
+:class:`ChowLiuDistribution` implements the classic tree-structured choice:
+
+- **structure**: the maximum-spanning tree of the pairwise mutual-
+  information graph (Chow & Liu, 1968) — the best tree-factored
+  approximation of the empirical joint;
+- **parameters**: Laplace-smoothed edge conditionals ``P(child | parent)``;
+- **inference**: exact sum-product message passing.  Every planner query
+  reduces to masked partition functions: evidence (subproblem ranges,
+  predicate outcomes) enters as per-attribute value masks and one upward
+  pass computes the total probability mass consistent with the masks in
+  ``O(n * K^2)``.
+
+The model is a drop-in :class:`~repro.probability.base.Distribution`, so
+every planner runs against it unchanged — benchmarks compare it with raw
+empirical counting under shrinking training data (ablation ``abl2``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.attributes import Schema
+from repro.core.ranges import RangeVector
+from repro.exceptions import DistributionError
+from repro.probability.base import Distribution, PredicateBinding
+
+__all__ = ["ChowLiuDistribution"]
+
+_MAX_JOINT_PREDICATES = 16
+
+
+class ChowLiuDistribution(Distribution):
+    """Tree-structured Bayesian network fit by the Chow–Liu procedure.
+
+    Parameters
+    ----------
+    schema:
+        Table schema.
+    data:
+        Integer training matrix, values in ``1 .. K_i`` per column.
+    smoothing:
+        Laplace pseudo-count per cell of each pairwise contingency table
+        (must be positive: the model's robustness to sparse data is the
+        point of using it).
+    """
+
+    def __init__(
+        self, schema: Schema, data: np.ndarray, smoothing: float = 0.5
+    ) -> None:
+        super().__init__(schema)
+        matrix = np.asarray(data)
+        if matrix.ndim != 2 or matrix.shape[1] != len(schema):
+            raise DistributionError(
+                f"data shape {matrix.shape} incompatible with schema of "
+                f"{len(schema)} attributes"
+            )
+        if matrix.shape[0] == 0:
+            raise DistributionError("data must contain at least one row")
+        if smoothing <= 0:
+            raise DistributionError(
+                f"smoothing must be > 0 for a graphical model, got {smoothing}"
+            )
+        self._smoothing = float(smoothing)
+        self._domains = schema.domain_sizes
+        marginals, pairwise = self._count_tables(matrix)
+        self._marginals = marginals
+        edges = self._mutual_information_edges(marginals, pairwise)
+        self._parents, self._order = self._build_tree(edges, len(schema))
+        self._conditionals = self._fit_conditionals(pairwise)
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def _count_tables(self, matrix: np.ndarray):
+        """Smoothed marginal and pairwise probability tables."""
+        n = len(self._schema)
+        rows = matrix.shape[0]
+        marginals: list[np.ndarray] = []
+        for index in range(n):
+            counts = np.bincount(
+                matrix[:, index] - 1, minlength=self._domains[index]
+            ).astype(np.float64)
+            counts += self._smoothing
+            marginals.append(counts / counts.sum())
+        pairwise: dict[tuple[int, int], np.ndarray] = {}
+        for a in range(n):
+            ka = self._domains[a]
+            for b in range(a + 1, n):
+                kb = self._domains[b]
+                codes = (matrix[:, a] - 1) * kb + (matrix[:, b] - 1)
+                counts = np.bincount(codes, minlength=ka * kb).astype(np.float64)
+                table = counts.reshape(ka, kb) + self._smoothing
+                pairwise[(a, b)] = table / table.sum()
+        del rows
+        return marginals, pairwise
+
+    def _mutual_information_edges(self, marginals, pairwise):
+        """All pairwise MI values, as (weight, a, b) triples."""
+        edges = []
+        for (a, b), joint in pairwise.items():
+            independent = np.outer(marginals[a], marginals[b])
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratio = np.where(joint > 0, joint / independent, 1.0)
+                information = float(np.sum(joint * np.log(ratio)))
+            edges.append((information, a, b))
+        return edges
+
+    @staticmethod
+    def _build_tree(edges, n: int):
+        """Maximum-spanning tree via Kruskal; returns parents and a
+        root-first elimination order.
+
+        networkx would do this in two lines, but the model is core library
+        (not the optional ``graphical`` extra's plotting/IO helpers), so a
+        small union-find keeps the dependency soft.
+        """
+        parent_set = list(range(n))
+
+        def find(x: int) -> int:
+            while parent_set[x] != x:
+                parent_set[x] = parent_set[parent_set[x]]
+                x = parent_set[x]
+            return x
+
+        adjacency: dict[int, list[int]] = {index: [] for index in range(n)}
+        for _information, a, b in sorted(edges, reverse=True):
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent_set[root_a] = root_b
+                adjacency[a].append(b)
+                adjacency[b].append(a)
+
+        # Root the tree at attribute 0 and derive parent pointers by BFS.
+        parents = [-1] * n
+        order = [0]
+        seen = {0}
+        queue = [0]
+        while queue:
+            node = queue.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    parents[neighbor] = node
+                    order.append(neighbor)
+                    queue.append(neighbor)
+        if len(order) != n:
+            # Degenerate single-attribute schemas (or n == 1) reach here
+            # trivially; anything else indicates a disconnected MI graph,
+            # which Kruskal over the complete graph cannot produce.
+            for node in range(n):
+                if node not in seen:
+                    order.append(node)
+                    seen.add(node)
+        return parents, order
+
+    def _fit_conditionals(self, pairwise):
+        """``P(child | parent)`` tables for every tree edge."""
+        conditionals: dict[int, np.ndarray] = {}
+        for child, parent in enumerate(self._parents):
+            if parent < 0:
+                continue
+            key = (parent, child) if parent < child else (child, parent)
+            joint = pairwise[key]
+            if parent > child:
+                joint = joint.T  # orient as (parent, child)
+            row_sums = joint.sum(axis=1, keepdims=True)
+            conditionals[child] = joint / row_sums
+        return conditionals
+
+    # ------------------------------------------------------------------
+    # Inference: masked partition functions by sum-product
+    # ------------------------------------------------------------------
+
+    def _masked_partition(self, masks: Sequence[np.ndarray]) -> float:
+        """Total probability mass of assignments consistent with the masks.
+
+        ``masks[i]`` is a float (or bool) vector of length ``K_i``; the
+        partition function sums ``prod_i masks[i][x_i] * P(x)`` over all
+        assignments, in one leaves-to-root sweep over the tree.
+        """
+        n = len(self._schema)
+        beliefs = [
+            np.asarray(masks[index], dtype=np.float64).copy() for index in range(n)
+        ]
+        # Children first (reverse of the root-first order): fold each
+        # child's belief into its parent through the edge conditional.
+        for node in reversed(self._order):
+            parent = self._parents[node]
+            if parent < 0:
+                continue
+            message = self._conditionals[node] @ beliefs[node]
+            beliefs[parent] *= message
+        root = self._order[0]
+        return float(np.dot(self._marginals[root], beliefs[root]))
+
+    def _range_masks(self, ranges: RangeVector) -> list[np.ndarray]:
+        masks = []
+        for index in range(len(ranges)):
+            mask = np.zeros(self._domains[index], dtype=np.float64)
+            interval = ranges[index]
+            mask[interval.low - 1 : interval.high] = 1.0
+            masks.append(mask)
+        return masks
+
+    def _predicate_mask(self, binding: PredicateBinding, satisfied: bool) -> np.ndarray:
+        predicate, index = binding
+        table = np.fromiter(
+            (
+                predicate.satisfied_by(value) == satisfied
+                for value in range(1, self._domains[index] + 1)
+            ),
+            dtype=np.float64,
+            count=self._domains[index],
+        )
+        return table
+
+    # ------------------------------------------------------------------
+    # Distribution interface
+    # ------------------------------------------------------------------
+
+    def range_probability(self, ranges: RangeVector) -> float:
+        return self._masked_partition(self._range_masks(ranges))
+
+    def attribute_histogram(
+        self, attribute_index: int, ranges: RangeVector
+    ) -> np.ndarray:
+        masks = self._range_masks(ranges)
+        interval = ranges[attribute_index]
+        base_mask = masks[attribute_index]
+        histogram = np.zeros(len(interval), dtype=np.float64)
+        for offset, value in enumerate(interval):
+            point = np.zeros_like(base_mask)
+            point[value - 1] = 1.0
+            masks[attribute_index] = point
+            histogram[offset] = self._masked_partition(masks)
+        masks[attribute_index] = base_mask
+        total = histogram.sum()
+        if total <= 0.0:
+            return np.zeros(len(interval), dtype=np.float64)
+        return histogram / total
+
+    def conjunction_probability(
+        self, bindings: Sequence[PredicateBinding], ranges: RangeVector
+    ) -> float:
+        masks = self._range_masks(ranges)
+        denominator = self._masked_partition(masks)
+        if denominator <= 0.0:
+            return 0.0
+        for binding in bindings:
+            masks[binding[1]] *= self._predicate_mask(binding, satisfied=True)
+        return self._masked_partition(masks) / denominator
+
+    def predicate_joint(
+        self, bindings: Sequence[PredicateBinding], ranges: RangeVector
+    ) -> np.ndarray:
+        count = len(bindings)
+        if count > _MAX_JOINT_PREDICATES:
+            raise DistributionError(
+                f"joint over {count} predicates needs 2**{count} partition "
+                "computations; use conditional queries instead"
+            )
+        base_masks = self._range_masks(ranges)
+        denominator = self._masked_partition(base_masks)
+        size = 1 << count
+        joint = np.zeros(size, dtype=np.float64)
+        if denominator <= 0.0:
+            return joint
+        for outcome in range(size):
+            masks = [mask.copy() for mask in base_masks]
+            for bit, binding in enumerate(bindings):
+                satisfied = bool(outcome & (1 << bit))
+                masks[binding[1]] *= self._predicate_mask(binding, satisfied)
+            joint[outcome] = self._masked_partition(masks) / denominator
+        return joint
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def tree_edges(self) -> list[tuple[str, str]]:
+        """The learned dependency edges as (parent, child) name pairs."""
+        names = self._schema.names
+        return [
+            (names[parent], names[child])
+            for child, parent in enumerate(self._parents)
+            if parent >= 0
+        ]

@@ -1,0 +1,57 @@
+"""Histogram helpers shared by the probability models.
+
+Section 5.1 observes that every probability the planners need within one
+subproblem can be read off *per-attribute normalized histograms* of the rows
+matching the subproblem, and that range probabilities accumulate
+incrementally (Equation 7).  These helpers implement those primitives on
+numpy integer matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ranges import Range
+
+__all__ = [
+    "value_histogram",
+    "cumulative_below",
+    "range_mass",
+]
+
+
+def value_histogram(values: np.ndarray, interval: Range) -> np.ndarray:
+    """Count occurrences of each value of ``interval`` in ``values``.
+
+    ``values`` must already be restricted to the subproblem's rows; values
+    outside ``interval`` are ignored (they cannot occur when the caller
+    filtered rows correctly, but robustness is cheap).  Returns an integer
+    array of length ``len(interval)`` where entry ``j`` counts value
+    ``interval.low + j``.
+    """
+    if values.size == 0:
+        return np.zeros(len(interval), dtype=np.int64)
+    shifted = values - interval.low
+    mask = (shifted >= 0) & (shifted < len(interval))
+    return np.bincount(shifted[mask], minlength=len(interval)).astype(np.int64)
+
+
+def cumulative_below(histogram: np.ndarray) -> np.ndarray:
+    """Counts of values strictly below each split point (Equation 7).
+
+    Entry ``j`` is the number of rows with value below ``low + j + 1`` —
+    i.e. the numerator of ``P(X < split)`` for ``split = low + j + 1``.
+    """
+    return np.cumsum(histogram)
+
+
+def range_mass(histogram: np.ndarray, interval: Range, sub: Range) -> int:
+    """Total count of values falling in ``sub`` within ``interval``'s histogram."""
+    if not sub.is_subset_of(interval):
+        intersection = sub.intersection(interval)
+        if intersection is None:
+            return 0
+        sub = intersection
+    start = sub.low - interval.low
+    stop = sub.high - interval.low + 1
+    return int(histogram[start:stop].sum())

@@ -1,0 +1,179 @@
+"""Sliding-window statistics for continuous queries (Section 7).
+
+"Our methods for computing probabilities from a data set in Section 5 can
+be modified to compute probabilities incrementally over a sliding window
+of data."  :class:`SlidingWindowDistribution` is that modification:
+
+- a fixed-capacity ring buffer holds the most recent tuples;
+- per-attribute marginal histograms are maintained **incrementally** —
+  O(n) counter updates per append/evict, never a rescan;
+- full planner queries (subproblem conditioning, joints) are answered by
+  an internal :class:`~repro.probability.empirical.EmpiricalDistribution`
+  over the window, rebuilt lazily only when the window changed since the
+  last planning pass — matching the usage pattern of periodic replanning;
+- :meth:`marginal_shift` quantifies distribution drift between the current
+  window and a reference snapshot (total-variation distance averaged over
+  attributes), the signal an adaptive executor replans on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.attributes import Schema
+from repro.core.ranges import RangeVector
+from repro.exceptions import DistributionError
+from repro.probability.base import Distribution, PredicateBinding
+from repro.probability.empirical import EmpiricalDistribution
+
+__all__ = ["SlidingWindowDistribution"]
+
+
+class SlidingWindowDistribution(Distribution):
+    """Incrementally-maintained statistics over the last ``capacity`` rows."""
+
+    def __init__(
+        self, schema: Schema, capacity: int, smoothing: float = 0.0
+    ) -> None:
+        super().__init__(schema)
+        if capacity < 1:
+            raise DistributionError(f"capacity must be >= 1, got {capacity}")
+        if smoothing < 0:
+            raise DistributionError(f"smoothing must be >= 0, got {smoothing}")
+        self._capacity = int(capacity)
+        self._smoothing = float(smoothing)
+        self._buffer = np.zeros((self._capacity, len(schema)), dtype=np.int64)
+        self._next = 0
+        self._count = 0
+        self._marginal_counts = [
+            np.zeros(attribute.domain_size, dtype=np.int64) for attribute in schema
+        ]
+        self._snapshot: EmpiricalDistribution | None = None
+
+    # ------------------------------------------------------------------
+    # Window maintenance
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        return self._count == self._capacity
+
+    def append(self, row: Sequence[int]) -> None:
+        """Add one tuple, evicting the oldest when at capacity."""
+        values = self._schema.validate_tuple(row)
+        if self._count == self._capacity:
+            evicted = self._buffer[self._next]
+            for index in range(len(self._schema)):
+                self._marginal_counts[index][evicted[index] - 1] -= 1
+        else:
+            self._count += 1
+        self._buffer[self._next] = values
+        for index, value in enumerate(values):
+            self._marginal_counts[index][value - 1] += 1
+        self._next = (self._next + 1) % self._capacity
+        self._snapshot = None
+
+    def extend(self, rows: np.ndarray) -> None:
+        """Append many tuples in arrival order."""
+        for row in np.asarray(rows):
+            self.append(row)
+
+    def window(self) -> np.ndarray:
+        """The current window's rows, oldest first."""
+        if self._count == 0:
+            raise DistributionError("window is empty")
+        if self._count < self._capacity:
+            return self._buffer[: self._count].copy()
+        return np.vstack(
+            [self._buffer[self._next :], self._buffer[: self._next]]
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental marginals and drift
+    # ------------------------------------------------------------------
+
+    def marginal_histogram(self, attribute_index: int) -> np.ndarray:
+        """Incrementally-maintained marginal pmf of one attribute."""
+        if self._count == 0:
+            raise DistributionError("window is empty")
+        counts = self._marginal_counts[attribute_index].astype(np.float64)
+        counts += self._smoothing
+        return counts / counts.sum()
+
+    def marginal_snapshot(self) -> list[np.ndarray]:
+        """All marginal pmfs — a cheap reference for drift detection."""
+        return [
+            self.marginal_histogram(index) for index in range(len(self._schema))
+        ]
+
+    def marginal_shift(self, reference: list[np.ndarray]) -> float:
+        """Mean total-variation distance to a reference snapshot.
+
+        0 means identical marginals, 1 means disjoint support; adaptive
+        executors replan when this exceeds a threshold.
+        """
+        if len(reference) != len(self._schema):
+            raise DistributionError(
+                f"reference has {len(reference)} histograms for "
+                f"{len(self._schema)} attributes"
+            )
+        distances = []
+        for index, expected in enumerate(reference):
+            current = self.marginal_histogram(index)
+            if expected.shape != current.shape:
+                raise DistributionError(
+                    f"reference histogram {index} has wrong length"
+                )
+            distances.append(0.5 * float(np.abs(current - expected).sum()))
+        return float(np.mean(distances))
+
+    # ------------------------------------------------------------------
+    # Distribution interface (lazy snapshot delegation)
+    # ------------------------------------------------------------------
+
+    def _distribution(self) -> EmpiricalDistribution:
+        if self._snapshot is None:
+            self._snapshot = EmpiricalDistribution(
+                self._schema, self.window(), smoothing=self._smoothing
+            )
+        return self._snapshot
+
+    def range_probability(self, ranges: RangeVector) -> float:
+        return self._distribution().range_probability(ranges)
+
+    def attribute_histogram(
+        self, attribute_index: int, ranges: RangeVector
+    ) -> np.ndarray:
+        return self._distribution().attribute_histogram(attribute_index, ranges)
+
+    def conjunction_probability(
+        self, bindings: Sequence[PredicateBinding], ranges: RangeVector
+    ) -> float:
+        return self._distribution().conjunction_probability(bindings, ranges)
+
+    def predicate_joint(
+        self, bindings: Sequence[PredicateBinding], ranges: RangeVector
+    ) -> np.ndarray:
+        return self._distribution().predicate_joint(bindings, ranges)
+
+    def satisfied_given_satisfied(
+        self,
+        target: PredicateBinding,
+        satisfied: Sequence[PredicateBinding],
+        ranges: RangeVector,
+    ) -> float:
+        return self._distribution().satisfied_given_satisfied(
+            target, satisfied, ranges
+        )
+
+    def sequential_conditioner(self, ranges: RangeVector):
+        return self._distribution().sequential_conditioner(ranges)

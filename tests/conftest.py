@@ -1,0 +1,119 @@
+"""Shared fixtures: small schemas, correlated datasets, and queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Attribute, ConjunctiveQuery, RangePredicate, Schema
+from repro.probability import EmpiricalDistribution
+
+
+@pytest.fixture
+def tiny_schema() -> Schema:
+    """Three binary attributes: one cheap, two expensive."""
+    return Schema(
+        [
+            Attribute("cheap", 2, 1.0),
+            Attribute("exp_a", 2, 100.0),
+            Attribute("exp_b", 2, 100.0),
+        ]
+    )
+
+
+@pytest.fixture
+def day_night_schema() -> Schema:
+    """The Figure 2 setup: hour is cheap, temp and light cost 1 unit each."""
+    return Schema(
+        [
+            Attribute("hour", 2, 0.0),
+            Attribute("temp", 2, 1.0),
+            Attribute("light", 2, 1.0),
+        ]
+    )
+
+
+def make_day_night_data() -> np.ndarray:
+    """The paper's Figure 2 example as explicit counts.
+
+    hour=1 is night, hour=2 is day.  ``temp=2`` means "temp > 20C holds",
+    ``light=2`` means "light < 100 Lux holds".  Marginal selectivity of
+    each predicate is 1/2; conditioned on night the temp predicate holds
+    with probability 1/10, conditioned on day the light predicate holds
+    with probability 1/10; temp and light are independent given hour.
+    """
+    rows = []
+    for hour, temp_pass_prob, light_pass_prob in ((1, 0.1, 0.9), (2, 0.9, 0.1)):
+        for temp_value, temp_weight in ((2, temp_pass_prob), (1, 1 - temp_pass_prob)):
+            for light_value, light_weight in (
+                (2, light_pass_prob),
+                (1, 1 - light_pass_prob),
+            ):
+                count = int(round(100 * temp_weight * light_weight))
+                rows.extend([[hour, temp_value, light_value]] * count)
+    return np.asarray(rows, dtype=np.int64)
+
+
+@pytest.fixture
+def day_night_data() -> np.ndarray:
+    return make_day_night_data()
+
+
+@pytest.fixture
+def day_night_distribution(day_night_schema, day_night_data) -> EmpiricalDistribution:
+    return EmpiricalDistribution(day_night_schema, day_night_data)
+
+
+@pytest.fixture
+def day_night_query(day_night_schema) -> ConjunctiveQuery:
+    """temp > 20C AND light < 100 Lux, in rediscretized form."""
+    return ConjunctiveQuery(
+        day_night_schema,
+        [RangePredicate("temp", 2, 2), RangePredicate("light", 2, 2)],
+    )
+
+
+def correlated_dataset(
+    n_rows: int = 4000, seed: int = 0
+) -> tuple[Schema, np.ndarray]:
+    """A 4-attribute dataset where a cheap attribute predicts expensive ones.
+
+    ``mode`` (cheap, K=4) selects a regime; ``a``/``b`` (expensive, K=5)
+    concentrate in different parts of their domains per regime; ``c`` is
+    independent noise.
+    """
+    rng = np.random.default_rng(seed)
+    mode = rng.integers(1, 5, n_rows)
+    a = np.where(mode <= 2, rng.integers(1, 3, n_rows), rng.integers(3, 6, n_rows))
+    b = np.where(mode % 2 == 0, rng.integers(1, 3, n_rows), rng.integers(3, 6, n_rows))
+    c = rng.integers(1, 6, n_rows)
+    schema = Schema(
+        [
+            Attribute("mode", 4, 1.0),
+            Attribute("a", 5, 100.0),
+            Attribute("b", 5, 100.0),
+            Attribute("c", 5, 50.0),
+        ]
+    )
+    data = np.stack([mode, a, b, c], axis=1).astype(np.int64)
+    return schema, data
+
+
+@pytest.fixture
+def correlated() -> tuple[Schema, np.ndarray]:
+    return correlated_dataset()
+
+
+@pytest.fixture
+def correlated_distribution(correlated) -> EmpiricalDistribution:
+    schema, data = correlated
+    return EmpiricalDistribution(schema, data)
+
+
+@pytest.fixture
+def correlated_query(correlated) -> ConjunctiveQuery:
+    schema, _data = correlated
+    return ConjunctiveQuery(
+        schema,
+        [RangePredicate("a", 1, 2), RangePredicate("b", 3, 5)],
+    )

@@ -1,0 +1,123 @@
+"""Tests for acquisition sources and cost models."""
+
+import pytest
+
+from repro.core import Attribute, Schema
+from repro.exceptions import AcquisitionError
+from repro.execution import SensorBoardSource, TupleSource
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("id", 4, 1.0),
+            Attribute("light", 4, 100.0),
+            Attribute("temp", 4, 100.0),
+        ]
+    )
+
+
+class TestTupleSource:
+    def test_returns_values(self, schema):
+        source = TupleSource(schema, [2, 3, 4])
+        assert source.acquire(0) == 2
+        assert source.acquire(2) == 4
+
+    def test_charges_on_first_read_only(self, schema):
+        source = TupleSource(schema, [2, 3, 4])
+        source.acquire(1)
+        assert source.total_cost == 100.0
+        source.acquire(1)
+        assert source.total_cost == 100.0  # cached, no second charge
+
+    def test_accumulates_across_attributes(self, schema):
+        source = TupleSource(schema, [2, 3, 4])
+        source.acquire(0)
+        source.acquire(1)
+        assert source.total_cost == 101.0
+        assert source.acquired_indices == frozenset({0, 1})
+
+    def test_reset(self, schema):
+        source = TupleSource(schema, [2, 3, 4])
+        source.acquire(1)
+        source.reset()
+        assert source.total_cost == 0.0
+        assert source.acquired_indices == frozenset()
+        source.acquire(1)
+        assert source.total_cost == 100.0
+
+    def test_index_bounds_checked(self, schema):
+        source = TupleSource(schema, [2, 3, 4])
+        with pytest.raises(AcquisitionError):
+            source.acquire(3)
+        with pytest.raises(AcquisitionError):
+            source.acquire(-1)
+
+    def test_values_validated_against_schema(self, schema):
+        with pytest.raises(Exception):
+            TupleSource(schema, [9, 1, 1])
+
+
+class TestSensorBoardSource:
+    def test_first_board_read_pays_power_up(self, schema):
+        source = SensorBoardSource(
+            schema,
+            [1, 2, 3],
+            boards={1: "weather", 2: "weather"},
+            power_up_cost=50.0,
+            per_read_cost=2.0,
+        )
+        source.acquire(1)
+        assert source.total_cost == 52.0  # power-up + read
+
+    def test_second_read_same_board_is_cheap(self, schema):
+        source = SensorBoardSource(
+            schema,
+            [1, 2, 3],
+            boards={1: "weather", 2: "weather"},
+            power_up_cost=50.0,
+            per_read_cost=2.0,
+        )
+        source.acquire(1)
+        source.acquire(2)
+        assert source.total_cost == 54.0  # one power-up, two reads
+
+    def test_unboarded_attribute_uses_schema_cost(self, schema):
+        source = SensorBoardSource(
+            schema,
+            [1, 2, 3],
+            boards={1: "weather"},
+            power_up_cost=50.0,
+        )
+        source.acquire(0)
+        assert source.total_cost == 1.0
+
+    def test_distinct_boards_power_separately(self, schema):
+        source = SensorBoardSource(
+            schema,
+            [1, 2, 3],
+            boards={1: "a", 2: "b"},
+            power_up_cost=10.0,
+            per_read_cost=1.0,
+        )
+        source.acquire(1)
+        source.acquire(2)
+        assert source.total_cost == 22.0
+
+    def test_reset_repowers_boards(self, schema):
+        source = SensorBoardSource(
+            schema,
+            [1, 2, 3],
+            boards={1: "a"},
+            power_up_cost=10.0,
+            per_read_cost=1.0,
+        )
+        source.acquire(1)
+        source.reset()
+        source.acquire(1)
+        assert source.total_cost == 11.0
+
+    def test_negative_costs_rejected(self, schema):
+        with pytest.raises(AcquisitionError):
+            SensorBoardSource(schema, [1, 1, 1], boards={}, power_up_cost=-1.0)

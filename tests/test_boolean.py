@@ -1,0 +1,193 @@
+"""Tests for general boolean queries (AND/OR formulas)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    And,
+    Attribute,
+    BooleanQuery,
+    Leaf,
+    NotRangePredicate,
+    Or,
+    Range,
+    RangePredicate,
+    RangeVector,
+    Schema,
+    Truth,
+    dataset_execution,
+)
+from repro.exceptions import QueryError
+from repro.planning import ExhaustivePlanner
+from repro.probability import EmpiricalDistribution
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("mode", 2, 1.0),
+            Attribute("x", 3, 50.0),
+            Attribute("y", 3, 80.0),
+            Attribute("z", 3, 30.0),
+        ]
+    )
+
+
+def sample_formula():
+    return Or(
+        And(Leaf(RangePredicate("x", 3, 3)), Leaf(RangePredicate("y", 3, 3))),
+        Leaf(NotRangePredicate("z", 1, 2)),
+    )
+
+
+class TestFormulaEvaluation:
+    def test_and_or_semantics(self, schema):
+        query = BooleanQuery(schema, sample_formula())
+        # (x=3 AND y=3) OR z=3
+        assert query.evaluate([1, 3, 3, 1])
+        assert query.evaluate([1, 1, 1, 3])
+        assert not query.evaluate([1, 3, 1, 1])
+        assert not query.evaluate([1, 1, 3, 2])
+
+    def test_describe(self, schema):
+        query = BooleanQuery(schema, sample_formula())
+        text = query.describe()
+        assert "OR" in text and "AND" in text
+
+    def test_arity_validation(self):
+        with pytest.raises(QueryError):
+            And(Leaf(RangePredicate("x", 1, 1)))
+        with pytest.raises(QueryError):
+            Or(Leaf(RangePredicate("x", 1, 1)))
+
+    def test_unknown_attribute_rejected(self, schema):
+        with pytest.raises(Exception):
+            BooleanQuery(schema, Leaf(RangePredicate("nope", 1, 1)))
+
+
+class TestTruthUnder:
+    def test_or_true_dominates(self, schema):
+        query = BooleanQuery(schema, sample_formula())
+        ranges = RangeVector.full(schema).with_range(3, Range(3, 3))  # z = 3
+        assert query.truth_under(ranges) is Truth.TRUE
+
+    def test_and_false_dominates(self, schema):
+        query = BooleanQuery(schema, sample_formula())
+        ranges = (
+            RangeVector.full(schema)
+            .with_range(1, Range(1, 2))  # x != 3: AND branch dead
+            .with_range(3, Range(1, 2))  # z in [1,2]: OR leaf dead
+        )
+        assert query.truth_under(ranges) is Truth.FALSE
+
+    def test_partial_knowledge_undetermined(self, schema):
+        query = BooleanQuery(schema, sample_formula())
+        assert query.truth_under(RangeVector.full(schema)) is Truth.UNDETERMINED
+
+    def test_undetermined_predicates_deduplicates_attributes(self, schema):
+        formula = Or(
+            Leaf(RangePredicate("x", 1, 1)),
+            Leaf(RangePredicate("x", 3, 3)),
+        )
+        query = BooleanQuery(schema, formula)
+        remaining = query.undetermined_predicates(RangeVector.full(schema))
+        assert len(remaining) == 1  # both leaves share attribute x
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        x_low=st.integers(1, 3),
+        x_high=st.integers(1, 3),
+        z_low=st.integers(1, 3),
+        z_high=st.integers(1, 3),
+    )
+    def test_truth_under_consistent_with_enumeration(
+        self, schema, x_low, x_high, z_low, z_high
+    ):
+        """Three-valued formula truth equals the summary of evaluating every
+        tuple consistent with the ranges."""
+        if x_low > x_high or z_low > z_high:
+            return
+        query = BooleanQuery(schema, sample_formula())
+        ranges = (
+            RangeVector.full(schema)
+            .with_range(1, Range(x_low, x_high))
+            .with_range(3, Range(z_low, z_high))
+        )
+        outcomes = {
+            query.evaluate([mode, x, y, z])
+            for mode in (1, 2)
+            for x in range(x_low, x_high + 1)
+            for y in (1, 2, 3)
+            for z in range(z_low, z_high + 1)
+        }
+        expected = (
+            Truth.TRUE
+            if outcomes == {True}
+            else Truth.FALSE
+            if outcomes == {False}
+            else Truth.UNDETERMINED
+        )
+        assert query.truth_under(ranges) is expected
+
+
+class TestExhaustivePlanningOverFormulas:
+    def make_data(self, n: int = 2500, seed: int = 3) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        mode = rng.integers(1, 3, n)
+        x = np.where(mode == 1, rng.integers(1, 3, n), rng.integers(2, 4, n))
+        y = np.where(mode == 2, rng.integers(1, 3, n), rng.integers(2, 4, n))
+        z = rng.integers(1, 4, n)
+        return np.stack([mode, x, y, z], axis=1).astype(np.int64)
+
+    def test_plans_answer_disjunctions_correctly(self, schema):
+        data = self.make_data()
+        distribution = EmpiricalDistribution(schema, data)
+        query = BooleanQuery(schema, sample_formula())
+        result = ExhaustivePlanner(distribution).plan(query)
+        truth = np.fromiter(
+            (query.evaluate(row) for row in data), dtype=bool, count=len(data)
+        )
+        outcome = dataset_execution(result.plan, data, schema)
+        assert np.array_equal(outcome.verdicts, truth)
+
+    def test_cheaper_than_acquire_everything(self, schema):
+        data = self.make_data()
+        distribution = EmpiricalDistribution(schema, data)
+        query = BooleanQuery(schema, sample_formula())
+        result = ExhaustivePlanner(distribution).plan(query)
+        acquire_all = sum(
+            schema[index].cost for index in set(query.attribute_indices)
+        )
+        assert result.expected_cost < acquire_all
+
+    def test_or_short_circuits_on_cheap_disjunct(self, schema):
+        """With a cheap, frequently-true disjunct, the plan should check it
+        early and skip the expensive conjunction."""
+        rng = np.random.default_rng(4)
+        n = 2500
+        z = rng.integers(1, 4, n)  # z=3 one third of the time
+        data = np.stack(
+            [
+                rng.integers(1, 3, n),
+                rng.integers(1, 4, n),
+                rng.integers(1, 4, n),
+                z,
+            ],
+            axis=1,
+        ).astype(np.int64)
+        distribution = EmpiricalDistribution(schema, data)
+        query = BooleanQuery(schema, sample_formula())
+        plan = ExhaustivePlanner(distribution).plan(query).plan
+        # For a tuple whose z satisfies the OR leaf, the expensive pair may
+        # be skipped entirely.
+        acquired: list[int] = []
+        plan.evaluate([1, 1, 1, 3], on_acquire=acquired.append)
+        touched = {schema[index].name for index in acquired}
+        assert not {"x", "y"} <= touched

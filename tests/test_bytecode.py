@@ -1,0 +1,173 @@
+"""Tests for the plan compiler and on-mote interpreter."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Attribute,
+    ConditionNode,
+    ConjunctiveQuery,
+    NotRangePredicate,
+    RangePredicate,
+    Schema,
+    SequentialNode,
+    SequentialStep,
+    VerdictLeaf,
+)
+from repro.exceptions import PlanError
+from repro.execution.bytecode import (
+    ByteCodeInterpreter,
+    compile_plan,
+    decompile_plan,
+)
+from repro.planning import GreedyConditionalPlanner, OptimalSequentialPlanner
+from repro.probability import EmpiricalDistribution
+from tests.conftest import correlated_dataset
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [Attribute("mode", 4, 1.0), Attribute("a", 5, 100.0), Attribute("b", 5, 100.0)]
+    )
+
+
+def step(name: str, index: int, low: int, high: int, negated: bool = False):
+    cls = NotRangePredicate if negated else RangePredicate
+    return SequentialStep(predicate=cls(name, low, high), attribute_index=index)
+
+
+def sample_plan() -> ConditionNode:
+    return ConditionNode(
+        attribute="mode",
+        attribute_index=0,
+        split_value=3,
+        below=SequentialNode(steps=(step("a", 1, 2, 4), step("b", 2, 1, 3, True))),
+        above=ConditionNode(
+            attribute="a",
+            attribute_index=1,
+            split_value=2,
+            below=VerdictLeaf(False),
+            above=SequentialNode(steps=(step("b", 2, 3, 5),)),
+        ),
+    )
+
+
+class TestCompile:
+    def test_length_equals_size_bytes(self):
+        plan = sample_plan()
+        assert len(compile_plan(plan)) == plan.size_bytes()
+
+    def test_leaf_encodings(self):
+        assert len(compile_plan(VerdictLeaf(True))) == 1
+        assert len(compile_plan(VerdictLeaf(False))) == 1
+        assert compile_plan(VerdictLeaf(True)) != compile_plan(VerdictLeaf(False))
+
+    def test_roundtrip(self, schema):
+        plan = sample_plan()
+        assert decompile_plan(compile_plan(plan), schema) == plan
+
+    def test_roundtrip_empty_sequential(self, schema):
+        plan = SequentialNode(steps=())
+        assert decompile_plan(compile_plan(plan), schema) == plan
+
+    def test_attribute_index_limit(self):
+        wide = Schema([Attribute(f"x{i}", 2, 1.0) for i in range(70)])
+        plan = ConditionNode(
+            attribute="x65",
+            attribute_index=65,
+            split_value=2,
+            below=VerdictLeaf(False),
+            above=VerdictLeaf(True),
+        )
+        with pytest.raises(PlanError, match="6-bit"):
+            compile_plan(plan)
+        del wide
+
+    def test_generic_predicate_rejected(self, schema):
+        class Weird(RangePredicate):
+            pass
+
+        weird = Weird("a", 1, 2)
+        object.__setattr__(weird, "low", None)
+        plan = SequentialNode(
+            steps=(SequentialStep(predicate=weird, attribute_index=1),)
+        )
+        with pytest.raises(PlanError, match="wire encoding"):
+            compile_plan(plan)
+
+
+class TestInterpreter:
+    def test_agrees_with_tree_evaluation(self, schema):
+        plan = sample_plan()
+        interpreter = ByteCodeInterpreter(compile_plan(plan))
+        rng = np.random.default_rng(0)
+        for _trial in range(200):
+            row = [
+                int(rng.integers(1, attribute.domain_size + 1))
+                for attribute in schema
+            ]
+            assert interpreter.execute(row) == plan.evaluate(row)
+
+    def test_acquisition_order_matches(self, schema):
+        plan = sample_plan()
+        interpreter = ByteCodeInterpreter(compile_plan(plan))
+        for row in ([1, 3, 4], [4, 1, 3], [3, 3, 4]):
+            tree_reads: list[int] = []
+            byte_reads: list[int] = []
+            plan.evaluate(row, on_acquire=tree_reads.append)
+            interpreter.execute(row, on_acquire=byte_reads.append)
+            assert tree_reads == byte_reads
+
+    def test_empty_bytecode_rejected(self):
+        with pytest.raises(PlanError):
+            ByteCodeInterpreter(b"")
+
+    def test_size_property(self):
+        plan = sample_plan()
+        interpreter = ByteCodeInterpreter(compile_plan(plan))
+        assert interpreter.size_bytes == plan.size_bytes()
+
+
+class TestEndToEnd:
+    def test_planner_output_survives_compilation(self):
+        """Plan -> compile -> interpret must answer like the query itself."""
+        schema, data = correlated_dataset(n_rows=1500, seed=8)
+        distribution = EmpiricalDistribution(schema, data)
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("a", 1, 2), RangePredicate("b", 3, 5)]
+        )
+        plan = GreedyConditionalPlanner(
+            distribution, OptimalSequentialPlanner(distribution), max_splits=4
+        ).plan(query).plan
+        interpreter = ByteCodeInterpreter(compile_plan(plan))
+        for row in data[:400]:
+            assert interpreter.execute(row) == query.evaluate(row)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(0, 500))
+    def test_roundtrip_property_on_planner_output(self, schema, seed):
+        rng = np.random.default_rng(seed)
+        n = 300
+        mode = rng.integers(1, 5, n)
+        a = np.clip(mode + rng.integers(0, 2, n), 1, 5)
+        b = rng.integers(1, 6, n)
+        data = np.stack([mode, a, b], axis=1).astype(np.int64)
+        distribution = EmpiricalDistribution(schema, data)
+        low = int(rng.integers(1, 4))
+        query = ConjunctiveQuery(
+            schema,
+            [RangePredicate("a", low, low + 1), RangePredicate("b", 2, 4)],
+        )
+        plan = GreedyConditionalPlanner(
+            distribution, OptimalSequentialPlanner(distribution), max_splits=3
+        ).plan(query).plan
+        bytecode = compile_plan(plan)
+        assert len(bytecode) == plan.size_bytes()
+        assert decompile_plan(bytecode, schema) == plan

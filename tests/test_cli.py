@@ -1,0 +1,227 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import load_plan, load_schema, load_trace
+
+
+@pytest.fixture
+def trace_dir(tmp_path):
+    """A generated lab trace on disk, shared across CLI tests."""
+    out = tmp_path / "trace"
+    code = main(
+        [
+            "generate",
+            "lab",
+            "--rows",
+            "6000",
+            "--motes",
+            "5",
+            "--out-dir",
+            str(out),
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "garden", "--rows", "100", "--out-dir", "/tmp/x"]
+        )
+        assert args.dataset == "garden"
+        assert args.rows == 100
+
+
+class TestGenerate:
+    def test_lab_artifacts(self, trace_dir):
+        schema = load_schema(trace_dir / "schema.json")
+        assert "light" in schema
+        train = load_trace(trace_dir / "train.csv", schema)
+        test = load_trace(trace_dir / "test.csv", schema)
+        assert len(train) + len(test) == 6000
+
+    def test_synthetic(self, tmp_path, capsys):
+        out = tmp_path / "syn"
+        code = main(
+            [
+                "generate",
+                "synthetic",
+                "--rows",
+                "500",
+                "--motes",
+                "8",
+                "--gamma",
+                "3",
+                "--out-dir",
+                str(out),
+            ]
+        )
+        assert code == 0
+        schema = load_schema(out / "schema.json")
+        assert len(schema) == 8
+
+    def test_garden(self, tmp_path):
+        out = tmp_path / "g"
+        assert (
+            main(
+                [
+                    "generate",
+                    "garden",
+                    "--rows",
+                    "300",
+                    "--motes",
+                    "3",
+                    "--out-dir",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        schema = load_schema(out / "schema.json")
+        assert len(schema) == 10  # 3 motes x 3 + hour
+
+
+class TestPlanAndExecute:
+    QUERY = "SELECT * WHERE light >= 9 AND temp <= 5"
+
+    def test_plan_writes_plan_json(self, trace_dir, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        code = main(
+            [
+                "plan",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--query",
+                self.QUERY,
+                "--out",
+                str(plan_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "expected cost/tuple" in output
+        plan = load_plan(plan_path)
+        assert plan.size_nodes() >= 1
+
+    def test_execute_reports_costs(self, trace_dir, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        main(
+            [
+                "plan",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--query",
+                self.QUERY,
+                "--out",
+                str(plan_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "execute",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--plan",
+                str(plan_path),
+                "--trace",
+                str(trace_dir / "test.csv"),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean cost/tuple" in output
+
+    def test_explain_prints_annotations(self, trace_dir, capsys):
+        code = main(
+            [
+                "explain",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--query",
+                self.QUERY,
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "p=" in output
+
+    def test_compare_lists_planners(self, trace_dir, capsys):
+        code = main(
+            [
+                "compare",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--test",
+                str(trace_dir / "test.csv"),
+                "--query",
+                self.QUERY,
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "naive" in output and "heuristic" in output
+
+    def test_planner_choices(self, trace_dir, capsys):
+        for planner in ("naive", "corr-seq", "greedy-seq"):
+            code = main(
+                [
+                    "plan",
+                    "--schema",
+                    str(trace_dir / "schema.json"),
+                    "--trace",
+                    str(trace_dir / "train.csv"),
+                    "--query",
+                    self.QUERY,
+                    "--planner",
+                    planner,
+                ]
+            )
+            assert code == 0
+
+
+class TestErrors:
+    def test_bad_query_reports_error(self, trace_dir, capsys):
+        code = main(
+            [
+                "plan",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--query",
+                "SELECT * WHERE nonsense >= 1",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "execute",
+                "--schema",
+                str(tmp_path / "nope.json"),
+                "--plan",
+                str(tmp_path / "nope2.json"),
+                "--trace",
+                str(tmp_path / "nope3.csv"),
+            ]
+        )
+        assert code == 2

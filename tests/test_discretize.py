@@ -1,0 +1,111 @@
+"""Tests for equal-width discretization (Section 4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import EqualWidthDiscretizer
+from repro.exceptions import DiscretizationError
+
+
+class TestFitTransform:
+    def test_bins_cover_domain(self):
+        disc = EqualWidthDiscretizer([4])
+        data = np.linspace(0.0, 10.0, 100)[:, None]
+        bins = disc.fit_transform(data)
+        assert bins.min() == 1
+        assert bins.max() == 4
+
+    def test_equal_width_boundaries(self):
+        disc = EqualWidthDiscretizer([4]).fit(np.array([[0.0], [8.0]]))
+        assert disc.bin_of(0, 0.0) == 1
+        assert disc.bin_of(0, 1.9) == 1
+        assert disc.bin_of(0, 2.1) == 2
+        assert disc.bin_of(0, 7.9) == 4
+        assert disc.bin_of(0, 8.0) == 4  # max clamps into the last bin
+
+    def test_out_of_span_values_clamp(self):
+        disc = EqualWidthDiscretizer([4]).fit(np.array([[0.0], [8.0]]))
+        assert disc.bin_of(0, -100.0) == 1
+        assert disc.bin_of(0, 100.0) == 4
+
+    def test_constant_column_maps_to_bin_one(self):
+        disc = EqualWidthDiscretizer([5])
+        bins = disc.fit_transform(np.full((10, 1), 3.25))
+        assert (bins == 1).all()
+
+    def test_multi_column(self):
+        disc = EqualWidthDiscretizer([2, 10])
+        data = np.stack(
+            [np.linspace(0, 1, 50), np.linspace(-5, 5, 50)], axis=1
+        )
+        bins = disc.fit_transform(data)
+        assert bins[:, 0].max() == 2
+        assert bins[:, 1].max() == 10
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(DiscretizationError):
+            EqualWidthDiscretizer([4]).transform(np.zeros((2, 1)))
+
+    def test_wrong_width_rejected(self):
+        disc = EqualWidthDiscretizer([4, 4])
+        with pytest.raises(DiscretizationError):
+            disc.fit(np.zeros((5, 3)))
+
+    def test_nan_rejected(self):
+        disc = EqualWidthDiscretizer([4])
+        with pytest.raises(DiscretizationError):
+            disc.fit(np.array([[0.0], [np.nan]]))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(DiscretizationError):
+            EqualWidthDiscretizer([4]).fit(np.zeros((0, 1)))
+
+    def test_bad_domain_sizes_rejected(self):
+        with pytest.raises(DiscretizationError):
+            EqualWidthDiscretizer([])
+        with pytest.raises(DiscretizationError):
+            EqualWidthDiscretizer([0])
+
+
+class TestInverseMappings:
+    def test_bin_range_covers_interval(self):
+        disc = EqualWidthDiscretizer([10]).fit(np.array([[0.0], [10.0]]))
+        low_bin, high_bin = disc.bin_range(0, 2.5, 7.5)
+        assert low_bin == disc.bin_of(0, 2.5)
+        assert high_bin == disc.bin_of(0, 7.5)
+        assert low_bin <= high_bin
+
+    def test_bin_range_empty_interval_rejected(self):
+        disc = EqualWidthDiscretizer([10]).fit(np.array([[0.0], [10.0]]))
+        with pytest.raises(DiscretizationError):
+            disc.bin_range(0, 5.0, 4.0)
+
+    def test_bin_center_midpoint(self):
+        disc = EqualWidthDiscretizer([4]).fit(np.array([[0.0], [8.0]]))
+        assert disc.bin_center(0, 1) == pytest.approx(1.0)
+        assert disc.bin_center(0, 4) == pytest.approx(7.0)
+
+    def test_bin_center_bounds_checked(self):
+        disc = EqualWidthDiscretizer([4]).fit(np.array([[0.0], [8.0]]))
+        with pytest.raises(DiscretizationError):
+            disc.bin_center(0, 0)
+        with pytest.raises(DiscretizationError):
+            disc.bin_center(0, 5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    k=st.integers(1, 16),
+    seed=st.integers(0, 10_000),
+)
+def test_roundtrip_property(k, seed):
+    """bin_of(bin_center(b)) == b, and transform stays in [1, K]."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(0.0, 5.0, size=(50, 1))
+    disc = EqualWidthDiscretizer([k]).fit(data)
+    bins = disc.transform(data)
+    assert bins.min() >= 1 and bins.max() <= k
+    for bin_value in range(1, k + 1):
+        assert disc.bin_of(0, disc.bin_center(0, bin_value)) == bin_value

@@ -1,0 +1,275 @@
+"""Tests for EmpiricalDistribution against brute-force counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Attribute,
+    NotRangePredicate,
+    Range,
+    RangePredicate,
+    RangeVector,
+    Schema,
+)
+from repro.exceptions import DistributionError
+from repro.probability import EmpiricalDistribution
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema([Attribute("a", 3), Attribute("b", 4), Attribute("c", 2)])
+
+
+@pytest.fixture
+def data() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    a = rng.integers(1, 4, 500)
+    b = np.clip(a + rng.integers(0, 2, 500), 1, 4)  # b correlates with a
+    c = rng.integers(1, 3, 500)
+    return np.stack([a, b, c], axis=1).astype(np.int64)
+
+
+@pytest.fixture
+def dist(schema, data) -> EmpiricalDistribution:
+    return EmpiricalDistribution(schema, data)
+
+
+def brute_rows(data: np.ndarray, ranges: RangeVector) -> np.ndarray:
+    keep = np.ones(len(data), dtype=bool)
+    for index in range(len(ranges)):
+        interval = ranges[index]
+        keep &= (data[:, index] >= interval.low) & (data[:, index] <= interval.high)
+    return data[keep]
+
+
+class TestValidation:
+    def test_rejects_wrong_width(self, schema):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution(schema, np.ones((5, 2), dtype=np.int64))
+
+    def test_rejects_empty(self, schema):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution(schema, np.empty((0, 3), dtype=np.int64))
+
+    def test_rejects_floats(self, schema):
+        with pytest.raises(DistributionError, match="integer"):
+            EmpiricalDistribution(schema, np.ones((5, 3)))
+
+    def test_rejects_out_of_domain(self, schema):
+        bad = np.ones((5, 3), dtype=np.int64)
+        bad[0, 0] = 9
+        with pytest.raises(DistributionError, match="outside domain"):
+            EmpiricalDistribution(schema, bad)
+
+    def test_rejects_negative_smoothing(self, schema):
+        data = np.ones((5, 3), dtype=np.int64)
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution(schema, data, smoothing=-0.1)
+
+    def test_rejects_1d(self, schema):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution(schema, np.ones(5, dtype=np.int64))
+
+
+class TestRangeProbability:
+    def test_full_is_one(self, schema, dist):
+        assert dist.range_probability(RangeVector.full(schema)) == 1.0
+
+    def test_matches_brute_force(self, schema, data, dist):
+        ranges = (
+            RangeVector.full(schema)
+            .with_range(0, Range(2, 3))
+            .with_range(2, Range(1, 1))
+        )
+        expected = len(brute_rows(data, ranges)) / len(data)
+        assert dist.range_probability(ranges) == pytest.approx(expected)
+
+    def test_row_count(self, schema, data, dist):
+        ranges = RangeVector.full(schema).with_range(1, Range(1, 2))
+        assert dist.row_count(ranges) == len(brute_rows(data, ranges))
+
+
+class TestHistogramAndSplit:
+    def test_histogram_sums_to_one(self, schema, dist):
+        ranges = RangeVector.full(schema)
+        for index in range(3):
+            histogram = dist.attribute_histogram(index, ranges)
+            assert histogram.sum() == pytest.approx(1.0)
+
+    def test_histogram_matches_counts(self, schema, data, dist):
+        ranges = RangeVector.full(schema).with_range(0, Range(2, 3))
+        subset = brute_rows(data, ranges)
+        histogram = dist.attribute_histogram(1, ranges)
+        for offset, value in enumerate(range(1, 5)):
+            expected = np.mean(subset[:, 1] == value)
+            assert histogram[offset] == pytest.approx(expected)
+
+    def test_split_probability_matches_counts(self, schema, data, dist):
+        ranges = RangeVector.full(schema)
+        subset = brute_rows(data, ranges)
+        for split in (2, 3):
+            expected = np.mean(subset[:, 1] < split)
+            assert dist.split_probability(1, split, ranges) == pytest.approx(expected)
+
+    def test_split_probability_conditioned(self, schema, data, dist):
+        ranges = RangeVector.full(schema).with_range(0, Range(1, 1))
+        subset = brute_rows(data, ranges)
+        expected = np.mean(subset[:, 1] < 3)
+        assert dist.split_probability(1, 3, ranges) == pytest.approx(expected)
+
+    def test_empty_subproblem_uniform_fallback(self, schema):
+        # Single row, then condition on a range excluding it.
+        data = np.array([[1, 1, 1]], dtype=np.int64)
+        dist = EmpiricalDistribution(schema, data)
+        ranges = RangeVector.full(schema).with_range(0, Range(3, 3))
+        # Uniform over b's 4 values: P(b < 3) = 1/2.
+        assert dist.split_probability(1, 3, ranges) == pytest.approx(0.5)
+
+
+class TestConjunctionProbability:
+    def test_single_predicate_matches_marginal(self, schema, data, dist):
+        binding = (RangePredicate("b", 2, 3), 1)
+        expected = np.mean((data[:, 1] >= 2) & (data[:, 1] <= 3))
+        full = RangeVector.full(schema)
+        assert dist.conjunction_probability([binding], full) == pytest.approx(expected)
+
+    def test_conjunction_matches_joint_count(self, schema, data, dist):
+        bindings = [
+            (RangePredicate("a", 2, 3), 0),
+            (NotRangePredicate("b", 1, 2), 1),
+        ]
+        expected = np.mean(
+            ((data[:, 0] >= 2) & (data[:, 0] <= 3))
+            & ~((data[:, 1] >= 1) & (data[:, 1] <= 2))
+        )
+        full = RangeVector.full(schema)
+        assert dist.conjunction_probability(bindings, full) == pytest.approx(expected)
+
+    def test_empty_bindings_is_one(self, schema, dist):
+        assert dist.conjunction_probability([], RangeVector.full(schema)) == 1.0
+
+    def test_satisfied_given_satisfied(self, schema, data, dist):
+        target = (RangePredicate("b", 3, 4), 1)
+        given = [(RangePredicate("a", 2, 3), 0)]
+        cond = (data[:, 0] >= 2) & (data[:, 0] <= 3)
+        expected = np.mean((data[cond, 1] >= 3) & (data[cond, 1] <= 4))
+        full = RangeVector.full(schema)
+        assert dist.satisfied_given_satisfied(target, given, full) == pytest.approx(
+            expected
+        )
+
+    def test_unseen_condition_falls_back_to_marginal(self, schema):
+        data = np.array([[1, 1, 1], [2, 2, 2]], dtype=np.int64)
+        dist = EmpiricalDistribution(schema, data)
+        target = (RangePredicate("b", 2, 2), 1)
+        impossible = [(RangePredicate("a", 3, 3), 0)]
+        full = RangeVector.full(schema)
+        marginal = dist.conjunction_probability([target], full)
+        assert dist.satisfied_given_satisfied(target, impossible, full) == marginal
+
+
+class TestPredicateJoint:
+    def test_joint_sums_to_one(self, schema, dist):
+        bindings = [
+            (RangePredicate("a", 1, 2), 0),
+            (RangePredicate("b", 2, 4), 1),
+        ]
+        joint = dist.predicate_joint(bindings, RangeVector.full(schema))
+        assert joint.shape == (4,)
+        assert joint.sum() == pytest.approx(1.0)
+
+    def test_joint_matches_brute_force(self, schema, data, dist):
+        bindings = [
+            (RangePredicate("a", 1, 2), 0),
+            (RangePredicate("b", 2, 4), 1),
+        ]
+        joint = dist.predicate_joint(bindings, RangeVector.full(schema))
+        sat_a = (data[:, 0] >= 1) & (data[:, 0] <= 2)
+        sat_b = (data[:, 1] >= 2) & (data[:, 1] <= 4)
+        for outcome in range(4):
+            mask = np.ones(len(data), dtype=bool)
+            mask &= sat_a if outcome & 1 else ~sat_a
+            mask &= sat_b if outcome & 2 else ~sat_b
+            assert joint[outcome] == pytest.approx(np.mean(mask))
+
+    def test_too_many_predicates_rejected(self, dist, schema):
+        bindings = [(RangePredicate("a", 1, 1), 0)] * 21
+        with pytest.raises(DistributionError, match="2\\*\\*"):
+            dist.predicate_joint(bindings, RangeVector.full(schema))
+
+
+class TestSmoothing:
+    def test_smoothing_pulls_towards_half(self, schema):
+        data = np.array([[1, 1, 1]] * 10, dtype=np.int64)
+        raw = EmpiricalDistribution(schema, data)
+        smooth = EmpiricalDistribution(schema, data, smoothing=5.0)
+        binding = (RangePredicate("a", 1, 1), 0)
+        full = RangeVector.full(schema)
+        assert raw.conjunction_probability([binding], full) == 1.0
+        smoothed = smooth.conjunction_probability([binding], full)
+        assert 0.5 < smoothed < 1.0
+
+    def test_marginal_selectivity(self, schema, data, dist):
+        binding = (RangePredicate("c", 1, 1), 2)
+        assert dist.marginal_selectivity(binding) == pytest.approx(
+            np.mean(data[:, 2] == 1)
+        )
+
+
+class TestCaching:
+    def test_row_cache_reused(self, schema, data):
+        dist = EmpiricalDistribution(schema, data)
+        ranges = RangeVector.full(schema).with_range(0, Range(1, 2))
+        first = dist.rows_matching(ranges)
+        second = dist.rows_matching(ranges)
+        assert first is second
+
+    def test_cache_cleared_at_capacity(self, schema, data):
+        dist = EmpiricalDistribution(schema, data, max_cached_subproblems=2)
+        for low in (1, 2, 3):
+            dist.rows_matching(
+                RangeVector.full(schema).with_range(0, Range(low, low))
+            )
+        # No assertion on internals beyond it still answering correctly:
+        ranges = RangeVector.full(schema).with_range(0, Range(1, 1))
+        assert dist.row_count(ranges) == int(np.sum(data[:, 0] == 1))
+
+    def test_clear_caches(self, schema, data):
+        dist = EmpiricalDistribution(schema, data)
+        dist.rows_matching(RangeVector.full(schema))
+        dist.clear_caches()
+        assert dist.range_probability(RangeVector.full(schema)) == 1.0
+
+    def test_data_view_readonly(self, schema, data):
+        dist = EmpiricalDistribution(schema, data)
+        with pytest.raises(ValueError):
+            dist.data[0, 0] = 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    low=st.integers(1, 3),
+    split=st.integers(2, 4),
+)
+def test_split_probability_property(seed, low, split):
+    """P(X < split | R) from the distribution equals direct counting, for
+    random data and random conditioning ranges."""
+    rng = np.random.default_rng(seed)
+    schema = Schema([Attribute("p", 3), Attribute("q", 4)])
+    data = np.stack(
+        [rng.integers(1, 4, 200), rng.integers(1, 5, 200)], axis=1
+    ).astype(np.int64)
+    dist = EmpiricalDistribution(schema, data)
+    high = 3
+    if low > high:
+        return
+    ranges = RangeVector.full(schema).with_range(0, Range(low, high))
+    subset = data[(data[:, 0] >= low) & (data[:, 0] <= high)]
+    probability = dist.split_probability(1, split, ranges)
+    if len(subset) == 0:
+        assert 0.0 <= probability <= 1.0
+    else:
+        assert probability == pytest.approx(np.mean(subset[:, 1] < split))

@@ -1,0 +1,208 @@
+"""Tests for the exhaustive optimal planner (Section 3.2, Figure 5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Attribute,
+    ConjunctiveQuery,
+    RangePredicate,
+    RangeVector,
+    Schema,
+    Truth,
+    empirical_cost,
+    expected_cost,
+)
+from repro.exceptions import PlanningError
+from repro.execution import PlanExecutor
+from repro.planning import (
+    ExhaustivePlanner,
+    GreedyConditionalPlanner,
+    NaivePlanner,
+    OptimalSequentialPlanner,
+    SplitPointPolicy,
+)
+from repro.planning.base import effective_cost
+from repro.probability import EmpiricalDistribution
+from tests.conftest import make_day_night_data
+
+
+def brute_force_optimal_cost(query, distribution, ranges, policy) -> float:
+    """Pruning-free, cache-free reference recursion for Equation 5."""
+    if query.truth_under(ranges) is not Truth.UNDETERMINED:
+        return 0.0
+    schema = distribution.schema
+    best = math.inf
+    for index in range(len(schema)):
+        acquisition = effective_cost(schema, ranges, index)
+        for split in policy.candidates(index, ranges):
+            probability = distribution.split_probability(index, split, ranges)
+            below, above = ranges.split(index, split)
+            total = acquisition
+            if probability > 0.0:
+                total += probability * brute_force_optimal_cost(
+                    query, distribution, below, policy
+                )
+            if probability < 1.0:
+                total += (1.0 - probability) * brute_force_optimal_cost(
+                    query, distribution, above, policy
+                )
+            best = min(best, total)
+    return best
+
+
+class TestFigure2Example:
+    """The paper's motivating example, with its exact numbers."""
+
+    def make(self):
+        schema = Schema(
+            [
+                Attribute("hour", 2, 0.0),  # time of day is free
+                Attribute("temp", 2, 1.0),
+                Attribute("light", 2, 1.0),
+            ]
+        )
+        data = make_day_night_data()
+        distribution = EmpiricalDistribution(schema, data)
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("temp", 2, 2), RangePredicate("light", 2, 2)]
+        )
+        return schema, data, distribution, query
+
+    def test_sequential_cost_is_1_5(self):
+        _schema, _data, distribution, query = self.make()
+        result = OptimalSequentialPlanner(distribution).plan(query)
+        assert result.expected_cost == pytest.approx(1.5)
+
+    def test_conditional_cost_is_1_1(self):
+        """Conditioning on the free hour attribute drops 1.5 to 1.1."""
+        _schema, _data, distribution, query = self.make()
+        result = ExhaustivePlanner(distribution).plan(query)
+        assert result.expected_cost == pytest.approx(1.1)
+
+    def test_plan_conditions_on_hour_first(self):
+        from repro.core import ConditionNode
+
+        _schema, _data, distribution, query = self.make()
+        plan = ExhaustivePlanner(distribution).plan(query).plan
+        assert isinstance(plan, ConditionNode)
+        assert plan.attribute == "hour"
+
+    def test_plan_is_verdict_correct(self):
+        schema, data, distribution, query = self.make()
+        plan = ExhaustivePlanner(distribution).plan(query).plan
+        assert PlanExecutor(schema).verify(plan, query, data).correct
+
+
+class TestOptimality:
+    def test_matches_pruning_free_reference(self, tiny_schema):
+        """Memoized+pruned search equals the naive reference recursion."""
+        rng = np.random.default_rng(17)
+        n = 500
+        cheap = rng.integers(1, 3, n)
+        exp_a = np.where(cheap == 1, 1, rng.integers(1, 3, n))
+        exp_b = np.where(cheap == 2, 2, rng.integers(1, 3, n))
+        data = np.stack([cheap, exp_a, exp_b], axis=1).astype(np.int64)
+        distribution = EmpiricalDistribution(tiny_schema, data)
+        query = ConjunctiveQuery(
+            tiny_schema,
+            [RangePredicate("exp_a", 2, 2), RangePredicate("exp_b", 1, 1)],
+        )
+        policy = SplitPointPolicy.full(tiny_schema).with_query_boundaries(query)
+        reference = brute_force_optimal_cost(
+            query, distribution, RangeVector.full(tiny_schema), policy
+        )
+        result = ExhaustivePlanner(distribution).plan(query)
+        assert result.expected_cost == pytest.approx(reference, rel=1e-12)
+
+    def test_matches_reference_on_random_instances(self):
+        """Sweep several random 3-attribute instances with K=3 domains."""
+        schema = Schema(
+            [
+                Attribute("c", 3, 1.0),
+                Attribute("p", 3, 30.0),
+                Attribute("q", 3, 70.0),
+            ]
+        )
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            n = 300
+            c = rng.integers(1, 4, n)
+            p = np.clip(c + rng.integers(-1, 2, n), 1, 3)
+            q = np.clip(4 - c + rng.integers(-1, 2, n), 1, 3)
+            data = np.stack([c, p, q], axis=1).astype(np.int64)
+            distribution = EmpiricalDistribution(schema, data)
+            query = ConjunctiveQuery(
+                schema, [RangePredicate("p", 1, 2), RangePredicate("q", 2, 3)]
+            )
+            policy = SplitPointPolicy.full(schema).with_query_boundaries(query)
+            reference = brute_force_optimal_cost(
+                query, distribution, RangeVector.full(schema), policy
+            )
+            result = ExhaustivePlanner(distribution).plan(query)
+            assert result.expected_cost == pytest.approx(reference, rel=1e-12), seed
+
+    def test_never_worse_than_other_planners(self, correlated, correlated_query):
+        schema, data = correlated
+        distribution = EmpiricalDistribution(schema, data)
+        exhaustive = ExhaustivePlanner(distribution).plan(correlated_query)
+        naive = NaivePlanner(distribution).plan(correlated_query)
+        optseq = OptimalSequentialPlanner(distribution).plan(correlated_query)
+        heuristic = GreedyConditionalPlanner(
+            distribution, OptimalSequentialPlanner(distribution), max_splits=5
+        ).plan(correlated_query)
+        assert exhaustive.expected_cost <= optseq.expected_cost + 1e-9
+        assert exhaustive.expected_cost <= naive.expected_cost + 1e-9
+        assert exhaustive.expected_cost <= heuristic.expected_cost + 1e-9
+
+    def test_expected_matches_empirical_on_training(self, correlated, correlated_query):
+        schema, data = correlated
+        distribution = EmpiricalDistribution(schema, data)
+        result = ExhaustivePlanner(distribution).plan(correlated_query)
+        assert result.expected_cost == pytest.approx(
+            empirical_cost(result.plan, data, schema), rel=1e-9
+        )
+        assert result.expected_cost == pytest.approx(
+            expected_cost(result.plan, distribution), rel=1e-9
+        )
+
+
+class TestMechanics:
+    def test_verdict_correct_on_correlated_data(self, correlated, correlated_query):
+        schema, data = correlated
+        distribution = EmpiricalDistribution(schema, data)
+        plan = ExhaustivePlanner(distribution).plan(correlated_query).plan
+        assert PlanExecutor(schema).verify(plan, correlated_query, data).correct
+
+    def test_stats_populated(self, correlated, correlated_query):
+        schema, data = correlated
+        distribution = EmpiricalDistribution(schema, data)
+        result = ExhaustivePlanner(distribution).plan(correlated_query)
+        assert result.stats.subproblems > 0
+        assert result.stats.splits_considered > 0
+
+    def test_subproblem_guard(self, correlated, correlated_query):
+        schema, data = correlated
+        distribution = EmpiricalDistribution(schema, data)
+        with pytest.raises(PlanningError, match="subproblems"):
+            ExhaustivePlanner(distribution, max_subproblems=3).plan(correlated_query)
+
+    def test_restricted_spsf_cannot_beat_full(self, correlated, correlated_query):
+        """Figure 8(b)'s premise: a smaller SPSF yields equal-or-worse plans."""
+        schema, data = correlated
+        distribution = EmpiricalDistribution(schema, data)
+        full = ExhaustivePlanner(distribution).plan(correlated_query)
+        restricted = ExhaustivePlanner(
+            distribution,
+            split_policy=SplitPointPolicy.equal_width(schema, [1, 1, 1, 1]),
+        ).plan(correlated_query)
+        assert full.expected_cost <= restricted.expected_cost + 1e-9
+
+    def test_trivially_true_query_is_free(self, tiny_schema):
+        data = np.ones((10, 3), dtype=np.int64)
+        distribution = EmpiricalDistribution(tiny_schema, data)
+        query = ConjunctiveQuery(tiny_schema, [RangePredicate("exp_a", 1, 2)])
+        result = ExhaustivePlanner(distribution).plan(query)
+        assert result.expected_cost == 0.0

@@ -1,0 +1,159 @@
+"""Tests for the attribute-independence probability model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Attribute,
+    ConjunctiveQuery,
+    Range,
+    RangePredicate,
+    RangeVector,
+    Schema,
+)
+from repro.exceptions import DistributionError
+from repro.probability import EmpiricalDistribution, IndependenceDistribution
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema([Attribute("a", 4), Attribute("b", 4)])
+
+
+def correlated_data(n: int = 4000, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, 5, n)
+    b = np.clip(a + rng.integers(-1, 2, n), 1, 4)  # b tracks a
+    return np.stack([a, b], axis=1).astype(np.int64)
+
+
+class TestFitting:
+    def test_rejects_bad_shape(self, schema):
+        with pytest.raises(DistributionError):
+            IndependenceDistribution(schema, np.ones((5, 3), dtype=np.int64))
+
+    def test_rejects_empty(self, schema):
+        with pytest.raises(DistributionError):
+            IndependenceDistribution(schema, np.empty((0, 2), dtype=np.int64))
+
+    def test_marginals_match_data(self, schema):
+        data = correlated_data()
+        model = IndependenceDistribution(schema, data, smoothing=0.0)
+        full = RangeVector.full(schema)
+        histogram = model.attribute_histogram(0, full)
+        for value in range(1, 5):
+            assert histogram[value - 1] == pytest.approx(
+                np.mean(data[:, 0] == value)
+            )
+
+
+class TestIndependenceSemantics:
+    def test_range_probability_is_product(self, schema):
+        data = correlated_data()
+        model = IndependenceDistribution(schema, data, smoothing=0.0)
+        ranges = (
+            RangeVector.full(schema)
+            .with_range(0, Range(1, 2))
+            .with_range(1, Range(3, 4))
+        )
+        p_a = np.mean(data[:, 0] <= 2)
+        p_b = np.mean(data[:, 1] >= 3)
+        assert model.range_probability(ranges) == pytest.approx(p_a * p_b)
+
+    def test_conditioning_has_no_effect(self, schema):
+        data = correlated_data()
+        model = IndependenceDistribution(schema, data)
+        full = RangeVector.full(schema)
+        target = (RangePredicate("b", 3, 4), 1)
+        given = [(RangePredicate("a", 3, 4), 0)]
+        assert model.satisfied_given_satisfied(
+            target, given, full
+        ) == model.satisfied_given_satisfied(target, [], full)
+
+    def test_empirical_disagrees_on_correlated_data(self, schema):
+        """Sanity: the two models must differ exactly where correlation
+        lives — the conditional probability."""
+        data = correlated_data()
+        independent = IndependenceDistribution(schema, data, smoothing=0.0)
+        empirical = EmpiricalDistribution(schema, data)
+        full = RangeVector.full(schema)
+        target = (RangePredicate("b", 3, 4), 1)
+        given = [(RangePredicate("a", 3, 4), 0)]
+        independent_value = independent.satisfied_given_satisfied(
+            target, given, full
+        )
+        empirical_value = empirical.satisfied_given_satisfied(target, given, full)
+        assert abs(independent_value - empirical_value) > 0.15
+
+    def test_predicate_joint_factorizes(self, schema):
+        data = correlated_data()
+        model = IndependenceDistribution(schema, data, smoothing=0.0)
+        full = RangeVector.full(schema)
+        bindings = [
+            (RangePredicate("a", 1, 2), 0),
+            (RangePredicate("b", 3, 4), 1),
+        ]
+        joint = model.predicate_joint(bindings, full)
+        assert joint.sum() == pytest.approx(1.0)
+        p_a = model.conjunction_probability([bindings[0]], full)
+        p_b = model.conjunction_probability([bindings[1]], full)
+        assert joint[0b11] == pytest.approx(p_a * p_b)
+        assert joint[0b00] == pytest.approx((1 - p_a) * (1 - p_b))
+
+
+class TestPlanningAgainstIndependence:
+    def test_planners_run_and_stay_correct(self, schema):
+        """Plans built on wrong (independence) statistics still answer
+        correctly — only their cost suffers."""
+        from repro.core import dataset_execution
+        from repro.planning import GreedyConditionalPlanner, OptimalSequentialPlanner
+
+        data = correlated_data()
+        model = IndependenceDistribution(schema, data)
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("a", 1, 2), RangePredicate("b", 3, 4)]
+        )
+        result = GreedyConditionalPlanner(
+            model, OptimalSequentialPlanner(model), max_splits=3
+        ).plan(query)
+        truth = np.fromiter(
+            (query.evaluate(row) for row in data), dtype=bool, count=len(data)
+        )
+        outcome = dataset_execution(result.plan, data, schema)
+        assert np.array_equal(outcome.verdicts, truth)
+
+    def test_correlation_blindness_costs_at_execution(self):
+        """Planning against independence statistics can only do as well as
+        (usually worse than) planning against the truth, measured on the
+        real data."""
+        from repro.core import empirical_cost
+        from repro.planning import GreedyConditionalPlanner, OptimalSequentialPlanner
+
+        schema = Schema(
+            [
+                Attribute("cheap", 2, 1.0),
+                Attribute("x", 2, 100.0),
+                Attribute("y", 2, 100.0),
+            ]
+        )
+        rng = np.random.default_rng(1)
+        n = 6000
+        cheap = rng.integers(1, 3, n)
+        x = np.where(cheap == 1, 1, rng.integers(1, 3, n))
+        y = np.where(cheap == 2, 1, rng.integers(1, 3, n))
+        data = np.stack([cheap, x, y], axis=1).astype(np.int64)
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("x", 2, 2), RangePredicate("y", 2, 2)]
+        )
+
+        blind_model = IndependenceDistribution(schema, data)
+        true_model = EmpiricalDistribution(schema, data)
+        blind_plan = GreedyConditionalPlanner(
+            blind_model, OptimalSequentialPlanner(blind_model), max_splits=5
+        ).plan(query).plan
+        informed_plan = GreedyConditionalPlanner(
+            true_model, OptimalSequentialPlanner(true_model), max_splits=5
+        ).plan(query).plan
+        assert empirical_cost(informed_plan, data, schema) <= empirical_cost(
+            blind_plan, data, schema
+        )

@@ -1,0 +1,184 @@
+"""End-to-end integration tests: the full paper pipeline on each dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core import empirical_cost, expected_cost, simplify_plan
+from repro.data import (
+    garden_queries,
+    generate_garden_dataset,
+    generate_lab_dataset,
+    generate_synthetic_dataset,
+    lab_queries,
+    time_split,
+)
+from repro.execution import Mote, PlanExecutor, SensorNetworkSimulator
+from repro.planning import (
+    CorrSeqPlanner,
+    GreedyConditionalPlanner,
+    GreedySequentialPlanner,
+    NaivePlanner,
+    SplitPointPolicy,
+)
+from repro.probability import ChowLiuDistribution, EmpiricalDistribution
+
+
+class TestLabPipeline:
+    """Train on history, plan, execute on held-out data — Section 6.1."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        lab = generate_lab_dataset(n_readings=30_000, n_motes=10, seed=0)
+        train, test = time_split(lab.data, 0.5)
+        distribution = EmpiricalDistribution(lab.schema, train)
+        return lab, train, test, distribution
+
+    def test_heuristic_beats_naive_on_average(self, pipeline):
+        lab, _train, test, distribution = pipeline
+        queries = lab_queries(lab, 8, seed=1)
+        naive_costs, heuristic_costs = [], []
+        for query in queries:
+            naive = NaivePlanner(distribution).plan(query)
+            heuristic = GreedyConditionalPlanner(
+                distribution, CorrSeqPlanner(distribution), max_splits=5
+            ).plan(query)
+            naive_costs.append(empirical_cost(naive.plan, test, lab.schema))
+            heuristic_costs.append(empirical_cost(heuristic.plan, test, lab.schema))
+        assert np.mean(heuristic_costs) < np.mean(naive_costs)
+
+    def test_all_plans_correct_on_test_data(self, pipeline):
+        lab, _train, test, distribution = pipeline
+        executor = PlanExecutor(lab.schema)
+        for query in lab_queries(lab, 5, seed=2):
+            for planner in (
+                NaivePlanner(distribution),
+                CorrSeqPlanner(distribution),
+                GreedyConditionalPlanner(
+                    distribution, CorrSeqPlanner(distribution), max_splits=5
+                ),
+            ):
+                plan = planner.plan(query).plan
+                assert executor.verify(plan, query, test).correct
+
+    def test_chowliu_plans_are_usable(self, pipeline):
+        lab, train, test, _distribution = pipeline
+        model = ChowLiuDistribution(lab.schema, train, smoothing=0.5)
+        query = lab_queries(lab, 1, seed=3)[0]
+        result = GreedyConditionalPlanner(
+            model, CorrSeqPlanner(model), max_splits=5
+        ).plan(query)
+        assert PlanExecutor(lab.schema).verify(result.plan, query, test).correct
+
+
+class TestGardenPipeline:
+    """Many-predicate queries over a wide correlated network — Section 6.2."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        garden = generate_garden_dataset(n_motes=5, n_epochs=8000, seed=0)
+        train, test = time_split(garden.data, 0.5)
+        distribution = EmpiricalDistribution(garden.schema, train)
+        return garden, train, test, distribution
+
+    def test_ten_predicate_queries_plan_and_verify(self, pipeline):
+        garden, _train, test, distribution = pipeline
+        executor = PlanExecutor(garden.schema)
+        policy = SplitPointPolicy.from_spsf(garden.schema, 10.0 ** len(garden.schema))
+        for query in garden_queries(garden, 3, seed=1):
+            assert len(query) == 10
+            result = GreedyConditionalPlanner(
+                distribution,
+                GreedySequentialPlanner(distribution),
+                max_splits=5,
+                split_policy=policy,
+            ).plan(query)
+            assert executor.verify(result.plan, query, test).correct
+
+    def test_negated_queries_also_work(self, pipeline):
+        garden, _train, test, distribution = pipeline
+        executor = PlanExecutor(garden.schema)
+        query = garden_queries(garden, 1, seed=2, negated=True)[0]
+        result = GreedyConditionalPlanner(
+            distribution, GreedySequentialPlanner(distribution), max_splits=5
+        ).plan(query)
+        assert executor.verify(result.plan, query, test).correct
+
+    def test_corrseq_beats_naive_on_correlated_predicates(self, pipeline):
+        """Cross-mote correlation makes conditioning-on-survivors pay."""
+        garden, _train, test, distribution = pipeline
+        naive_total = corr_total = 0.0
+        for query in garden_queries(garden, 6, seed=3):
+            naive = NaivePlanner(distribution).plan(query)
+            corr = GreedySequentialPlanner(distribution).plan(query)
+            naive_total += empirical_cost(naive.plan, test, garden.schema)
+            corr_total += empirical_cost(corr.plan, test, garden.schema)
+        assert corr_total < naive_total
+
+
+class TestSyntheticPipeline:
+    """Cheap group proxies predicting expensive group-mates — Section 6.3."""
+
+    def test_conditional_plans_exploit_group_structure(self):
+        dataset = generate_synthetic_dataset(10, 4, 0.5, n_rows=8000, seed=0)
+        train, test = time_split(dataset.data, 0.5)
+        distribution = EmpiricalDistribution(dataset.schema, train)
+        query = dataset.query()
+        naive = NaivePlanner(distribution).plan(query)
+        heuristic = GreedyConditionalPlanner(
+            distribution, GreedySequentialPlanner(distribution), max_splits=10
+        ).plan(query)
+        naive_cost = empirical_cost(naive.plan, test, dataset.schema)
+        heuristic_cost = empirical_cost(heuristic.plan, test, dataset.schema)
+        assert heuristic_cost < naive_cost
+        assert PlanExecutor(dataset.schema).verify(
+            heuristic.plan, query, test
+        ).correct
+
+
+class TestSimulatorPipeline:
+    def test_conditional_plan_extends_network_lifetime(self):
+        """The headline sensor-network claim: per-epoch energy drops."""
+        lab = generate_lab_dataset(n_readings=24_000, n_motes=6, seed=0)
+        train, test = time_split(lab.data, 0.5)
+        distribution = EmpiricalDistribution(lab.schema, train)
+        query = lab_queries(lab, 1, seed=5)[0]
+
+        naive = NaivePlanner(distribution).plan(query)
+        heuristic = GreedyConditionalPlanner(
+            distribution, CorrSeqPlanner(distribution), max_splits=5
+        ).plan(query)
+
+        nodeid = test[:, lab.schema.index_of("nodeid")]
+        motes = []
+        min_rows = min(int(np.sum(nodeid == m)) for m in range(1, 7))
+        for mote_id in range(1, 7):
+            rows = test[nodeid == mote_id][:min_rows]
+            motes.append(Mote(mote_id, rows))
+        simulator = SensorNetworkSimulator(lab.schema, motes, radio_cost_per_byte=0.5)
+
+        naive_report = simulator.run(naive.plan)
+        heuristic_report = simulator.run(heuristic.plan)
+        assert heuristic_report.total_energy < naive_report.total_energy
+        # Both answer identically.
+        assert heuristic_report.matches == naive_report.matches
+
+    def test_simplified_plan_saves_dissemination_energy(self):
+        lab = generate_lab_dataset(n_readings=8_000, n_motes=4, seed=1)
+        schema, data = lab.project(["hour", "light", "temp"])
+        distribution = EmpiricalDistribution(schema, data)
+        from repro.core import ConjunctiveQuery, RangePredicate
+        from repro.planning import ExhaustivePlanner
+
+        query = ConjunctiveQuery(
+            schema,
+            [RangePredicate("light", 1, 4), RangePredicate("temp", 5, 12)],
+        )
+        plan = ExhaustivePlanner(
+            distribution,
+            split_policy=SplitPointPolicy.equal_width(schema, [4, 2, 2]),
+        ).plan(query).plan
+        simplified = simplify_plan(plan)
+        assert simplified.size_bytes() <= plan.size_bytes()
+        assert expected_cost(simplified, distribution) <= expected_cost(
+            plan, distribution
+        ) + 1e-9

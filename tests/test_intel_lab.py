@@ -1,0 +1,153 @@
+"""Tests for the real Intel Lab trace loader (using a synthetic file in
+the published format)."""
+
+import numpy as np
+import pytest
+
+from repro.data.intel_lab import load_intel_lab_trace
+from repro.exceptions import SchemaError
+
+
+def write_trace(path, lines):
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def valid_line(
+    time="12:30:00.0",
+    epoch=3,
+    mote=1,
+    temperature=19.98,
+    humidity=37.09,
+    light=45.08,
+    voltage=2.69,
+):
+    return (
+        f"2004-02-28 {time} {epoch} {mote} {temperature} {humidity} "
+        f"{light} {voltage}"
+    )
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    rng = np.random.default_rng(0)
+    lines = []
+    for row in range(400):
+        hour = int(rng.integers(0, 24))
+        mote = int(rng.integers(1, 6))
+        day = 8 <= hour < 19
+        light = float(rng.uniform(200, 900)) if day else float(rng.uniform(0, 8))
+        temperature = float(rng.uniform(20, 26)) if day else float(rng.uniform(15, 19))
+        humidity = float(rng.uniform(30, 45)) if day else float(rng.uniform(45, 60))
+        lines.append(
+            valid_line(
+                time=f"{hour:02d}:15:00.0",
+                epoch=row,
+                mote=mote,
+                temperature=round(temperature, 3),
+                humidity=round(humidity, 3),
+                light=round(light, 2),
+                voltage=round(float(rng.uniform(2.4, 2.9)), 4),
+            )
+        )
+    path = tmp_path / "data.txt"
+    write_trace(path, lines)
+    return path
+
+
+class TestLoading:
+    def test_parses_published_format(self, trace_file):
+        dataset = load_intel_lab_trace(trace_file)
+        assert dataset.schema.names == (
+            "nodeid",
+            "hour",
+            "voltage",
+            "light",
+            "temp",
+            "humidity",
+        )
+        assert len(dataset.data) == 400
+        assert dataset.n_motes == 5
+
+    def test_costs_match_paper(self, trace_file):
+        dataset = load_intel_lab_trace(trace_file)
+        assert dataset.schema["light"].cost == 100.0
+        assert dataset.schema["hour"].cost == 1.0
+
+    def test_hour_derivation(self, tmp_path):
+        path = tmp_path / "data.txt"
+        write_trace(
+            path,
+            [valid_line(time="00:10:00.0"), valid_line(time="23:50:00.0")],
+        )
+        dataset = load_intel_lab_trace(path)
+        hours = sorted(dataset.column("hour").tolist())
+        assert hours[0] == 1  # just past midnight -> first bin
+        assert hours[1] == 24  # just before midnight -> last bin
+
+    def test_correlations_survive_loading(self, trace_file):
+        """The hour <-> light structure the planners exploit must be
+        present in the loaded, discretized data."""
+        dataset = load_intel_lab_trace(trace_file)
+        hour = dataset.column("hour")
+        light = dataset.column("light")
+        night = (hour <= 6) | (hour >= 21)
+        assert light[night].mean() < light[~night].mean()
+
+    def test_max_rows_cap(self, trace_file):
+        dataset = load_intel_lab_trace(trace_file, max_rows=50)
+        assert len(dataset.data) == 50
+
+    def test_out_of_range_motes_dropped(self, tmp_path):
+        path = tmp_path / "data.txt"
+        write_trace(path, [valid_line(mote=1), valid_line(mote=77)])
+        dataset = load_intel_lab_trace(path)
+        assert len(dataset.data) == 1
+
+    def test_sensor_artifacts_filtered(self, tmp_path):
+        path = tmp_path / "data.txt"
+        write_trace(
+            path,
+            [
+                valid_line(),
+                valid_line(temperature=122.153),  # classic failing-sensor value
+                valid_line(humidity=-4.0),
+                valid_line(voltage=0.009),
+            ],
+        )
+        dataset = load_intel_lab_trace(path)
+        assert len(dataset.data) == 1
+
+    def test_truncated_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.txt"
+        write_trace(path, [valid_line(), "2004-02-28 01:02:03.0 5 1 19.0"])
+        dataset = load_intel_lab_trace(path)
+        assert len(dataset.data) == 1
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SchemaError, match="not found"):
+            load_intel_lab_trace(tmp_path / "nope.txt")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(SchemaError, match="no valid readings"):
+            load_intel_lab_trace(path)
+
+    def test_loaded_dataset_plans_end_to_end(self, trace_file):
+        """The loaded dataset drives the standard pipeline unchanged."""
+        from repro.core import empirical_cost
+        from repro.data import lab_queries, time_split
+        from repro.planning import CorrSeqPlanner, GreedyConditionalPlanner, NaivePlanner
+        from repro.probability import EmpiricalDistribution
+
+        dataset = load_intel_lab_trace(trace_file)
+        train, test = time_split(dataset.data, 0.5)
+        distribution = EmpiricalDistribution(dataset.schema, train, smoothing=0.5)
+        query = lab_queries(dataset, 1, seed=0)[0]
+        naive = NaivePlanner(distribution).plan(query)
+        heuristic = GreedyConditionalPlanner(
+            distribution, CorrSeqPlanner(distribution), max_splits=5
+        ).plan(query)
+        assert empirical_cost(heuristic.plan, test, dataset.schema) <= (
+            empirical_cost(naive.plan, test, dataset.schema) * 1.5
+        )

@@ -1,0 +1,79 @@
+"""Tests for the subset-lattice (superset-sum) transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DistributionError
+from repro.probability import conditional_from_superset_sums, superset_sums
+
+
+def brute_superset_sums(joint: np.ndarray) -> np.ndarray:
+    size = len(joint)
+    out = np.zeros(size)
+    for state in range(size):
+        out[state] = sum(
+            joint[outcome] for outcome in range(size) if (outcome & state) == state
+        )
+    return out
+
+
+class TestSupersetSums:
+    def test_trivial_single_entry(self):
+        assert superset_sums(np.array([1.0])).tolist() == [1.0]
+
+    def test_two_predicates_by_hand(self):
+        # joint over (b1, b0): P(00)=.1 P(01)=.2 P(10)=.3 P(11)=.4
+        joint = np.array([0.1, 0.2, 0.3, 0.4])
+        sums = superset_sums(joint)
+        assert sums[0b00] == pytest.approx(1.0)
+        assert sums[0b01] == pytest.approx(0.6)  # outcomes 01, 11
+        assert sums[0b10] == pytest.approx(0.7)  # outcomes 10, 11
+        assert sums[0b11] == pytest.approx(0.4)
+
+    def test_matches_brute_force_three_bits(self):
+        rng = np.random.default_rng(1)
+        joint = rng.random(8)
+        joint /= joint.sum()
+        assert np.allclose(superset_sums(joint), brute_superset_sums(joint))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(DistributionError):
+            superset_sums(np.ones(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            superset_sums(np.ones(0))
+
+    @settings(max_examples=40, deadline=None)
+    @given(bits=st.integers(1, 6), seed=st.integers(0, 10_000))
+    def test_property_matches_brute_force(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        joint = rng.random(1 << bits)
+        assert np.allclose(superset_sums(joint), brute_superset_sums(joint))
+
+    def test_input_not_mutated(self):
+        joint = np.array([0.25, 0.25, 0.25, 0.25])
+        original = joint.copy()
+        superset_sums(joint)
+        assert np.array_equal(joint, original)
+
+
+class TestConditional:
+    def test_basic_ratio(self):
+        joint = np.array([0.1, 0.2, 0.3, 0.4])
+        sums = superset_sums(joint)
+        # P(bit1 | bit0) = P(11)/P(*1) = 0.4/0.6
+        assert conditional_from_superset_sums(sums, 0b01, 0b10) == pytest.approx(
+            0.4 / 0.6
+        )
+
+    def test_already_satisfied_returns_one(self):
+        sums = superset_sums(np.array([0.5, 0.5]))
+        assert conditional_from_superset_sums(sums, 0b1, 0b1) == 1.0
+
+    def test_zero_mass_condition_returns_half(self):
+        joint = np.array([1.0, 0.0, 0.0, 0.0])  # only outcome 00 possible
+        sums = superset_sums(joint)
+        assert conditional_from_superset_sums(sums, 0b01, 0b10) == 0.5

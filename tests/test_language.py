@@ -1,0 +1,137 @@
+"""Tests for the query-language parser."""
+
+import pytest
+
+from repro.core import Attribute, NotRangePredicate, RangePredicate, Schema
+from repro.engine import parse_query
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("hour", 24, 1.0),
+            Attribute("light", 12, 100.0),
+            Attribute("temp", 12, 100.0),
+        ]
+    )
+
+
+class TestSelectList:
+    def test_star(self, schema):
+        parsed = parse_query("SELECT * WHERE temp >= 3", schema)
+        assert parsed.select == ("*",)
+        assert parsed.select_all
+
+    def test_named_columns(self, schema):
+        parsed = parse_query("SELECT light, temp WHERE temp >= 3", schema)
+        assert parsed.select == ("light", "temp")
+        assert not parsed.select_all
+
+    def test_unknown_select_column_rejected(self, schema):
+        with pytest.raises(Exception):
+            parse_query("SELECT nope WHERE temp >= 3", schema)
+
+
+class TestConditions:
+    def test_between(self, schema):
+        parsed = parse_query("SELECT * WHERE temp BETWEEN 3 AND 7", schema)
+        predicate = parsed.query.predicates[0]
+        assert isinstance(predicate, RangePredicate)
+        assert (predicate.low, predicate.high) == (3, 7)
+
+    def test_not_between(self, schema):
+        parsed = parse_query("SELECT * WHERE NOT temp BETWEEN 3 AND 7", schema)
+        predicate = parsed.query.predicates[0]
+        assert isinstance(predicate, NotRangePredicate)
+        assert (predicate.low, predicate.high) == (3, 7)
+
+    def test_comparison_operators(self, schema):
+        cases = {
+            "temp <= 5": (1, 5),
+            "temp >= 5": (5, 12),
+            "temp < 5": (1, 4),
+            "temp > 5": (6, 12),
+            "temp = 5": (5, 5),
+        }
+        for text, (low, high) in cases.items():
+            parsed = parse_query(f"SELECT * WHERE {text}", schema)
+            predicate = parsed.query.predicates[0]
+            assert (predicate.low, predicate.high) == (low, high), text
+
+    def test_conjunction_over_attributes(self, schema):
+        parsed = parse_query(
+            "SELECT * WHERE light >= 9 AND temp <= 4 AND hour BETWEEN 1 AND 6",
+            schema,
+        )
+        assert len(parsed.query) == 3
+
+    def test_same_attribute_constraints_intersect(self, schema):
+        parsed = parse_query(
+            "SELECT * WHERE temp > 3 AND temp <= 8", schema
+        )
+        predicate = parsed.query.predicates[0]
+        assert (predicate.low, predicate.high) == (4, 8)
+
+    def test_between_inside_conjunction(self, schema):
+        """The AND inside BETWEEN must not be confused with conjunction."""
+        parsed = parse_query(
+            "SELECT * WHERE temp BETWEEN 2 AND 5 AND light >= 9", schema
+        )
+        assert len(parsed.query) == 2
+
+    def test_case_insensitive_keywords(self, schema):
+        parsed = parse_query("select * where temp between 2 and 5", schema)
+        assert len(parsed.query) == 1
+
+
+class TestErrors:
+    def test_empty_query(self, schema):
+        with pytest.raises(QueryError):
+            parse_query("", schema)
+
+    def test_missing_where(self, schema):
+        with pytest.raises(QueryError):
+            parse_query("SELECT *", schema)
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(Exception):
+            parse_query("SELECT * WHERE zzz >= 2", schema)
+
+    def test_reversed_between(self, schema):
+        with pytest.raises(QueryError, match="reversed"):
+            parse_query("SELECT * WHERE temp BETWEEN 7 AND 3", schema)
+
+    def test_contradictory_constraints(self, schema):
+        with pytest.raises(QueryError, match="contradictory"):
+            parse_query("SELECT * WHERE temp < 3 AND temp > 8", schema)
+
+    def test_not_without_between(self, schema):
+        with pytest.raises(QueryError, match="BETWEEN"):
+            parse_query("SELECT * WHERE NOT temp >= 3", schema)
+
+    def test_negated_combined_with_range_rejected(self, schema):
+        with pytest.raises(QueryError, match="negated"):
+            parse_query(
+                "SELECT * WHERE NOT temp BETWEEN 2 AND 4 AND temp >= 6", schema
+            )
+
+    def test_trailing_garbage(self, schema):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * WHERE temp >= 3 banana", schema)
+
+    def test_bad_tokens(self, schema):
+        with pytest.raises(QueryError, match="tokenize"):
+            parse_query("SELECT * WHERE temp >= 3 @@@", schema)
+
+    def test_empty_effective_range(self, schema):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * WHERE temp > 12", schema)
+
+
+class TestDomainClamping:
+    def test_le_clamps_into_domain(self, schema):
+        parsed = parse_query("SELECT * WHERE temp <= 99", schema)
+        predicate = parsed.query.predicates[0]
+        assert predicate.high == 12

@@ -1,0 +1,172 @@
+"""Tests for disjunctions and parentheses in the query language."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import And, Attribute, BooleanQuery, ConjunctiveQuery, Leaf, Or, Schema
+from repro.engine import AcquisitionalEngine, parse_query
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("hour", 8, 1.0),
+            Attribute("temp", 8, 100.0),
+            Attribute("light", 8, 100.0),
+        ]
+    )
+
+
+class TestDisjunctionParsing:
+    def test_or_lowers_to_boolean_query(self, schema):
+        parsed = parse_query("SELECT * WHERE temp >= 6 OR light <= 2", schema)
+        assert not parsed.is_conjunctive
+        assert isinstance(parsed.query, BooleanQuery)
+        assert isinstance(parsed.query.formula, Or)
+
+    def test_pure_conjunction_stays_conjunctive(self, schema):
+        parsed = parse_query(
+            "SELECT * WHERE temp >= 6 AND light <= 2", schema
+        )
+        assert parsed.is_conjunctive
+        assert isinstance(parsed.query, ConjunctiveQuery)
+
+    def test_parenthesized_conjunction_stays_conjunctive(self, schema):
+        parsed = parse_query(
+            "SELECT * WHERE (temp >= 6 AND light <= 2)", schema
+        )
+        assert parsed.is_conjunctive
+
+    def test_and_binds_tighter_than_or(self, schema):
+        parsed = parse_query(
+            "SELECT * WHERE temp >= 6 AND light >= 6 OR hour <= 2", schema
+        )
+        formula = parsed.query.formula
+        assert isinstance(formula, Or)
+        assert isinstance(formula.children[0], And)
+        assert isinstance(formula.children[1], Leaf)
+
+    def test_parentheses_override_precedence(self, schema):
+        parsed = parse_query(
+            "SELECT * WHERE temp >= 6 AND (light >= 6 OR hour <= 2)", schema
+        )
+        formula = parsed.query.formula
+        assert isinstance(formula, And)
+        assert isinstance(formula.children[1], Or)
+
+    def test_nested_parentheses(self, schema):
+        parsed = parse_query(
+            "SELECT * WHERE ((temp >= 6 OR temp <= 2) AND light >= 4)", schema
+        )
+        assert isinstance(parsed.query, BooleanQuery)
+
+    def test_duplicate_attribute_allowed_in_disjunction(self, schema):
+        parsed = parse_query(
+            "SELECT * WHERE temp <= 2 OR temp >= 7", schema
+        )
+        assert parsed.query.evaluate([1, 1, 1])
+        assert parsed.query.evaluate([1, 8, 1])
+        assert not parsed.query.evaluate([1, 5, 1])
+
+    def test_unbalanced_parenthesis_rejected(self, schema):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * WHERE (temp >= 6", schema)
+        with pytest.raises(QueryError):
+            parse_query("SELECT * WHERE temp >= 6)", schema)
+
+    def test_semantics_match_formula_evaluation(self, schema):
+        parsed = parse_query(
+            "SELECT * WHERE (temp >= 6 AND light >= 6) OR hour <= 2", schema
+        )
+        rng = np.random.default_rng(0)
+        for _trial in range(100):
+            row = [int(rng.integers(1, 9)) for _ in range(3)]
+            expected = (row[1] >= 6 and row[2] >= 6) or row[0] <= 2
+            assert parsed.query.evaluate(row) == expected
+
+
+class TestEngineBooleanPath:
+    def make_engine(self, schema) -> tuple[AcquisitionalEngine, np.ndarray]:
+        rng = np.random.default_rng(1)
+        n = 4000
+        hour = rng.integers(1, 9, n)
+        day = hour >= 5
+        temp = np.where(day, rng.integers(5, 9, n), rng.integers(1, 5, n))
+        light = np.where(day, rng.integers(5, 9, n), rng.integers(1, 5, n))
+        data = np.stack([hour, temp, light], axis=1).astype(np.int64)
+        return AcquisitionalEngine(schema, data[:2000]), data[2000:]
+
+    def test_execute_disjunction_returns_correct_rows(self, schema):
+        engine, live = self.make_engine(schema)
+        text = "SELECT hour WHERE (temp >= 6 AND light >= 6) OR temp <= 1"
+        result = engine.execute(text, live)
+        query = parse_query(text, schema).query
+        expected = sum(query.evaluate(row) for row in live)
+        assert len(result.rows) == expected
+
+    def test_disjunction_uses_exhaustive_planner(self, schema):
+        engine, _live = self.make_engine(schema)
+        prepared = engine.prepare("SELECT * WHERE temp >= 7 OR light <= 2")
+        assert prepared.planner == "exhaustive"
+
+    def test_conjunction_uses_heuristic_planner(self, schema):
+        engine, _live = self.make_engine(schema)
+        prepared = engine.prepare("SELECT * WHERE temp >= 7 AND light <= 2")
+        assert prepared.planner.startswith("heuristic")
+
+    def test_explain_boolean_query(self, schema):
+        engine, _live = self.make_engine(schema)
+        text = engine.explain("SELECT * WHERE temp >= 7 OR light <= 2")
+        assert "OR" in text
+        assert "exhaustive" in text
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(0, 10_000))
+def test_random_formula_semantics_property(schema, seed):
+    """Randomly-generated query text parses to a query whose evaluation
+    matches an independently-computed reference on random tuples."""
+    rng = np.random.default_rng(seed)
+    attributes = ["hour", "temp", "light"]
+
+    def make_condition():
+        name = str(rng.choice(attributes))
+        low = int(rng.integers(1, 8))
+        high = int(rng.integers(low, 9))
+        negated = bool(rng.random() < 0.25)
+        prefix = "NOT " if negated else ""
+        text = f"{prefix}{name} BETWEEN {low} AND {high}"
+        index = attributes.index(name)
+
+        def reference(row):
+            inside = low <= row[index] <= high
+            return not inside if negated else inside
+
+        return text, reference
+
+    (text_a, ref_a), (text_b, ref_b), (text_c, ref_c) = (
+        make_condition() for _ in range(3)
+    )
+    shape = int(rng.integers(0, 3))
+    if shape == 0:
+        where = f"({text_a} AND {text_b}) OR {text_c}"
+        reference = lambda row: (ref_a(row) and ref_b(row)) or ref_c(row)
+    elif shape == 1:
+        where = f"{text_a} AND ({text_b} OR {text_c})"
+        reference = lambda row: ref_a(row) and (ref_b(row) or ref_c(row))
+    else:
+        where = f"{text_a} OR {text_b} OR {text_c}"
+        reference = lambda row: ref_a(row) or ref_b(row) or ref_c(row)
+
+    parsed = parse_query(f"SELECT * WHERE {where}", schema)
+    for _trial in range(30):
+        row = [int(rng.integers(1, 9)) for _ in range(3)]
+        assert parsed.query.evaluate(row) == reference(row), where

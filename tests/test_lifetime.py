@@ -1,0 +1,102 @@
+"""Tests for battery-lifetime projection in the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Attribute,
+    RangePredicate,
+    Schema,
+    SequentialNode,
+    SequentialStep,
+    VerdictLeaf,
+)
+from repro.exceptions import AcquisitionError
+from repro.execution import Mote, SensorNetworkSimulator
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema([Attribute("hour", 4, 1.0), Attribute("temp", 4, 100.0)])
+
+
+def plan_reading_temp():
+    return SequentialNode(
+        steps=(
+            SequentialStep(
+                predicate=RangePredicate("temp", 4, 4), attribute_index=1
+            ),
+        )
+    )
+
+
+def make_simulator(schema, epochs: int = 50):
+    rng = np.random.default_rng(0)
+    motes = [
+        Mote(
+            mote_id,
+            np.stack(
+                [rng.integers(1, 5, epochs), rng.integers(1, 5, epochs)], axis=1
+            ).astype(np.int64),
+        )
+        for mote_id in (1, 2)
+    ]
+    return SensorNetworkSimulator(
+        schema, motes, radio_cost_per_byte=1.0, result_bytes=0
+    )
+
+
+class TestLifetimeProjection:
+    def test_lifetime_matches_hand_computation(self, schema):
+        simulator = make_simulator(schema)
+        plan = plan_reading_temp()
+        capacity = 100_000.0
+        report = simulator.estimate_lifetime(plan, capacity)
+        dissemination = simulator.dissemination_cost(plan)
+        # Every epoch reads temp once: 100 units per epoch per mote.
+        for mote_id, epochs in report.per_mote_epochs.items():
+            assert report.mean_epoch_energy[mote_id] == pytest.approx(100.0)
+            assert epochs == pytest.approx((capacity - dissemination) / 100.0)
+
+    def test_network_lifetime_is_minimum(self, schema):
+        simulator = make_simulator(schema)
+        report = simulator.estimate_lifetime(plan_reading_temp(), 50_000.0)
+        assert report.network_lifetime_epochs == min(
+            report.per_mote_epochs.values()
+        )
+        assert report.bottleneck_mote in report.per_mote_epochs
+
+    def test_cheaper_plan_lives_longer(self, schema):
+        """The headline claim: halve the per-epoch energy, double the life."""
+        simulator = make_simulator(schema)
+        expensive = plan_reading_temp()
+        free = VerdictLeaf(False)  # no acquisition at all
+        lifetime_expensive = simulator.estimate_lifetime(
+            expensive, 10_000.0
+        ).network_lifetime_epochs
+        lifetime_free = simulator.estimate_lifetime(free, 10_000.0)
+        assert lifetime_free.network_lifetime_epochs == float("inf")
+        assert lifetime_expensive < 10_000.0
+
+    def test_result_reporting_drains_battery(self, schema):
+        rng = np.random.default_rng(1)
+        epochs = 40
+        always_match = np.column_stack(
+            [rng.integers(1, 5, epochs), np.full(epochs, 4, dtype=np.int64)]
+        )
+        simulator = SensorNetworkSimulator(
+            schema,
+            [Mote(1, always_match)],
+            radio_cost_per_byte=1.0,
+            result_bytes=10,
+        )
+        report = simulator.estimate_lifetime(plan_reading_temp(), 100_000.0)
+        # 100 acquisition + 10 result bytes at 1.0/byte per epoch.
+        assert report.mean_epoch_energy[1] == pytest.approx(110.0)
+
+    def test_validation(self, schema):
+        simulator = make_simulator(schema)
+        with pytest.raises(AcquisitionError):
+            simulator.estimate_lifetime(plan_reading_temp(), 0.0)
+        with pytest.raises(AcquisitionError, match="dissemination"):
+            simulator.estimate_lifetime(plan_reading_temp(), 1.0)

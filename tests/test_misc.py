@@ -1,0 +1,296 @@
+"""Edge cases and small-surface coverage across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Attribute,
+    ConjunctiveQuery,
+    Range,
+    RangePredicate,
+    RangeVector,
+    Schema,
+    VerdictLeaf,
+    dataset_execution,
+)
+from repro.exceptions import (
+    AcquisitionError,
+    DiscretizationError,
+    DistributionError,
+    PlanError,
+    PlanningError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from repro.planning.base import PlannerStats, split_probabilities
+from repro.probability import ChowLiuDistribution, EmpiricalDistribution
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            SchemaError,
+            QueryError,
+            PlanError,
+            PlanningError,
+            DistributionError,
+            AcquisitionError,
+            DiscretizationError,
+        ):
+            assert issubclass(exc, ReproError)
+            with pytest.raises(ReproError):
+                raise exc("boom")
+
+
+class TestRangeVectorAcquired:
+    def test_acquired_indices(self):
+        schema = Schema([Attribute("a", 3), Attribute("b", 3), Attribute("c", 3)])
+        ranges = RangeVector.full(schema)
+        assert ranges.acquired_indices() == frozenset()
+        narrowed = ranges.with_range(1, Range(2, 3)).with_range(2, Range(1, 1))
+        assert narrowed.acquired_indices() == frozenset({1, 2})
+
+
+class TestPlannerStats:
+    def test_merge_accumulates(self):
+        first = PlannerStats(subproblems=2, cache_hits=1, pruned=3)
+        second = PlannerStats(subproblems=5, splits_considered=7)
+        first.merge(second)
+        assert first.subproblems == 7
+        assert first.cache_hits == 1
+        assert first.pruned == 3
+        assert first.splits_considered == 7
+
+
+class TestSplitProbabilitiesHelper:
+    def test_empty_candidates(self):
+        schema = Schema([Attribute("a", 4)])
+        data = np.array([[1], [2], [3], [4]], dtype=np.int64)
+        distribution = EmpiricalDistribution(schema, data)
+        assert split_probabilities(
+            distribution, 0, [], RangeVector.full(schema)
+        ) == []
+
+    def test_matches_single_queries(self):
+        schema = Schema([Attribute("a", 6)])
+        rng = np.random.default_rng(0)
+        data = rng.integers(1, 7, size=(500, 1)).astype(np.int64)
+        distribution = EmpiricalDistribution(schema, data)
+        full = RangeVector.full(schema)
+        candidates = [2, 4, 6]
+        batched = split_probabilities(distribution, 0, candidates, full)
+        for value, probability in zip(candidates, batched):
+            assert probability == pytest.approx(
+                distribution.split_probability(0, value, full)
+            )
+
+    def test_zero_mass_subproblem_uniform(self):
+        schema = Schema([Attribute("a", 4), Attribute("b", 4)])
+        data = np.array([[1, 1]], dtype=np.int64)
+        distribution = EmpiricalDistribution(schema, data)
+        ranges = RangeVector.full(schema).with_range(0, Range(3, 4))
+        probabilities = split_probabilities(distribution, 1, [3], ranges)
+        assert probabilities[0] == pytest.approx(0.5)
+
+
+class TestEmptyDatasets:
+    def test_dataset_execution_on_zero_rows(self):
+        schema = Schema([Attribute("a", 2)])
+        outcome = dataset_execution(
+            VerdictLeaf(True), np.empty((0, 1), dtype=np.int64), schema
+        )
+        assert outcome.mean_cost == 0.0
+        assert outcome.total_cost == 0.0
+
+    def test_engine_execute_on_zero_rows(self):
+        from repro.engine import AcquisitionalEngine
+
+        schema = Schema([Attribute("a", 3), Attribute("b", 3)])
+        history = np.array([[1, 1], [2, 2], [3, 3]], dtype=np.int64)
+        engine = AcquisitionalEngine(schema, history)
+        result = engine.execute(
+            "SELECT * WHERE b >= 2", np.empty((0, 2), dtype=np.int64)
+        )
+        assert result.rows == ()
+        assert result.total_cost == 0.0
+        assert result.mean_cost_per_tuple == 0.0
+
+
+class TestAnnotateWithGraphicalModel:
+    def test_annotation_uses_default_conditioner(self):
+        """annotate_plan must work against any Distribution, including the
+        Chow-Liu model whose conditioner is the generic one."""
+        from repro.core import annotate_plan
+        from repro.planning import GreedySequentialPlanner
+
+        schema = Schema([Attribute("a", 3), Attribute("b", 3)])
+        rng = np.random.default_rng(1)
+        a = rng.integers(1, 4, 800)
+        b = np.clip(a + rng.integers(0, 2, 800), 1, 3)
+        data = np.stack([a, b], axis=1).astype(np.int64)
+        model = ChowLiuDistribution(schema, data, smoothing=0.5)
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("a", 2, 3), RangePredicate("b", 1, 2)]
+        )
+        plan = GreedySequentialPlanner(model).plan(query).plan
+        text = annotate_plan(plan, model)
+        assert "pass=" in text
+
+
+class TestSchemaCostsImmutability:
+    def test_attribute_values_iterable_fresh(self):
+        attribute = Attribute("x", 3)
+        assert list(attribute.values) == [1, 2, 3]
+        assert list(attribute.values) == [1, 2, 3]  # not an exhausted iterator
+
+
+class TestSequentialPlannerGuards:
+    def test_boolean_query_rejected_by_sequential_planners(self):
+        from repro.core import And, BooleanQuery, Leaf
+        from repro.planning import (
+            GreedyConditionalPlanner,
+            GreedySequentialPlanner,
+            NaivePlanner,
+            OptimalSequentialPlanner,
+        )
+
+        schema = Schema([Attribute("a", 3), Attribute("b", 3)])
+        data = np.array([[1, 1], [2, 2], [3, 3]], dtype=np.int64)
+        distribution = EmpiricalDistribution(schema, data)
+        from repro.core import Or
+
+        query = BooleanQuery(
+            schema,
+            Or(Leaf(RangePredicate("a", 1, 1)), Leaf(RangePredicate("b", 3, 3))),
+        )
+        for planner in (
+            NaivePlanner(distribution),
+            GreedySequentialPlanner(distribution),
+            OptimalSequentialPlanner(distribution),
+            GreedyConditionalPlanner(
+                distribution, OptimalSequentialPlanner(distribution), max_splits=2
+            ),
+        ):
+            with pytest.raises(PlanningError, match="conjunctive"):
+                planner.plan(query)
+
+
+class TestEngineProjectionDetails:
+    def make_engine(self):
+        from repro.engine import AcquisitionalEngine
+
+        schema = Schema(
+            [
+                Attribute("hour", 4, 1.0),
+                Attribute("temp", 4, 100.0),
+                Attribute("light", 4, 100.0),
+            ]
+        )
+        rng = np.random.default_rng(3)
+        n = 3000
+        hour = rng.integers(1, 5, n)
+        day = hour >= 3
+        temp = np.where(day, rng.integers(3, 5, n), rng.integers(1, 3, n))
+        light = np.where(day, rng.integers(3, 5, n), rng.integers(1, 3, n))
+        data = np.stack([hour, temp, light], axis=1).astype(np.int64)
+        return AcquisitionalEngine(schema, data[:1500]), data[1500:]
+
+    def test_selecting_conditioned_attribute_is_free(self):
+        """The heuristic plan conditions on hour; selecting hour therefore
+        adds no projection cost — it was read on every matching path."""
+        engine, live = self.make_engine()
+        result = engine.execute(
+            "SELECT hour WHERE temp >= 3 AND light <= 2", live
+        )
+        prepared = engine.prepare("SELECT hour WHERE temp >= 3 AND light <= 2")
+        from repro.core import ConditionNode
+
+        if isinstance(prepared.plan, ConditionNode) and prepared.plan.attribute == "hour":
+            assert result.projection_cost == 0.0
+
+    def test_prepared_statement_reused_across_executions(self):
+        engine, live = self.make_engine()
+        text = "SELECT * WHERE temp >= 3"
+        first = engine.prepare(text)
+        engine.execute(text, live[:100])
+        engine.execute(text, live[100:200])
+        assert engine.prepare(text) is first
+
+    def test_select_all_columns_in_schema_order(self):
+        engine, live = self.make_engine()
+        result = engine.execute("SELECT * WHERE temp >= 3", live[:50])
+        assert result.columns == ("hour", "temp", "light")
+
+
+class TestCorrSeqCostModelPropagation:
+    def test_both_branches_carry_the_model(self):
+        from repro.core.cost_models import BoardAwareCostModel
+        from repro.planning import CorrSeqPlanner
+
+        schema = Schema(
+            [Attribute("a", 3, 10.0), Attribute("b", 3, 10.0)]
+        )
+        data = np.array([[1, 1], [2, 2], [3, 3]], dtype=np.int64)
+        distribution = EmpiricalDistribution(schema, data)
+        model = BoardAwareCostModel(
+            schema, {0: "x", 1: "x"}, power_up_cost=5.0, per_read_cost=1.0
+        )
+        corr = CorrSeqPlanner(distribution, cost_model=model)
+        assert corr.cost_model is model
+        assert corr._optimal.cost_model is model
+        assert corr._greedy.cost_model is model
+
+
+class TestTraceIoConditionPlans:
+    def test_condition_plan_with_negated_steps_roundtrips(self, tmp_path):
+        from repro.core import (
+            ConditionNode,
+            NotRangePredicate,
+            SequentialNode,
+            SequentialStep,
+        )
+        from repro.data import load_plan, save_plan
+
+        plan = ConditionNode(
+            attribute="a",
+            attribute_index=0,
+            split_value=2,
+            below=SequentialNode(
+                steps=(
+                    SequentialStep(
+                        predicate=NotRangePredicate("b", 1, 2),
+                        attribute_index=1,
+                    ),
+                )
+            ),
+            above=VerdictLeaf(False),
+        )
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        assert load_plan(path) == plan
+
+
+class TestBytecodeNestedEmptyLeaves:
+    def test_condition_over_empty_sequential(self):
+        from repro.core import ConditionNode, SequentialNode
+        from repro.execution.bytecode import (
+            ByteCodeInterpreter,
+            compile_plan,
+            decompile_plan,
+        )
+
+        schema = Schema([Attribute("a", 3)])
+        plan = ConditionNode(
+            attribute="a",
+            attribute_index=0,
+            split_value=2,
+            below=SequentialNode(steps=()),  # empty leaf == TRUE
+            above=VerdictLeaf(False),
+        )
+        bytecode = compile_plan(plan)
+        assert len(bytecode) == plan.size_bytes()
+        assert decompile_plan(bytecode, schema) == plan
+        interpreter = ByteCodeInterpreter(bytecode)
+        assert interpreter.execute([1]) is True
+        assert interpreter.execute([3]) is False

@@ -1,0 +1,197 @@
+"""Unit tests for the plan tree: structure, evaluation, size, round-trips."""
+
+import pytest
+
+from repro.core import (
+    ConditionNode,
+    RangePredicate,
+    SequentialNode,
+    SequentialStep,
+    VerdictLeaf,
+    plan_from_dict,
+    simplify_plan,
+)
+from repro.exceptions import PlanError
+
+
+def step(attribute: str, index: int, low: int, high: int) -> SequentialStep:
+    return SequentialStep(
+        predicate=RangePredicate(attribute, low, high), attribute_index=index
+    )
+
+
+def sample_plan() -> ConditionNode:
+    """if x0 < 2: seq(a) else: seq(b -> a)."""
+    return ConditionNode(
+        attribute="x0",
+        attribute_index=0,
+        split_value=2,
+        below=SequentialNode(steps=(step("a", 1, 2, 3),)),
+        above=SequentialNode(steps=(step("b", 2, 1, 1), step("a", 1, 2, 3))),
+    )
+
+
+class TestVerdictLeaf:
+    def test_evaluate(self):
+        assert VerdictLeaf(True).evaluate([]) is True
+        assert VerdictLeaf(False).evaluate([]) is False
+
+    def test_sizes(self):
+        leaf = VerdictLeaf(True)
+        assert leaf.size_nodes() == 1
+        assert leaf.size_bytes() == 1
+        assert leaf.depth() == 0
+        assert leaf.condition_count() == 0
+
+    def test_pretty(self):
+        assert VerdictLeaf(True).pretty() == "=> T"
+        assert VerdictLeaf(False).pretty() == "=> F"
+
+
+class TestSequentialNode:
+    def test_conjunctive_semantics(self):
+        node = SequentialNode(steps=(step("a", 0, 2, 3), step("b", 1, 1, 1)))
+        assert node.evaluate([2, 1]) is True
+        assert node.evaluate([1, 1]) is False
+        assert node.evaluate([2, 2]) is False
+
+    def test_fail_fast_stops_acquiring(self):
+        node = SequentialNode(steps=(step("a", 0, 2, 3), step("b", 1, 1, 1)))
+        acquired = []
+        node.evaluate([1, 1], on_acquire=acquired.append)
+        assert acquired == [0]  # b never read after a fails
+
+    def test_empty_steps_is_true(self):
+        assert SequentialNode(steps=()).evaluate([1, 2, 3]) is True
+
+    def test_size_bytes_scales_with_steps(self):
+        one = SequentialNode(steps=(step("a", 0, 1, 1),))
+        two = SequentialNode(steps=(step("a", 0, 1, 1), step("b", 1, 1, 1)))
+        assert two.size_bytes() > one.size_bytes()
+
+    def test_pretty_shows_chain(self):
+        node = SequentialNode(steps=(step("a", 0, 2, 3), step("b", 1, 1, 1)))
+        assert "->" in node.pretty()
+
+
+class TestConditionNode:
+    def test_routing(self):
+        plan = sample_plan()
+        # x0=1 routes below: needs only attribute a in [2,3]
+        assert plan.evaluate([1, 2, 9]) is True
+        assert plan.evaluate([1, 4, 9]) is False
+        # x0=2 routes above: b must be 1 and a in [2,3]
+        assert plan.evaluate([2, 2, 1]) is True
+        assert plan.evaluate([2, 2, 2]) is False
+
+    def test_on_acquire_fires_once_per_attribute(self):
+        plan = ConditionNode(
+            attribute="x0",
+            attribute_index=0,
+            split_value=2,
+            below=SequentialNode(steps=(step("x0", 0, 1, 1),)),
+            above=VerdictLeaf(False),
+        )
+        acquired = []
+        plan.evaluate([1], on_acquire=acquired.append)
+        assert acquired == [0]  # second read of x0 is cached
+
+    def test_structure_metrics(self):
+        plan = sample_plan()
+        assert plan.size_nodes() == 3
+        assert plan.depth() == 1
+        assert plan.condition_count() == 1
+
+    def test_split_value_must_be_at_least_two(self):
+        with pytest.raises(PlanError):
+            ConditionNode(
+                attribute="x",
+                attribute_index=0,
+                split_value=1,
+                below=VerdictLeaf(False),
+                above=VerdictLeaf(True),
+            )
+
+    def test_iter_nodes_preorder(self):
+        plan = sample_plan()
+        kinds = [type(node).__name__ for node in plan.iter_nodes()]
+        assert kinds == ["ConditionNode", "SequentialNode", "SequentialNode"]
+
+    def test_size_bytes_sums_children(self):
+        plan = sample_plan()
+        assert plan.size_bytes() == 7 + plan.below.size_bytes() + plan.above.size_bytes()
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_structure(self):
+        plan = sample_plan()
+        assert plan_from_dict(plan.to_dict()) == plan
+
+    def test_roundtrip_leaf(self):
+        assert plan_from_dict(VerdictLeaf(False).to_dict()) == VerdictLeaf(False)
+
+    def test_roundtrip_not_range_step(self):
+        from repro.core import NotRangePredicate
+
+        node = SequentialNode(
+            steps=(
+                SequentialStep(
+                    predicate=NotRangePredicate("x", 2, 3), attribute_index=0
+                ),
+            )
+        )
+        assert plan_from_dict(node.to_dict()) == node
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlanError):
+            plan_from_dict({"kind": "mystery"})
+
+
+class TestSimplify:
+    def test_merges_identical_branches(self):
+        same = SequentialNode(steps=(step("a", 1, 2, 3),))
+        plan = ConditionNode(
+            attribute="x0",
+            attribute_index=0,
+            split_value=2,
+            below=same,
+            above=SequentialNode(steps=(step("a", 1, 2, 3),)),
+        )
+        assert simplify_plan(plan) == same
+
+    def test_empty_sequential_becomes_true_leaf(self):
+        assert simplify_plan(SequentialNode(steps=())) == VerdictLeaf(True)
+
+    def test_keeps_meaningful_splits(self):
+        plan = sample_plan()
+        assert simplify_plan(plan) == plan
+
+    def test_recursive_collapse(self):
+        inner = ConditionNode(
+            attribute="x1",
+            attribute_index=1,
+            split_value=2,
+            below=VerdictLeaf(True),
+            above=VerdictLeaf(True),
+        )
+        outer = ConditionNode(
+            attribute="x0",
+            attribute_index=0,
+            split_value=2,
+            below=inner,
+            above=VerdictLeaf(True),
+        )
+        assert simplify_plan(outer) == VerdictLeaf(True)
+
+    def test_simplified_plan_equivalent_on_all_inputs(self):
+        plan = ConditionNode(
+            attribute="x0",
+            attribute_index=0,
+            split_value=2,
+            below=SequentialNode(steps=(step("a", 1, 2, 2),)),
+            above=SequentialNode(steps=(step("a", 1, 2, 2),)),
+        )
+        simplified = simplify_plan(plan)
+        for x0 in (1, 2):
+            for a in (1, 2, 3):
+                assert plan.evaluate([x0, a]) == simplified.evaluate([x0, a])

@@ -1,0 +1,87 @@
+"""Unit and property tests for predicates and truth-under-range logic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import NotRangePredicate, Range, RangePredicate, Truth
+from repro.exceptions import QueryError
+
+
+class TestRangePredicate:
+    def test_satisfied_by(self):
+        predicate = RangePredicate("x", 3, 6)
+        assert predicate.satisfied_by(3)
+        assert predicate.satisfied_by(6)
+        assert not predicate.satisfied_by(2)
+        assert not predicate.satisfied_by(7)
+
+    def test_truth_under_subset_is_true(self):
+        predicate = RangePredicate("x", 3, 6)
+        assert predicate.truth_under(Range(4, 5)) is Truth.TRUE
+        assert predicate.truth_under(Range(3, 6)) is Truth.TRUE
+
+    def test_truth_under_disjoint_is_false(self):
+        predicate = RangePredicate("x", 3, 6)
+        assert predicate.truth_under(Range(1, 2)) is Truth.FALSE
+        assert predicate.truth_under(Range(7, 9)) is Truth.FALSE
+
+    def test_truth_under_overlap_is_undetermined(self):
+        predicate = RangePredicate("x", 3, 6)
+        assert predicate.truth_under(Range(1, 4)) is Truth.UNDETERMINED
+        assert predicate.truth_under(Range(5, 9)) is Truth.UNDETERMINED
+        assert predicate.truth_under(Range(1, 9)) is Truth.UNDETERMINED
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(QueryError):
+            RangePredicate("x", 5, 3)
+
+    def test_describe(self):
+        assert RangePredicate("temp", 2, 8).describe() == "2 <= temp <= 8"
+        assert str(RangePredicate("temp", 2, 8)) == "2 <= temp <= 8"
+
+
+class TestNotRangePredicate:
+    def test_satisfied_by(self):
+        predicate = NotRangePredicate("x", 3, 6)
+        assert not predicate.satisfied_by(4)
+        assert predicate.satisfied_by(2)
+        assert predicate.satisfied_by(7)
+
+    def test_truth_under_mirrors_range(self):
+        predicate = NotRangePredicate("x", 3, 6)
+        assert predicate.truth_under(Range(4, 5)) is Truth.FALSE
+        assert predicate.truth_under(Range(1, 2)) is Truth.TRUE
+        assert predicate.truth_under(Range(2, 4)) is Truth.UNDETERMINED
+
+    def test_describe(self):
+        assert NotRangePredicate("h", 1, 4).describe() == "not(1 <= h <= 4)"
+
+
+@given(
+    pred_low=st.integers(1, 10),
+    pred_width=st.integers(0, 10),
+    range_low=st.integers(1, 10),
+    range_width=st.integers(0, 10),
+    negated=st.booleans(),
+)
+def test_truth_under_consistent_with_pointwise(
+    pred_low, pred_width, range_low, range_width, negated
+):
+    """truth_under is exactly the three-valued summary of point evaluation.
+
+    TRUE iff every value in the range satisfies the predicate, FALSE iff
+    none does, UNDETERMINED otherwise — for both predicate polarities.
+    """
+    cls = NotRangePredicate if negated else RangePredicate
+    predicate = cls("x", pred_low, pred_low + pred_width)
+    interval = Range(range_low, range_low + range_width)
+    outcomes = {predicate.satisfied_by(value) for value in interval}
+    expected = (
+        Truth.TRUE
+        if outcomes == {True}
+        else Truth.FALSE
+        if outcomes == {False}
+        else Truth.UNDETERMINED
+    )
+    assert predicate.truth_under(interval) is expected

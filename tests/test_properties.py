@@ -1,0 +1,294 @@
+"""Property-based tests of the library's core invariants.
+
+These encode the paper's guarantees as machine-checked properties over
+randomized schemas, datasets, and queries:
+
+1. **Correctness** (Section 8): every planner's plan returns exactly the
+   query's truth value on every tuple — conditional plans change acquisition
+   order, never answers.
+2. **Model/data consistency**: Equation 3 under an unsmoothed empirical
+   distribution equals Equation 4 over the same data, for every planner's
+   output.
+3. **Dominance**: exhaustive <= heuristic <= its base sequential plan, and
+   OptSeq <= GreedySeq / Naive, all measured on the training distribution.
+4. **Plan-structure sanity**: split budgets hold; simplification never
+   changes verdicts and never grows the plan.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Attribute,
+    ConjunctiveQuery,
+    RangePredicate,
+    Schema,
+    dataset_execution,
+    empirical_cost,
+    expected_cost,
+    simplify_plan,
+)
+from repro.planning import (
+    ExhaustivePlanner,
+    GreedyConditionalPlanner,
+    GreedySequentialPlanner,
+    NaivePlanner,
+    OptimalSequentialPlanner,
+)
+from repro.probability import EmpiricalDistribution
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def planning_instance(draw):
+    """A random small schema + correlated dataset + query."""
+    n_attributes = draw(st.integers(2, 4))
+    domains = [draw(st.integers(2, 4)) for _ in range(n_attributes)]
+    costs = [draw(st.sampled_from([0.0, 1.0, 10.0, 100.0])) for _ in range(n_attributes)]
+    schema = Schema(
+        [
+            Attribute(f"x{i}", domains[i], costs[i])
+            for i in range(n_attributes)
+        ]
+    )
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n_rows = draw(st.integers(30, 200))
+    # Generate with a latent regime so attributes are correlated.
+    regime = rng.integers(0, 2, n_rows)
+    columns = []
+    for i in range(n_attributes):
+        base = rng.integers(1, domains[i] + 1, n_rows)
+        shifted = np.clip(base + regime, 1, domains[i])
+        columns.append(np.where(rng.random(n_rows) < 0.6, shifted, base))
+    data = np.stack(columns, axis=1).astype(np.int64)
+
+    n_predicates = draw(st.integers(1, min(3, n_attributes)))
+    indices = draw(
+        st.permutations(range(n_attributes)).map(lambda p: p[:n_predicates])
+    )
+    predicates = []
+    for index in indices:
+        domain = domains[index]
+        low = draw(st.integers(1, domain))
+        high = draw(st.integers(low, domain))
+        predicates.append(RangePredicate(f"x{index}", low, high))
+    query = ConjunctiveQuery(schema, predicates)
+    return schema, data, query
+
+
+def all_planners(distribution):
+    base = OptimalSequentialPlanner(distribution)
+    return [
+        NaivePlanner(distribution),
+        GreedySequentialPlanner(distribution),
+        base,
+        GreedyConditionalPlanner(distribution, base, max_splits=3),
+    ]
+
+
+@SETTINGS
+@given(instance=planning_instance())
+def test_plans_never_change_answers(instance):
+    schema, data, query = instance
+    distribution = EmpiricalDistribution(schema, data)
+    truth = np.fromiter(
+        (query.evaluate(row) for row in data), dtype=bool, count=len(data)
+    )
+    for planner in all_planners(distribution):
+        plan = planner.plan(query).plan
+        outcome = dataset_execution(plan, data, schema)
+        assert np.array_equal(outcome.verdicts, truth), planner.name
+
+
+@SETTINGS
+@given(instance=planning_instance())
+def test_expected_cost_equals_empirical_on_training_data(instance):
+    schema, data, query = instance
+    distribution = EmpiricalDistribution(schema, data)
+    for planner in all_planners(distribution):
+        result = planner.plan(query)
+        model = expected_cost(result.plan, distribution)
+        empirical = empirical_cost(result.plan, data, schema)
+        assert model == pytest.approx(empirical, rel=1e-9, abs=1e-9), planner.name
+
+
+@SETTINGS
+@given(instance=planning_instance())
+def test_reported_cost_matches_plan(instance):
+    schema, data, query = instance
+    distribution = EmpiricalDistribution(schema, data)
+    for planner in all_planners(distribution):
+        result = planner.plan(query)
+        assert result.expected_cost == pytest.approx(
+            expected_cost(result.plan, distribution), rel=1e-9, abs=1e-9
+        ), planner.name
+
+
+@SETTINGS
+@given(instance=planning_instance())
+def test_planner_dominance_on_training_distribution(instance):
+    schema, data, query = instance
+    distribution = EmpiricalDistribution(schema, data)
+    naive = NaivePlanner(distribution).plan(query).expected_cost
+    greedy_seq = GreedySequentialPlanner(distribution).plan(query).expected_cost
+    opt_seq = OptimalSequentialPlanner(distribution).plan(query).expected_cost
+    heuristic = (
+        GreedyConditionalPlanner(
+            distribution, OptimalSequentialPlanner(distribution), max_splits=3
+        )
+        .plan(query)
+        .expected_cost
+    )
+    assert opt_seq <= naive + 1e-9
+    assert opt_seq <= greedy_seq + 1e-9
+    assert heuristic <= opt_seq + 1e-9
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance=planning_instance())
+def test_exhaustive_dominates_everything(instance):
+    schema, data, query = instance
+    distribution = EmpiricalDistribution(schema, data)
+    exhaustive = ExhaustivePlanner(distribution).plan(query)
+    for planner in all_planners(distribution):
+        other = planner.plan(query).expected_cost
+        assert exhaustive.expected_cost <= other + 1e-9, planner.name
+    # And it, too, answers correctly.
+    truth = np.fromiter(
+        (query.evaluate(row) for row in data), dtype=bool, count=len(data)
+    )
+    outcome = dataset_execution(exhaustive.plan, data, schema)
+    assert np.array_equal(outcome.verdicts, truth)
+
+
+@SETTINGS
+@given(instance=planning_instance(), budget=st.integers(0, 4))
+def test_split_budget_respected(instance, budget):
+    schema, data, query = instance
+    distribution = EmpiricalDistribution(schema, data)
+    result = GreedyConditionalPlanner(
+        distribution, GreedySequentialPlanner(distribution), max_splits=budget
+    ).plan(query)
+    assert result.plan.condition_count() <= budget
+
+
+@SETTINGS
+@given(instance=planning_instance())
+def test_simplification_preserves_verdicts_and_shrinks(instance):
+    schema, data, query = instance
+    distribution = EmpiricalDistribution(schema, data)
+    plan = ExhaustivePlanner(distribution).plan(query).plan
+    simplified = simplify_plan(plan)
+    assert simplified.size_nodes() <= plan.size_nodes()
+    assert simplified.size_bytes() <= plan.size_bytes()
+    before = dataset_execution(plan, data, schema)
+    after = dataset_execution(simplified, data, schema)
+    assert np.array_equal(before.verdicts, after.verdicts)
+    # Dropping no-op splits can only reduce per-tuple cost.
+    assert (after.costs <= before.costs + 1e-9).all()
+
+
+@SETTINGS
+@given(instance=planning_instance())
+def test_plan_roundtrips_through_dict(instance):
+    from repro.core import plan_from_dict
+
+    schema, data, query = instance
+    distribution = EmpiricalDistribution(schema, data)
+    plan = GreedyConditionalPlanner(
+        distribution, GreedySequentialPlanner(distribution), max_splits=2
+    ).plan(query).plan
+    assert plan_from_dict(plan.to_dict()) == plan
+
+
+@SETTINGS
+@given(instance=planning_instance(), power_up=st.floats(0.0, 200.0))
+def test_cost_model_invariants(instance, power_up):
+    """Under a board cost model: verdicts are untouched, Equation 3 still
+    equals Equation 4 on training data, and board-aware OptSeq never loses
+    to flat-cost OptSeq when both are measured under the true costs."""
+    from repro.core.cost_models import BoardAwareCostModel
+
+    schema, data, query = instance
+    # Put every even attribute on one shared board.
+    boards = {index: "shared" for index in range(0, len(schema), 2)}
+    model = BoardAwareCostModel(
+        schema, boards, power_up_cost=power_up, per_read_cost=1.0
+    )
+    distribution = EmpiricalDistribution(schema, data)
+
+    informed = OptimalSequentialPlanner(distribution, cost_model=model).plan(query)
+    flat = OptimalSequentialPlanner(distribution).plan(query)
+
+    truth = np.fromiter(
+        (query.evaluate(row) for row in data), dtype=bool, count=len(data)
+    )
+    outcome = dataset_execution(informed.plan, data, schema)
+    assert np.array_equal(outcome.verdicts, truth)
+
+    assert informed.expected_cost == pytest.approx(
+        empirical_cost(informed.plan, data, schema, model), rel=1e-9, abs=1e-9
+    )
+    flat_measured = empirical_cost(flat.plan, data, schema, model)
+    assert informed.expected_cost <= flat_measured + 1e-9
+
+
+@SETTINGS
+@given(instance=planning_instance())
+def test_conditioner_fast_path_matches_reference(instance):
+    """The empirical row-set conditioner must agree exactly with the
+    generic satisfied_given_satisfied reference on every prefix."""
+    from repro.core import RangeVector
+    from repro.probability.base import SequentialConditioner
+
+    schema, data, query = instance
+    distribution = EmpiricalDistribution(schema, data)
+    ranges = RangeVector.full(schema)
+    bindings = list(zip(query.predicates, query.attribute_indices))
+
+    fast = distribution.sequential_conditioner(ranges)
+    reference = SequentialConditioner(distribution, ranges)
+    for binding in bindings:
+        for probe in bindings:
+            assert fast.pass_probability(probe) == pytest.approx(
+                reference.pass_probability(probe), rel=1e-12, abs=1e-12
+            )
+        batched = fast.pass_probabilities(bindings)
+        for position, probe in enumerate(bindings):
+            assert batched[position] == pytest.approx(
+                reference.pass_probability(probe), rel=1e-12, abs=1e-12
+            )
+        fast.condition_on(binding)
+        reference.condition_on(binding)
+
+
+@SETTINGS
+@given(instance=planning_instance())
+def test_bytecode_roundtrip_and_execution(instance):
+    """Compiled plans are byte-exact with zeta(P), decompile losslessly,
+    and the interpreter agrees with tree evaluation on every row."""
+    from repro.execution.bytecode import (
+        ByteCodeInterpreter,
+        compile_plan,
+        decompile_plan,
+    )
+
+    schema, data, query = instance
+    distribution = EmpiricalDistribution(schema, data)
+    plan = GreedyConditionalPlanner(
+        distribution, GreedySequentialPlanner(distribution), max_splits=3
+    ).plan(query).plan
+    bytecode = compile_plan(plan)
+    assert len(bytecode) == plan.size_bytes()
+    assert decompile_plan(bytecode, schema) == plan
+    interpreter = ByteCodeInterpreter(bytecode)
+    for row in data[:40]:
+        assert interpreter.execute(row) == plan.evaluate(row)

@@ -1,0 +1,135 @@
+"""Unit tests for query classes."""
+
+import pytest
+
+from repro.core import (
+    Attribute,
+    ConjunctiveQuery,
+    ExistentialQuery,
+    LimitQuery,
+    Range,
+    RangePredicate,
+    RangeVector,
+    Schema,
+    Truth,
+)
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [Attribute("a", 4, 1.0), Attribute("b", 4, 10.0), Attribute("c", 4, 100.0)]
+    )
+
+
+class TestConjunctiveQuery:
+    def test_evaluate(self, schema):
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("a", 1, 2), RangePredicate("c", 3, 4)]
+        )
+        assert query.evaluate([1, 1, 3])
+        assert not query.evaluate([3, 1, 3])
+        assert not query.evaluate([1, 1, 2])
+
+    def test_attribute_indices(self, schema):
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("c", 1, 2), RangePredicate("a", 1, 2)]
+        )
+        assert query.attribute_indices == (2, 0)
+
+    def test_len(self, schema):
+        query = ConjunctiveQuery(schema, [RangePredicate("a", 1, 2)])
+        assert len(query) == 1
+
+    def test_duplicate_attribute_rejected(self, schema):
+        with pytest.raises(QueryError, match="duplicate"):
+            ConjunctiveQuery(
+                schema, [RangePredicate("a", 1, 2), RangePredicate("a", 3, 4)]
+            )
+
+    def test_unknown_attribute_rejected(self, schema):
+        with pytest.raises(Exception):
+            ConjunctiveQuery(schema, [RangePredicate("zzz", 1, 2)])
+
+    def test_out_of_domain_predicate_rejected(self, schema):
+        with pytest.raises(QueryError, match="exceeds domain"):
+            ConjunctiveQuery(schema, [RangePredicate("a", 1, 9)])
+
+    def test_empty_query_rejected(self, schema):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(schema, [])
+
+    def test_truth_under_full_ranges_undetermined(self, schema):
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("a", 1, 2), RangePredicate("b", 3, 4)]
+        )
+        assert query.truth_under(RangeVector.full(schema)) is Truth.UNDETERMINED
+
+    def test_truth_under_false_short_circuits(self, schema):
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("a", 1, 2), RangePredicate("b", 3, 4)]
+        )
+        ranges = RangeVector.full(schema).with_range(0, Range(3, 4))
+        assert query.truth_under(ranges) is Truth.FALSE
+
+    def test_truth_under_all_proven_true(self, schema):
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("a", 1, 2), RangePredicate("b", 3, 4)]
+        )
+        ranges = (
+            RangeVector.full(schema)
+            .with_range(0, Range(1, 2))
+            .with_range(1, Range(3, 4))
+        )
+        assert query.truth_under(ranges) is Truth.TRUE
+
+    def test_undetermined_predicates(self, schema):
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("a", 1, 2), RangePredicate("b", 3, 4)]
+        )
+        ranges = RangeVector.full(schema).with_range(0, Range(1, 2))
+        remaining = query.undetermined_predicates(ranges)
+        assert len(remaining) == 1
+        assert remaining[0][1] == 1  # only the b predicate remains
+
+    def test_describe(self, schema):
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("a", 1, 2), RangePredicate("b", 3, 4)]
+        )
+        assert query.describe() == "1 <= a <= 2 AND 3 <= b <= 4"
+
+
+class TestFleetQueries:
+    def inner(self, schema) -> ConjunctiveQuery:
+        return ConjunctiveQuery(schema, [RangePredicate("a", 2, 2)])
+
+    def test_existential_true(self, schema):
+        query = ExistentialQuery(self.inner(schema))
+        assert query.evaluate([[1, 1, 1], [2, 1, 1]])
+
+    def test_existential_false(self, schema):
+        query = ExistentialQuery(self.inner(schema))
+        assert not query.evaluate([[1, 1, 1], [3, 1, 1]])
+
+    def test_existential_short_circuits(self, schema):
+        query = ExistentialQuery(self.inner(schema))
+
+        def rows():
+            yield [2, 1, 1]
+            raise AssertionError("second row must not be evaluated")
+
+        assert query.evaluate(rows())
+
+    def test_limit_collects_up_to_k(self, schema):
+        query = LimitQuery(self.inner(schema), limit=2)
+        rows = [[2, 1, 1], [1, 1, 1], [2, 2, 2], [2, 3, 3]]
+        assert query.evaluate(rows) == [(2, 1, 1), (2, 2, 2)]
+
+    def test_limit_fewer_matches(self, schema):
+        query = LimitQuery(self.inner(schema), limit=5)
+        assert query.evaluate([[1, 1, 1], [2, 1, 1]]) == [(2, 1, 1)]
+
+    def test_limit_validates(self, schema):
+        with pytest.raises(QueryError):
+            LimitQuery(self.inner(schema), limit=0)

@@ -1,0 +1,240 @@
+"""Tests for the sequential planners: Naive, GreedySeq, OptSeq, CorrSeq."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Attribute,
+    ConjunctiveQuery,
+    Range,
+    RangePredicate,
+    RangeVector,
+    Schema,
+    SequentialNode,
+    VerdictLeaf,
+    expected_cost,
+)
+from repro.exceptions import PlanningError
+from repro.planning import (
+    CorrSeqPlanner,
+    GreedySequentialPlanner,
+    NaivePlanner,
+    OptimalSequentialPlanner,
+)
+from repro.planning.base import sequential_node_from_order
+from repro.probability import EmpiricalDistribution
+
+
+def anti_correlated_case():
+    """Two expensive predicates whose rejection is concentrated in opposite
+    halves of a cheap attribute's domain — the canonical case where
+    correlation-aware ordering beats marginal-statistics ordering."""
+    rng = np.random.default_rng(42)
+    n = 4000
+    regime = rng.integers(1, 3, n)
+    # Predicate on a: holds rarely when regime=1; predicate on b: holds
+    # rarely when regime=2; a is cheaper than b.
+    a = np.where(regime == 1, rng.integers(1, 3, n), rng.integers(2, 4, n))
+    b = np.where(regime == 2, rng.integers(1, 3, n), rng.integers(2, 4, n))
+    schema = Schema(
+        [
+            Attribute("regime", 2, 1.0),
+            Attribute("a", 3, 60.0),
+            Attribute("b", 3, 100.0),
+        ]
+    )
+    data = np.stack([regime, a, b], axis=1).astype(np.int64)
+    query = ConjunctiveQuery(
+        schema, [RangePredicate("a", 3, 3), RangePredicate("b", 3, 3)]
+    )
+    return schema, data, query
+
+
+@pytest.fixture
+def case():
+    return anti_correlated_case()
+
+
+class TestNaive:
+    def test_orders_by_cost_per_rejection(self):
+        """A cheap, highly-rejecting predicate must be evaluated first."""
+        rng = np.random.default_rng(0)
+        n = 1000
+        schema = Schema([Attribute("x", 4, 10.0), Attribute("y", 4, 10.0)])
+        x = rng.integers(1, 5, n)  # pred x in [1,1]: rejects 75%
+        y = rng.integers(1, 3, n)  # pred y in [1,2]: rejects 0%
+        data = np.stack([x, y], axis=1).astype(np.int64)
+        dist = EmpiricalDistribution(schema, data)
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("y", 1, 2), RangePredicate("x", 1, 1)]
+        )
+        result = NaivePlanner(dist).plan(query)
+        assert isinstance(result.plan, SequentialNode)
+        first = result.plan.steps[0]
+        assert first.predicate.attribute == "x"
+
+    def test_never_rejecting_predicate_goes_last(self):
+        # y's predicate is undecidable from its range but never rejects in
+        # the data, so its cost-per-rejection rank is infinite.
+        schema = Schema([Attribute("x", 2, 1.0), Attribute("y", 3, 100.0)])
+        data = np.array([[1, 1], [2, 2]], dtype=np.int64)
+        dist = EmpiricalDistribution(schema, data)
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("y", 1, 2), RangePredicate("x", 1, 1)]
+        )
+        plan = NaivePlanner(dist).plan(query).plan
+        assert plan.steps[0].predicate.attribute == "x"
+        assert plan.steps[1].predicate.attribute == "y"
+
+    def test_resolved_subproblem_returns_leaf(self, case):
+        schema, data, query = case
+        dist = EmpiricalDistribution(schema, data)
+        ranges = RangeVector.full(schema).with_range(1, Range(1, 2))  # a pred false
+        cost, node = NaivePlanner(dist).plan_sequence(query, ranges)
+        assert cost == 0.0
+        assert node == VerdictLeaf(False)
+
+    def test_reported_cost_is_honest(self, case):
+        """Even though ordering ignores correlations, the reported expected
+        cost uses the true conditional probabilities."""
+        schema, data, query = case
+        dist = EmpiricalDistribution(schema, data)
+        result = NaivePlanner(dist).plan(query)
+        assert result.expected_cost == pytest.approx(
+            expected_cost(result.plan, dist), rel=1e-12
+        )
+
+
+class TestGreedySeq:
+    def test_covers_all_predicates(self, case):
+        schema, data, query = case
+        dist = EmpiricalDistribution(schema, data)
+        plan = GreedySequentialPlanner(dist).plan(query).plan
+        attrs = [step.predicate.attribute for step in plan.steps]
+        assert sorted(attrs) == ["a", "b"]
+
+    def test_conditions_on_survivors(self):
+        """GreedySeq must exploit inter-predicate correlation: after the
+        first predicate passes, the second predicate's pass probability is
+        recomputed conditioned on that."""
+        rng = np.random.default_rng(5)
+        n = 4000
+        # p and q are near-duplicates; r is independent and rejects more
+        # than p marginally but less than q|p.
+        p = rng.integers(1, 3, n)
+        q = np.where(rng.random(n) < 0.95, p, rng.integers(1, 3, n))
+        r = (rng.random(n) < 0.55).astype(np.int64) + 1
+        schema = Schema(
+            [Attribute("p", 2, 10.0), Attribute("q", 2, 10.0), Attribute("r", 2, 10.0)]
+        )
+        data = np.stack([p, q, r], axis=1).astype(np.int64)
+        dist = EmpiricalDistribution(schema, data)
+        query = ConjunctiveQuery(
+            schema,
+            [
+                RangePredicate("p", 2, 2),
+                RangePredicate("q", 2, 2),
+                RangePredicate("r", 2, 2),
+            ],
+        )
+        greedy = GreedySequentialPlanner(dist).plan(query)
+        naive = NaivePlanner(dist).plan(query)
+        # q adds almost no rejection once p passed, so greedy defers it.
+        greedy_order = [s.predicate.attribute for s in greedy.plan.steps]
+        assert greedy_order.index("q") == 2
+        assert greedy.expected_cost <= naive.expected_cost + 1e-9
+
+    def test_free_attributes_first(self, case):
+        """Inside a subproblem, an already-acquired attribute's predicate is
+        free and should be evaluated before paid ones."""
+        schema, data, query = case
+        dist = EmpiricalDistribution(schema, data)
+        ranges = RangeVector.full(schema).with_range(2, Range(2, 3))  # b acquired
+        _cost, node = GreedySequentialPlanner(dist).plan_sequence(query, ranges)
+        assert node.steps[0].predicate.attribute == "b"
+
+
+class TestOptSeq:
+    def test_matches_exhaustive_permutation_search(self, case):
+        """OptSeq's DP must equal the best of all m! orders, costed by the
+        same Equation 3 machinery."""
+        schema, data, query = case
+        dist = EmpiricalDistribution(schema, data)
+        result = OptimalSequentialPlanner(dist).plan(query)
+
+        full = RangeVector.full(schema)
+        bindings = list(zip(query.predicates, query.attribute_indices))
+        best = min(
+            expected_cost(sequential_node_from_order(list(order)), dist, full)
+            for order in itertools.permutations(bindings)
+        )
+        assert result.expected_cost == pytest.approx(best, rel=1e-12)
+
+    def test_beats_or_ties_greedy_and_naive(self, case):
+        schema, data, query = case
+        dist = EmpiricalDistribution(schema, data)
+        optimal = OptimalSequentialPlanner(dist).plan(query).expected_cost
+        greedy = GreedySequentialPlanner(dist).plan(query).expected_cost
+        naive = NaivePlanner(dist).plan(query).expected_cost
+        assert optimal <= greedy + 1e-9
+        assert optimal <= naive + 1e-9
+
+    def test_three_predicate_optimality(self):
+        rng = np.random.default_rng(9)
+        n = 3000
+        schema = Schema(
+            [
+                Attribute("u", 3, 5.0),
+                Attribute("v", 3, 50.0),
+                Attribute("w", 3, 20.0),
+            ]
+        )
+        data = np.stack(
+            [rng.integers(1, 4, n) for _ in range(3)], axis=1
+        ).astype(np.int64)
+        dist = EmpiricalDistribution(schema, data)
+        query = ConjunctiveQuery(
+            schema,
+            [
+                RangePredicate("u", 1, 2),
+                RangePredicate("v", 2, 3),
+                RangePredicate("w", 1, 1),
+            ],
+        )
+        result = OptimalSequentialPlanner(dist).plan(query)
+        full = RangeVector.full(schema)
+        bindings = list(zip(query.predicates, query.attribute_indices))
+        best = min(
+            expected_cost(sequential_node_from_order(list(order)), dist, full)
+            for order in itertools.permutations(bindings)
+        )
+        assert result.expected_cost == pytest.approx(best, rel=1e-12)
+
+    def test_guard_against_large_queries(self):
+        n_attrs = 20
+        schema = Schema([Attribute(f"x{i}", 2, 1.0) for i in range(n_attrs)])
+        data = np.ones((4, n_attrs), dtype=np.int64)
+        dist = EmpiricalDistribution(schema, data)
+        query = ConjunctiveQuery(
+            schema, [RangePredicate(f"x{i}", 1, 1) for i in range(n_attrs)]
+        )
+        with pytest.raises(PlanningError, match="GreedySequentialPlanner"):
+            OptimalSequentialPlanner(dist).plan(query)
+
+
+class TestCorrSeq:
+    def test_dispatches_to_optimal_for_small_queries(self, case):
+        schema, data, query = case
+        dist = EmpiricalDistribution(schema, data)
+        corr = CorrSeqPlanner(dist, optimal_threshold=5).plan(query)
+        optimal = OptimalSequentialPlanner(dist).plan(query)
+        assert corr.expected_cost == pytest.approx(optimal.expected_cost)
+
+    def test_dispatches_to_greedy_for_large_queries(self, case):
+        schema, data, query = case
+        dist = EmpiricalDistribution(schema, data)
+        corr = CorrSeqPlanner(dist, optimal_threshold=1).plan(query)
+        greedy = GreedySequentialPlanner(dist).plan(query)
+        assert corr.expected_cost == pytest.approx(greedy.expected_cost)

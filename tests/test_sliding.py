@@ -1,0 +1,143 @@
+"""Tests for the sliding-window incremental distribution."""
+
+import numpy as np
+import pytest
+
+from repro.core import Attribute, RangePredicate, RangeVector, Schema
+from repro.exceptions import DistributionError
+from repro.probability import EmpiricalDistribution, SlidingWindowDistribution
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema([Attribute("a", 3), Attribute("b", 4)])
+
+
+def rows(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, 4, n)
+    b = np.clip(a + rng.integers(0, 2, n), 1, 4)
+    return np.stack([a, b], axis=1).astype(np.int64)
+
+
+class TestWindowMaintenance:
+    def test_grows_until_capacity(self, schema):
+        window = SlidingWindowDistribution(schema, capacity=3)
+        assert len(window) == 0
+        window.append([1, 1])
+        window.append([2, 2])
+        assert len(window) == 2 and not window.is_full
+        window.append([3, 3])
+        assert window.is_full
+
+    def test_eviction_is_fifo(self, schema):
+        window = SlidingWindowDistribution(schema, capacity=2)
+        window.append([1, 1])
+        window.append([2, 2])
+        window.append([3, 3])
+        assert window.window().tolist() == [[2, 2], [3, 3]]
+
+    def test_window_order_preserved(self, schema):
+        window = SlidingWindowDistribution(schema, capacity=4)
+        data = rows(10)
+        window.extend(data)
+        assert np.array_equal(window.window(), data[-4:])
+
+    def test_empty_window_queries_rejected(self, schema):
+        window = SlidingWindowDistribution(schema, capacity=3)
+        with pytest.raises(DistributionError):
+            window.window()
+        with pytest.raises(DistributionError):
+            window.marginal_histogram(0)
+
+    def test_validation(self, schema):
+        with pytest.raises(DistributionError):
+            SlidingWindowDistribution(schema, capacity=0)
+        with pytest.raises(DistributionError):
+            SlidingWindowDistribution(schema, capacity=5, smoothing=-1)
+        window = SlidingWindowDistribution(schema, capacity=3)
+        with pytest.raises(Exception):
+            window.append([9, 9])  # out of domain
+
+
+class TestIncrementalMarginals:
+    def test_marginal_matches_window_counts(self, schema):
+        window = SlidingWindowDistribution(schema, capacity=50)
+        data = rows(120, seed=1)
+        window.extend(data)
+        current = window.window()
+        for index in range(2):
+            histogram = window.marginal_histogram(index)
+            for value in range(1, schema[index].domain_size + 1):
+                assert histogram[value - 1] == pytest.approx(
+                    np.mean(current[:, index] == value)
+                )
+
+    def test_marginals_track_evictions(self, schema):
+        window = SlidingWindowDistribution(schema, capacity=2)
+        window.append([1, 1])
+        window.append([1, 1])
+        window.append([3, 4])
+        histogram = window.marginal_histogram(0)
+        assert histogram[0] == pytest.approx(0.5)
+        assert histogram[2] == pytest.approx(0.5)
+
+
+class TestDriftDetection:
+    def test_zero_shift_against_self(self, schema):
+        window = SlidingWindowDistribution(schema, capacity=20)
+        window.extend(rows(20, seed=2))
+        assert window.marginal_shift(window.marginal_snapshot()) == 0.0
+
+    def test_shift_grows_with_regime_change(self, schema):
+        window = SlidingWindowDistribution(schema, capacity=30)
+        window.extend(np.tile([[1, 1]], (30, 1)))
+        reference = window.marginal_snapshot()
+        window.extend(np.tile([[3, 4]], (30, 1)))
+        assert window.marginal_shift(reference) == pytest.approx(1.0)
+
+    def test_reference_validation(self, schema):
+        window = SlidingWindowDistribution(schema, capacity=5)
+        window.append([1, 1])
+        with pytest.raises(DistributionError):
+            window.marginal_shift([np.ones(3)])
+
+
+class TestDistributionDelegation:
+    def test_queries_match_empirical_over_window(self, schema):
+        window = SlidingWindowDistribution(schema, capacity=40)
+        data = rows(100, seed=3)
+        window.extend(data)
+        reference = EmpiricalDistribution(schema, window.window())
+        full = RangeVector.full(schema)
+        binding = (RangePredicate("b", 2, 3), 1)
+        assert window.conjunction_probability(
+            [binding], full
+        ) == pytest.approx(reference.conjunction_probability([binding], full))
+        assert np.allclose(
+            window.attribute_histogram(0, full),
+            reference.attribute_histogram(0, full),
+        )
+
+    def test_snapshot_invalidated_on_append(self, schema):
+        window = SlidingWindowDistribution(schema, capacity=3)
+        window.append([1, 1])
+        full = RangeVector.full(schema)
+        before = window.attribute_histogram(0, full)[0]
+        window.append([3, 4])
+        after = window.attribute_histogram(0, full)[0]
+        assert before == 1.0 and after == pytest.approx(0.5)
+
+    def test_planning_against_window(self, schema):
+        """Planners accept the window as a drop-in Distribution."""
+        from repro.core import ConjunctiveQuery
+        from repro.planning import GreedySequentialPlanner
+
+        window = SlidingWindowDistribution(schema, capacity=60)
+        window.extend(rows(100, seed=4))
+        query = ConjunctiveQuery(
+            schema, [RangePredicate("a", 2, 3), RangePredicate("b", 3, 4)]
+        )
+        result = GreedySequentialPlanner(window).plan(query)
+        assert result.expected_cost >= 0.0
+        assert result.plan is not None

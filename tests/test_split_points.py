@@ -1,0 +1,99 @@
+"""Tests for the SPSF split-point policy (Section 4.3)."""
+
+import pytest
+
+from repro.core import (
+    Attribute,
+    ConjunctiveQuery,
+    Range,
+    RangePredicate,
+    RangeVector,
+    Schema,
+)
+from repro.exceptions import PlanningError
+from repro.planning import SplitPointPolicy
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema([Attribute("a", 10), Attribute("b", 4), Attribute("c", 2)])
+
+
+class TestConstruction:
+    def test_full_policy_covers_every_interior_value(self, schema):
+        policy = SplitPointPolicy.full(schema)
+        assert policy.points_for(0) == tuple(range(2, 11))
+        assert policy.points_for(1) == (2, 3, 4)
+        assert policy.points_for(2) == (2,)
+
+    def test_full_policy_spsf(self, schema):
+        assert SplitPointPolicy.full(schema).spsf == 9 * 3 * 1
+
+    def test_equal_width_spacing(self, schema):
+        policy = SplitPointPolicy.equal_width(schema, [3, 2, 1])
+        assert policy.points_for(0) == (2, 6, 10)
+        assert len(policy.points_for(1)) == 2
+        assert policy.points_for(2) == (2,)
+
+    def test_equal_width_caps_at_domain(self, schema):
+        policy = SplitPointPolicy.equal_width(schema, [99, 99, 99])
+        assert policy.points_for(0) == tuple(range(2, 11))
+        assert policy.points_for(2) == (2,)
+
+    def test_equal_width_zero_points(self, schema):
+        policy = SplitPointPolicy.equal_width(schema, [0, 0, 0])
+        assert policy.points_for(0) == ()
+        assert policy.spsf == 1.0
+
+    def test_equal_width_wrong_arity(self, schema):
+        with pytest.raises(PlanningError):
+            SplitPointPolicy.equal_width(schema, [1, 2])
+
+    def test_from_spsf_geometric_mean(self, schema):
+        policy = SplitPointPolicy.from_spsf(schema, 27.0)
+        # 27 ** (1/3) = 3 candidates per attribute (capped by domain).
+        assert len(policy.points_for(0)) == 3
+        assert len(policy.points_for(1)) == 3
+        assert policy.points_for(2) == (2,)
+
+    def test_from_spsf_rejects_below_one(self, schema):
+        with pytest.raises(PlanningError):
+            SplitPointPolicy.from_spsf(schema, 0.5)
+
+    def test_out_of_bounds_point_rejected(self, schema):
+        with pytest.raises(PlanningError):
+            SplitPointPolicy(schema, {0: [11]})
+        with pytest.raises(PlanningError):
+            SplitPointPolicy(schema, {0: [1]})
+
+
+class TestQueryBoundaries:
+    def test_boundaries_added(self, schema):
+        query = ConjunctiveQuery(schema, [RangePredicate("a", 4, 7)])
+        policy = SplitPointPolicy(schema, {}).with_query_boundaries(query)
+        # T(a >= 4) and T(a >= 8) decide the predicate.
+        assert set(policy.points_for(0)) == {4, 8}
+
+    def test_domain_edge_boundaries_skipped(self, schema):
+        # Predicate [1, 10] spans the whole domain: no useful boundaries.
+        query = ConjunctiveQuery(schema, [RangePredicate("a", 1, 10)])
+        policy = SplitPointPolicy(schema, {}).with_query_boundaries(query)
+        assert policy.points_for(0) == ()
+
+    def test_merge_keeps_existing(self, schema):
+        base = SplitPointPolicy(schema, {0: [5]})
+        query = ConjunctiveQuery(schema, [RangePredicate("a", 3, 6)])
+        merged = base.with_query_boundaries(query)
+        assert set(merged.points_for(0)) == {3, 5, 7}
+
+
+class TestCandidates:
+    def test_filtered_to_range_interior(self, schema):
+        policy = SplitPointPolicy.full(schema)
+        ranges = RangeVector.full(schema).with_range(0, Range(3, 6))
+        assert policy.candidates(0, ranges) == [4, 5, 6]
+
+    def test_no_candidates_for_singleton_range(self, schema):
+        policy = SplitPointPolicy.full(schema)
+        ranges = RangeVector.full(schema).with_range(0, Range(4, 4))
+        assert policy.candidates(0, ranges) == []

@@ -1,0 +1,135 @@
+"""Tests for the adaptive streaming executor (Section 7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Attribute, ConjunctiveQuery, RangePredicate, Schema
+from repro.exceptions import PlanningError
+from repro.execution import AdaptiveStreamExecutor
+from repro.planning import CorrSeqPlanner, GreedyConditionalPlanner
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("mode", 2, 1.0),
+            Attribute("p", 2, 100.0),
+            Attribute("q", 2, 100.0),
+        ]
+    )
+
+
+@pytest.fixture
+def query(schema) -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        schema, [RangePredicate("p", 2, 2), RangePredicate("q", 2, 2)]
+    )
+
+
+def factory(distribution):
+    return GreedyConditionalPlanner(
+        distribution, CorrSeqPlanner(distribution), max_splits=3
+    )
+
+
+def regime_stream(n: int, flipped: bool, seed: int) -> np.ndarray:
+    """mode predicts which predicate fails; `flipped` swaps the mapping."""
+    rng = np.random.default_rng(seed)
+    mode = rng.integers(1, 3, n)
+    fail_p = (mode == 1) != flipped
+    p = np.where(fail_p, 1, rng.integers(1, 3, n))
+    q = np.where(~fail_p, 1, rng.integers(1, 3, n))
+    return np.stack([mode, p, q], axis=1).astype(np.int64)
+
+
+class TestValidation:
+    def test_rejects_tiny_window(self, schema, query):
+        with pytest.raises(PlanningError):
+            AdaptiveStreamExecutor(schema, query, factory, window=1)
+
+    def test_rejects_bad_interval(self, schema, query):
+        with pytest.raises(PlanningError):
+            AdaptiveStreamExecutor(schema, query, factory, replan_interval=0)
+
+    def test_rejects_bad_drift_threshold(self, schema, query):
+        with pytest.raises(PlanningError):
+            AdaptiveStreamExecutor(schema, query, factory, drift_threshold=0.9)
+
+    def test_rejects_wrong_stream_shape(self, schema, query):
+        executor = AdaptiveStreamExecutor(schema, query, factory)
+        with pytest.raises(PlanningError):
+            executor.process(np.ones((10, 2), dtype=np.int64))
+
+
+class TestProcessing:
+    def test_verdicts_always_correct(self, schema, query):
+        stream = regime_stream(3000, flipped=False, seed=1)
+        executor = AdaptiveStreamExecutor(
+            schema, query, factory, window=800, replan_interval=500
+        )
+        report = executor.process(stream)
+        truth = np.array([query.evaluate(row) for row in stream])
+        assert np.array_equal(report.verdicts, truth)
+
+    def test_replans_happen_on_schedule(self, schema, query):
+        stream = regime_stream(2600, flipped=False, seed=2)
+        executor = AdaptiveStreamExecutor(
+            schema,
+            query,
+            factory,
+            window=800,
+            replan_interval=500,
+            drift_threshold=None,
+        )
+        report = executor.process(stream)
+        positions = [event.position for event in report.replans]
+        assert positions[0] == 500  # first plan after warm-up
+        assert all(b - a == 500 for a, b in zip(positions, positions[1:]))
+
+    def test_cost_improves_after_first_plan(self, schema, query):
+        stream = regime_stream(4000, flipped=False, seed=3)
+        executor = AdaptiveStreamExecutor(
+            schema, query, factory, window=1000, replan_interval=1000
+        )
+        report = executor.process(stream)
+        warmup_mean = report.costs[:1000].mean()
+        planned_mean = report.costs[2000:].mean()
+        assert planned_mean < warmup_mean
+
+    def test_adapts_to_distribution_shift(self, schema, query):
+        """After the regime flips, replanning must recover low cost."""
+        before = regime_stream(3000, flipped=False, seed=4)
+        after = regime_stream(3000, flipped=True, seed=5)
+        stream = np.vstack([before, after])
+        executor = AdaptiveStreamExecutor(
+            schema,
+            query,
+            factory,
+            window=1500,
+            replan_interval=750,
+            drift_threshold=1.3,
+        )
+        report = executor.process(stream)
+        truth = np.array([query.evaluate(row) for row in stream])
+        assert np.array_equal(report.verdicts, truth)
+        # Tail (well after the shift) should be about as cheap as the
+        # settled pre-shift regime.
+        settled_before = report.costs[2000:3000].mean()
+        settled_after = report.costs[5000:6000].mean()
+        assert settled_after <= settled_before * 1.25
+
+    def test_drift_replans_recorded(self, schema, query):
+        before = regime_stream(2000, flipped=False, seed=6)
+        after = regime_stream(2000, flipped=True, seed=7)
+        executor = AdaptiveStreamExecutor(
+            schema,
+            query,
+            factory,
+            window=1500,
+            replan_interval=100_000,  # interval replans effectively off
+            drift_threshold=1.2,
+        )
+        report = executor.process(np.vstack([before, after]))
+        reasons = {event.reason for event in report.replans}
+        assert "drift" in reasons

@@ -1,0 +1,105 @@
+"""Tests for trace/schema/plan persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import Attribute, Schema, SequentialNode, SequentialStep, RangePredicate
+from repro.data import (
+    load_plan,
+    load_schema,
+    load_trace,
+    save_plan,
+    save_schema,
+    save_trace,
+    schema_from_json,
+    schema_to_json,
+)
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [Attribute("hour", 24, 1.0), Attribute("light", 12, 100.0)]
+    )
+
+
+class TestSchemaJson:
+    def test_roundtrip(self, schema):
+        restored = schema_from_json(schema_to_json(schema))
+        assert restored.names == schema.names
+        assert restored.domain_sizes == schema.domain_sizes
+        assert restored.costs == schema.costs
+
+    def test_file_roundtrip(self, schema, tmp_path):
+        path = tmp_path / "schema.json"
+        save_schema(schema, path)
+        assert load_schema(path).names == schema.names
+
+    def test_default_cost(self):
+        restored = schema_from_json(
+            '{"attributes": [{"name": "x", "domain_size": 4}]}'
+        )
+        assert restored["x"].cost == 1.0
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(SchemaError, match="malformed"):
+            schema_from_json("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_json('{"attributes": [{"name": "x"}]}')
+
+
+class TestTraceCsv:
+    def test_roundtrip(self, schema, tmp_path):
+        rng = np.random.default_rng(0)
+        data = np.stack(
+            [rng.integers(1, 25, 50), rng.integers(1, 13, 50)], axis=1
+        ).astype(np.int64)
+        path = tmp_path / "trace.csv"
+        save_trace(data, schema, path)
+        assert np.array_equal(load_trace(path, schema), data)
+
+    def test_header_mismatch_rejected(self, schema, tmp_path):
+        other = Schema([Attribute("a", 24), Attribute("b", 12)])
+        path = tmp_path / "trace.csv"
+        save_trace(np.ones((3, 2), dtype=np.int64), other, path)
+        with pytest.raises(SchemaError, match="header"):
+            load_trace(path, schema)
+
+    def test_out_of_domain_rejected(self, schema, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("hour,light\n1,99\n", encoding="utf-8")
+        with pytest.raises(SchemaError, match="domain"):
+            load_trace(path, schema)
+
+    def test_empty_file_rejected(self, schema, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(SchemaError, match="empty"):
+            load_trace(path, schema)
+
+    def test_header_only_rejected(self, schema, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("hour,light\n", encoding="utf-8")
+        with pytest.raises(SchemaError, match="no data"):
+            load_trace(path, schema)
+
+    def test_wrong_shape_on_save_rejected(self, schema, tmp_path):
+        with pytest.raises(SchemaError):
+            save_trace(np.ones((3, 5), dtype=np.int64), schema, tmp_path / "x.csv")
+
+
+class TestPlanJson:
+    def test_roundtrip(self, tmp_path):
+        plan = SequentialNode(
+            steps=(
+                SequentialStep(
+                    predicate=RangePredicate("light", 2, 6), attribute_index=1
+                ),
+            )
+        )
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        assert load_plan(path) == plan

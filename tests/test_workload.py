@@ -1,0 +1,127 @@
+"""Tests for the Section 6 workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import NotRangePredicate, RangePredicate
+from repro.data import (
+    garden_queries,
+    generate_garden_dataset,
+    generate_lab_dataset,
+    lab_queries,
+    random_range_query,
+)
+from repro.exceptions import QueryError
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return generate_lab_dataset(n_readings=10_000, n_motes=6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def garden():
+    return generate_garden_dataset(n_motes=4, n_epochs=3000, seed=0)
+
+
+class TestLabQueries:
+    def test_predicate_count_and_targets(self, lab):
+        queries = lab_queries(lab, 10, seed=1)
+        assert len(queries) == 10
+        for query in queries:
+            assert len(query) == 3
+            attrs = {p.attribute for p in query.predicates}
+            assert attrs == {"light", "temp", "humidity"}
+
+    def test_widths_are_two_standard_deviations(self, lab):
+        queries = lab_queries(lab, 5, seed=2, width_stds=2.0)
+        for query in queries:
+            for predicate in query.predicates:
+                column = lab.column(predicate.attribute)
+                expected_width = max(
+                    1, int(round(2.0 * float(column.std())))
+                )
+                domain = lab.schema[predicate.attribute].domain_size
+                expected_width = min(expected_width, domain - 1)
+                assert predicate.high - predicate.low == expected_width
+
+    def test_predicates_within_domain(self, lab):
+        for query in lab_queries(lab, 20, seed=3):
+            for predicate in query.predicates:
+                domain = lab.schema[predicate.attribute].domain_size
+                assert 1 <= predicate.low <= predicate.high <= domain
+
+    def test_reproducible(self, lab):
+        first = lab_queries(lab, 4, seed=9)
+        second = lab_queries(lab, 4, seed=9)
+        assert [q.describe() for q in first] == [q.describe() for q in second]
+
+    def test_individual_selectivities_moderate(self, lab):
+        """The paper's challenging regime: predicates pass a large fraction
+        (around half) of rows individually."""
+        queries = lab_queries(lab, 20, seed=4)
+        rates = []
+        for query in queries:
+            for predicate, index in zip(query.predicates, query.attribute_indices):
+                column = lab.data[:, index]
+                rates.append(
+                    np.mean((column >= predicate.low) & (column <= predicate.high))
+                )
+        assert 0.3 < np.mean(rates) < 0.95
+
+    def test_validation(self, lab):
+        with pytest.raises(QueryError):
+            lab_queries(lab, 0)
+
+
+class TestGardenQueries:
+    def test_predicates_replicated_across_motes(self, garden):
+        queries = garden_queries(garden, 5, seed=1)
+        for query in queries:
+            assert len(query) == 2 * garden.n_motes
+            temp_preds = [
+                p for p in query.predicates if p.attribute.endswith("_temp")
+            ]
+            ranges = {(p.low, p.high) for p in temp_preds}
+            assert len(ranges) == 1  # identical across motes
+
+    def test_negated_variant(self, garden):
+        queries = garden_queries(garden, 3, seed=2, negated=True)
+        for query in queries:
+            assert all(
+                isinstance(p, NotRangePredicate) for p in query.predicates
+            )
+
+    def test_plain_variant_uses_ranges(self, garden):
+        queries = garden_queries(garden, 3, seed=3)
+        for query in queries:
+            assert all(isinstance(p, RangePredicate) for p in query.predicates)
+
+    def test_width_respects_divisor_range(self, garden):
+        domain = garden.schema["m1_temp"].domain_size
+        for query in garden_queries(garden, 20, seed=4, divisor_range=(2.0, 2.0)):
+            temp_pred = next(
+                p for p in query.predicates if p.attribute == "m1_temp"
+            )
+            assert temp_pred.high - temp_pred.low + 1 == max(
+                1, int(round(domain / 2.0))
+            ) or temp_pred.high - temp_pred.low + 1 == min(
+                max(1, int(round(domain / 2.0))) + 1, domain
+            )
+
+    def test_validation(self, garden):
+        with pytest.raises(QueryError):
+            garden_queries(garden, 0)
+
+
+class TestRandomRangeQuery:
+    def test_targets_requested_attributes(self, lab):
+        query = random_range_query(lab.schema, ["light", "voltage"], seed=5)
+        assert [p.attribute for p in query.predicates] == ["light", "voltage"]
+
+    def test_within_domain(self, lab):
+        for seed in range(10):
+            query = random_range_query(lab.schema, ["temp"], seed=seed)
+            predicate = query.predicates[0]
+            domain = lab.schema["temp"].domain_size
+            assert 1 <= predicate.low <= predicate.high <= domain
