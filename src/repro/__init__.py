@@ -70,6 +70,7 @@ from repro.exceptions import (
     QueryError,
     ReproError,
     SchemaError,
+    ServiceError,
 )
 from repro.execution import (
     AdaptiveStreamExecutor,
@@ -94,6 +95,12 @@ from repro.planning import (
     SplitPointPolicy,
 )
 from repro.engine import AcquisitionalEngine, parse_query
+from repro.service import (
+    AcquisitionalService,
+    PlanCache,
+    QueryFingerprint,
+    fingerprint_statement,
+)
 from repro.probability import (
     ChowLiuDistribution,
     EmpiricalDistribution,
@@ -167,6 +174,11 @@ __all__ = [
     # engine
     "AcquisitionalEngine",
     "parse_query",
+    # service
+    "AcquisitionalService",
+    "PlanCache",
+    "QueryFingerprint",
+    "fingerprint_statement",
     # exceptions
     "ReproError",
     "SchemaError",
@@ -176,4 +188,5 @@ __all__ = [
     "DistributionError",
     "AcquisitionError",
     "DiscretizationError",
+    "ServiceError",
 ]

@@ -13,6 +13,10 @@ Mirrors the basestation workflow of the paper's architecture
                   --trace trace/test.csv
     repro compare --schema trace/schema.json --trace trace/train.csv \
                   --test trace/test.csv --query "SELECT * WHERE ..."
+    repro serve-bench --schema trace/schema.json --trace trace/train.csv \
+                  --live trace/test.csv --shapes 20 --requests 400
+    repro cache-stats --schema trace/schema.json --trace trace/train.csv \
+                  --query "SELECT * WHERE ..." --repeat 25
 
 Every command reads/writes the JSON/CSV formats of
 :mod:`repro.data.trace_io`, so artifacts interoperate with the library
@@ -22,10 +26,15 @@ API and external tooling.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.analysis import annotate_plan, plan_summary
+from repro.core.attributes import Schema
 from repro.core.cost import dataset_execution
 from repro.data.garden import generate_garden_dataset
 from repro.data.lab import generate_lab_dataset
@@ -39,6 +48,8 @@ from repro.data.trace_io import (
     save_schema,
     save_trace,
 )
+from repro.data.workload import query_text, random_range_query, zipf_draws
+from repro.engine.engine import AcquisitionalEngine
 from repro.engine.language import parse_query
 from repro.exceptions import ReproError
 from repro.planning.corrseq import CorrSeqPlanner
@@ -49,6 +60,7 @@ from repro.planning.naive import NaivePlanner
 from repro.planning.optimal_sequential import OptimalSequentialPlanner
 from repro.planning.split_points import SplitPointPolicy
 from repro.probability.empirical import EmpiricalDistribution
+from repro.service.service import AcquisitionalService
 
 __all__ = ["main", "build_parser"]
 
@@ -124,6 +136,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the exponential optimal planner (small inputs only)",
     )
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="throughput of the serving layer on a Zipf workload, cache on vs off",
+    )
+    add_common(serve_bench)
+    serve_bench.add_argument(
+        "--live", type=Path, default=None, help="live trace CSV (default: --trace)"
+    )
+    serve_bench.add_argument("--shapes", type=int, default=20)
+    serve_bench.add_argument("--requests", type=int, default=400)
+    serve_bench.add_argument("--zipf", type=float, default=1.1)
+    serve_bench.add_argument("--rows-per-request", type=int, default=64)
+    serve_bench.add_argument("--batch-size", type=int, default=1)
+    serve_bench.add_argument("--capacity", type=int, default=64)
+    serve_bench.add_argument("--policy", choices=("lru", "lfu"), default="lfu")
+    serve_bench.add_argument("--smoothing", type=float, default=0.0)
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--out", type=Path, default=None, help="JSON report path")
+
+    cache_stats = commands.add_parser(
+        "cache-stats",
+        help="run statements through the serving layer and print service.stats()",
+    )
+    add_common(cache_stats)
+    cache_stats.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        help="statement to serve (repeatable)",
+    )
+    cache_stats.add_argument("--repeat", type=int, default=10)
+    cache_stats.add_argument(
+        "--live", type=Path, default=None, help="live trace CSV (default: --trace)"
+    )
+    cache_stats.add_argument("--capacity", type=int, default=64)
+    cache_stats.add_argument("--policy", choices=("lru", "lfu"), default="lru")
+    cache_stats.add_argument("--smoothing", type=float, default=0.0)
 
     return parser
 
@@ -297,6 +347,138 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_shapes(schema: Schema, n_shapes: int, seed: int) -> list[str]:
+    """Distinct random conjunctive query shapes as statement texts."""
+    rng = np.random.default_rng(seed)
+    names = list(schema.names)
+    shapes: list[str] = []
+    seen: set[str] = set()
+    attempt = 0
+    while len(shapes) < n_shapes:
+        width = int(rng.integers(2, min(4, len(names)) + 1))
+        attributes = [
+            str(name)
+            for name in rng.choice(names, size=min(width, len(names)), replace=False)
+        ]
+        query = random_range_query(
+            schema, attributes, seed=seed + 101 * attempt
+        )
+        attempt += 1
+        text = query_text(query)
+        if text not in seen:
+            seen.add(text)
+            shapes.append(text)
+    return shapes
+
+
+def _request_matrix(
+    live: np.ndarray, position: int, rows_per_request: int
+) -> np.ndarray:
+    """A rows_per_request slice of the live trace, cycling past the end."""
+    indices = (position * rows_per_request + np.arange(rows_per_request)) % len(
+        live
+    )
+    return live[indices]
+
+
+def _run_workload(
+    service: AcquisitionalService,
+    requests: list[tuple[str, np.ndarray]],
+    batch_size: int,
+) -> float:
+    """Serve every request; returns queries/second."""
+    start = time.perf_counter()
+    if batch_size > 1:
+        for begin in range(0, len(requests), batch_size):
+            service.execute_batch(requests[begin : begin + batch_size])
+    else:
+        for text, readings in requests:
+            service.execute(text, readings)
+    elapsed = time.perf_counter() - start
+    return len(requests) / elapsed if elapsed > 0 else float("inf")
+
+
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    if args.requests < 1 or args.shapes < 1:
+        raise ReproError("serve-bench needs at least one shape and one request")
+    schema = load_schema(args.schema)
+    train = load_trace(args.trace, schema)
+    live = load_trace(args.live, schema) if args.live is not None else train
+
+    shapes = _workload_shapes(schema, args.shapes, args.seed)
+    draws = zipf_draws(args.requests, len(shapes), skew=args.zipf, seed=args.seed)
+    requests = [
+        (shapes[shape], _request_matrix(live, position, args.rows_per_request))
+        for position, shape in enumerate(draws)
+    ]
+
+    results = {}
+    for enabled in (False, True):
+        engine = AcquisitionalEngine(schema, train, smoothing=args.smoothing)
+        service = AcquisitionalService(
+            engine,
+            cache_capacity=args.capacity,
+            cache_policy=args.policy,
+            cache_enabled=enabled,
+        )
+        qps = _run_workload(service, requests, args.batch_size)
+        results["cache_on" if enabled else "cache_off"] = {
+            "queries_per_second": round(qps, 2),
+            "stats": service.stats(),
+        }
+
+    on = results["cache_on"]["queries_per_second"]
+    off = results["cache_off"]["queries_per_second"]
+    speedup = on / off if off > 0 else float("inf")
+    print(
+        f"workload: {args.requests} requests over {len(shapes)} shapes "
+        f"(zipf {args.zipf}), {args.rows_per_request} rows/request"
+    )
+    print(f"cache off: {off:>10.1f} q/s")
+    print(f"cache on : {on:>10.1f} q/s   ({speedup:.1f}x)")
+    cache_stats = results["cache_on"]["stats"]["cache"]
+    print(
+        f"hit rate {cache_stats['hit_rate']:.1%}, "
+        f"{cache_stats['evictions']} evictions, "
+        f"{cache_stats['invalidations']} invalidations "
+        f"({cache_stats['policy']}, capacity {cache_stats['capacity']})"
+    )
+    if args.out is not None:
+        report = {
+            "config": {
+                "shapes": len(shapes),
+                "requests": args.requests,
+                "zipf": args.zipf,
+                "rows_per_request": args.rows_per_request,
+                "batch_size": args.batch_size,
+                "capacity": args.capacity,
+                "policy": args.policy,
+            },
+            "speedup": round(speedup, 2),
+            **results,
+        }
+        args.out.write_text(json.dumps(report, indent=2))
+        print(f"report written to {args.out}")
+    return 0
+
+
+def _command_cache_stats(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    train = load_trace(args.trace, schema)
+    live = load_trace(args.live, schema) if args.live is not None else train
+    engine = AcquisitionalEngine(schema, train, smoothing=args.smoothing)
+    service = AcquisitionalService(
+        engine, cache_capacity=args.capacity, cache_policy=args.policy
+    )
+    for text in args.query:
+        fingerprint = service.fingerprint(text)
+        print(f"{fingerprint.digest}  {text.strip()}")
+        for _repeat in range(args.repeat):
+            service.execute(text, live)
+    print(json.dumps(service.stats(), indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -307,6 +489,8 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _command_explain,
         "execute": _command_execute,
         "compare": _command_compare,
+        "serve-bench": _command_serve_bench,
+        "cache-stats": _command_cache_stats,
     }
     try:
         return handlers[args.command](args)

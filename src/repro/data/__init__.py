@@ -16,7 +16,13 @@ from repro.data.trace_io import (
     schema_from_json,
     schema_to_json,
 )
-from repro.data.workload import garden_queries, lab_queries, random_range_query
+from repro.data.workload import (
+    garden_queries,
+    lab_queries,
+    query_text,
+    random_range_query,
+    zipf_draws,
+)
 
 __all__ = [
     "EqualWidthDiscretizer",
@@ -39,4 +45,6 @@ __all__ = [
     "lab_queries",
     "garden_queries",
     "random_range_query",
+    "query_text",
+    "zipf_draws",
 ]

@@ -23,7 +23,13 @@ from repro.data.garden import GardenDataset
 from repro.data.lab import LabDataset
 from repro.exceptions import QueryError
 
-__all__ = ["lab_queries", "garden_queries", "random_range_query"]
+__all__ = [
+    "lab_queries",
+    "garden_queries",
+    "random_range_query",
+    "query_text",
+    "zipf_draws",
+]
 
 _LAB_EXPENSIVE = ("light", "temp", "humidity")
 
@@ -94,6 +100,42 @@ def garden_queries(
                 predicates.append(predicate_cls(name, left, left + width))
         queries.append(ConjunctiveQuery(schema, predicates))
     return queries
+
+
+def query_text(
+    query: ConjunctiveQuery, select: tuple[str, ...] = ("*",)
+) -> str:
+    """Render a conjunctive query in the engine's statement language.
+
+    The inverse of :func:`repro.engine.language.parse_query` for the
+    range-predicate class — used to feed programmatically-generated
+    workloads through the textual serving layer.
+    """
+    clauses = []
+    for predicate in query.predicates:
+        clause = f"{predicate.attribute} BETWEEN {predicate.low} AND {predicate.high}"
+        if isinstance(predicate, NotRangePredicate):
+            clause = f"NOT {clause}"
+        clauses.append(clause)
+    return f"SELECT {', '.join(select)} WHERE {' AND '.join(clauses)}"
+
+
+def zipf_draws(
+    n_draws: int, n_shapes: int, skew: float = 1.1, seed: int = 0
+) -> np.ndarray:
+    """Zipf-distributed shape indices: ``P(rank r) ∝ 1 / r**skew``.
+
+    Models the skewed production reality the serving layer exploits — a
+    few hot query shapes dominate the request stream.  ``skew=0`` is
+    uniform; larger values concentrate mass on the head.
+    """
+    if n_shapes < 1:
+        raise QueryError(f"n_shapes must be >= 1, got {n_shapes}")
+    if skew < 0:
+        raise QueryError(f"skew must be >= 0, got {skew}")
+    weights = 1.0 / np.arange(1, n_shapes + 1, dtype=np.float64) ** skew
+    rng = np.random.default_rng(seed)
+    return rng.choice(n_shapes, size=n_draws, p=weights / weights.sum())
 
 
 def random_range_query(

@@ -43,13 +43,22 @@ PlannerFactory = Callable[[EmpiricalDistribution], Planner]
 
 @dataclass(frozen=True)
 class PreparedQuery:
-    """A parsed, planned statement ready for repeated execution."""
+    """A parsed, planned statement ready for repeated execution.
+
+    Frozen and hashable (all fields are immutable), so prepared statements
+    can key caches directly — the serving layer relies on this.
+    ``statistics_version`` records which generation of engine statistics
+    the plan was trained on; ``planning_seconds`` is the wall-clock cost
+    of producing it.
+    """
 
     text: str
     parsed: ParsedQuery
     plan: PlanNode
     expected_where_cost: float
     planner: str
+    statistics_version: int = 1
+    planning_seconds: float = 0.0
 
     @property
     def query(self) -> ConjunctiveQuery:
@@ -103,6 +112,7 @@ class AcquisitionalEngine:
         smoothing: float = 0.0,
     ) -> None:
         self._schema = schema
+        self._smoothing = float(smoothing)
         self._distribution = EmpiricalDistribution(
             schema, history, smoothing=smoothing
         )
@@ -112,6 +122,8 @@ class AcquisitionalEngine:
             )
         )
         self._prepared: dict[str, PreparedQuery] = {}
+        self._statistics_version = 1
+        self._statistics_listeners: list[Callable[[int], None]] = []
 
     @property
     def schema(self) -> Schema:
@@ -120,6 +132,53 @@ class AcquisitionalEngine:
     @property
     def distribution(self) -> EmpiricalDistribution:
         return self._distribution
+
+    @property
+    def planner_factory(self) -> PlannerFactory:
+        """The factory building this engine's conjunctive planners."""
+        return self._planner_factory
+
+    @property
+    def statistics_version(self) -> int:
+        """Generation counter for the engine's planning statistics.
+
+        Bumps whenever the distribution is refitted (:meth:`refit`) or an
+        external component reports that statistics moved
+        (:meth:`bump_statistics_version`, e.g. an adaptive-stream replan).
+        Plans trained under an older version are stale.
+        """
+        return self._statistics_version
+
+    def add_statistics_listener(
+        self, listener: Callable[[int], None]
+    ) -> None:
+        """Register a callback invoked with each new statistics version."""
+        self._statistics_listeners.append(listener)
+
+    def bump_statistics_version(self) -> int:
+        """Invalidate every prepared plan: statistics have changed."""
+        self._statistics_version += 1
+        self._prepared.clear()
+        for listener in self._statistics_listeners:
+            listener(self._statistics_version)
+        return self._statistics_version
+
+    def refit(
+        self, history: np.ndarray, smoothing: float | None = None
+    ) -> int:
+        """Refit planning statistics on fresh history.
+
+        Rebuilds the empirical distribution, drops every prepared plan
+        (they were trained on the old statistics), and bumps
+        :attr:`statistics_version` so external plan caches invalidate too.
+        Returns the new version.
+        """
+        if smoothing is not None:
+            self._smoothing = float(smoothing)
+        self._distribution = EmpiricalDistribution(
+            self._schema, history, smoothing=self._smoothing
+        )
+        return self.bump_statistics_version()
 
     def prepare(self, text: str) -> PreparedQuery:
         """Parse and plan a statement (cached per query text).
@@ -133,6 +192,18 @@ class AcquisitionalEngine:
         if cached is not None:
             return cached
         parsed = parse_query(text, self._schema)
+        prepared = self.prepare_parsed(parsed, text=text)
+        self._prepared[text] = prepared
+        return prepared
+
+    def prepare_parsed(
+        self, parsed: ParsedQuery, text: str = ""
+    ) -> PreparedQuery:
+        """Plan an already-parsed statement (no prepared-statement cache).
+
+        The serving layer uses this after canonicalization, where the cache
+        key is a query fingerprint rather than the raw text.
+        """
         if parsed.is_conjunctive:
             planner = self._planner_factory(self._distribution)
         else:
@@ -144,16 +215,16 @@ class AcquisitionalEngine:
                 split_policy=policy,
                 max_subproblems=500_000,
             )
-        result = planner.plan(parsed.query)
-        prepared = PreparedQuery(
+        result = planner.plan_timed(parsed.query)
+        return PreparedQuery(
             text=text,
             parsed=parsed,
             plan=result.plan,
             expected_where_cost=result.expected_cost,
             planner=result.planner,
+            statistics_version=self._statistics_version,
+            planning_seconds=result.planning_seconds,
         )
-        self._prepared[text] = prepared
-        return prepared
 
     def execute(self, text: str, readings: np.ndarray) -> QueryResult:
         """Run a statement over live readings with cost accounting.
@@ -163,36 +234,90 @@ class AcquisitionalEngine:
         are then acquired at their schema cost (the plan may well have read
         some of them while filtering — those are free to return).
         """
+        return self.execute_prepared(self.prepare(text), readings)
+
+    def execute_prepared(
+        self, prepared: PreparedQuery, readings: np.ndarray
+    ) -> QueryResult:
+        """Run an already-prepared statement over live readings."""
+        matrix = self._validated(readings)
+        outcome = dataset_execution(prepared.plan, matrix, self._schema)
+        extra = self._projection_extra(prepared, matrix)
+        return self._build_result(
+            prepared, matrix, outcome.costs, outcome.verdicts, extra
+        )
+
+    def execute_prepared_many(
+        self, prepared: PreparedQuery, readings_list: list[np.ndarray]
+    ) -> list[QueryResult]:
+        """Run one prepared statement over many batches in a single pass.
+
+        The batches are stacked and executed through the plan once — the
+        vectorized tree walk amortizes across every request sharing the
+        plan — then per-batch results are sliced back out.  This is the
+        serving layer's same-fingerprint admission path.
+        """
+        matrices = [self._validated(readings) for readings in readings_list]
+        if not matrices:
+            return []
+        stacked = np.vstack(matrices)
+        outcome = dataset_execution(prepared.plan, stacked, self._schema)
+        extra = self._projection_extra(prepared, stacked)
+        results: list[QueryResult] = []
+        start = 0
+        for matrix in matrices:
+            end = start + matrix.shape[0]
+            results.append(
+                self._build_result(
+                    prepared,
+                    matrix,
+                    outcome.costs[start:end],
+                    outcome.verdicts[start:end],
+                    extra[start:end],
+                )
+            )
+            start = end
+        return results
+
+    def _validated(self, readings: np.ndarray) -> np.ndarray:
         matrix = np.asarray(readings)
         if matrix.ndim != 2 or matrix.shape[1] != len(self._schema):
             raise QueryError(
                 f"readings shape {matrix.shape} incompatible with schema of "
                 f"{len(self._schema)} attributes"
             )
-        prepared = self.prepare(text)
-        outcome = dataset_execution(prepared.plan, matrix, self._schema)
+        return matrix
 
+    def _select_indices(
+        self, prepared: PreparedQuery
+    ) -> tuple[tuple[str, ...], list[int]]:
         if prepared.parsed.select_all:
-            columns = self._schema.names
-            select_indices = list(range(len(self._schema)))
-        else:
-            columns = prepared.parsed.select
-            select_indices = [self._schema.index_of(name) for name in columns]
+            return self._schema.names, list(range(len(self._schema)))
+        columns = prepared.parsed.select
+        return tuple(columns), [
+            self._schema.index_of(name) for name in columns
+        ]
 
-        matching = np.flatnonzero(outcome.verdicts)
+    def _build_result(
+        self,
+        prepared: PreparedQuery,
+        matrix: np.ndarray,
+        costs: np.ndarray,
+        verdicts: np.ndarray,
+        extra: np.ndarray,
+    ) -> QueryResult:
+        columns, select_indices = self._select_indices(prepared)
+        matching = np.flatnonzero(verdicts)
         rows = tuple(
             tuple(int(value) for value in matrix[row, select_indices])
             for row in matching
-        )
-        projection_cost = self._projection_cost(
-            prepared, matrix, matching, select_indices
         )
         return QueryResult(
             columns=tuple(columns),
             rows=rows,
             tuples_scanned=matrix.shape[0],
-            where_cost=outcome.total_cost,
-            projection_cost=projection_cost,
+            where_cost=float(costs.sum()),
+            projection_cost=float(extra[matching].sum()),
         )
 
     def explain(self, text: str) -> str:
@@ -210,23 +335,21 @@ class AcquisitionalEngine:
         ]
         return "\n".join(lines)
 
-    def _projection_cost(
-        self,
-        prepared: PreparedQuery,
-        matrix: np.ndarray,
-        matching: np.ndarray,
-        select_indices: list[int],
-    ) -> float:
-        """Cost of acquiring selected attributes for matching tuples.
+    def _projection_extra(
+        self, prepared: PreparedQuery, matrix: np.ndarray
+    ) -> np.ndarray:
+        """Per-row cost of acquiring selected attributes post-WHERE.
 
         Attributes the WHERE plan acquired on a tuple's path are already
         cached on the mote; only genuinely-unread attributes cost extra.
         Per-path acquired sets are recovered with the same vectorized tree
-        routing used for costing.
+        routing used for costing.  Callers sum the returned array over
+        matching rows (non-matching tuples never reach projection).
         """
-        if matching.size == 0 or not select_indices:
-            return 0.0
+        _columns, select_indices = self._select_indices(prepared)
         extra = np.zeros(matrix.shape[0], dtype=np.float64)
+        if not select_indices:
+            return extra
         costs = self._schema.costs
 
         from repro.core.plan import ConditionNode, SequentialNode, VerdictLeaf
@@ -269,4 +392,4 @@ class AcquisitionalEngine:
                 extra[rows] += sum(costs[index] for index in unread)
 
         walk(prepared.plan, np.arange(matrix.shape[0]), frozenset())
-        return float(extra[matching].sum())
+        return extra

@@ -38,3 +38,7 @@ class AcquisitionError(ReproError):
 
 class DiscretizationError(ReproError):
     """Real-valued data could not be mapped onto a discrete domain."""
+
+
+class ServiceError(ReproError):
+    """The serving layer was configured or used inconsistently."""

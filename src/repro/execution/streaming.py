@@ -80,6 +80,10 @@ class AdaptiveStreamExecutor:
     smoothing:
         Laplace smoothing for the window distributions (small windows make
         raw counts noisy).
+    on_replan:
+        Optional callback invoked with each :class:`ReplanEvent` as the
+        plan is swapped — serving layers hook this to invalidate cached
+        plans the moment the stream's statistics move.
     """
 
     def __init__(
@@ -91,6 +95,7 @@ class AdaptiveStreamExecutor:
         replan_interval: int = 1_000,
         drift_threshold: float | None = 1.5,
         smoothing: float = 0.5,
+        on_replan: Callable[[ReplanEvent], None] | None = None,
     ) -> None:
         if window < 2:
             raise PlanningError(f"window must be >= 2, got {window}")
@@ -109,6 +114,7 @@ class AdaptiveStreamExecutor:
         self._replan_interval = int(replan_interval)
         self._drift_threshold = drift_threshold
         self._smoothing = float(smoothing)
+        self._on_replan = on_replan
 
     def process(self, stream: np.ndarray) -> StreamReport:
         """Run the query over ``stream`` (rows in arrival order)."""
@@ -145,8 +151,8 @@ class AdaptiveStreamExecutor:
                 window.append(row)
                 if position + 1 >= warmup:
                     plan, predicted = self._replan(window)
-                    replans.append(
-                        ReplanEvent(position + 1, predicted, "interval")
+                    self._record(
+                        replans, ReplanEvent(position + 1, predicted, "interval")
                     )
                     since_replan = 0
                     cost_since_replan = 0.0
@@ -168,12 +174,13 @@ class AdaptiveStreamExecutor:
             )
             if since_replan >= self._replan_interval or drifted:
                 plan, predicted = self._replan(window)
-                replans.append(
+                self._record(
+                    replans,
                     ReplanEvent(
                         position + 1,
                         predicted,
                         "drift" if drifted else "interval",
-                    )
+                    ),
                 )
                 since_replan = 0
                 cost_since_replan = 0.0
@@ -181,6 +188,13 @@ class AdaptiveStreamExecutor:
         return StreamReport(
             costs=costs, verdicts=verdicts, replans=tuple(replans)
         )
+
+    def _record(
+        self, replans: list[ReplanEvent], event: ReplanEvent
+    ) -> None:
+        replans.append(event)
+        if self._on_replan is not None:
+            self._on_replan(event)
 
     def _replan(self, window: deque) -> tuple[PlanNode, float]:
         snapshot = np.asarray(list(window), dtype=np.int64)

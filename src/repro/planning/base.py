@@ -14,8 +14,9 @@ under the planner's probability model, and search statistics.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -60,12 +61,19 @@ class PlannerStats:
 
 @dataclass(frozen=True)
 class PlanningResult:
-    """The outcome of one planning run."""
+    """The outcome of one planning run.
+
+    ``planning_seconds`` is the wall-clock cost of producing the plan —
+    zero unless the run went through :meth:`Planner.plan_timed`.  Serving
+    layers use it to report planning-vs-execution latency and to decide
+    whether a plan is worth caching.
+    """
 
     plan: PlanNode
     expected_cost: float
     planner: str
     stats: PlannerStats = field(default_factory=PlannerStats)
+    planning_seconds: float = 0.0
 
 
 class Planner(ABC):
@@ -101,6 +109,14 @@ class Planner(ABC):
     @abstractmethod
     def plan(self, query: ConjunctiveQuery) -> PlanningResult:
         """Produce a plan for ``query`` over the full attribute space."""
+
+    def plan_timed(self, query: ConjunctiveQuery) -> PlanningResult:
+        """:meth:`plan`, with wall-clock planning cost stamped on the result."""
+        start = time.perf_counter()
+        result = self.plan(query)
+        return replace(
+            result, planning_seconds=time.perf_counter() - start
+        )
 
 
 class SequentialPlanner(Planner):

@@ -1,0 +1,173 @@
+"""The plan cache: bounded, statistics-versioned, LRU or LFU.
+
+Entries are keyed by :class:`~repro.service.fingerprint.QueryFingerprint`
+and stamped with the engine's statistics version at insert time.  A
+lookup under a newer version finds the entry *stale* — the plan was
+trained on statistics that no longer describe the data — and drops it on
+the spot (counted as an invalidation, returned as a miss).  Serving
+layers additionally call :meth:`invalidate_stale` eagerly when the
+version bumps, so a refit or an adaptive-stream replan empties the cache
+of old-generation plans immediately.
+
+Two eviction policies cover the workloads we care about:
+
+- ``"lru"`` — recency: right default for drifting request mixes;
+- ``"lfu"`` — frequency (ties broken by recency): right for the heavy
+  Zipf skew of production traffic, where a few hot shapes should never
+  be pushed out by a scan of one-off queries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+from repro.exceptions import ServiceError
+
+__all__ = ["PlanCache", "CacheStats"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_POLICIES = ("lru", "lfu")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    capacity: int
+    policy: str
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "capacity": self.capacity,
+            "policy": self.policy,
+        }
+
+
+class _Entry(Generic[V]):
+    __slots__ = ("version", "value", "frequency")
+
+    def __init__(self, version: int, value: V) -> None:
+        self.version = version
+        self.value = value
+        self.frequency = 0
+
+
+class PlanCache(Generic[K, V]):
+    """Bounded mapping of fingerprint -> (statistics version, plan)."""
+
+    def __init__(self, capacity: int = 256, policy: str = "lru") -> None:
+        if capacity < 1:
+            raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
+        if policy not in _POLICIES:
+            raise ServiceError(
+                f"unknown cache policy {policy!r}; choose from {_POLICIES}"
+            )
+        self._capacity = int(capacity)
+        self._policy = policy
+        self._entries: OrderedDict[K, _Entry[V]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    def get(self, key: K, version: int) -> V | None:
+        """The cached value, or None on miss / stale generation."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        if entry.version != version:
+            # Trained on old statistics: drop, report a miss.
+            del self._entries[key]
+            self._invalidations += 1
+            self._misses += 1
+            return None
+        self._hits += 1
+        entry.frequency += 1
+        self._entries.move_to_end(key)
+        return entry.value
+
+    def put(self, key: K, version: int, value: V) -> None:
+        """Insert or replace; evicts per policy once capacity is hit."""
+        existing = self._entries.pop(key, None)
+        while len(self._entries) >= self._capacity:
+            self._evict()
+        entry = _Entry(version, value)
+        if existing is not None and existing.version == version:
+            entry.frequency = existing.frequency
+        self._entries[key] = entry
+
+    def invalidate_stale(self, version: int) -> int:
+        """Drop every entry not trained on ``version``; returns the count."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if entry.version != version
+        ]
+        for key in stale:
+            del self._entries[key]
+        self._invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            invalidations=self._invalidations,
+            size=len(self._entries),
+            capacity=self._capacity,
+            policy=self._policy,
+        )
+
+    def _evict(self) -> None:
+        if self._policy == "lru":
+            self._entries.popitem(last=False)
+        else:
+            # LFU: least-frequently-used; OrderedDict iteration order makes
+            # the least-recently-touched entry win frequency ties.
+            victim = min(
+                self._entries, key=lambda key: self._entries[key].frequency
+            )
+            del self._entries[victim]
+        self._evictions += 1

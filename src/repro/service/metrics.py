@@ -1,0 +1,123 @@
+"""In-process metrics for the serving layer.
+
+A deliberately small registry — counters and latency histograms with a
+dict snapshot — so the service can answer "what is my hit rate, where
+does time go" without external dependencies.  Histograms keep a bounded
+reservoir of the most recent observations (latency distributions drift
+with the workload; old samples stop being representative) plus running
+aggregates over the full lifetime.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.exceptions import ServiceError
+
+__all__ = ["Counter", "LatencyHistogram", "MetricsRegistry"]
+
+_DEFAULT_RESERVOIR = 8_192
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class Counter:
+    """A monotonically-increasing event counter."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ServiceError(f"counter increments must be >= 0, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class LatencyHistogram:
+    """Latency tracker: lifetime aggregates + recent-window percentiles.
+
+    Observations are seconds; snapshots report milliseconds (the natural
+    unit at serving granularity).  Percentiles come from a sliding
+    reservoir of the last ``reservoir`` observations.
+    """
+
+    def __init__(self, reservoir: int = _DEFAULT_RESERVOIR) -> None:
+        if reservoir < 1:
+            raise ServiceError(f"reservoir must be >= 1, got {reservoir}")
+        self._recent: deque[float] = deque(maxlen=reservoir)
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        value = float(seconds)
+        if value < 0.0:
+            raise ServiceError(f"latency must be >= 0, got {value}")
+        self._recent.append(value)
+        self._count += 1
+        self._total += value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean_seconds(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (seconds) over the recent reservoir."""
+        if not self._recent:
+            return 0.0
+        return float(np.percentile(np.fromiter(self._recent, float), q))
+
+    def snapshot(self) -> dict:
+        report = {
+            "count": self._count,
+            "mean_ms": round(self.mean_seconds * 1e3, 4),
+            "max_ms": round(self._max * 1e3, 4),
+        }
+        for q in _PERCENTILES:
+            report[f"p{q:g}_ms"] = round(self.percentile(q) * 1e3, 4)
+        return report
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = LatencyHistogram()
+        return histogram
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }

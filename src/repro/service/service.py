@@ -1,0 +1,233 @@
+"""The multi-query serving runtime.
+
+:class:`AcquisitionalService` sits above an
+:class:`~repro.engine.AcquisitionalEngine` and serves a *workload* of
+statements rather than one statement at a time:
+
+- statements are canonicalized and fingerprinted, so every spelling of
+  the same query shares one plan-cache slot;
+- plans are cached in a bounded LRU/LFU :class:`~repro.service.cache.PlanCache`
+  keyed by (fingerprint, statistics version) — refitting the engine's
+  distribution or an adaptive-stream replan bumps the version and
+  invalidates every old-generation plan;
+- same-fingerprint requests can be admitted as a batch and pushed
+  through the plan in one vectorized pass over the stacked live tuples;
+- counters and latency histograms are recorded throughout and exposed
+  via :meth:`stats`.
+
+The paper's architecture makes this cheap to get right: plans are
+trained *once* on historical statistics and reused per-tuple, so the
+only cache-coherence event is a statistics change — exactly what the
+version stamp tracks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.engine import AcquisitionalEngine, PreparedQuery, QueryResult
+from repro.engine.language import ParsedQuery, parse_query
+from repro.exceptions import QueryError, ServiceError
+from repro.execution.streaming import AdaptiveStreamExecutor
+from repro.service.cache import PlanCache
+from repro.service.fingerprint import QueryFingerprint, fingerprint_parsed
+from repro.service.metrics import MetricsRegistry
+
+__all__ = ["AcquisitionalService"]
+
+
+class AcquisitionalService:
+    """Serve many acquisitional queries through one shared plan cache.
+
+    Parameters
+    ----------
+    engine:
+        The underlying engine (owns schema, statistics, and planners).
+    cache_capacity:
+        Maximum number of cached plans.
+    cache_policy:
+        ``"lru"`` (recency) or ``"lfu"`` (frequency — the right choice
+        for heavily skewed workloads).
+    cache_enabled:
+        ``False`` plans every statement from scratch; useful as the
+        baseline when measuring what the cache buys.
+    """
+
+    def __init__(
+        self,
+        engine: AcquisitionalEngine,
+        cache_capacity: int = 256,
+        cache_policy: str = "lru",
+        cache_enabled: bool = True,
+    ) -> None:
+        self._engine = engine
+        self._cache: PlanCache[QueryFingerprint, PreparedQuery] = PlanCache(
+            capacity=cache_capacity, policy=cache_policy
+        )
+        self._cache_enabled = bool(cache_enabled)
+        self._metrics = MetricsRegistry()
+        engine.add_statistics_listener(self._on_statistics_version)
+
+    # ------------------------------------------------------------------
+    # Planning path
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> AcquisitionalEngine:
+        return self._engine
+
+    @property
+    def cache(self) -> PlanCache:
+        return self._cache
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache_enabled
+
+    def fingerprint(self, text: str) -> QueryFingerprint:
+        """Canonical fingerprint of a statement under the engine's schema."""
+        return fingerprint_parsed(
+            parse_query(text, self._engine.schema), self._engine.schema
+        )
+
+    def plan_for(self, text: str) -> PreparedQuery:
+        """The (cached) prepared plan serving a statement."""
+        parsed = parse_query(text, self._engine.schema)
+        return self._prepared_for(parsed, text)
+
+    def _prepared_for(
+        self, parsed: ParsedQuery, text: str
+    ) -> PreparedQuery:
+        fingerprint = fingerprint_parsed(parsed, self._engine.schema)
+        version = self._engine.statistics_version
+        if self._cache_enabled:
+            cached = self._cache.get(fingerprint, version)
+            if cached is not None:
+                return cached
+        prepared = self._engine.prepare_parsed(parsed, text=text)
+        self._metrics.counter("plans_built").increment()
+        self._metrics.histogram("planning").observe(prepared.planning_seconds)
+        if self._cache_enabled:
+            self._cache.put(fingerprint, version, prepared)
+        return prepared
+
+    # ------------------------------------------------------------------
+    # Execution paths
+    # ------------------------------------------------------------------
+
+    def execute(self, text: str, readings: np.ndarray) -> QueryResult:
+        """Serve one statement over live readings."""
+        self._metrics.counter("queries").increment()
+        prepared = self.plan_for(text)
+        start = time.perf_counter()
+        result = self._engine.execute_prepared(prepared, readings)
+        self._metrics.histogram("execution").observe(
+            time.perf_counter() - start
+        )
+        return result
+
+    def execute_batch(
+        self, requests: Sequence[tuple[str, np.ndarray]]
+    ) -> list[QueryResult]:
+        """Serve many requests, grouping same-fingerprint ones.
+
+        Each request is ``(statement text, readings matrix)``.  Requests
+        whose statements canonicalize to the same fingerprint are planned
+        once and executed in a single vectorized pass over their stacked
+        readings; results come back in request order.
+        """
+        self._metrics.counter("queries").increment(len(requests))
+        self._metrics.counter("batch_requests").increment(len(requests))
+        groups: dict[QueryFingerprint, list[int]] = {}
+        parsed_requests: list[tuple[ParsedQuery, np.ndarray]] = []
+        for position, (text, readings) in enumerate(requests):
+            parsed = parse_query(text, self._engine.schema)
+            fingerprint = fingerprint_parsed(parsed, self._engine.schema)
+            groups.setdefault(fingerprint, []).append(position)
+            parsed_requests.append((parsed, readings))
+
+        results: list[QueryResult | None] = [None] * len(requests)
+        for positions in groups.values():
+            first_parsed, _first_readings = parsed_requests[positions[0]]
+            text = requests[positions[0]][0]
+            prepared = self._prepared_for(first_parsed, text)
+            matrices = [parsed_requests[p][1] for p in positions]
+            start = time.perf_counter()
+            group_results = self._engine.execute_prepared_many(
+                prepared, matrices
+            )
+            self._metrics.histogram("execution").observe(
+                time.perf_counter() - start
+            )
+            for position, result in zip(positions, group_results):
+                results[position] = result
+        self._metrics.counter("batch_groups").increment(len(groups))
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------
+    # Statistics lifecycle
+    # ------------------------------------------------------------------
+
+    def refit(
+        self, history: np.ndarray, smoothing: float | None = None
+    ) -> int:
+        """Refit engine statistics; every cached plan is invalidated."""
+        return self._engine.refit(history, smoothing=smoothing)
+
+    def stream_executor(
+        self, text: str, **kwargs
+    ) -> AdaptiveStreamExecutor:
+        """An adaptive stream executor wired into cache invalidation.
+
+        The executor replans on drift (Section 7); each
+        :class:`~repro.execution.streaming.ReplanEvent` is proof that the
+        live statistics have moved away from what the engine's cached
+        plans were trained on, so the service bumps the statistics
+        version — invalidating the plan cache — on every swap.
+        ``kwargs`` pass through to
+        :class:`~repro.execution.streaming.AdaptiveStreamExecutor`.
+        """
+        parsed = parse_query(text, self._engine.schema)
+        if not parsed.is_conjunctive:
+            raise QueryError(
+                "adaptive streaming requires a conjunctive WHERE clause"
+            )
+        if "on_replan" in kwargs:
+            raise ServiceError(
+                "on_replan is owned by the service; use engine callbacks "
+                "for additional replan handling"
+            )
+
+        def on_replan(_event) -> None:
+            self._metrics.counter("stream_replans").increment()
+            self._engine.bump_statistics_version()
+
+        return AdaptiveStreamExecutor(
+            self._engine.schema,
+            parsed.query,
+            planner_factory=self._engine.planner_factory,
+            on_replan=on_replan,
+            **kwargs,
+        )
+
+    def _on_statistics_version(self, version: int) -> None:
+        self._metrics.counter("statistics_bumps").increment()
+        self._cache.invalidate_stale(version)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Point-in-time service snapshot: cache, counters, latencies."""
+        metrics = self._metrics.snapshot()
+        return {
+            "statistics_version": self._engine.statistics_version,
+            "cache_enabled": self._cache_enabled,
+            "cache": self._cache.stats().as_dict(),
+            "counters": metrics["counters"],
+            "latency": metrics["histograms"],
+        }

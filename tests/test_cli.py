@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -194,6 +196,84 @@ class TestPlanAndExecute:
                 ]
             )
             assert code == 0
+
+
+class TestServeBench:
+    def test_reports_speedup_and_writes_json(self, trace_dir, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "serve-bench",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--live",
+                str(trace_dir / "test.csv"),
+                "--shapes",
+                "5",
+                "--requests",
+                "30",
+                "--rows-per-request",
+                "32",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "cache on" in captured and "q/s" in captured
+        report = json.loads(out.read_text())
+        assert report["cache_on"]["queries_per_second"] > 0
+        assert report["cache_off"]["queries_per_second"] > 0
+        assert report["cache_on"]["stats"]["cache"]["hits"] > 0
+
+    def test_batched_admission(self, trace_dir, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--shapes",
+                "4",
+                "--requests",
+                "20",
+                "--batch-size",
+                "8",
+            ]
+        )
+        assert code == 0
+        assert "hit rate" in capsys.readouterr().out
+
+
+class TestCacheStats:
+    def test_prints_fingerprints_and_snapshot(self, trace_dir, capsys):
+        code = main(
+            [
+                "cache-stats",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--query",
+                "SELECT * WHERE temp >= 5 AND light <= 4",
+                "--query",
+                "SELECT * WHERE light <= 4 AND temp >= 5",
+                "--repeat",
+                "3",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        fingerprints = {
+            line.split()[0] for line in captured.splitlines() if "SELECT" in line
+        }
+        assert len(fingerprints) == 1  # permuted spellings share a slot
+        snapshot = json.loads(captured[captured.index("{") :])
+        assert snapshot["cache"]["hits"] == 5
+        assert snapshot["counters"]["plans_built"] == 1
 
 
 class TestErrors:

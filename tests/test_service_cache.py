@@ -1,0 +1,279 @@
+"""Tests for the serving layer's plan cache and its invalidation story.
+
+The contract under test: a cached plan is only served while the engine's
+statistics version matches the version it was trained under.  Refitting
+the distribution, an explicit bump, or an adaptive-stream replan must
+all retire old-generation plans — and canonicalization must make every
+spelling of a query land in the same slot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Attribute, Schema
+from repro.engine import AcquisitionalEngine
+from repro.exceptions import ServiceError
+from repro.service import (
+    AcquisitionalService,
+    PlanCache,
+    fingerprint_statement,
+)
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("hour", 4, 1.0),
+            Attribute("temp", 4, 100.0),
+            Attribute("light", 4, 100.0),
+        ]
+    )
+
+
+def make_history(schema: Schema, seed: int = 0, shifted: bool = False) -> np.ndarray:
+    """Correlated readings; ``shifted`` moves the sensor distributions.
+
+    In the base world temp and light track the hour symmetrically, so a
+    plan filters temp first.  In the shifted world light hardly ever
+    reaches 3 while temp almost always does — flipping which predicate
+    rejects tuples cheaply, hence which plan is optimal.
+    """
+    rng = np.random.default_rng(seed)
+    n = 4000
+    hour = rng.integers(1, 5, n)
+    if shifted:
+        temp = rng.integers(3, 5, n)
+        light = np.where(
+            rng.random(n) < 0.95, rng.integers(1, 3, n), rng.integers(3, 5, n)
+        )
+    else:
+        day = hour >= 3
+        temp = np.where(day, rng.integers(3, 5, n), rng.integers(1, 3, n))
+        light = np.where(day, rng.integers(3, 5, n), rng.integers(1, 3, n))
+    return np.stack([hour, temp, light], axis=1).astype(np.int64)
+
+
+@pytest.fixture
+def history(schema) -> np.ndarray:
+    return make_history(schema)
+
+
+@pytest.fixture
+def engine(schema, history) -> AcquisitionalEngine:
+    return AcquisitionalEngine(schema, history)
+
+
+@pytest.fixture
+def service(engine) -> AcquisitionalService:
+    return AcquisitionalService(engine, cache_capacity=8)
+
+
+class TestPlanCache:
+    def test_round_trip(self):
+        cache: PlanCache = PlanCache(capacity=2)
+        cache.put("a", 1, "plan-a")
+        assert cache.get("a", 1) == "plan-a"
+        assert cache.get("missing", 1) is None
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_version_mismatch_drops_entry(self):
+        cache: PlanCache = PlanCache(capacity=2)
+        cache.put("a", 1, "plan-a")
+        assert cache.get("a", 2) is None
+        assert "a" not in cache
+        stats = cache.stats()
+        assert stats.invalidations == 1 and stats.misses == 1
+
+    def test_invalidate_stale_sweeps_old_generations(self):
+        cache: PlanCache = PlanCache(capacity=4)
+        cache.put("a", 1, "plan-a")
+        cache.put("b", 1, "plan-b")
+        cache.put("c", 2, "plan-c")
+        assert cache.invalidate_stale(2) == 2
+        assert len(cache) == 1 and "c" in cache
+
+    def test_lru_evicts_least_recently_used(self):
+        cache: PlanCache = PlanCache(capacity=2, policy="lru")
+        cache.put("a", 1, "plan-a")
+        cache.put("b", 1, "plan-b")
+        cache.get("a", 1)  # refresh a
+        cache.put("c", 1, "plan-c")  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats().evictions == 1
+
+    def test_lfu_keeps_the_hot_entry(self):
+        cache: PlanCache = PlanCache(capacity=2, policy="lfu")
+        cache.put("hot", 1, "plan-hot")
+        for _lookup in range(5):
+            cache.get("hot", 1)
+        cache.put("cold", 1, "plan-cold")
+        cache.get("cold", 1)
+        cache.put("new", 1, "plan-new")  # evicts cold (freq 1), not hot
+        assert "hot" in cache and "new" in cache and "cold" not in cache
+
+    def test_replacing_same_version_keeps_frequency(self):
+        cache: PlanCache = PlanCache(capacity=4, policy="lfu")
+        cache.put("a", 1, "old")
+        cache.get("a", 1)
+        cache.put("a", 1, "new")
+        assert cache.get("a", 1) == "new"
+
+    def test_configuration_validation(self):
+        with pytest.raises(ServiceError):
+            PlanCache(capacity=0)
+        with pytest.raises(ServiceError):
+            PlanCache(policy="mru")
+
+
+class TestFingerprint:
+    def test_predicate_permutation_shares_slot(self, schema):
+        first = fingerprint_statement(
+            "SELECT temp WHERE temp >= 3 AND light <= 2 AND hour >= 2", schema
+        )
+        second = fingerprint_statement(
+            "SELECT temp WHERE hour >= 2 AND light <= 2 AND temp >= 3", schema
+        )
+        assert first == second
+        assert first.digest == second.digest
+
+    def test_select_star_resolves_to_schema_columns(self, schema):
+        star = fingerprint_statement("SELECT * WHERE temp >= 3", schema)
+        explicit = fingerprint_statement(
+            "SELECT hour, temp, light WHERE temp >= 3", schema
+        )
+        assert star == explicit
+
+    def test_projection_order_distinguishes(self, schema):
+        first = fingerprint_statement("SELECT temp, light WHERE hour >= 2", schema)
+        second = fingerprint_statement("SELECT light, temp WHERE hour >= 2", schema)
+        assert first != second
+
+    def test_literals_bucketed_onto_the_grid(self, schema):
+        # Domain of temp is 4: both statements accept exactly temp in [3, 4].
+        loose = fingerprint_statement("SELECT * WHERE temp BETWEEN 3 AND 9", schema)
+        tight = fingerprint_statement("SELECT * WHERE temp BETWEEN 3 AND 4", schema)
+        assert loose == tight
+
+    def test_distinct_queries_do_not_collide(self, schema):
+        first = fingerprint_statement("SELECT * WHERE temp >= 3", schema)
+        second = fingerprint_statement("SELECT * WHERE temp >= 2", schema)
+        third = fingerprint_statement("SELECT * WHERE light >= 3", schema)
+        assert len({first, second, third}) == 3
+
+    def test_disjunction_branch_order_normalized(self, schema):
+        first = fingerprint_statement(
+            "SELECT * WHERE temp >= 3 OR light >= 3 OR hour >= 2", schema
+        )
+        second = fingerprint_statement(
+            "SELECT * WHERE hour >= 2 OR (light >= 3 OR temp >= 3)", schema
+        )
+        assert first == second
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bounds=st.lists(
+            st.tuples(st.integers(1, 4), st.integers(1, 4)),
+            min_size=3,
+            max_size=3,
+        ),
+        order=st.permutations([0, 1, 2]),
+        data=st.data(),
+    )
+    def test_any_conjunct_permutation_is_equivalent(self, bounds, order, data):
+        schema = Schema(
+            [
+                Attribute("hour", 4, 1.0),
+                Attribute("temp", 4, 100.0),
+                Attribute("light", 4, 100.0),
+            ]
+        )
+        names = ["hour", "temp", "light"]
+        clauses = [
+            f"{names[i]} BETWEEN {min(b)} AND {max(b)}"
+            for i, b in enumerate(bounds)
+        ]
+        base = "SELECT * WHERE " + " AND ".join(clauses)
+        shuffled = "SELECT * WHERE " + " AND ".join(
+            clauses[i] for i in order
+        )
+        assert fingerprint_statement(base, schema) == fingerprint_statement(
+            shuffled, schema
+        )
+
+
+class TestStatisticsInvalidation:
+    QUERY = "SELECT * WHERE temp >= 3 AND light >= 3"
+
+    def test_refit_bumps_version_and_uses_new_plan(self, schema, service):
+        live = make_history(schema, seed=7)
+        service.execute(self.QUERY, live)
+        before = service.plan_for(self.QUERY)
+        assert service.cache.stats().hits >= 1
+
+        # Shifted world: light now rejects almost every tuple, so the new
+        # optimal plan must filter light before temp.
+        service.refit(make_history(schema, seed=8, shifted=True))
+
+        after = service.plan_for(self.QUERY)
+        assert after.statistics_version == before.statistics_version + 1
+        assert after is not before
+        assert after.plan != before.plan
+        assert service.cache.stats().invalidations >= 1
+        # The freshly planned statement serves subsequent requests.
+        assert service.plan_for(self.QUERY) is after
+
+    def test_engine_refit_clears_prepared_statements(self, schema, engine):
+        first = engine.prepare(self.QUERY)
+        assert engine.prepare(self.QUERY) is first
+        engine.refit(make_history(schema, seed=9, shifted=True))
+        second = engine.prepare(self.QUERY)
+        assert second is not first
+        assert second.statistics_version == first.statistics_version + 1
+
+    def test_explicit_bump_invalidates(self, service):
+        service.plan_for(self.QUERY)
+        assert len(service.cache) == 1
+        service.engine.bump_statistics_version()
+        assert len(service.cache) == 0
+        assert service.cache.stats().invalidations == 1
+
+    def test_stream_replan_invalidates_cached_plans(self, schema, service):
+        service.plan_for(self.QUERY)
+        version = service.engine.statistics_version
+        executor = service.stream_executor(
+            self.QUERY, window=400, replan_interval=300, drift_threshold=None
+        )
+        report = executor.process(make_history(schema, seed=11)[:1000])
+        assert len(report.replans) >= 1
+        assert service.engine.statistics_version == version + len(report.replans)
+        assert len(service.cache) == 0
+        assert (
+            service.stats()["counters"]["stream_replans"]
+            == len(report.replans)
+        )
+
+
+class TestPreparedQueryContract:
+    def test_prepared_query_is_hashable_and_frozen(self, engine):
+        prepared = engine.prepare("SELECT temp WHERE temp >= 3 AND light <= 2")
+        assert isinstance(hash(prepared), int)
+        assert {prepared: "slot"}[prepared] == "slot"
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            prepared.text = "mutated"
+
+    def test_execute_reuses_prepared_statement(self, schema, engine):
+        live = make_history(schema, seed=5)[:100]
+        text = "SELECT * WHERE temp >= 3 AND light >= 3"
+        engine.execute(text, live)
+        prepared = engine.prepare(text)
+        engine.execute(text, live)
+        assert engine.prepare(text) is prepared
