@@ -67,6 +67,7 @@ from repro.exceptions import (
     DistributionError,
     PlanError,
     PlanningError,
+    PlanVerificationError,
     QueryError,
     ReproError,
     SchemaError,
@@ -185,6 +186,7 @@ __all__ = [
     "QueryError",
     "PlanError",
     "PlanningError",
+    "PlanVerificationError",
     "DistributionError",
     "AcquisitionError",
     "DiscretizationError",

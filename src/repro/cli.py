@@ -17,6 +17,9 @@ Mirrors the basestation workflow of the paper's architecture
                   --live trace/test.csv --shapes 20 --requests 400
     repro cache-stats --schema trace/schema.json --trace trace/train.csv \
                   --query "SELECT * WHERE ..." --repeat 25
+    repro lint-plan --schema trace/schema.json --plan plan.json \
+                  --trace trace/train.csv --query "SELECT * WHERE ..."
+    repro lint-plan --suite
 
 Every command reads/writes the JSON/CSV formats of
 :mod:`repro.data.trace_io`, so artifacts interoperate with the library
@@ -48,7 +51,13 @@ from repro.data.trace_io import (
     save_schema,
     save_trace,
 )
-from repro.data.workload import query_text, random_range_query, zipf_draws
+from repro.data.workload import (
+    garden_queries,
+    lab_queries,
+    query_text,
+    random_range_query,
+    zipf_draws,
+)
 from repro.engine.engine import AcquisitionalEngine
 from repro.engine.language import parse_query
 from repro.exceptions import ReproError
@@ -61,6 +70,7 @@ from repro.planning.optimal_sequential import OptimalSequentialPlanner
 from repro.planning.split_points import SplitPointPolicy
 from repro.probability.empirical import EmpiricalDistribution
 from repro.service.service import AcquisitionalService
+from repro.verify import verify_bytecode, verify_plan
 
 __all__ = ["main", "build_parser"]
 
@@ -174,6 +184,38 @@ def build_parser() -> argparse.ArgumentParser:
     cache_stats.add_argument("--capacity", type=int, default=64)
     cache_stats.add_argument("--policy", choices=("lru", "lfu"), default="lru")
     cache_stats.add_argument("--smoothing", type=float, default=0.0)
+
+    lint = commands.add_parser(
+        "lint-plan",
+        help="statically verify a plan file, a bytecode file, or every "
+        "planner x dataset combination (--suite)",
+    )
+    lint.add_argument("--schema", type=Path, default=None)
+    lint.add_argument("--plan", type=Path, default=None, help="plan JSON to lint")
+    lint.add_argument(
+        "--bytecode", type=Path, default=None, help="compiled plan file to lint"
+    )
+    lint.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="training trace CSV; enables the Eq. 3 cost-conservation rules",
+    )
+    lint.add_argument(
+        "--query",
+        default=None,
+        help="statement the plan should answer; enables the semantic rules",
+    )
+    lint.add_argument("--smoothing", type=float, default=0.0)
+    lint.add_argument(
+        "--suite",
+        action="store_true",
+        help="lint the plans of all five planners on Garden, Lab, and "
+        "synthetic workloads; exit 1 on any ERROR diagnostic",
+    )
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json", help="JSON report output"
+    )
 
     return parser
 
@@ -479,6 +521,162 @@ def _command_cache_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_suite_datasets():
+    """Small planner-verification workloads: every dataset family, sized so
+    even the exhaustive planner finishes in seconds."""
+    garden = generate_garden_dataset(
+        n_motes=1,
+        n_epochs=300,
+        seed=7,
+        domain_sizes={"hour": 6, "temp": 6, "humidity": 6, "voltage": 4},
+    )
+    lab = generate_lab_dataset(
+        n_readings=300,
+        n_motes=4,
+        seed=11,
+        domain_sizes={"hour": 6, "voltage": 4, "light": 6, "temp": 6, "humidity": 6},
+    )
+    synthetic = generate_synthetic_dataset(
+        n_attributes=4, gamma=1, selectivity=0.5, n_rows=300, seed=13
+    )
+    return [
+        ("garden", garden, garden_queries(garden, 4, seed=3)),
+        ("lab", lab, lab_queries(lab, 4, seed=5)),
+        ("synthetic", synthetic, [synthetic.query()]),
+    ]
+
+
+def _lint_suite_planners(distribution: EmpiricalDistribution) -> dict:
+    """The five planners the verifier gates, smallest-config exhaustive."""
+    schema = distribution.schema
+    policy = SplitPointPolicy.equal_width(schema, [1] * len(schema))
+    return {
+        "naive": NaivePlanner(distribution),
+        "opt-seq": OptimalSequentialPlanner(distribution),
+        "greedy-seq": GreedySequentialPlanner(distribution),
+        "greedy-split": GreedyConditionalPlanner(
+            distribution, CorrSeqPlanner(distribution), max_splits=5
+        ),
+        "exhaustive": ExhaustivePlanner(
+            distribution, split_policy=policy, max_subproblems=300_000
+        ),
+    }
+
+
+def _command_lint_suite(args: argparse.Namespace) -> int:
+    total_errors = 0
+    total_warnings = 0
+    rows = []
+    reports = []
+    for dataset_name, dataset, queries in _lint_suite_datasets():
+        schema = dataset.schema
+        distribution = EmpiricalDistribution(
+            schema, dataset.data, smoothing=args.smoothing or 0.5
+        )
+        for planner_name, planner in _lint_suite_planners(distribution).items():
+            errors = 0
+            warnings = 0
+            for query in queries:
+                result = planner.plan_timed(query)
+                report = verify_plan(
+                    result.plan,
+                    schema,
+                    query=query,
+                    distribution=distribution,
+                    claimed_cost=result.expected_cost,
+                    check_compiled=True,
+                    subject=f"{dataset_name}/{planner_name}: {query.describe()}",
+                )
+                errors += len(report.errors)
+                warnings += len(report.warnings)
+                if report.diagnostics:
+                    reports.append(report)
+            rows.append((dataset_name, planner_name, len(queries), errors, warnings))
+            total_errors += errors
+            total_warnings += warnings
+
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "ok": total_errors == 0,
+                    "errors": total_errors,
+                    "warnings": total_warnings,
+                    "results": [
+                        {
+                            "dataset": dataset,
+                            "planner": planner,
+                            "queries": queries,
+                            "errors": errors,
+                            "warnings": warnings,
+                        }
+                        for dataset, planner, queries, errors, warnings in rows
+                    ],
+                    "reports": [report.as_dict() for report in reports],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"{'dataset':<11} {'planner':<13} {'queries':>7} {'errors':>7} {'warnings':>9}")
+        for dataset, planner, queries, errors, warnings in rows:
+            print(f"{dataset:<11} {planner:<13} {queries:>7} {errors:>7} {warnings:>9}")
+        for report in reports:
+            print()
+            print(report.format())
+        verdict = "clean" if total_errors == 0 else "FAILED"
+        print(
+            f"\nlint-plan suite {verdict}: {total_errors} error(s), "
+            f"{total_warnings} warning(s) across {len(rows)} planner/dataset runs"
+        )
+    return 0 if total_errors == 0 else 1
+
+
+def _command_lint_plan(args: argparse.Namespace) -> int:
+    if args.suite:
+        return _command_lint_suite(args)
+    if args.schema is None:
+        raise ReproError("lint-plan needs --schema (or --suite)")
+    if (args.plan is None) == (args.bytecode is None):
+        raise ReproError(
+            "lint-plan needs exactly one of --plan or --bytecode (or --suite)"
+        )
+    schema = load_schema(args.schema)
+    distribution = None
+    if args.trace is not None:
+        train = load_trace(args.trace, schema)
+        distribution = EmpiricalDistribution(
+            schema, train, smoothing=args.smoothing
+        )
+    query = None
+    if args.query is not None:
+        query = parse_query(args.query, schema).query
+    if args.plan is not None:
+        plan = load_plan(args.plan)
+        report = verify_plan(
+            plan,
+            schema,
+            query=query,
+            distribution=distribution,
+            check_compiled=True,
+            subject=str(args.plan),
+        )
+    else:
+        code = args.bytecode.read_bytes()
+        report = verify_bytecode(
+            code,
+            schema,
+            query=query,
+            distribution=distribution,
+            subject=str(args.bytecode),
+        )
+    if args.as_json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -491,6 +689,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _command_compare,
         "serve-bench": _command_serve_bench,
         "cache-stats": _command_cache_stats,
+        "lint-plan": _command_lint_plan,
     }
     try:
         return handlers[args.command](args)

@@ -288,82 +288,23 @@ def validate_plan(
     - split values outside ``[2, K_i]`` or outside the reachable range
       implied by ancestor splits (dead branches);
     - sequential-step predicate bounds outside the attribute's domain;
-    - with ``query`` given: predicates appearing in leaves that are not
-      the query's predicates on that attribute (a plan that checks the
-      wrong thing).
+    - with ``query`` given: full semantic equivalence — predicates in
+      leaves that are not the query's, dropped or duplicated conjuncts,
+      verdict leaves unjustified by (or contradicting) their context.
+
+    This is a thin wrapper over :func:`repro.verify.rules.check_tree`
+    that keeps the historical string-list interface; use
+    :func:`repro.verify.verify_plan` directly for structured diagnostics
+    (error codes, severities, node paths) and the cost/bytecode rules.
     """
-    problems: list[str] = []
-    query_predicates = None
-    if query is not None:
-        query_predicates = {
-            index: predicate
-            for predicate, index in zip(query.predicates, query.attribute_indices)
-        }
+    from repro.verify.diagnostics import Severity
+    from repro.verify.rules import check_tree
 
-    def walk(node: PlanNode, ranges: RangeVector) -> None:
-        if isinstance(node, VerdictLeaf):
-            return
-        if isinstance(node, ConditionNode):
-            index = node.attribute_index
-            if not 0 <= index < len(schema):
-                problems.append(
-                    f"condition node attribute index {index} out of range"
-                )
-                return
-            attribute = schema[index]
-            if node.attribute != attribute.name:
-                problems.append(
-                    f"condition node names {node.attribute!r} but index "
-                    f"{index} is {attribute.name!r}"
-                )
-            interval = ranges[index]
-            if not interval.low < node.split_value <= interval.high:
-                problems.append(
-                    f"split {attribute.name} >= {node.split_value} is "
-                    f"unreachable given ancestor range "
-                    f"[{interval.low}, {interval.high}]"
-                )
-                return
-            below_ranges, above_ranges = ranges.split(index, node.split_value)
-            walk(node.below, below_ranges)
-            walk(node.above, above_ranges)
-            return
-        if isinstance(node, SequentialNode):
-            for step in node.steps:
-                index = step.attribute_index
-                if not 0 <= index < len(schema):
-                    problems.append(
-                        f"sequential step attribute index {index} out of range"
-                    )
-                    continue
-                attribute = schema[index]
-                predicate = step.predicate
-                if predicate.attribute != attribute.name:
-                    problems.append(
-                        f"step predicate names {predicate.attribute!r} but "
-                        f"index {index} is {attribute.name!r}"
-                    )
-                low = getattr(predicate, "low", None)
-                high = getattr(predicate, "high", None)
-                if low is not None and (
-                    low < 1 or high > attribute.domain_size
-                ):
-                    problems.append(
-                        f"step bounds [{low}, {high}] exceed domain "
-                        f"[1, {attribute.domain_size}] of {attribute.name!r}"
-                    )
-                if query_predicates is not None:
-                    expected = query_predicates.get(index)
-                    if expected is None or expected != predicate:
-                        problems.append(
-                            f"leaf evaluates {predicate.describe()!r}, which "
-                            "is not one of the query's predicates"
-                        )
-            return
-        problems.append(f"unknown plan node type {type(node).__name__}")
-
-    walk(plan, RangeVector.full(schema))
-    return problems
+    return [
+        finding.message
+        for finding in check_tree(plan, schema, query=query)
+        if finding.severity is Severity.ERROR
+    ]
 
 
 @dataclass(frozen=True)

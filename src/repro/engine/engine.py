@@ -102,6 +102,12 @@ class AcquisitionalEngine:
         configuration.
     smoothing:
         Laplace smoothing for the engine's statistics.
+    verify_plans:
+        Debug mode: statically verify every plan the engine produces
+        (:func:`repro.verify.assert_valid_plan`), raising
+        :class:`~repro.exceptions.PlanVerificationError` on ERROR-level
+        diagnostics.  Off by default — planners are trusted in
+        production; turn it on in tests and when developing planners.
     """
 
     def __init__(
@@ -110,9 +116,11 @@ class AcquisitionalEngine:
         history: np.ndarray,
         planner_factory: PlannerFactory | None = None,
         smoothing: float = 0.0,
+        verify_plans: bool = False,
     ) -> None:
         self._schema = schema
         self._smoothing = float(smoothing)
+        self._verify_plans = bool(verify_plans)
         self._distribution = EmpiricalDistribution(
             schema, history, smoothing=smoothing
         )
@@ -216,6 +224,17 @@ class AcquisitionalEngine:
                 max_subproblems=500_000,
             )
         result = planner.plan_timed(parsed.query)
+        if self._verify_plans:
+            from repro.verify import assert_valid_plan
+
+            assert_valid_plan(
+                result.plan,
+                self._schema,
+                query=parsed.query,
+                distribution=self._distribution,
+                claimed_cost=result.expected_cost,
+                subject=f"plan[{result.planner}]",
+            )
         return PreparedQuery(
             text=text,
             parsed=parsed,

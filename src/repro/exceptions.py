@@ -24,6 +24,18 @@ class PlanError(ReproError):
     """A plan tree is structurally invalid or cannot be executed."""
 
 
+class PlanVerificationError(PlanError):
+    """Static verification found ERROR-severity diagnostics in a plan.
+
+    Carries the full :class:`~repro.verify.diagnostics.VerificationReport`
+    as :attr:`report` so callers can inspect codes and paths.
+    """
+
+    def __init__(self, message: str, report: object | None = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class PlanningError(ReproError):
     """A planner could not produce a plan for the given inputs."""
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Generic, Hashable, TypeVar
+from typing import Callable, Generic, Hashable, TypeVar
 
 from repro.exceptions import ServiceError
 
@@ -44,6 +44,7 @@ class CacheStats:
     size: int
     capacity: int
     policy: str
+    rejections: int = 0
 
     @property
     def lookups(self) -> int:
@@ -60,6 +61,7 @@ class CacheStats:
             "hit_rate": round(self.hit_rate, 4),
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "rejections": self.rejections,
             "size": self.size,
             "capacity": self.capacity,
             "policy": self.policy,
@@ -76,9 +78,21 @@ class _Entry(Generic[V]):
 
 
 class PlanCache(Generic[K, V]):
-    """Bounded mapping of fingerprint -> (statistics version, plan)."""
+    """Bounded mapping of fingerprint -> (statistics version, plan).
 
-    def __init__(self, capacity: int = 256, policy: str = "lru") -> None:
+    ``admission`` is an optional gate run on every :meth:`put`: a
+    callable ``(key, value) -> bool`` that returns ``False`` to refuse
+    the entry (counted in :attr:`CacheStats.rejections`).  The serving
+    layer wires the static plan verifier here so an inconsistent plan is
+    never served from cache.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        policy: str = "lru",
+        admission: Callable[[K, V], bool] | None = None,
+    ) -> None:
         if capacity < 1:
             raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
         if policy not in _POLICIES:
@@ -87,11 +101,13 @@ class PlanCache(Generic[K, V]):
             )
         self._capacity = int(capacity)
         self._policy = policy
+        self._admission = admission
         self._entries: OrderedDict[K, _Entry[V]] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._rejections = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -124,8 +140,15 @@ class PlanCache(Generic[K, V]):
         self._entries.move_to_end(key)
         return entry.value
 
-    def put(self, key: K, version: int, value: V) -> None:
-        """Insert or replace; evicts per policy once capacity is hit."""
+    def put(self, key: K, version: int, value: V) -> bool:
+        """Insert or replace; evicts per policy once capacity is hit.
+
+        Returns ``False`` (and caches nothing) when the admission gate
+        refuses the entry.
+        """
+        if self._admission is not None and not self._admission(key, value):
+            self._rejections += 1
+            return False
         existing = self._entries.pop(key, None)
         while len(self._entries) >= self._capacity:
             self._evict()
@@ -133,6 +156,7 @@ class PlanCache(Generic[K, V]):
         if existing is not None and existing.version == version:
             entry.frequency = existing.frequency
         self._entries[key] = entry
+        return True
 
     def invalidate_stale(self, version: int) -> int:
         """Drop every entry not trained on ``version``; returns the count."""
@@ -158,6 +182,7 @@ class PlanCache(Generic[K, V]):
             size=len(self._entries),
             capacity=self._capacity,
             policy=self._policy,
+            rejections=self._rejections,
         )
 
     def _evict(self) -> None:

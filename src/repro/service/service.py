@@ -35,6 +35,7 @@ from repro.execution.streaming import AdaptiveStreamExecutor
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import QueryFingerprint, fingerprint_parsed
 from repro.service.metrics import MetricsRegistry
+from repro.verify import verify_plan
 
 __all__ = ["AcquisitionalService"]
 
@@ -54,6 +55,12 @@ class AcquisitionalService:
     cache_enabled:
         ``False`` plans every statement from scratch; useful as the
         baseline when measuring what the cache buys.
+    verify_admission:
+        ``True`` (the default) runs the static plan verifier
+        (:func:`repro.verify.verify_plan`) as the cache's admission
+        gate: a plan with ERROR-severity diagnostics is served once but
+        never cached, and the rejection is counted in :meth:`stats`
+        (``plans_rejected`` and the cache's ``rejections``).
     """
 
     def __init__(
@@ -62,14 +69,32 @@ class AcquisitionalService:
         cache_capacity: int = 256,
         cache_policy: str = "lru",
         cache_enabled: bool = True,
+        verify_admission: bool = True,
     ) -> None:
         self._engine = engine
+        self._verify_admission = bool(verify_admission)
+        admission = self._admit_plan if self._verify_admission else None
         self._cache: PlanCache[QueryFingerprint, PreparedQuery] = PlanCache(
-            capacity=cache_capacity, policy=cache_policy
+            capacity=cache_capacity, policy=cache_policy, admission=admission
         )
         self._cache_enabled = bool(cache_enabled)
         self._metrics = MetricsRegistry()
         engine.add_statistics_listener(self._on_statistics_version)
+
+    def _admit_plan(
+        self, _fingerprint: QueryFingerprint, prepared: PreparedQuery
+    ) -> bool:
+        """Cache-admission gate: statically verify the prepared plan."""
+        report = verify_plan(
+            prepared.plan,
+            self._engine.schema,
+            query=prepared.parsed.query,
+            distribution=self._engine.distribution,
+            claimed_cost=prepared.expected_where_cost,
+        )
+        if not report.ok:
+            self._metrics.counter("plans_rejected").increment()
+        return report.ok
 
     # ------------------------------------------------------------------
     # Planning path

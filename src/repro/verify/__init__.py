@@ -1,0 +1,59 @@
+"""Static analysis over conditional-plan IR and compiled bytecode.
+
+Plans cross two trust boundaries in the paper's architecture: the
+planner hands an opaque tree to the execution layer, and Section 2.5
+ships that tree into the network as a byte string.  Theorem 3.1 makes
+dataset-relative plan optimization NP-complete, so planners lean on
+heuristics — and a buggy heuristic, a corrupted byte, or a stale cached
+plan silently returns wrong tuples or burns acquisition energy.  This
+package is the correctness backstop: a rule-based verifier that walks
+plans *without executing them* and emits structured diagnostics with
+stable error codes (see :mod:`repro.verify.diagnostics` for the
+catalog, mirrored in ``docs/VERIFIER.md``).
+
+Four rule families:
+
+- **semantic equivalence** — every root-to-leaf path decides exactly
+  the query's conjuncts (``SEM*``);
+- **range soundness** — condition splits partition the reachable range
+  context; dead and degenerate branches are flagged (``RNG*``,
+  ``STR*``);
+- **cost conservation** — the claimed expected cost matches an
+  independent Equation 3 recomputation and branch probabilities are
+  sound (``COST*``);
+- **bytecode safety** — compiled plans have in-bounds, acyclic,
+  non-overlapping node layouts and round-trip losslessly (``BC*``).
+
+Entry points: :func:`verify_plan`, :func:`verify_bytecode`,
+:func:`assert_valid_plan`, and :class:`PlanVerifier` for callers that
+verify many plans against one schema/distribution.  A mutation corpus
+for self-testing the verifier lives in :mod:`repro.verify.mutations`.
+"""
+
+from repro.verify.diagnostics import (
+    CODE_CATALOG,
+    Diagnostic,
+    Severity,
+    VerificationReport,
+)
+from repro.verify.mutations import MutationCase, bytecode_mutations, plan_mutations
+from repro.verify.verifier import (
+    PlanVerifier,
+    assert_valid_plan,
+    verify_bytecode,
+    verify_plan,
+)
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "VerificationReport",
+    "CODE_CATALOG",
+    "PlanVerifier",
+    "verify_plan",
+    "verify_bytecode",
+    "assert_valid_plan",
+    "MutationCase",
+    "plan_mutations",
+    "bytecode_mutations",
+]

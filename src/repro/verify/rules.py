@@ -1,0 +1,465 @@
+"""Tree-level verification rules: structure, semantics, ranges, cost.
+
+All rules share one recursive walk that threads the *range context* — the
+:class:`~repro.core.ranges.RangeVector` subproblem implied by the
+condition splits on the path from the root (Section 3.2).  The context is
+what makes the checks static: a leaf is judged against what the splits
+above it *prove* about the tuple, never by executing the plan.
+
+The semantic rules accept both query classes.  For a
+:class:`~repro.core.query.ConjunctiveQuery` the leaf contract is exact:
+a sequential leaf must test precisely the predicates still undetermined
+in its context, and a verdict leaf must state the truth the context
+proves.  For a :class:`~repro.core.boolean.BooleanQuery` sequential
+leaves are rejected outright (fail-fast conjunction semantics do not
+implement a general formula — the same restriction
+:func:`~repro.planning.base.require_conjunctive` enforces at planning
+time), while verdict leaves are still checked against ``truth_under``.
+
+The cost rule is Equation 3 run independently of
+:func:`repro.core.cost.expected_cost`: condition recursion is
+re-implemented here (with probability-sanity checks folded in) and the
+two implementations are required to agree, as is any claimed cost the
+planner reported.
+"""
+
+from __future__ import annotations
+
+from repro.core.attributes import Schema
+from repro.core.boolean import BooleanQuery
+from repro.core.cost import expected_cost
+from repro.core.cost_models import AcquisitionCostModel
+from repro.core.plan import (
+    ConditionNode,
+    PlanNode,
+    SequentialNode,
+    VerdictLeaf,
+)
+from repro.core.predicates import Predicate, Truth
+from repro.core.query import ConjunctiveQuery
+from repro.core.ranges import RangeVector
+from repro.exceptions import PlanError
+from repro.probability.base import Distribution
+from repro.verify.diagnostics import Diagnostic, make_diagnostic
+
+__all__ = ["check_tree", "check_cost"]
+
+AnyQuery = ConjunctiveQuery | BooleanQuery
+
+
+def check_tree(
+    plan: PlanNode,
+    schema: Schema,
+    query: AnyQuery | None = None,
+    ranges: RangeVector | None = None,
+) -> list[Diagnostic]:
+    """Structural, range-soundness, and (with ``query``) semantic rules.
+
+    ``ranges`` narrows the root context for verifying subtrees; it
+    defaults to the full attribute space.
+    """
+    findings: list[Diagnostic] = []
+    context = ranges if ranges is not None else RangeVector.full(schema)
+    _walk(plan, context, "root", schema, query, findings)
+    return findings
+
+
+def _walk(
+    node: PlanNode,
+    ranges: RangeVector,
+    path: str,
+    schema: Schema,
+    query: AnyQuery | None,
+    findings: list[Diagnostic],
+) -> None:
+    if isinstance(node, VerdictLeaf):
+        if query is not None:
+            _check_verdict(node.verdict, ranges, path, query, findings)
+        return
+    if isinstance(node, SequentialNode):
+        _check_sequential(node, ranges, path, schema, query, findings)
+        return
+    if isinstance(node, ConditionNode):
+        index = node.attribute_index
+        if not 0 <= index < len(schema):
+            findings.append(
+                make_diagnostic(
+                    "STR002",
+                    path,
+                    f"condition node attribute index {index} out of range "
+                    f"for a schema of {len(schema)} attributes",
+                    hint="plan was built against a different schema",
+                )
+            )
+            return
+        attribute = schema[index]
+        if node.attribute != attribute.name:
+            findings.append(
+                make_diagnostic(
+                    "STR003",
+                    path,
+                    f"condition node names {node.attribute!r} but index "
+                    f"{index} is {attribute.name!r}",
+                )
+            )
+        if node.split_value < 2:
+            findings.append(
+                make_diagnostic(
+                    "RNG003",
+                    path,
+                    f"split at {node.split_value} is below the 1-based "
+                    "domain minimum; the below branch is empty",
+                )
+            )
+            return
+        interval = ranges[index]
+        if not interval.low < node.split_value <= interval.high:
+            findings.append(
+                make_diagnostic(
+                    "RNG001",
+                    path,
+                    f"split {attribute.name} >= {node.split_value} is "
+                    f"unreachable given ancestor range "
+                    f"[{interval.low}, {interval.high}]: the branches do "
+                    "not partition the context",
+                    hint="an ancestor split already decided this test",
+                )
+            )
+            return
+        if query is not None and query.truth_under(ranges) is not Truth.UNDETERMINED:
+            findings.append(
+                make_diagnostic(
+                    "RNG002",
+                    path,
+                    f"context already decides the query; splitting on "
+                    f"{attribute.name} acquires data for nothing",
+                    hint="replace the subtree with a verdict leaf",
+                )
+            )
+        below_ranges, above_ranges = ranges.split(index, node.split_value)
+        _walk(node.below, below_ranges, path + "/below", schema, query, findings)
+        _walk(node.above, above_ranges, path + "/above", schema, query, findings)
+        return
+    findings.append(
+        make_diagnostic(
+            "STR001", path, f"unknown plan node type {type(node).__name__}"
+        )
+    )
+
+
+def _check_verdict(
+    verdict: bool,
+    ranges: RangeVector,
+    path: str,
+    query: AnyQuery,
+    findings: list[Diagnostic],
+) -> None:
+    truth = query.truth_under(ranges)
+    if truth is Truth.UNDETERMINED:
+        findings.append(
+            make_diagnostic(
+                "SEM005",
+                path,
+                f"verdict {verdict} is not justified: the range context "
+                "leaves the query undetermined",
+                hint="the leaf must still evaluate the open predicates",
+            )
+        )
+    elif (truth is Truth.TRUE) != verdict:
+        findings.append(
+            make_diagnostic(
+                "SEM006",
+                path,
+                f"verdict {verdict} contradicts the range context, which "
+                f"proves the query {truth.value.upper()}",
+                hint="flipped verdict: the plan answers the wrong way",
+            )
+        )
+
+
+def _check_sequential(
+    node: SequentialNode,
+    ranges: RangeVector,
+    path: str,
+    schema: Schema,
+    query: AnyQuery | None,
+    findings: list[Diagnostic],
+) -> None:
+    conjunctive = isinstance(query, ConjunctiveQuery)
+    if isinstance(query, BooleanQuery) and node.steps:
+        findings.append(
+            make_diagnostic(
+                "SEM007",
+                path,
+                "sequential (fail-fast conjunction) leaf cannot implement "
+                "a non-conjunctive query",
+                hint="boolean formulas need condition-node resolution",
+            )
+        )
+        return
+
+    query_predicates: dict[int, Predicate] | None = None
+    undetermined: dict[int, Predicate] = {}
+    proven_false: set[int] = set()
+    if conjunctive:
+        assert isinstance(query, ConjunctiveQuery)
+        query_predicates = {
+            index: predicate
+            for predicate, index in zip(query.predicates, query.attribute_indices)
+        }
+        for index, predicate in query_predicates.items():
+            truth = predicate.truth_under(ranges[index])
+            if truth is Truth.UNDETERMINED:
+                undetermined[index] = predicate
+            elif truth is Truth.FALSE:
+                proven_false.add(index)
+
+    seen: set[int] = set()
+    tests_proven_false = False
+    for position, step in enumerate(node.steps):
+        step_path = f"{path}/steps[{position}]"
+        index = step.attribute_index
+        if not 0 <= index < len(schema):
+            findings.append(
+                make_diagnostic(
+                    "STR002",
+                    step_path,
+                    f"sequential step attribute index {index} out of range "
+                    f"for a schema of {len(schema)} attributes",
+                )
+            )
+            continue
+        attribute = schema[index]
+        predicate = step.predicate
+        if predicate.attribute != attribute.name:
+            findings.append(
+                make_diagnostic(
+                    "STR003",
+                    step_path,
+                    f"step predicate names {predicate.attribute!r} but "
+                    f"index {index} is {attribute.name!r}",
+                )
+            )
+        low = getattr(predicate, "low", None)
+        high = getattr(predicate, "high", None)
+        if low is not None and (low < 1 or high > attribute.domain_size):
+            findings.append(
+                make_diagnostic(
+                    "STR004",
+                    step_path,
+                    f"step bounds [{low}, {high}] exceed domain "
+                    f"[1, {attribute.domain_size}] of {attribute.name!r}",
+                )
+            )
+        if index in seen:
+            findings.append(
+                make_diagnostic(
+                    "SEM002",
+                    step_path,
+                    f"attribute {attribute.name!r} is tested more than once "
+                    "in one leaf",
+                    hint="the paper's problem class is one predicate per attribute",
+                )
+            )
+            continue
+        seen.add(index)
+        if query_predicates is None:
+            continue
+        expected = query_predicates.get(index)
+        if expected is None or expected != predicate:
+            findings.append(
+                make_diagnostic(
+                    "SEM003",
+                    step_path,
+                    f"leaf evaluates {predicate.describe()!r}, which is "
+                    "not one of the query's predicates",
+                    hint="the plan answers a different query",
+                )
+            )
+            continue
+        if index in proven_false:
+            tests_proven_false = True
+        if index not in undetermined:
+            findings.append(
+                make_diagnostic(
+                    "SEM004",
+                    step_path,
+                    f"context already decides {predicate.describe()!r}; "
+                    "re-testing it wastes an acquisition",
+                )
+            )
+
+    if query_predicates is None:
+        return
+
+    # A leaf that tests a predicate the context proves false always returns
+    # False, which is exactly the query's truth there — any further gaps are
+    # cost, not correctness.  Otherwise every still-open conjunct must appear.
+    if tests_proven_false:
+        return
+    if proven_false:
+        findings.append(
+            make_diagnostic(
+                "SEM006",
+                path,
+                "context proves the query FALSE but the leaf can still "
+                "return TRUE (no step tests a failed conjunct)",
+                hint="replace the leaf with a False verdict",
+            )
+        )
+        return
+    for index, predicate in undetermined.items():
+        if index not in seen:
+            findings.append(
+                make_diagnostic(
+                    "SEM001",
+                    path,
+                    f"dropped conjunct: {predicate.describe()!r} is "
+                    "undetermined in this context but the leaf never tests it",
+                    hint="the plan accepts tuples the query rejects",
+                )
+            )
+
+
+def check_cost(
+    plan: PlanNode,
+    distribution: Distribution,
+    claimed_cost: float | None = None,
+    tolerance: float = 1e-5,
+    cost_model: AcquisitionCostModel | None = None,
+    ranges: RangeVector | None = None,
+) -> list[Diagnostic]:
+    """Cost-conservation rules (Equation 3) under ``distribution``.
+
+    Recomputes the plan's expected cost with an independent condition-node
+    recursion, checking along the way that every split probability lies in
+    ``[0, 1]`` (COST002), that leaf reach-probabilities partition the root
+    context (COST003), and flagging model-dead branches (COST004).  The
+    result must agree with :func:`repro.core.cost.expected_cost` and with
+    ``claimed_cost`` when given (COST001).
+    """
+    findings: list[Diagnostic] = []
+    schema = distribution.schema
+    context = ranges if ranges is not None else RangeVector.full(schema)
+    reach_total = 0.0
+
+    def walk(node: PlanNode, node_ranges: RangeVector, reach: float, path: str) -> float:
+        nonlocal reach_total
+        if isinstance(node, VerdictLeaf):
+            reach_total += reach
+            return 0.0
+        if isinstance(node, SequentialNode):
+            reach_total += reach
+            # Sequential-leaf costing is shared with the core implementation;
+            # the conservation check below exercises the condition recursion.
+            return expected_cost(node, distribution, node_ranges, cost_model)
+        if isinstance(node, ConditionNode):
+            index = node.attribute_index
+            if not 0 <= index < len(schema):
+                reach_total += reach  # structurally broken: reported by check_tree
+                return 0.0
+            interval = node_ranges[index]
+            if not interval.low < node.split_value <= interval.high:
+                reach_total += reach  # RNG001 territory: reported by check_tree
+                return 0.0
+            if node_ranges.is_acquired(index):
+                acquisition = 0.0
+            elif cost_model is None:
+                acquisition = schema[index].cost
+            else:
+                acquisition = cost_model.cost(index, node_ranges.acquired_indices())
+            probability = distribution.split_probability(
+                index, node.split_value, node_ranges
+            )
+            if probability < -tolerance or probability > 1.0 + tolerance:
+                findings.append(
+                    make_diagnostic(
+                        "COST002",
+                        path,
+                        f"P({node.attribute} < {node.split_value}) = "
+                        f"{probability!r} lies outside [0, 1]",
+                        hint="the probability model is inconsistent",
+                    )
+                )
+            probability = min(1.0, max(0.0, probability))
+            below_ranges, above_ranges = node_ranges.split(index, node.split_value)
+            total = acquisition
+            for branch, branch_ranges, branch_probability in (
+                ("below", below_ranges, probability),
+                ("above", above_ranges, 1.0 - probability),
+            ):
+                branch_path = f"{path}/{branch}"
+                if branch_probability <= 0.0:
+                    findings.append(
+                        make_diagnostic(
+                            "COST004",
+                            branch_path,
+                            f"branch is dead under the model "
+                            f"(P = {branch_probability:.3g}); it only runs "
+                            "if live data drifts from the statistics",
+                        )
+                    )
+                    continue
+                total += branch_probability * walk(
+                    getattr(node, branch),
+                    branch_ranges,
+                    reach * branch_probability,
+                    branch_path,
+                )
+            return total
+        reach_total += reach  # unknown node: reported by check_tree
+        return 0.0
+
+    recomputed = walk(plan, context, 1.0, "root")
+
+    leaf_mass = reach_total
+    # Dead branches are excluded from the walk, so the reachable leaf mass
+    # must still account for the whole context.
+    if abs(leaf_mass - 1.0) > max(tolerance, 1e-9) and not any(
+        finding.code == "COST004" for finding in findings
+    ):
+        findings.append(
+            make_diagnostic(
+                "COST003",
+                "root",
+                f"leaf reach probabilities sum to {leaf_mass!r}, not 1: "
+                "the splits do not partition the context",
+            )
+        )
+
+    try:
+        independent = expected_cost(plan, distribution, context, cost_model)
+    except PlanError as error:
+        findings.append(
+            make_diagnostic(
+                "COST001",
+                "root",
+                f"Equation 3 recomputation failed: {error}",
+            )
+        )
+        return findings
+    if not _close(recomputed, independent, tolerance):
+        findings.append(
+            make_diagnostic(
+                "COST001",
+                "root",
+                f"independent Eq. 3 recomputations diverge: "
+                f"{recomputed!r} (verifier) vs {independent!r} (core)",
+                hint="cost conservation is violated at some condition node",
+            )
+        )
+    if claimed_cost is not None and not _close(claimed_cost, independent, tolerance):
+        findings.append(
+            make_diagnostic(
+                "COST001",
+                "root",
+                f"claimed expected cost {claimed_cost!r} disagrees with "
+                f"the Eq. 3 recomputation {independent!r}",
+                hint="the planner's cost bookkeeping drifted from the plan",
+            )
+        )
+    return findings
+
+
+def _close(a: float, b: float, tolerance: float) -> bool:
+    return abs(a - b) <= tolerance * max(1.0, abs(a), abs(b))

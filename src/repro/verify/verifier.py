@@ -1,0 +1,215 @@
+"""Verifier entry points: one plan, one byte string, or many of each.
+
+:func:`verify_plan` runs the tree rules (structure, semantics, ranges)
+plus — when a distribution is supplied — cost conservation, and
+optionally cross-checks the compiled form.  :func:`verify_bytecode`
+starts from the wire format instead: the layout must pass the ``BC*``
+safety rules before the decoded tree is put through the same tree rules.
+:class:`PlanVerifier` binds a schema/query/distribution once for callers
+that verify plans in a loop (the engine's debug mode, the cache
+admission gate, the CLI suite).
+"""
+
+from __future__ import annotations
+
+from repro.core.attributes import Schema
+from repro.core.boolean import BooleanQuery
+from repro.core.cost_models import AcquisitionCostModel
+from repro.core.plan import PlanNode
+from repro.core.query import ConjunctiveQuery
+from repro.core.ranges import RangeVector
+from repro.exceptions import PlanVerificationError, ReproError
+from repro.execution.bytecode import compile_plan
+from repro.probability.base import Distribution
+from repro.verify.bytecode_check import check_bytecode
+from repro.verify.diagnostics import VerificationReport, make_diagnostic
+from repro.verify.rules import check_cost, check_tree
+
+__all__ = [
+    "PlanVerifier",
+    "verify_plan",
+    "verify_bytecode",
+    "assert_valid_plan",
+    "DEFAULT_COST_TOLERANCE",
+]
+
+AnyQuery = ConjunctiveQuery | BooleanQuery
+
+# Relative tolerance for Eq. 3 cost comparisons.  Planner bookkeeping is
+# float arithmetic over a different summation order than the recomputation,
+# so exact equality is out; anything beyond this is a real drift.
+DEFAULT_COST_TOLERANCE = 1e-6
+
+
+def verify_plan(
+    plan: PlanNode,
+    schema: Schema,
+    query: AnyQuery | None = None,
+    distribution: Distribution | None = None,
+    claimed_cost: float | None = None,
+    cost_model: AcquisitionCostModel | None = None,
+    ranges: RangeVector | None = None,
+    check_compiled: bool = False,
+    tolerance: float = DEFAULT_COST_TOLERANCE,
+    subject: str = "plan",
+) -> VerificationReport:
+    """Statically verify a plan tree; nothing is executed.
+
+    ``query`` enables the semantic-equivalence rules, ``distribution``
+    the cost-conservation rules (with ``claimed_cost`` compared when
+    given), and ``check_compiled`` additionally compiles the plan and
+    runs the bytecode safety rules over the result.
+    """
+    findings = check_tree(plan, schema, query=query, ranges=ranges)
+    structurally_sound = not any(
+        finding.code.startswith(("STR", "RNG")) for finding in findings
+    )
+    if distribution is not None and structurally_sound:
+        findings.extend(
+            check_cost(
+                plan,
+                distribution,
+                claimed_cost=claimed_cost,
+                tolerance=tolerance,
+                cost_model=cost_model,
+                ranges=ranges,
+            )
+        )
+    if check_compiled and structurally_sound:
+        try:
+            code = compile_plan(plan)
+        except ReproError as error:
+            findings.append(
+                make_diagnostic(
+                    "BC005", "root", f"plan does not compile: {error}"
+                )
+            )
+        else:
+            byte_findings, _decoded = check_bytecode(code, schema)
+            findings.extend(byte_findings)
+    return VerificationReport.from_findings(findings, subject=subject)
+
+
+def verify_bytecode(
+    code: bytes,
+    schema: Schema,
+    query: AnyQuery | None = None,
+    distribution: Distribution | None = None,
+    claimed_cost: float | None = None,
+    cost_model: AcquisitionCostModel | None = None,
+    tolerance: float = DEFAULT_COST_TOLERANCE,
+    subject: str = "bytecode",
+) -> VerificationReport:
+    """Statically verify a compiled plan byte string.
+
+    The ``BC*`` layout rules run first; only a byte string that decodes
+    cleanly is put through the tree rules (semantics, ranges, cost).
+    """
+    findings, plan = check_bytecode(code, schema)
+    if plan is not None:
+        tree_report = verify_plan(
+            plan,
+            schema,
+            query=query,
+            distribution=distribution,
+            claimed_cost=claimed_cost,
+            cost_model=cost_model,
+            tolerance=tolerance,
+        )
+        findings.extend(tree_report.diagnostics)
+    return VerificationReport.from_findings(findings, subject=subject)
+
+
+def assert_valid_plan(
+    plan: PlanNode,
+    schema: Schema,
+    query: AnyQuery | None = None,
+    distribution: Distribution | None = None,
+    claimed_cost: float | None = None,
+    cost_model: AcquisitionCostModel | None = None,
+    check_compiled: bool = True,
+    subject: str = "plan",
+) -> VerificationReport:
+    """Verify and raise :class:`PlanVerificationError` on any ERROR."""
+    report = verify_plan(
+        plan,
+        schema,
+        query=query,
+        distribution=distribution,
+        claimed_cost=claimed_cost,
+        cost_model=cost_model,
+        check_compiled=check_compiled,
+        subject=subject,
+    )
+    if not report.ok:
+        raise PlanVerificationError(report.format(), report=report)
+    return report
+
+
+class PlanVerifier:
+    """A verifier bound to one schema and (optionally) one distribution.
+
+    The serving layer verifies every admitted plan against the same
+    statistics snapshot; binding the context once keeps call sites to
+    ``verifier.verify(plan, query, claimed_cost=...)``.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        distribution: Distribution | None = None,
+        cost_model: AcquisitionCostModel | None = None,
+        tolerance: float = DEFAULT_COST_TOLERANCE,
+        check_compiled: bool = False,
+    ) -> None:
+        self.schema = schema
+        self.distribution = distribution
+        self.cost_model = cost_model
+        self.tolerance = tolerance
+        self.check_compiled = check_compiled
+
+    def verify(
+        self,
+        plan: PlanNode,
+        query: AnyQuery | None = None,
+        claimed_cost: float | None = None,
+        subject: str = "plan",
+    ) -> VerificationReport:
+        return verify_plan(
+            plan,
+            self.schema,
+            query=query,
+            distribution=self.distribution,
+            claimed_cost=claimed_cost,
+            cost_model=self.cost_model,
+            check_compiled=self.check_compiled,
+            tolerance=self.tolerance,
+            subject=subject,
+        )
+
+    def verify_bytecode(
+        self,
+        code: bytes,
+        query: AnyQuery | None = None,
+        claimed_cost: float | None = None,
+        subject: str = "bytecode",
+    ) -> VerificationReport:
+        return verify_bytecode(
+            code,
+            self.schema,
+            query=query,
+            distribution=self.distribution,
+            claimed_cost=claimed_cost,
+            cost_model=self.cost_model,
+            tolerance=self.tolerance,
+            subject=subject,
+        )
+
+    def admit(
+        self,
+        plan: PlanNode,
+        query: AnyQuery | None = None,
+        claimed_cost: float | None = None,
+    ) -> bool:
+        """Admission predicate for :class:`~repro.service.cache.PlanCache`."""
+        return self.verify(plan, query=query, claimed_cost=claimed_cost).ok

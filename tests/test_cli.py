@@ -305,3 +305,138 @@ class TestErrors:
             ]
         )
         assert code == 2
+
+
+class TestLintPlan:
+    QUERY = "SELECT * WHERE light >= 9 AND temp <= 5"
+
+    def _planned(self, trace_dir, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        code = main(
+            [
+                "plan",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--query",
+                self.QUERY,
+                "--out",
+                str(plan_path),
+            ]
+        )
+        assert code == 0
+        return plan_path
+
+    def test_clean_plan_exits_zero(self, trace_dir, tmp_path, capsys):
+        plan_path = self._planned(trace_dir, tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "lint-plan",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--plan",
+                str(plan_path),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--query",
+                self.QUERY,
+            ]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_wrong_query_exits_nonzero_with_codes(
+        self, trace_dir, tmp_path, capsys
+    ):
+        plan_path = self._planned(trace_dir, tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "lint-plan",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--plan",
+                str(plan_path),
+                "--query",
+                "SELECT * WHERE humidity >= 4",
+            ]
+        )
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "SEM" in output
+
+    def test_json_output(self, trace_dir, tmp_path, capsys):
+        plan_path = self._planned(trace_dir, tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "lint-plan",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--plan",
+                str(plan_path),
+                "--query",
+                self.QUERY,
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+
+    def test_bytecode_mode(self, trace_dir, tmp_path, capsys):
+        from repro.execution import compile_plan
+
+        plan_path = self._planned(trace_dir, tmp_path)
+        plan = load_plan(plan_path)
+        code_path = tmp_path / "plan.bin"
+        code_path.write_bytes(compile_plan(plan))
+        capsys.readouterr()
+        code = main(
+            [
+                "lint-plan",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--bytecode",
+                str(code_path),
+                "--query",
+                self.QUERY,
+            ]
+        )
+        assert code == 0
+
+    def test_corrupt_bytecode_rejected(self, trace_dir, tmp_path, capsys):
+        from repro.execution import compile_plan
+
+        plan_path = self._planned(trace_dir, tmp_path)
+        plan = load_plan(plan_path)
+        blob = bytearray(compile_plan(plan))
+        blob = blob[:-1]  # truncate
+        code_path = tmp_path / "plan.bin"
+        code_path.write_bytes(bytes(blob))
+        capsys.readouterr()
+        code = main(
+            [
+                "lint-plan",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--bytecode",
+                str(code_path),
+            ]
+        )
+        assert code == 1
+        assert "BC" in capsys.readouterr().out
+
+    def test_plan_and_bytecode_together_is_an_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "lint-plan",
+                "--schema",
+                str(tmp_path / "schema.json"),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,198 @@
+"""Verifier gating at the engine, cache, and service layers.
+
+The issue's acceptance scenario: a hand-built inconsistent plan must be
+refused by :class:`~repro.service.cache.PlanCache` admission and the
+rejection must show up in ``service.stats()``; and an engine in debug
+mode (``verify_plans=True``) must raise
+:class:`~repro.exceptions.PlanVerificationError` the moment a broken
+planner hands back a wrong plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import VerdictLeaf
+from repro.engine import AcquisitionalEngine
+from repro.engine.language import parse_query
+from repro.exceptions import PlanVerificationError
+from repro.planning.base import Planner, PlannerStats, PlanningResult
+from repro.planning.naive import NaivePlanner
+from repro.service import AcquisitionalService
+from repro.service.fingerprint import fingerprint_parsed
+
+TEXT = "SELECT * WHERE a >= 3 AND a <= 6 AND b >= 2 AND b <= 5"
+
+
+@pytest.fixture
+def engine():
+    from repro.core import Attribute, Schema
+
+    schema = Schema(
+        [
+            Attribute("a", 8, 1.0),
+            Attribute("b", 8, 2.0),
+            Attribute("c", 8, 4.0),
+        ]
+    )
+    rng = np.random.default_rng(0)
+    history = rng.integers(1, 9, size=(500, 3))
+    return AcquisitionalEngine(schema, history, smoothing=0.5)
+
+
+class BrokenPlanner(Planner):
+    """Returns an always-TRUE verdict whatever the query asks."""
+
+    name = "broken"
+
+    def plan(self, query) -> PlanningResult:
+        return PlanningResult(
+            plan=VerdictLeaf(verdict=True),
+            expected_cost=0.0,
+            planner=self.name,
+            stats=PlannerStats(),
+        )
+
+
+def _prepared_with_plan(engine, text, plan, cost=0.0):
+    """A hand-built (and here: inconsistent) PreparedQuery."""
+    from repro.engine.engine import PreparedQuery
+
+    parsed = parse_query(text, engine.schema)
+    return PreparedQuery(
+        text=text,
+        parsed=parsed,
+        plan=plan,
+        expected_where_cost=cost,
+        planner="hand-built",
+        statistics_version=engine.statistics_version,
+    )
+
+
+class TestCacheAdmission:
+    def test_inconsistent_plan_refused_and_counted(self, engine):
+        service = AcquisitionalService(engine)
+        parsed = parse_query(TEXT, engine.schema)
+        fingerprint = fingerprint_parsed(parsed, engine.schema)
+        bad = _prepared_with_plan(
+            engine, TEXT, VerdictLeaf(verdict=True)
+        )
+
+        admitted = service.cache.put(
+            fingerprint, engine.statistics_version, bad
+        )
+
+        assert admitted is False
+        assert service.cache.get(fingerprint, engine.statistics_version) is None
+        cache_stats = service.cache.stats()
+        assert cache_stats.rejections == 1
+        assert cache_stats.size == 0
+        stats = service.stats()
+        assert stats["cache"]["rejections"] == 1
+        assert stats["counters"]["plans_rejected"] == 1
+
+    def test_good_plan_admitted(self, engine):
+        service = AcquisitionalService(engine)
+        prepared = service.plan_for(TEXT)
+        # plan_for already inserted it; a fresh put is also accepted.
+        fingerprint = service.fingerprint(TEXT)
+        assert (
+            service.cache.put(
+                fingerprint, engine.statistics_version, prepared
+            )
+            is True
+        )
+        assert service.cache.stats().rejections == 0
+        assert (
+            service.cache.get(fingerprint, engine.statistics_version)
+            is prepared
+        )
+
+    def test_verification_disabled_admits_anything(self, engine):
+        service = AcquisitionalService(engine, verify_admission=False)
+        parsed = parse_query(TEXT, engine.schema)
+        fingerprint = fingerprint_parsed(parsed, engine.schema)
+        bad = _prepared_with_plan(engine, TEXT, VerdictLeaf(verdict=True))
+        assert service.cache.put(
+            fingerprint, engine.statistics_version, bad
+        )
+        assert service.cache.stats().rejections == 0
+
+    def test_broken_planner_is_served_but_never_cached(self):
+        from repro.core import Attribute, Schema
+
+        schema = Schema(
+            [
+                Attribute("a", 8, 1.0),
+                Attribute("b", 8, 2.0),
+                Attribute("c", 8, 4.0),
+            ]
+        )
+        rng = np.random.default_rng(1)
+        history = rng.integers(1, 9, size=(400, 3))
+        engine = AcquisitionalEngine(
+            schema,
+            history,
+            planner_factory=lambda distribution: BrokenPlanner(distribution),
+            smoothing=0.5,
+        )
+        service = AcquisitionalService(engine)
+
+        first = service.plan_for(TEXT)
+        second = service.plan_for(TEXT)
+
+        # Both calls planned from scratch: the bad plan never entered
+        # the cache, and each miss recorded a rejection.
+        assert first is not second
+        assert service.cache.stats().rejections == 2
+        assert service.stats()["counters"]["plans_rejected"] == 2
+        assert service.stats()["counters"]["plans_built"] == 2
+
+
+class TestEngineDebugMode:
+    def test_verify_plans_raises_on_broken_planner(self):
+        from repro.core import Attribute, Schema
+
+        schema = Schema(
+            [
+                Attribute("a", 8, 1.0),
+                Attribute("b", 8, 2.0),
+            ]
+        )
+        rng = np.random.default_rng(2)
+        history = rng.integers(1, 9, size=(300, 2))
+        engine = AcquisitionalEngine(
+            schema,
+            history,
+            planner_factory=lambda distribution: BrokenPlanner(distribution),
+            smoothing=0.5,
+            verify_plans=True,
+        )
+        with pytest.raises(PlanVerificationError) as excinfo:
+            engine.prepare("SELECT * WHERE a >= 3 AND a <= 6")
+        assert excinfo.value.report is not None
+        assert excinfo.value.report.has("SEM005")
+
+    def test_verify_plans_passes_honest_planner(self):
+        from repro.core import Attribute, Schema
+
+        schema = Schema(
+            [
+                Attribute("a", 8, 1.0),
+                Attribute("b", 8, 2.0),
+            ]
+        )
+        rng = np.random.default_rng(3)
+        history = rng.integers(1, 9, size=(300, 2))
+        engine = AcquisitionalEngine(
+            schema,
+            history,
+            planner_factory=lambda distribution: NaivePlanner(
+                distribution
+            ),
+            smoothing=0.5,
+            verify_plans=True,
+        )
+        prepared = engine.prepare(
+            "SELECT * WHERE a >= 3 AND a <= 6"
+        )
+        assert prepared.plan is not None

@@ -1,0 +1,146 @@
+"""Property-based tests for the verifier and bytecode checker.
+
+Two properties, per the issue:
+
+- every structurally valid plan the generator can build compiles,
+  verifies clean (structure + bytecode rules), and decompiles back to
+  itself;
+- arbitrary byte-level corruption of compiled plans never crashes the
+  bytecode checker — it either reports diagnostics or accepts bytes
+  that genuinely decode to a valid plan.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Attribute,
+    ConditionNode,
+    ConjunctiveQuery,
+    PlanNode,
+    RangePredicate,
+    Schema,
+    SequentialNode,
+    SequentialStep,
+    VerdictLeaf,
+)
+from repro.core.ranges import RangeVector
+from repro.execution import compile_plan, decompile_plan
+from repro.verify import verify_bytecode, verify_plan
+
+SCHEMA = Schema(
+    [
+        Attribute("a", 8, 1.0),
+        Attribute("b", 6, 2.0),
+        Attribute("c", 8, 4.0),
+        Attribute("d", 5, 3.0),
+    ]
+)
+
+QUERY = ConjunctiveQuery(
+    SCHEMA,
+    [
+        RangePredicate("a", 3, 6),
+        RangePredicate("b", 2, 5),
+        RangePredicate("c", 4, 7),
+        RangePredicate("d", 2, 4),
+    ],
+)
+
+
+def _leaf_for(ranges: RangeVector, draw) -> PlanNode:
+    """A semantically correct leaf for the current branch context."""
+    from repro.core import Truth
+
+    verdict = QUERY.truth_under(ranges)
+    if verdict is not Truth.UNDETERMINED:
+        return VerdictLeaf(verdict=verdict is Truth.TRUE)
+    bindings = QUERY.undetermined_predicates(ranges)
+    if draw(st.booleans()):
+        bindings = list(reversed(bindings))
+    return SequentialNode(
+        steps=tuple(
+            SequentialStep(predicate=predicate, attribute_index=index)
+            for predicate, index in bindings
+        )
+    )
+
+
+@st.composite
+def valid_plans(draw, max_depth: int = 4):
+    """Random structurally + semantically valid plans for ``QUERY``."""
+
+    def build(ranges: RangeVector, depth: int) -> PlanNode:
+        splittable = [
+            index
+            for index in range(len(SCHEMA))
+            if ranges[index].low < ranges[index].high
+            and max(2, ranges[index].low + 1) <= ranges[index].high
+        ]
+        if depth >= max_depth or not splittable or draw(st.booleans()):
+            return _leaf_for(ranges, draw)
+        index = draw(st.sampled_from(splittable))
+        interval = ranges[index]
+        split = draw(
+            st.integers(
+                min_value=max(2, interval.low + 1), max_value=interval.high
+            )
+        )
+        below_ranges, above_ranges = ranges.split(index, split)
+        return ConditionNode(
+            attribute=SCHEMA[index].name,
+            attribute_index=index,
+            split_value=split,
+            below=build(below_ranges, depth + 1),
+            above=build(above_ranges, depth + 1),
+        )
+
+    return build(RangeVector.full(SCHEMA), 0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(plan=valid_plans())
+def test_valid_plans_round_trip_and_verify_clean(plan):
+    report = verify_plan(plan, SCHEMA, query=QUERY, check_compiled=True)
+    assert report.ok, report.format()
+    code = compile_plan(plan)
+    assert len(code) == plan.size_bytes()
+    assert decompile_plan(code, SCHEMA) == plan
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    plan=valid_plans(),
+    data=st.data(),
+)
+def test_byte_mutations_never_crash_the_checker(plan, data):
+    code = bytearray(compile_plan(plan))
+    n_flips = data.draw(st.integers(min_value=1, max_value=4))
+    for _ in range(n_flips):
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(code) - 1)
+        )
+        code[position] = data.draw(st.integers(min_value=0, max_value=255))
+    mutated = bytes(code)
+
+    # Must not raise, whatever the bytes are.
+    report = verify_bytecode(mutated, SCHEMA)
+
+    if report.ok:
+        # A mutation can land on a don't-care bit or produce another
+        # valid plan; if the checker accepts it, decoding must succeed
+        # and the decoded plan must itself verify structurally clean.
+        decoded = decompile_plan(mutated, SCHEMA)
+        assert verify_plan(decoded, SCHEMA).ok
+
+
+@settings(max_examples=150, deadline=None)
+@given(blob=st.binary(min_size=0, max_size=64))
+def test_arbitrary_blobs_never_crash_the_checker(blob):
+    report = verify_bytecode(blob, SCHEMA)
+    if report.ok:
+        assert decompile_plan(blob, SCHEMA) is not None
