@@ -1,0 +1,178 @@
+"""Observability overhead: profiling and tracing vs the bare serving path.
+
+The observability layer promises to be free when off and cheap when on:
+execution hot paths guard every per-node event behind one ``observer is
+not None`` test, and profiling costs a handful of dict updates per node
+*batch*.  This benchmark quantifies both claims on the PR-1 serving
+workload — a Zipf-distributed request stream over Garden query shapes —
+with three arms through identical :class:`AcquisitionalService`
+configurations:
+
+- ``off``       — profiling disabled, no tracer (the PR-1 baseline path);
+- ``profiling`` — per-plan :class:`PlanProfile` + drift bookkeeping on;
+- ``full``      — profiling plus a :class:`Tracer` streaming JSON lines
+  to an in-memory buffer.
+
+The acceptance bar: the profiling arm must hold >= 90% of the baseline's
+throughput (<10% overhead).  Results — queries/second per arm and the
+overhead ratios — are written to ``BENCH_observability.json``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import (
+    garden_queries,
+    generate_garden_dataset,
+    query_text,
+    time_split,
+    zipf_draws,
+)
+from repro.engine import AcquisitionalEngine
+from repro.obs import Tracer
+from repro.planning import CorrSeqPlanner
+from repro.service import AcquisitionalService
+
+from common import print_table
+
+N_SHAPES = 16
+N_REQUESTS = 600
+ZIPF_SKEW = 1.1
+ROWS_PER_REQUEST = 48
+REPEATS = 3  # arms are timed repeatedly; best run is scored
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+
+
+def build_setting():
+    garden = generate_garden_dataset(n_motes=5, n_epochs=4_000, seed=3)
+    train, test = time_split(garden.data, 0.5)
+    shapes: list[str] = []
+    seed = 0
+    while len(shapes) < N_SHAPES:
+        for query in garden_queries(garden, N_SHAPES, seed=seed):
+            text = query_text(query)
+            if text not in shapes:
+                shapes.append(text)
+            if len(shapes) == N_SHAPES:
+                break
+        seed += 1
+    draws = zipf_draws(N_REQUESTS, N_SHAPES, skew=ZIPF_SKEW, seed=42)
+    requests = [
+        (
+            shapes[shape],
+            test[
+                (position * ROWS_PER_REQUEST)
+                % (len(test) - ROWS_PER_REQUEST) :
+            ][:ROWS_PER_REQUEST],
+        )
+        for position, shape in enumerate(draws)
+    ]
+    return garden, train, requests
+
+
+def make_service(garden, train, *, profiling: bool, tracing: bool):
+    engine = AcquisitionalEngine(
+        garden.schema,
+        train,
+        planner_factory=lambda distribution: CorrSeqPlanner(distribution),
+    )
+    tracer = Tracer(stream=io.StringIO()) if tracing else None
+    return AcquisitionalService(
+        engine,
+        cache_capacity=N_SHAPES,
+        cache_policy="lfu",
+        profiling=profiling,
+        tracer=tracer,
+    )
+
+
+def measure_arm(garden, train, requests, *, profiling: bool, tracing: bool):
+    """Best-of-REPEATS steady-state q/s (plans warmed before timing)."""
+    best = 0.0
+    for _repeat in range(REPEATS):
+        service = make_service(garden, train, profiling=profiling, tracing=tracing)
+        # Warm the plan cache so every arm times pure serving, not planning.
+        for text, readings in requests[: N_SHAPES * 2]:
+            service.execute(text, readings)
+        start = time.perf_counter()
+        for text, readings in requests:
+            service.execute(text, readings)
+        elapsed = time.perf_counter() - start
+        best = max(best, len(requests) / elapsed)
+    return best, service
+
+
+def test_observability_overhead_is_bounded(benchmark):
+    garden, train, requests = build_setting()
+
+    qps_off, _ = measure_arm(garden, train, requests, profiling=False, tracing=False)
+    qps_profiling, profiled_service = measure_arm(
+        garden, train, requests, profiling=True, tracing=False
+    )
+    qps_full, full_service = measure_arm(
+        garden, train, requests, profiling=True, tracing=True
+    )
+    # Timed arm for pytest-benchmark: the profiling-on serving path.
+    benchmark(
+        lambda: profiled_service.execute(requests[0][0], requests[0][1])
+    )
+
+    profiling_ratio = qps_profiling / qps_off
+    full_ratio = qps_full / qps_off
+    print_table(
+        "Observability overhead: Zipf(%.1f) over %d Garden shapes"
+        % (ZIPF_SKEW, N_SHAPES),
+        ["configuration", "q/s", "vs off"],
+        [
+            ["off (baseline)", qps_off, "1.00x"],
+            ["profiling", qps_profiling, f"{profiling_ratio:.2f}x"],
+            ["profiling+tracing", qps_full, f"{full_ratio:.2f}x"],
+        ],
+    )
+
+    # The profiling arm really profiled (and the tracer really traced).
+    reports = profiled_service.drift_reports(min_tuples=1)
+    assert reports, "profiling arm must accumulate per-plan profiles"
+    assert full_service.tracer is not None
+    assert full_service.tracer.emitted > N_REQUESTS
+
+    report = {
+        "benchmark": "observability_overhead",
+        "workload": {
+            "dataset": "garden-5",
+            "shapes": N_SHAPES,
+            "requests": N_REQUESTS,
+            "zipf_skew": ZIPF_SKEW,
+            "rows_per_request": ROWS_PER_REQUEST,
+            "planner": "corr-seq",
+            "repeats": REPEATS,
+        },
+        "queries_per_second": {
+            "off": round(qps_off, 2),
+            "profiling": round(qps_profiling, 2),
+            "profiling_tracing": round(qps_full, 2),
+        },
+        "overhead": {
+            "profiling_ratio": round(profiling_ratio, 4),
+            "profiling_overhead_pct": round((1 - profiling_ratio) * 100, 2),
+            "full_ratio": round(full_ratio, 4),
+            "full_overhead_pct": round((1 - full_ratio) * 100, 2),
+        },
+        "acceptance": {
+            "profiling_min_ratio": 0.90,
+            "passed": profiling_ratio >= 0.90,
+        },
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {REPORT_PATH}")
+
+    assert profiling_ratio >= 0.90, (
+        f"profiling overhead too high: {qps_profiling:.0f} vs {qps_off:.0f} "
+        f"q/s ({(1 - profiling_ratio) * 100:.1f}%)"
+    )

@@ -108,6 +108,14 @@ from repro.probability import (
     IndependenceDistribution,
     SlidingWindowDistribution,
 )
+from repro.obs import (
+    DriftMonitor,
+    DriftReport,
+    PlanProfile,
+    Tracer,
+    predict_plan,
+    render_prometheus,
+)
 
 __version__ = "1.0.0"
 
@@ -180,6 +188,13 @@ __all__ = [
     "PlanCache",
     "QueryFingerprint",
     "fingerprint_statement",
+    # observability
+    "PlanProfile",
+    "DriftMonitor",
+    "DriftReport",
+    "Tracer",
+    "predict_plan",
+    "render_prometheus",
     # exceptions
     "ReproError",
     "SchemaError",

@@ -20,6 +20,10 @@ Mirrors the basestation workflow of the paper's architecture
     repro lint-plan --schema trace/schema.json --plan plan.json \
                   --trace trace/train.csv --query "SELECT * WHERE ..."
     repro lint-plan --suite
+    repro profile --schema trace/schema.json --trace trace/train.csv \
+                  --test trace/test.csv --query "SELECT * WHERE ..."
+    repro metrics --schema trace/schema.json --trace trace/train.csv \
+                  --query "SELECT * WHERE ..." --repeat 25 --format prometheus
 
 Every command reads/writes the JSON/CSV formats of
 :mod:`repro.data.trace_io`, so artifacts interoperate with the library
@@ -30,12 +34,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro import __version__
 from repro.core.analysis import annotate_plan, plan_summary
 from repro.core.attributes import Schema
 from repro.core.cost import dataset_execution
@@ -61,6 +67,15 @@ from repro.data.workload import (
 from repro.engine.engine import AcquisitionalEngine
 from repro.engine.language import parse_query
 from repro.exceptions import ReproError
+from repro.obs import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DriftMonitor,
+    PlanProfile,
+    Tracer,
+    profile_report_dict,
+    render_profile_report,
+    render_prometheus,
+)
 from repro.planning.corrseq import CorrSeqPlanner
 from repro.planning.exhaustive import ExhaustivePlanner
 from repro.planning.greedy_conditional import GreedyConditionalPlanner
@@ -74,13 +89,25 @@ from repro.verify import verify_bytecode, verify_plan
 
 __all__ = ["main", "build_parser"]
 
+logger = logging.getLogger("repro.cli")
+
 PLANNER_CHOICES = ("naive", "greedy-seq", "opt-seq", "corr-seq", "heuristic", "exhaustive")
+LOG_LEVELS = ("debug", "info", "warning", "error")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Conditional query plans for acquisitional query processing",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="warning",
+        help="stderr logging verbosity (default: warning)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -165,6 +192,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--smoothing", type=float, default=0.0)
     serve_bench.add_argument("--seed", type=int, default=0)
     serve_bench.add_argument("--out", type=Path, default=None, help="JSON report path")
+    serve_bench.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the cache-on service's metrics snapshot (JSON with an "
+        "embedded Prometheus text rendering)",
+    )
+    serve_bench.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="stream JSON-lines trace events from the cache-on service",
+    )
 
     cache_stats = commands.add_parser(
         "cache-stats",
@@ -215,6 +255,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--json", action="store_true", dest="as_json", help="JSON report output"
+    )
+
+    profile = commands.add_parser(
+        "profile",
+        help="plan a query, execute it with per-node profiling, and print an "
+        "EXPLAIN-ANALYZE-style tree of predicted vs observed behaviour",
+    )
+    add_common(profile)
+    profile.add_argument(
+        "--test", type=Path, default=None, help="execution trace CSV (default: --trace)"
+    )
+    profile.add_argument("--query", required=True, help="SELECT ... WHERE ...")
+    profile.add_argument("--planner", choices=PLANNER_CHOICES, default="heuristic")
+    profile.add_argument("--max-splits", type=int, default=5)
+    profile.add_argument("--spsf", type=float, default=None)
+    profile.add_argument("--smoothing", type=float, default=0.0)
+    profile.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=DEFAULT_DRIFT_THRESHOLD,
+        help="normalized chi-square score above which the plan is flagged "
+        f"as drifted (default: {DEFAULT_DRIFT_THRESHOLD:g})",
+    )
+    profile.add_argument(
+        "--json", action="store_true", dest="as_json", help="JSON report output"
+    )
+    profile.add_argument(
+        "--out", type=Path, default=None, help="also write the report to a file"
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="serve statements through the serving layer and print its "
+        "metrics snapshot (JSON or Prometheus text exposition)",
+    )
+    add_common(metrics)
+    metrics.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        help="statement to serve (repeatable)",
+    )
+    metrics.add_argument("--repeat", type=int, default=10)
+    metrics.add_argument(
+        "--live", type=Path, default=None, help="live trace CSV (default: --trace)"
+    )
+    metrics.add_argument(
+        "--format", choices=("json", "prometheus"), default="prometheus"
+    )
+    metrics.add_argument("--capacity", type=int, default=64)
+    metrics.add_argument("--policy", choices=("lru", "lfu"), default="lru")
+    metrics.add_argument("--smoothing", type=float, default=0.0)
+    metrics.add_argument(
+        "--profiling",
+        action="store_true",
+        help="enable per-plan execution profiling in the service",
     )
 
     return parser
@@ -303,9 +399,13 @@ def _command_generate(args: argparse.Namespace) -> int:
     save_schema(schema, out_dir / "schema.json")
     save_trace(train, schema, out_dir / "train.csv")
     save_trace(test, schema, out_dir / "test.csv")
-    print(
-        f"wrote {out_dir}/schema.json ({len(schema)} attributes), "
-        f"train.csv ({len(train)} rows), test.csv ({len(test)} rows)"
+    logger.info(
+        "wrote %s/schema.json (%d attributes), train.csv (%d rows), "
+        "test.csv (%d rows)",
+        out_dir,
+        len(schema),
+        len(train),
+        len(test),
     )
     return 0
 
@@ -326,7 +426,7 @@ def _command_plan(args: argparse.Namespace) -> int:
     print(result.plan.pretty())
     if args.out is not None:
         save_plan(result.plan, args.out)
-        print(f"plan written to {args.out}")
+        logger.info("plan written to %s", args.out)
     return 0
 
 
@@ -455,19 +555,47 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     ]
 
     results = {}
-    for enabled in (False, True):
-        engine = AcquisitionalEngine(schema, train, smoothing=args.smoothing)
-        service = AcquisitionalService(
-            engine,
-            cache_capacity=args.capacity,
-            cache_policy=args.policy,
-            cache_enabled=enabled,
+    trace_stream = None
+    warm_service = None
+    try:
+        for enabled in (False, True):
+            engine = AcquisitionalEngine(schema, train, smoothing=args.smoothing)
+            tracer = None
+            if enabled and args.trace_out is not None:
+                trace_stream = args.trace_out.open("w", encoding="utf-8")
+                tracer = Tracer(stream=trace_stream)
+            service = AcquisitionalService(
+                engine,
+                cache_capacity=args.capacity,
+                cache_policy=args.policy,
+                cache_enabled=enabled,
+                tracer=tracer,
+            )
+            qps = _run_workload(service, requests, args.batch_size)
+            results["cache_on" if enabled else "cache_off"] = {
+                "queries_per_second": round(qps, 2),
+                "stats": service.stats(),
+            }
+            if enabled:
+                warm_service = service
+    finally:
+        if trace_stream is not None:
+            trace_stream.close()
+    if args.trace_out is not None:
+        logger.info("trace events written to %s", args.trace_out)
+    if args.metrics_out is not None and warm_service is not None:
+        snapshot = warm_service.metrics.snapshot()
+        args.metrics_out.write_text(
+            json.dumps(
+                {
+                    "snapshot": snapshot,
+                    "prometheus": render_prometheus(snapshot),
+                },
+                indent=2,
+            )
+            + "\n"
         )
-        qps = _run_workload(service, requests, args.batch_size)
-        results["cache_on" if enabled else "cache_off"] = {
-            "queries_per_second": round(qps, 2),
-            "stats": service.stats(),
-        }
+        logger.info("metrics snapshot written to %s", args.metrics_out)
 
     on = results["cache_on"]["queries_per_second"]
     off = results["cache_off"]["queries_per_second"]
@@ -500,7 +628,7 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
             **results,
         }
         args.out.write_text(json.dumps(report, indent=2))
-        print(f"report written to {args.out}")
+        logger.info("report written to %s", args.out)
     return 0
 
 
@@ -518,6 +646,79 @@ def _command_cache_stats(args: argparse.Namespace) -> int:
         for _repeat in range(args.repeat):
             service.execute(text, live)
     print(json.dumps(service.stats(), indent=2))
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    train = load_trace(args.trace, schema)
+    test = load_trace(args.test, schema) if args.test is not None else train
+    distribution = EmpiricalDistribution(schema, train, smoothing=args.smoothing)
+    parsed = parse_query(args.query, schema)
+    planner = _planner_for(
+        parsed, args.planner, distribution, args.max_splits, args.spsf
+    )
+    result = planner.plan(parsed.query)
+
+    profile = PlanProfile(schema)
+    dataset_execution(result.plan, test, schema, observer=profile)
+    monitor = DriftMonitor(
+        result.plan,
+        distribution,
+        expected=result.expected_cost,
+        threshold=args.drift_threshold,
+    )
+
+    if args.as_json:
+        payload = profile_report_dict(
+            result.plan,
+            distribution,
+            profile,
+            expected=result.expected_cost,
+            monitor=monitor,
+        )
+        payload["query"] = args.query.strip()
+        payload["planner"] = result.planner
+        rendered = json.dumps(payload, indent=2)
+    else:
+        header = (
+            f"query: {args.query.strip()}\n"
+            f"planner: {result.planner}\n"
+        )
+        rendered = header + render_profile_report(
+            result.plan,
+            distribution,
+            profile,
+            expected=result.expected_cost,
+            monitor=monitor,
+        )
+    print(rendered)
+    if args.out is not None:
+        args.out.write_text(rendered + "\n")
+        logger.info("profile report written to %s", args.out)
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    train = load_trace(args.trace, schema)
+    live = load_trace(args.live, schema) if args.live is not None else train
+    engine = AcquisitionalEngine(schema, train, smoothing=args.smoothing)
+    service = AcquisitionalService(
+        engine,
+        cache_capacity=args.capacity,
+        cache_policy=args.policy,
+        profiling=args.profiling,
+    )
+    for text in args.query:
+        for _repeat in range(args.repeat):
+            service.execute(text, live)
+    service.stats()  # refresh the gauges before the snapshot is taken
+    snapshot = service.metrics.snapshot()
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2))
+    else:
+        print(render_prometheus(snapshot), end="")
     return 0
 
 
@@ -681,6 +882,12 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+        force=True,
+    )
     handlers = {
         "generate": _command_generate,
         "plan": _command_plan,
@@ -690,6 +897,8 @@ def main(argv: list[str] | None = None) -> int:
         "serve-bench": _command_serve_bench,
         "cache-stats": _command_cache_stats,
         "lint-plan": _command_lint_plan,
+        "profile": _command_profile,
+        "metrics": _command_metrics,
     }
     try:
         return handlers[args.command](args)

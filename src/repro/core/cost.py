@@ -17,7 +17,7 @@ Implements the paper's three cost quantities plus the Section 2.4 extension:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -41,8 +41,54 @@ __all__ = [
     "expected_cost",
     "combined_objective",
     "DatasetExecution",
+    "ExecutionObserver",
     "predicate_mask",
 ]
+
+
+class ExecutionObserver(Protocol):
+    """Receives batched node-visit events from :func:`dataset_execution`.
+
+    Node paths follow the verifier's addressing convention
+    (:mod:`repro.verify.paths`): ``root``, ``root/below``, ``root/above``
+    and so on, so profile rows join directly against static diagnostics.
+    ``acquired`` flags whether the node's attribute was read (and
+    charged) for the visiting rows — the acquired-so-far set is fully
+    determined by the root-to-node path, so it is uniform across a
+    batch.  The observer argument defaults to ``None`` everywhere and
+    the walker skips all bookkeeping in that case, keeping the disabled
+    path free of overhead; :class:`repro.obs.PlanProfile` is the
+    standard implementation.
+    """
+
+    def on_condition(
+        self,
+        path: str,
+        node: ConditionNode,
+        visits: int,
+        below: int,
+        acquired: bool,
+    ) -> None:
+        """A condition node routed ``visits`` rows, ``below`` of them down."""
+
+    def on_sequential(
+        self, path: str, node: SequentialNode, visits: int
+    ) -> None:
+        """A sequential leaf was entered by ``visits`` rows."""
+
+    def on_step(
+        self,
+        path: str,
+        node: SequentialNode,
+        step_index: int,
+        evaluated: int,
+        passed: int,
+        acquired: bool,
+    ) -> None:
+        """One sequential step evaluated ``evaluated`` rows, passing ``passed``."""
+
+    def on_verdict(self, path: str, node: VerdictLeaf, visits: int) -> None:
+        """A verdict leaf decided ``visits`` rows."""
 
 
 def predicate_mask(predicate: Predicate, values: np.ndarray) -> np.ndarray:
@@ -115,6 +161,7 @@ def dataset_execution(
     data: np.ndarray,
     schema: Schema,
     cost_model: AcquisitionCostModel | None = None,
+    observer: ExecutionObserver | None = None,
 ) -> DatasetExecution:
     """Run a plan over every row of ``data`` with vectorized tree routing.
 
@@ -124,6 +171,10 @@ def dataset_execution(
     sequential node walks its predicate order with a shrinking "alive" set.
     The result carries per-row costs (Equation 1 applied to every tuple) and
     per-row verdicts.
+
+    ``observer`` (when given) receives one event per visited node batch —
+    see :class:`ExecutionObserver`; node batches with zero routed rows are
+    skipped entirely and produce no events.
     """
     matrix = np.asarray(data)
     if matrix.ndim != 2 or matrix.shape[1] != len(schema):
@@ -140,40 +191,63 @@ def dataset_execution(
             return attribute_costs[index]
         return cost_model.cost(index, acquired)
 
-    def walk(node: PlanNode, rows: np.ndarray, acquired: frozenset[int]) -> None:
+    def walk(
+        node: PlanNode, rows: np.ndarray, acquired: frozenset[int], path: str
+    ) -> None:
         if rows.size == 0:
             return
         if isinstance(node, VerdictLeaf):
             verdicts[rows] = node.verdict
+            if observer is not None:
+                observer.on_verdict(path, node, int(rows.size))
             return
         if isinstance(node, ConditionNode):
             index = node.attribute_index
-            if index not in acquired:
+            charged = index not in acquired
+            if charged:
                 row_costs[rows] += charge(index, acquired)
                 acquired = acquired | {index}
             column = matrix[rows, index]
             below = column < node.split_value
-            walk(node.below, rows[below], acquired)
-            walk(node.above, rows[~below], acquired)
+            below_rows = rows[below]
+            if observer is not None:
+                observer.on_condition(
+                    path, node, int(rows.size), int(below_rows.size), charged
+                )
+            walk(node.below, below_rows, acquired, path + "/below")
+            walk(node.above, rows[~below], acquired, path + "/above")
             return
         if isinstance(node, SequentialNode):
+            if observer is not None:
+                observer.on_sequential(path, node, int(rows.size))
             alive = rows
             mutable_acquired = set(acquired)
-            for step in node.steps:
+            for position, step in enumerate(node.steps):
                 if alive.size == 0:
                     break
                 index = step.attribute_index
-                if index not in mutable_acquired:
+                charged = index not in mutable_acquired
+                if charged:
                     row_costs[alive] += charge(index, mutable_acquired)
                     mutable_acquired.add(index)
                 satisfied = predicate_mask(step.predicate, matrix[alive, index])
+                surviving = alive[satisfied]
+                if observer is not None:
+                    observer.on_step(
+                        path,
+                        node,
+                        position,
+                        int(alive.size),
+                        int(surviving.size),
+                        charged,
+                    )
                 verdicts[alive[~satisfied]] = False
-                alive = alive[satisfied]
+                alive = surviving
             verdicts[alive] = True
             return
         raise PlanError(f"unknown plan node type {type(node).__name__}")
 
-    walk(plan, np.arange(matrix.shape[0]), frozenset())
+    walk(plan, np.arange(matrix.shape[0]), frozenset(), "root")
     return DatasetExecution(costs=row_costs, verdicts=verdicts)
 
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.analysis import annotate_plan, plan_summary
 from repro.core.attributes import Schema
-from repro.core.cost import dataset_execution
+from repro.core.cost import ExecutionObserver, dataset_execution
 from repro.core.plan import PlanNode
 from repro.core.query import ConjunctiveQuery
 from repro.engine.language import ParsedQuery, parse_query
@@ -256,31 +256,48 @@ class AcquisitionalEngine:
         return self.execute_prepared(self.prepare(text), readings)
 
     def execute_prepared(
-        self, prepared: PreparedQuery, readings: np.ndarray
+        self,
+        prepared: PreparedQuery,
+        readings: np.ndarray,
+        observer: ExecutionObserver | None = None,
     ) -> QueryResult:
-        """Run an already-prepared statement over live readings."""
+        """Run an already-prepared statement over live readings.
+
+        ``observer`` (usually a :class:`repro.obs.PlanProfile`) meters the
+        WHERE plan's per-node behaviour; post-WHERE projection
+        acquisitions are accounted in ``projection_cost`` but are not
+        node events, so they stay outside the profile.
+        """
         matrix = self._validated(readings)
-        outcome = dataset_execution(prepared.plan, matrix, self._schema)
+        outcome = dataset_execution(
+            prepared.plan, matrix, self._schema, observer=observer
+        )
         extra = self._projection_extra(prepared, matrix)
         return self._build_result(
             prepared, matrix, outcome.costs, outcome.verdicts, extra
         )
 
     def execute_prepared_many(
-        self, prepared: PreparedQuery, readings_list: list[np.ndarray]
+        self,
+        prepared: PreparedQuery,
+        readings_list: list[np.ndarray],
+        observer: ExecutionObserver | None = None,
     ) -> list[QueryResult]:
         """Run one prepared statement over many batches in a single pass.
 
         The batches are stacked and executed through the plan once — the
         vectorized tree walk amortizes across every request sharing the
         plan — then per-batch results are sliced back out.  This is the
-        serving layer's same-fingerprint admission path.
+        serving layer's same-fingerprint admission path.  ``observer``
+        meters the WHERE plan exactly as in :meth:`execute_prepared`.
         """
         matrices = [self._validated(readings) for readings in readings_list]
         if not matrices:
             return []
         stacked = np.vstack(matrices)
-        outcome = dataset_execution(prepared.plan, stacked, self._schema)
+        outcome = dataset_execution(
+            prepared.plan, stacked, self._schema, observer=observer
+        )
         extra = self._projection_extra(prepared, stacked)
         results: list[QueryResult] = []
         start = 0

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.attributes import Schema
-from repro.core.cost import DatasetExecution, dataset_execution
+from repro.core.cost import DatasetExecution, ExecutionObserver, dataset_execution
 from repro.core.plan import PlanNode
 from repro.core.query import ConjunctiveQuery
 from repro.execution.acquisition import AcquisitionSource, TupleSource
@@ -56,14 +56,28 @@ class VerificationReport:
 
 
 class PlanExecutor:
-    """Executes plans against tuples, sources, and datasets."""
+    """Executes plans against tuples, sources, and datasets.
 
-    def __init__(self, schema: Schema) -> None:
+    ``profile_sink`` (usually a :class:`repro.obs.PlanProfile`) receives
+    per-node visit/branch/acquisition events from every execution this
+    executor performs; when ``None`` (the default) no bookkeeping happens.
+    Meaningful per-node counters assume the executor runs one plan — use
+    one sink per plan, or a fresh executor per plan.
+    """
+
+    def __init__(
+        self, schema: Schema, profile_sink: ExecutionObserver | None = None
+    ) -> None:
         self._schema = schema
+        self._profile_sink = profile_sink
 
     @property
     def schema(self) -> Schema:
         return self._schema
+
+    @property
+    def profile_sink(self) -> ExecutionObserver | None:
+        return self._profile_sink
 
     def execute(self, plan: PlanNode, values) -> ExecutionResult:
         """Run a plan on one concrete tuple with schema costs."""
@@ -82,7 +96,12 @@ class PlanExecutor:
         if source.schema is not self._schema:
             raise PlanError("source schema differs from executor schema")
         values = _SourceView(source)
-        verdict = plan.evaluate(values)
+        if self._profile_sink is None:
+            verdict = plan.evaluate(values)
+        else:
+            from repro.obs.profile import profiled_evaluate
+
+            verdict = profiled_evaluate(plan, values, self._profile_sink)
         return ExecutionResult(
             verdict=verdict,
             cost=source.total_cost,
@@ -91,7 +110,9 @@ class PlanExecutor:
 
     def run(self, plan: PlanNode, data: np.ndarray) -> DatasetExecution:
         """Vectorized execution over every row of a dataset (Equation 4)."""
-        return dataset_execution(plan, data, self._schema)
+        return dataset_execution(
+            plan, data, self._schema, observer=self._profile_sink
+        )
 
     def verify(
         self, plan: PlanNode, query: ConjunctiveQuery, data: np.ndarray

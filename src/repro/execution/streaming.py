@@ -12,6 +12,13 @@ that loop:
 - every ``replan_interval`` tuples — or earlier, when the observed mean
   cost exceeds the plan's predicted cost by ``drift_threshold`` — the
   planner is re-invoked on the window and the plan swapped in-place.
+
+With ``profile_drift_threshold`` set, the executor additionally keeps a
+per-plan :class:`~repro.obs.PlanProfile` and a
+:class:`~repro.obs.DriftMonitor` scoring observed branch/pass frequencies
+against the plan's Eq. 3 predictions — catching *shape* drift (the
+distribution moved but the plan's mean cost barely did) that the
+cost-ratio trigger cannot see.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.attributes import Schema
-from repro.core.cost import dataset_execution
+from repro.core.cost import ExecutionObserver, dataset_execution
 from repro.core.plan import PlanNode
 from repro.core.query import ConjunctiveQuery
 from repro.exceptions import PlanningError
@@ -38,11 +45,16 @@ PlannerFactory = Callable[[EmpiricalDistribution], Planner]
 
 @dataclass(frozen=True)
 class ReplanEvent:
-    """One plan swap: when it happened and what the new plan promised."""
+    """One plan swap: when it happened and what the new plan promised.
+
+    ``drift_score`` carries the normalized chi-square score that fired a
+    ``"profile-drift"`` replan; it is ``None`` for the other reasons.
+    """
 
     position: int
     expected_cost: float
-    reason: str  # "interval" or "drift"
+    reason: str  # "interval", "drift", or "profile-drift"
+    drift_score: float | None = None
 
 
 @dataclass(frozen=True)
@@ -84,6 +96,23 @@ class AdaptiveStreamExecutor:
         Optional callback invoked with each :class:`ReplanEvent` as the
         plan is swapped — serving layers hook this to invalidate cached
         plans the moment the stream's statistics move.
+    profile_drift_threshold:
+        Enables per-node profile-drift replanning: the current plan's
+        observed split/pass frequencies are scored against its Eq. 3
+        predictions (see :class:`repro.obs.DriftMonitor`), and a
+        normalized score above this threshold triggers a
+        ``"profile-drift"`` replan.  ``None`` (default) disables the
+        profile machinery entirely.
+    profile_check_every:
+        Assess drift every this many tuples (scoring walks the whole
+        profile, so per-tuple assessment would dominate).
+    profile_min_tuples:
+        Do not assess until the current plan has profiled at least this
+        many tuples (small samples make the chi-square score noisy).
+    profile_sink:
+        Optional extra :class:`~repro.core.cost.ExecutionObserver` that
+        receives every execution event across all plans (on top of the
+        internal per-plan profiles).
     """
 
     def __init__(
@@ -96,6 +125,10 @@ class AdaptiveStreamExecutor:
         drift_threshold: float | None = 1.5,
         smoothing: float = 0.5,
         on_replan: Callable[[ReplanEvent], None] | None = None,
+        profile_drift_threshold: float | None = None,
+        profile_check_every: int = 128,
+        profile_min_tuples: int = 256,
+        profile_sink: ExecutionObserver | None = None,
     ) -> None:
         if window < 2:
             raise PlanningError(f"window must be >= 2, got {window}")
@@ -107,6 +140,19 @@ class AdaptiveStreamExecutor:
             raise PlanningError(
                 f"drift_threshold must exceed 1.0, got {drift_threshold}"
             )
+        if profile_drift_threshold is not None and profile_drift_threshold <= 0:
+            raise PlanningError(
+                "profile_drift_threshold must be positive, got "
+                f"{profile_drift_threshold}"
+            )
+        if profile_check_every < 1:
+            raise PlanningError(
+                f"profile_check_every must be >= 1, got {profile_check_every}"
+            )
+        if profile_min_tuples < 1:
+            raise PlanningError(
+                f"profile_min_tuples must be >= 1, got {profile_min_tuples}"
+            )
         self._schema = schema
         self._query = query
         self._factory = planner_factory
@@ -115,6 +161,10 @@ class AdaptiveStreamExecutor:
         self._drift_threshold = drift_threshold
         self._smoothing = float(smoothing)
         self._on_replan = on_replan
+        self._profile_drift_threshold = profile_drift_threshold
+        self._profile_check_every = int(profile_check_every)
+        self._profile_min_tuples = int(profile_min_tuples)
+        self._profile_sink = profile_sink
 
     def process(self, stream: np.ndarray) -> StreamReport:
         """Run the query over ``stream`` (rows in arrival order)."""
@@ -134,6 +184,29 @@ class AdaptiveStreamExecutor:
         predicted = 0.0
         since_replan = 0
         cost_since_replan = 0.0
+        profile: "PlanProfile | None" = None
+        monitor: "DriftMonitor | None" = None
+        observer: ExecutionObserver | None = self._profile_sink
+
+        def swap_plan() -> None:
+            nonlocal plan, predicted, profile, monitor, observer
+            plan, predicted, distribution = self._replan(window)
+            if self._profile_drift_threshold is not None:
+                from repro.obs.drift import DriftMonitor
+                from repro.obs.profile import PlanProfile, TeeSink
+
+                profile = PlanProfile(self._schema)
+                monitor = DriftMonitor(
+                    plan,
+                    distribution,
+                    expected=predicted,
+                    threshold=self._profile_drift_threshold,
+                )
+                observer = (
+                    profile
+                    if self._profile_sink is None
+                    else TeeSink(profile, self._profile_sink)
+                )
 
         # Bootstrap: collect an initial window before the first plan.
         warmup = min(self._window, self._replan_interval, total)
@@ -150,7 +223,7 @@ class AdaptiveStreamExecutor:
                 verdicts[position] = self._query.evaluate(row)
                 window.append(row)
                 if position + 1 >= warmup:
-                    plan, predicted = self._replan(window)
+                    swap_plan()
                     self._record(
                         replans, ReplanEvent(position + 1, predicted, "interval")
                     )
@@ -158,7 +231,9 @@ class AdaptiveStreamExecutor:
                     cost_since_replan = 0.0
                 continue
 
-            outcome = dataset_execution(plan, row[None, :], self._schema)
+            outcome = dataset_execution(
+                plan, row[None, :], self._schema, observer=observer
+            )
             costs[position] = outcome.costs[0]
             verdicts[position] = outcome.verdicts[0]
             window.append(row)
@@ -172,14 +247,36 @@ class AdaptiveStreamExecutor:
                 and cost_since_replan / since_replan
                 > self._drift_threshold * predicted
             )
-            if since_replan >= self._replan_interval or drifted:
-                plan, predicted = self._replan(window)
+            profile_score: float | None = None
+            if (
+                not drifted
+                and monitor is not None
+                and profile is not None
+                and since_replan % self._profile_check_every == 0
+                and profile.tuples >= self._profile_min_tuples
+            ):
+                assessment = monitor.assess(profile)
+                if assessment.drifted:
+                    profile_score = assessment.normalized
+            if (
+                since_replan >= self._replan_interval
+                or drifted
+                or profile_score is not None
+            ):
+                if drifted:
+                    reason = "drift"
+                elif profile_score is not None:
+                    reason = "profile-drift"
+                else:
+                    reason = "interval"
+                swap_plan()
                 self._record(
                     replans,
                     ReplanEvent(
                         position + 1,
                         predicted,
-                        "drift" if drifted else "interval",
+                        reason,
+                        drift_score=profile_score,
                     ),
                 )
                 since_replan = 0
@@ -196,11 +293,13 @@ class AdaptiveStreamExecutor:
         if self._on_replan is not None:
             self._on_replan(event)
 
-    def _replan(self, window: deque) -> tuple[PlanNode, float]:
+    def _replan(
+        self, window: deque
+    ) -> tuple[PlanNode, float, EmpiricalDistribution]:
         snapshot = np.asarray(list(window), dtype=np.int64)
         distribution = EmpiricalDistribution(
             self._schema, snapshot, smoothing=self._smoothing
         )
         planner = self._factory(distribution)
         result = planner.plan(self._query)
-        return result.plan, result.expected_cost
+        return result.plan, result.expected_cost, distribution

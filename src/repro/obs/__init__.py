@@ -1,0 +1,60 @@
+"""Runtime observability: plan profiling, drift monitoring, tracing.
+
+Static planning (PR 0) and serving (PR 1) optimize and cache plans
+against Eq. 3 expected costs; verification (PR 2) checks plans before
+they run.  This package watches what plans *actually do*:
+
+- :mod:`repro.obs.profile` — per-node execution ledgers
+  (:class:`PlanProfile`) keyed by the verifier's stable node paths,
+  collected through the pluggable
+  :class:`~repro.core.cost.ExecutionObserver` hook;
+- :mod:`repro.obs.drift` — Eq. 3 decomposed per node
+  (:func:`predict_plan`) and scored against observations
+  (:class:`DriftMonitor`), the signal behind profile-drift replans;
+- :mod:`repro.obs.trace` — JSON-lines trace events from the serving
+  layer (:class:`Tracer`);
+- :mod:`repro.obs.exposition` — Prometheus text rendering of metrics
+  snapshots (:func:`render_prometheus`);
+- :mod:`repro.obs.report` — the EXPLAIN-ANALYZE-style
+  predicted-vs-observed tree behind ``repro profile``.
+"""
+
+from repro.obs.drift import (
+    DEFAULT_DRIFT_THRESHOLD,
+    CellDrift,
+    DriftMonitor,
+    DriftReport,
+    NodePrediction,
+    predict_plan,
+)
+from repro.obs.exposition import parse_prometheus, render_prometheus
+from repro.obs.profile import (
+    NodeCounters,
+    PlanProfile,
+    StepCounters,
+    TeeSink,
+    profiled_evaluate,
+)
+from repro.obs.report import profile_report_dict, render_profile_report
+from repro.obs.trace import TRACE_PHASES, TraceEvent, Tracer
+
+__all__ = [
+    "DEFAULT_DRIFT_THRESHOLD",
+    "CellDrift",
+    "DriftMonitor",
+    "DriftReport",
+    "NodePrediction",
+    "predict_plan",
+    "parse_prometheus",
+    "render_prometheus",
+    "NodeCounters",
+    "PlanProfile",
+    "StepCounters",
+    "TeeSink",
+    "profiled_evaluate",
+    "profile_report_dict",
+    "render_profile_report",
+    "TRACE_PHASES",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,369 @@
+"""Predicted-vs-observed cost-drift accounting.
+
+The planner optimizes Equation 3 — an expectation under the statistics it
+was trained on.  When the live tuple distribution moves, the first
+symptoms are per-node: a split that was supposed to send 80% of tuples
+down the cheap branch starts sending 40%, a sequential step that used to
+kill most tuples stops killing them.  This module turns a
+:class:`~repro.obs.profile.PlanProfile` into exactly that comparison:
+
+- :func:`predict_plan` decomposes the Eq. 3 expected cost into per-node
+  predictions (reach probability, split probability, per-step pass
+  probability, and the node's expected cost contribution) keyed by the
+  verifier's node paths.  The per-node cost contributions sum to
+  ``expected_cost(plan, distribution)`` — the decomposition is exact.
+- :class:`DriftMonitor` scores the divergence between those predictions
+  and a profile's observed frequencies with a chi-square-style statistic,
+  and reports the observed-vs-predicted cost ratio.
+
+The drift score: every decision cell (a split's below-fraction, a step's
+pass-fraction) with at least ``min_visits`` observations contributes
+``n * (obs - p)^2 / (p * (1 - p))`` where ``p`` is the predicted
+probability clamped to ``[1e-3, 1 - 1e-3]`` — the one-cell chi-square
+statistic for a binomial proportion.  Under no drift each term has
+expectation ~1, so the *normalized* score (total / number of cells) sits
+near 1; the default trigger threshold of 25 corresponds to a wildly
+unlikely deviation and is deliberately conservative, since a replan costs
+real planning work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.cost import expected_cost
+from repro.core.plan import (
+    ConditionNode,
+    PlanNode,
+    SequentialNode,
+    VerdictLeaf,
+)
+from repro.core.ranges import RangeVector
+from repro.exceptions import PlanError
+from repro.obs.profile import PlanProfile
+from repro.probability.base import Distribution
+from repro.verify.paths import ROOT_PATH, step_path
+
+__all__ = [
+    "NodePrediction",
+    "predict_plan",
+    "CellDrift",
+    "DriftReport",
+    "DriftMonitor",
+    "PROBABILITY_CLAMP",
+    "DEFAULT_DRIFT_THRESHOLD",
+]
+
+PROBABILITY_CLAMP = 1e-3
+DEFAULT_DRIFT_THRESHOLD = 25.0
+
+
+@dataclass(frozen=True)
+class NodePrediction:
+    """What the planner's model expects of one plan node.
+
+    ``reach`` is the probability a tuple entering the root reaches this
+    node; ``cost`` is the node's expected acquisition-cost contribution
+    per root tuple (so all nodes' costs sum to the plan's Eq. 3 cost).
+    ``p_below`` is the split probability for condition nodes; for
+    sequential nodes ``step_pass[i]`` is the conditional pass probability
+    of step ``i`` given all earlier steps passed, and ``step_cost[i]``
+    its share of ``cost``.
+    """
+
+    reach: float
+    cost: float
+    p_below: float | None = None
+    step_pass: tuple[float, ...] = ()
+    step_cost: tuple[float, ...] = ()
+
+
+def predict_plan(
+    plan: PlanNode, distribution: Distribution
+) -> dict[str, NodePrediction]:
+    """Per-node Eq. 3 decomposition of a plan under ``distribution``.
+
+    Returns predictions keyed by the verifier's node paths.  Subtrees
+    with zero reach probability are recorded with zero reach/cost and no
+    probability predictions (the model has nothing to say about them —
+    but the *parent's* split probability still flags tuples arriving
+    there as drift).
+    """
+    schema = distribution.schema
+    predictions: dict[str, NodePrediction] = {}
+
+    def dead(node: PlanNode, path: str) -> None:
+        if isinstance(node, ConditionNode):
+            predictions[path] = NodePrediction(reach=0.0, cost=0.0)
+            dead(node.below, path + "/below")
+            dead(node.above, path + "/above")
+        elif isinstance(node, SequentialNode):
+            predictions[path] = NodePrediction(
+                reach=0.0,
+                cost=0.0,
+                step_pass=(),
+                step_cost=tuple(0.0 for _ in node.steps),
+            )
+        else:
+            predictions[path] = NodePrediction(reach=0.0, cost=0.0)
+
+    def walk(
+        node: PlanNode, ranges: RangeVector, reach: float, path: str
+    ) -> None:
+        if reach <= 0.0:
+            dead(node, path)
+            return
+        if isinstance(node, VerdictLeaf):
+            predictions[path] = NodePrediction(reach=reach, cost=0.0)
+            return
+        if isinstance(node, ConditionNode):
+            index = node.attribute_index
+            acquisition = (
+                0.0 if ranges.is_acquired(index) else schema[index].cost
+            )
+            interval = ranges[index]
+            if not interval.low < node.split_value <= interval.high:
+                raise PlanError(
+                    f"plan splits {node.attribute!r} at {node.split_value} "
+                    f"outside the reachable range "
+                    f"[{interval.low}, {interval.high}]"
+                )
+            p_below = distribution.split_probability(
+                index, node.split_value, ranges
+            )
+            predictions[path] = NodePrediction(
+                reach=reach, cost=reach * acquisition, p_below=p_below
+            )
+            below_ranges, above_ranges = ranges.split(index, node.split_value)
+            walk(node.below, below_ranges, reach * p_below, path + "/below")
+            walk(
+                node.above, above_ranges, reach * (1.0 - p_below), path + "/above"
+            )
+            return
+        if isinstance(node, SequentialNode):
+            conditioner = distribution.sequential_conditioner(ranges)
+            acquired = set(ranges.acquired_indices())
+            survival = 1.0
+            passes: list[float] = []
+            costs: list[float] = []
+            for step in node.steps:
+                index = step.attribute_index
+                if survival > 0.0 and index not in acquired:
+                    costs.append(reach * survival * schema[index].cost)
+                else:
+                    costs.append(0.0)
+                acquired.add(index)
+                if survival > 0.0:
+                    binding = (step.predicate, step.attribute_index)
+                    passed = conditioner.pass_probability(binding)
+                    conditioner.condition_on(binding)
+                else:
+                    passed = 0.0
+                passes.append(passed)
+                survival *= passed
+            predictions[path] = NodePrediction(
+                reach=reach,
+                cost=sum(costs),
+                step_pass=tuple(passes),
+                step_cost=tuple(costs),
+            )
+            return
+        raise PlanError(f"unknown plan node type {type(node).__name__}")
+
+    walk(plan, RangeVector.full(schema), 1.0, ROOT_PATH)
+    return predictions
+
+
+@dataclass(frozen=True)
+class CellDrift:
+    """One decision cell's predicted-vs-observed divergence.
+
+    ``kind`` is ``"split"`` (a condition's below-fraction) or ``"step"``
+    (a sequential step's pass-fraction); ``term`` is the cell's
+    chi-square contribution ``n * (obs - p)^2 / (p * (1 - p))``.
+    """
+
+    path: str
+    kind: str
+    predicted: float
+    observed: float
+    samples: int
+    term: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "predicted": round(self.predicted, 6),
+            "observed": round(self.observed, 6),
+            "samples": self.samples,
+            "term": round(self.term, 4),
+        }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one :meth:`DriftMonitor.assess` call."""
+
+    score: float
+    cells: int
+    normalized: float
+    predicted_cost: float
+    observed_cost: float
+    cost_ratio: float
+    tuples: int
+    drifted: bool
+    worst: tuple[CellDrift, ...] = field(default=())
+
+    def describe(self) -> str:
+        status = "DRIFTED" if self.drifted else "ok"
+        return (
+            f"drift {status}: score {self.normalized:.2f} over {self.cells} "
+            f"cells ({self.tuples} tuples); cost/tuple predicted "
+            f"{self.predicted_cost:.2f} observed {self.observed_cost:.2f} "
+            f"({self.cost_ratio:.2f}x)"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "score": round(self.score, 4),
+            "cells": self.cells,
+            "normalized": round(self.normalized, 4),
+            "predicted_cost": round(self.predicted_cost, 6),
+            "observed_cost": round(self.observed_cost, 6),
+            "cost_ratio": (
+                round(self.cost_ratio, 6)
+                if self.cost_ratio != float("inf")
+                else "inf"
+            ),
+            "tuples": self.tuples,
+            "drifted": self.drifted,
+            "worst": [cell.as_dict() for cell in self.worst],
+        }
+
+
+def _clamp(probability: float) -> float:
+    return min(max(probability, PROBABILITY_CLAMP), 1.0 - PROBABILITY_CLAMP)
+
+
+class DriftMonitor:
+    """Scores a plan's observed profile against its Eq. 3 predictions.
+
+    Predictions are computed once at construction (against the statistics
+    the plan was built from); :meth:`assess` may then be called as often
+    as desired against a live profile.  ``min_visits`` suppresses cells
+    with too few observations to be meaningful; ``threshold`` is compared
+    against the *normalized* score (per-cell mean chi-square term, ~1
+    under no drift).
+    """
+
+    def __init__(
+        self,
+        plan: PlanNode,
+        distribution: Distribution,
+        expected: float | None = None,
+        min_visits: int = 32,
+        threshold: float = DEFAULT_DRIFT_THRESHOLD,
+    ) -> None:
+        self._plan = plan
+        self._predictions = predict_plan(plan, distribution)
+        self._expected = (
+            expected
+            if expected is not None
+            else expected_cost(plan, distribution)
+        )
+        self._min_visits = min_visits
+        self._threshold = threshold
+
+    @property
+    def plan(self) -> PlanNode:
+        return self._plan
+
+    @property
+    def predictions(self) -> dict[str, NodePrediction]:
+        return self._predictions
+
+    @property
+    def expected_cost(self) -> float:
+        return self._expected
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    def cell_drifts(self, profile: PlanProfile) -> list[CellDrift]:
+        """Per-cell divergence terms for every sufficiently-visited cell."""
+        cells: list[CellDrift] = []
+        for path, prediction in self._predictions.items():
+            counters = profile.counters(path)
+            if counters is None:
+                continue
+            if (
+                prediction.p_below is not None
+                and counters.visits >= self._min_visits
+            ):
+                cells.append(
+                    self._cell(
+                        path,
+                        "split",
+                        prediction.p_below,
+                        counters.below_fraction,
+                        counters.visits,
+                    )
+                )
+            for position, passed in enumerate(prediction.step_pass):
+                if position >= len(counters.steps):
+                    break
+                step = counters.steps[position]
+                if step.evaluated >= self._min_visits:
+                    cells.append(
+                        self._cell(
+                            step_path(path, position),
+                            "step",
+                            passed,
+                            step.pass_fraction,
+                            step.evaluated,
+                        )
+                    )
+        return cells
+
+    def assess(self, profile: PlanProfile) -> DriftReport:
+        """Score ``profile`` against the predictions."""
+        cells = self.cell_drifts(profile)
+        score = sum(cell.term for cell in cells)
+        normalized = score / len(cells) if cells else 0.0
+        observed = profile.observed_mean_cost()
+        if self._expected > 0.0:
+            ratio = observed / self._expected
+        else:
+            ratio = float("inf") if observed > 0.0 else 1.0
+        worst = tuple(
+            sorted(cells, key=lambda cell: cell.term, reverse=True)[:3]
+        )
+        return DriftReport(
+            score=score,
+            cells=len(cells),
+            normalized=normalized,
+            predicted_cost=self._expected,
+            observed_cost=observed,
+            cost_ratio=ratio,
+            tuples=profile.tuples,
+            drifted=bool(cells) and normalized > self._threshold,
+            worst=worst,
+        )
+
+    @staticmethod
+    def _cell(
+        path: str, kind: str, predicted: float, observed: float, samples: int
+    ) -> CellDrift:
+        p = _clamp(predicted)
+        term = samples * (observed - p) ** 2 / (p * (1.0 - p))
+        return CellDrift(
+            path=path,
+            kind=kind,
+            predicted=predicted,
+            observed=observed,
+            samples=samples,
+            term=term,
+        )

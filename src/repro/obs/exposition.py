@@ -1,0 +1,134 @@
+"""Prometheus text-format rendering of a metrics snapshot.
+
+Turns the dict produced by
+:meth:`repro.service.metrics.MetricsRegistry.snapshot` into the
+Prometheus text exposition format (version 0.0.4):
+
+- counters render as ``<prefix>_<name>_total`` with ``# TYPE ... counter``;
+- labeled counter families render one sample per label combination;
+- gauges render as ``<prefix>_<name>`` with ``# TYPE ... gauge``;
+- histograms flatten to one gauge per snapshot field
+  (``<prefix>_<name>_count``, ``..._mean_ms``, ``..._p50_ms_window``, ...)
+  — the reservoir percentiles are already computed, so re-encoding them
+  as native Prometheus histogram buckets would fabricate data we do not
+  have.
+
+:func:`parse_prometheus` is the matching reader used by tests and the CI
+smoke job to assert the rendering round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+__all__ = ["render_prometheus", "parse_prometheus"]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+
+
+def _metric_name(prefix: str, *parts: str) -> str:
+    name = "_".join(part for part in (prefix, *parts) if part)
+    if not _NAME_OK.match(name):
+        name = _NAME_FIX.sub("_", name)
+        if not name or not _NAME_OK.match(name):
+            name = "_" + name
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number == float("inf"):
+        return "+Inf"
+    if number == float("-inf"):
+        return "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any], prefix: str = "repro"
+) -> str:
+    """Render a registry snapshot as Prometheus exposition text."""
+    lines: list[str] = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _metric_name(prefix, name, "total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, family in sorted(snapshot.get("labeled_counters", {}).items()):
+        metric = _metric_name(prefix, name, "total")
+        lines.append(f"# TYPE {metric} counter")
+        for series in family.get("series", []):
+            labels = _render_labels(series.get("labels", {}))
+            lines.append(f"{metric}{labels} {_format_value(series['value'])}")
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, fields in sorted(snapshot.get("histograms", {}).items()):
+        for key, value in sorted(fields.items()):
+            if not isinstance(value, (int, float)):
+                continue
+            metric = _metric_name(prefix, name, key)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(value)}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``{sample: value}``.
+
+    The sample key includes the label set verbatim
+    (``repro_cache_events_total{event="hit"}``).  Raises
+    :class:`ValueError` on any malformed non-comment line — this is the
+    assertion the CI smoke job leans on.
+    """
+    samples: dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line {lineno}: {raw!r}")
+        value = match.group("value")
+        try:
+            if value == "+Inf":
+                number = float("inf")
+            elif value == "-Inf":
+                number = float("-inf")
+            else:
+                number = float(value)
+        except ValueError as error:
+            raise ValueError(
+                f"malformed sample value on line {lineno}: {raw!r}"
+            ) from error
+        key = match.group("name") + (match.group("labels") or "")
+        samples[key] = number
+    return samples

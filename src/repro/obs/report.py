@@ -1,0 +1,260 @@
+"""EXPLAIN-ANALYZE-style profile reports: the body of ``repro profile``.
+
+Combines three sources into one annotated plan tree:
+
+- the plan structure itself;
+- the planner's per-node Eq. 3 predictions
+  (:func:`repro.obs.drift.predict_plan`);
+- a :class:`~repro.obs.profile.PlanProfile` of what actually happened.
+
+Every line shows predicted-vs-observed side by side — reach and split
+probabilities, step pass fractions, per-node cost per root tuple — and
+cells whose chi-square drift term exceeds the monitor's threshold are
+flagged ``<< DRIFT``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.plan import (
+    ConditionNode,
+    PlanNode,
+    SequentialNode,
+    VerdictLeaf,
+)
+from repro.exceptions import PlanError
+from repro.obs.drift import DriftMonitor, NodePrediction
+from repro.obs.profile import NodeCounters, PlanProfile
+from repro.probability.base import Distribution
+from repro.verify.paths import ROOT_PATH, step_path
+
+__all__ = ["render_profile_report", "profile_report_dict"]
+
+
+def _fraction(numerator: int, denominator: int) -> float | None:
+    return numerator / denominator if denominator else None
+
+
+def _fmt(value: float | None, digits: int = 3) -> str:
+    return "-" if value is None else f"{value:.{digits}f}"
+
+
+class _ReportBuilder:
+    def __init__(
+        self,
+        plan: PlanNode,
+        distribution: Distribution,
+        profile: PlanProfile,
+        monitor: DriftMonitor,
+    ) -> None:
+        self.plan = plan
+        self.profile = profile
+        self.monitor = monitor
+        self.predictions = monitor.predictions
+        self.schema = distribution.schema
+        self.tuples = profile.tuples
+        self.drift_terms = {
+            cell.path: cell.term for cell in monitor.cell_drifts(profile)
+        }
+        self.report = monitor.assess(profile)
+
+    def flag(self, path: str) -> str:
+        term = self.drift_terms.get(path)
+        if term is not None and term > self.monitor.threshold:
+            return f"  << DRIFT (term {term:.1f})"
+        return ""
+
+    def counters(self, path: str) -> NodeCounters | None:
+        return self.profile.counters(path)
+
+    def prediction(self, path: str) -> NodePrediction | None:
+        return self.predictions.get(path)
+
+    def observed_reach(self, path: str) -> float | None:
+        counters = self.counters(path)
+        if counters is None:
+            return 0.0 if self.tuples else None
+        return _fraction(counters.visits, self.tuples)
+
+    def node_costs(self, path: str) -> tuple[float | None, float | None]:
+        """(predicted, observed) cost per root tuple at this node."""
+        prediction = self.prediction(path)
+        predicted = prediction.cost if prediction is not None else None
+        counters = self.counters(path)
+        if counters is None:
+            observed = 0.0 if self.tuples else None
+        else:
+            observed = (
+                counters.observed_cost(self.schema) / self.tuples
+                if self.tuples
+                else None
+            )
+        return predicted, observed
+
+    # ------------------------------------------------------------------
+
+    def header_lines(self) -> list[str]:
+        report = self.report
+        lines = [
+            f"tuples profiled: {self.tuples}",
+            (
+                f"cost/tuple: predicted {report.predicted_cost:.3f} (Eq. 3)  "
+                f"observed {report.observed_cost:.3f}  "
+                f"ratio {_fmt(None if report.cost_ratio == float('inf') else report.cost_ratio, 3)}"
+                + ("x" if report.cost_ratio != float("inf") else " (inf)")
+            ),
+            (
+                f"drift score: {report.normalized:.2f} over {report.cells} "
+                f"cells (threshold {self.monitor.threshold:g}) -> "
+                + ("DRIFTED" if report.drifted else "ok")
+            ),
+        ]
+        return lines
+
+    def tree_lines(self) -> list[str]:
+        lines: list[str] = []
+        self._walk(self.plan, ROOT_PATH, "", lines)
+        return lines
+
+    def _walk(
+        self, node: PlanNode, path: str, indent: str, lines: list[str]
+    ) -> None:
+        prediction = self.prediction(path)
+        counters = self.counters(path)
+        reach_pred = prediction.reach if prediction is not None else None
+        reach_obs = self.observed_reach(path)
+        visits = counters.visits if counters is not None else 0
+        if isinstance(node, ConditionNode):
+            p_pred = prediction.p_below if prediction is not None else None
+            p_obs = (
+                _fraction(counters.below, counters.visits)
+                if counters is not None
+                else None
+            )
+            cost_pred, cost_obs = self.node_costs(path)
+            lines.append(
+                f"{indent}if {node.attribute} < {node.split_value}:  "
+                f"[n={visits}  p_below pred={_fmt(p_pred)} obs={_fmt(p_obs)}  "
+                f"cost/t pred={_fmt(cost_pred)} obs={_fmt(cost_obs)}]"
+                + self.flag(path)
+            )
+            self._walk(node.below, path + "/below", indent + "    ", lines)
+            lines.append(
+                f"{indent}else ({node.attribute} >= {node.split_value}):"
+            )
+            self._walk(node.above, path + "/above", indent + "    ", lines)
+            return
+        if isinstance(node, SequentialNode):
+            if not node.steps:
+                lines.append(
+                    f"{indent}=> T  [n={visits}  reach pred={_fmt(reach_pred)} "
+                    f"obs={_fmt(reach_obs)}]"
+                )
+                return
+            cost_pred, cost_obs = self.node_costs(path)
+            lines.append(
+                f"{indent}seq  [n={visits}  reach pred={_fmt(reach_pred)} "
+                f"obs={_fmt(reach_obs)}  cost/t pred={_fmt(cost_pred)} "
+                f"obs={_fmt(cost_obs)}]"
+            )
+            for position, step in enumerate(node.steps):
+                pass_pred = (
+                    prediction.step_pass[position]
+                    if prediction is not None
+                    and position < len(prediction.step_pass)
+                    else None
+                )
+                if counters is not None and position < len(counters.steps):
+                    tallies = counters.steps[position]
+                    evaluated = tallies.evaluated
+                    pass_obs = (
+                        _fraction(tallies.passed, tallies.evaluated)
+                    )
+                else:
+                    evaluated = 0
+                    pass_obs = None
+                lines.append(
+                    f"{indent}    {step.predicate.describe()}  "
+                    f"[n={evaluated}  pass pred={_fmt(pass_pred)} "
+                    f"obs={_fmt(pass_obs)}]" + self.flag(step_path(path, position))
+                )
+            return
+        if isinstance(node, VerdictLeaf):
+            verdict = "T" if node.verdict else "F"
+            lines.append(
+                f"{indent}=> {verdict}  [n={visits}  "
+                f"reach pred={_fmt(reach_pred)} obs={_fmt(reach_obs)}]"
+            )
+            return
+        raise PlanError(f"unknown plan node type {type(node).__name__}")
+
+
+def render_profile_report(
+    plan: PlanNode,
+    distribution: Distribution,
+    profile: PlanProfile,
+    *,
+    expected: float | None = None,
+    monitor: DriftMonitor | None = None,
+) -> str:
+    """Annotated predicted-vs-observed plan tree as display text."""
+    if monitor is None:
+        monitor = DriftMonitor(plan, distribution, expected=expected)
+    builder = _ReportBuilder(plan, distribution, profile, monitor)
+    return "\n".join(builder.header_lines() + [""] + builder.tree_lines())
+
+
+def profile_report_dict(
+    plan: PlanNode,
+    distribution: Distribution,
+    profile: PlanProfile,
+    *,
+    expected: float | None = None,
+    monitor: DriftMonitor | None = None,
+) -> dict[str, Any]:
+    """JSON-friendly variant of :func:`render_profile_report`."""
+    if monitor is None:
+        monitor = DriftMonitor(plan, distribution, expected=expected)
+    builder = _ReportBuilder(plan, distribution, profile, monitor)
+    nodes: dict[str, Any] = {}
+    for path, prediction in monitor.predictions.items():
+        counters = profile.counters(path)
+        cost_pred, cost_obs = builder.node_costs(path)
+        entry: dict[str, Any] = {
+            "reach_predicted": round(prediction.reach, 6),
+            "reach_observed": builder.observed_reach(path),
+            "cost_predicted": (
+                round(cost_pred, 6) if cost_pred is not None else None
+            ),
+            "cost_observed": (
+                round(cost_obs, 6) if cost_obs is not None else None
+            ),
+        }
+        if prediction.p_below is not None:
+            entry["p_below_predicted"] = round(prediction.p_below, 6)
+            entry["p_below_observed"] = (
+                _fraction(counters.below, counters.visits)
+                if counters is not None
+                else None
+            )
+        if prediction.step_pass:
+            entry["step_pass_predicted"] = [
+                round(value, 6) for value in prediction.step_pass
+            ]
+            entry["step_pass_observed"] = [
+                (
+                    _fraction(tallies.passed, tallies.evaluated)
+                    if counters is not None
+                    else None
+                )
+                for tallies in (counters.steps if counters is not None else [])
+            ]
+        if counters is not None:
+            entry["observed"] = counters.as_dict()
+        nodes[path] = entry
+    return {
+        "drift": builder.report.as_dict(),
+        "tuples": profile.tuples,
+        "nodes": nodes,
+    }

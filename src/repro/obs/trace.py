@@ -1,0 +1,126 @@
+"""Structured JSON-lines tracing for the serving layer.
+
+Every interesting moment in a query's life — parse/plan, verification,
+cache hit or miss, execution, replan — becomes one :class:`TraceEvent`:
+a flat, JSON-serializable record carrying a span id (grouping all events
+of one service call), the query fingerprint, the phase name, a duration
+in milliseconds where one applies, and free-form extra fields.
+
+A :class:`Tracer` both buffers recent events in a bounded deque (for
+tests and the ``stats()``-style introspection) and, when given a stream,
+appends each event as one JSON line the moment it is emitted — the
+format ``repro serve-bench --trace-out`` writes and
+``docs/OBSERVABILITY.md`` documents.  Timestamps are wall-clock seconds
+(``time.time()``); durations are measured by callers with a monotonic
+clock and passed in.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, IO, Iterator
+
+__all__ = ["TRACE_PHASES", "TraceEvent", "Tracer"]
+
+# The phase vocabulary emitted by AcquisitionalService.  Tracers accept
+# arbitrary phase strings (the schema is open), but these are the ones a
+# dashboard can rely on.
+TRACE_PHASES = (
+    "plan",
+    "verify",
+    "cache-hit",
+    "cache-miss",
+    "execute",
+    "replan",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    ts: float
+    span: str
+    phase: str
+    fingerprint: str = ""
+    ms: float | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "ts": round(self.ts, 6),
+            "span": self.span,
+            "phase": self.phase,
+        }
+        if self.fingerprint:
+            record["fingerprint"] = self.fingerprint
+        if self.ms is not None:
+            record["ms"] = round(self.ms, 3)
+        record.update(self.fields)
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records; optionally streams JSON lines.
+
+    ``capacity`` bounds the in-memory buffer (oldest events fall off);
+    the output stream, when given, sees *every* event regardless of the
+    buffer.  The tracer never closes the stream it was handed.
+    """
+
+    def __init__(self, stream: IO[str] | None = None, capacity: int = 4096) -> None:
+        self._stream = stream
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._spans = itertools.count(1)
+        self._emitted = 0
+
+    def new_span(self) -> str:
+        """A fresh span id grouping the events of one service call."""
+        return f"s{next(self._spans)}"
+
+    def emit(
+        self,
+        phase: str,
+        *,
+        span: str = "",
+        fingerprint: str = "",
+        ms: float | None = None,
+        **fields: Any,
+    ) -> TraceEvent:
+        event = TraceEvent(
+            ts=time.time(),
+            span=span,
+            phase=phase,
+            fingerprint=fingerprint,
+            ms=ms,
+            fields=fields,
+        )
+        self._events.append(event)
+        self._emitted += 1
+        if self._stream is not None:
+            self._stream.write(event.to_json() + "\n")
+        return event
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """The buffered (most recent) events, oldest first."""
+        return tuple(self._events)
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted over the tracer's lifetime."""
+        return self._emitted
+
+    def phases(self) -> Iterator[str]:
+        for event in self._events:
+            yield event.phase
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -15,7 +15,13 @@ from repro.service.fingerprint import (
     fingerprint_parsed,
     fingerprint_statement,
 )
-from repro.service.metrics import Counter, LatencyHistogram, MetricsRegistry
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    LabeledCounter,
+    LatencyHistogram,
+    MetricsRegistry,
+)
 from repro.service.service import AcquisitionalService
 
 __all__ = [
@@ -26,6 +32,8 @@ __all__ = [
     "fingerprint_parsed",
     "fingerprint_statement",
     "Counter",
+    "Gauge",
+    "LabeledCounter",
     "LatencyHistogram",
     "MetricsRegistry",
 ]

@@ -1,25 +1,35 @@
 """In-process metrics for the serving layer.
 
-A deliberately small registry — counters and latency histograms with a
-dict snapshot — so the service can answer "what is my hit rate, where
-does time go" without external dependencies.  Histograms keep a bounded
-reservoir of the most recent observations (latency distributions drift
-with the workload; old samples stop being representative) plus running
-aggregates over the full lifetime.
+A deliberately small registry — counters, labeled counter families,
+gauges, and latency histograms with a dict snapshot — so the service can
+answer "what is my hit rate, where does time go" without external
+dependencies.  Histograms keep a bounded reservoir of the most recent
+observations (latency distributions drift with the workload; old samples
+stop being representative) plus running aggregates over the full
+lifetime.  :func:`repro.obs.render_prometheus` turns a registry snapshot
+into the Prometheus text exposition format.
 """
 
 from __future__ import annotations
 
+import re
 from collections import deque
 
 import numpy as np
 
 from repro.exceptions import ServiceError
 
-__all__ = ["Counter", "LatencyHistogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LabeledCounter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+]
 
 _DEFAULT_RESERVOIR = 8_192
 _PERCENTILES = (50.0, 90.0, 99.0)
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 
 class Counter:
@@ -40,12 +50,88 @@ class Counter:
         return self._value
 
 
+class Gauge:
+    """A point-in-time value that can move both ways (sizes, versions)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def increment(self, amount: float = 1.0) -> None:
+        self._value += float(amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class LabeledCounter:
+    """A family of counters keyed by a fixed set of label names.
+
+    ``family.labels(event="hit")`` returns (creating on first use) the
+    child :class:`Counter` for that label combination — mirroring the
+    Prometheus client idiom, so the exposition layer can render one
+    sample per combination.
+    """
+
+    __slots__ = ("_label_names", "_children")
+
+    def __init__(self, label_names: tuple[str, ...]) -> None:
+        if not label_names:
+            raise ServiceError("labeled counters need at least one label name")
+        for name in label_names:
+            if not _LABEL_NAME.match(name):
+                raise ServiceError(f"invalid label name {name!r}")
+        self._label_names = label_names
+        self._children: dict[tuple[str, ...], Counter] = {}
+
+    @property
+    def label_names(self) -> tuple[str, ...]:
+        return self._label_names
+
+    def labels(self, **labels: str) -> Counter:
+        if set(labels) != set(self._label_names):
+            raise ServiceError(
+                f"expected labels {sorted(self._label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self._label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = Counter()
+        return child
+
+    def snapshot(self) -> dict:
+        return {
+            "labels": list(self._label_names),
+            "series": [
+                {
+                    "labels": dict(zip(self._label_names, key)),
+                    "value": child.value,
+                }
+                for key, child in sorted(self._children.items())
+            ],
+        }
+
+
 class LatencyHistogram:
     """Latency tracker: lifetime aggregates + recent-window percentiles.
 
     Observations are seconds; snapshots report milliseconds (the natural
-    unit at serving granularity).  Percentiles come from a sliding
-    reservoir of the last ``reservoir`` observations.
+    unit at serving granularity).  Two kinds of numbers coexist and must
+    not be conflated:
+
+    - ``count``, ``mean_ms``, ``max_ms`` aggregate over the histogram's
+      whole lifetime;
+    - percentiles come from a sliding reservoir holding only the most
+      recent ``reservoir`` observations, and are therefore reported as
+      ``p50_ms_window`` / ``p90_ms_window`` / ``p99_ms_window``, with
+      ``window`` (current reservoir fill) and ``reservoir`` (capacity)
+      alongside so readers can judge how much data backs them.
     """
 
     def __init__(self, reservoir: int = _DEFAULT_RESERVOIR) -> None:
@@ -81,21 +167,26 @@ class LatencyHistogram:
         return float(np.percentile(np.fromiter(self._recent, float), q))
 
     def snapshot(self) -> dict:
+        reservoir = self._recent.maxlen
         report = {
             "count": self._count,
             "mean_ms": round(self.mean_seconds * 1e3, 4),
             "max_ms": round(self._max * 1e3, 4),
+            "window": len(self._recent),
+            "reservoir": reservoir if reservoir is not None else 0,
         }
         for q in _PERCENTILES:
-            report[f"p{q:g}_ms"] = round(self.percentile(q) * 1e3, 4)
+            report[f"p{q:g}_ms_window"] = round(self.percentile(q) * 1e3, 4)
         return report
 
 
 class MetricsRegistry:
-    """Named counters and histograms, created on first use."""
+    """Named counters, gauges, and histograms, created on first use."""
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._labeled: dict[str, LabeledCounter] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -103,6 +194,23 @@ class MetricsRegistry:
         if counter is None:
             counter = self._counters[name] = Counter()
         return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def labeled_counter(self, name: str, *label_names: str) -> LabeledCounter:
+        family = self._labeled.get(name)
+        if family is None:
+            family = self._labeled[name] = LabeledCounter(tuple(label_names))
+        elif label_names and family.label_names != tuple(label_names):
+            raise ServiceError(
+                f"labeled counter {name!r} registered with labels "
+                f"{family.label_names}, requested {label_names}"
+            )
+        return family
 
     def histogram(self, name: str) -> LatencyHistogram:
         histogram = self._histograms.get(name)
@@ -115,6 +223,14 @@ class MetricsRegistry:
             "counters": {
                 name: counter.value
                 for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "labeled_counters": {
+                name: family.snapshot()
+                for name, family in sorted(self._labeled.items())
             },
             "histograms": {
                 name: histogram.snapshot()

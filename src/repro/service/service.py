@@ -15,6 +15,15 @@ statements rather than one statement at a time:
 - counters and latency histograms are recorded throughout and exposed
   via :meth:`stats`.
 
+With ``profiling=True`` the service additionally keeps one
+:class:`~repro.obs.PlanProfile` per served plan and a matching
+:class:`~repro.obs.DriftMonitor`; :meth:`check_drift` scores every
+profiled plan's observed behaviour against its Eq. 3 predictions and —
+when any plan has drifted — bumps the statistics version (or refits on
+supplied history), so the next request replans from fresh statistics.
+A :class:`~repro.obs.Tracer` (optional) receives structured span events
+for every phase: plan, verify, cache-hit, cache-miss, execute, replan.
+
 The paper's architecture makes this cheap to get right: plans are
 trained *once* on historical statistics and reused per-tuple, so the
 only cache-coherence event is a statistics change — exactly what the
@@ -24,7 +33,7 @@ version stamp tracks.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -35,9 +44,41 @@ from repro.execution.streaming import AdaptiveStreamExecutor
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import QueryFingerprint, fingerprint_parsed
 from repro.service.metrics import MetricsRegistry
+
 from repro.verify import verify_plan
 
+if TYPE_CHECKING:
+    from repro.obs.drift import DriftReport
+    from repro.obs.profile import PlanProfile
+    from repro.obs.trace import Tracer
+
 __all__ = ["AcquisitionalService"]
+
+
+class _PlanObservability:
+    """Per-served-plan profile + lazily-built drift monitor."""
+
+    __slots__ = ("prepared", "profile", "_monitor", "_threshold")
+
+    def __init__(
+        self, prepared: PreparedQuery, profile: "PlanProfile", threshold: float
+    ) -> None:
+        self.prepared = prepared
+        self.profile = profile
+        self._monitor = None
+        self._threshold = threshold
+
+    def monitor(self, engine: AcquisitionalEngine):
+        if self._monitor is None:
+            from repro.obs.drift import DriftMonitor
+
+            self._monitor = DriftMonitor(
+                self.prepared.plan,
+                engine.distribution,
+                expected=self.prepared.expected_where_cost,
+                threshold=self._threshold,
+            )
+        return self._monitor
 
 
 class AcquisitionalService:
@@ -61,6 +102,21 @@ class AcquisitionalService:
         gate: a plan with ERROR-severity diagnostics is served once but
         never cached, and the rejection is counted in :meth:`stats`
         (``plans_rejected`` and the cache's ``rejections``).
+    profiling:
+        ``True`` keeps a per-plan :class:`~repro.obs.PlanProfile` fed by
+        every execution, enabling :meth:`profile_for`,
+        :meth:`drift_reports`, and :meth:`check_drift`.  Off by default:
+        the disabled path adds no per-node work.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` receiving one structured
+        event per phase (plan / verify / cache-hit / cache-miss /
+        execute / replan) with span ids and timings.
+    drift_threshold:
+        Normalized chi-square score above which :meth:`check_drift`
+        declares a plan drifted.
+    drift_min_tuples:
+        Plans profiled on fewer tuples than this are skipped by
+        :meth:`check_drift` (small samples make the score noisy).
     """
 
     def __init__(
@@ -70,6 +126,10 @@ class AcquisitionalService:
         cache_policy: str = "lru",
         cache_enabled: bool = True,
         verify_admission: bool = True,
+        profiling: bool = False,
+        tracer: "Tracer | None" = None,
+        drift_threshold: float = 25.0,
+        drift_min_tuples: int = 256,
     ) -> None:
         self._engine = engine
         self._verify_admission = bool(verify_admission)
@@ -79,12 +139,27 @@ class AcquisitionalService:
         )
         self._cache_enabled = bool(cache_enabled)
         self._metrics = MetricsRegistry()
+        self._profiling = bool(profiling)
+        self._tracer = tracer
+        if drift_threshold <= 0:
+            raise ServiceError(
+                f"drift_threshold must be positive, got {drift_threshold}"
+            )
+        if drift_min_tuples < 1:
+            raise ServiceError(
+                f"drift_min_tuples must be >= 1, got {drift_min_tuples}"
+            )
+        self._drift_threshold = float(drift_threshold)
+        self._drift_min_tuples = int(drift_min_tuples)
+        self._profiles: dict[QueryFingerprint, _PlanObservability] = {}
+        self._active_span = ""
         engine.add_statistics_listener(self._on_statistics_version)
 
     def _admit_plan(
         self, _fingerprint: QueryFingerprint, prepared: PreparedQuery
     ) -> bool:
         """Cache-admission gate: statically verify the prepared plan."""
+        start = time.perf_counter()
         report = verify_plan(
             prepared.plan,
             self._engine.schema,
@@ -92,6 +167,14 @@ class AcquisitionalService:
             distribution=self._engine.distribution,
             claimed_cost=prepared.expected_where_cost,
         )
+        if self._tracer is not None:
+            self._tracer.emit(
+                "verify",
+                span=self._active_span,
+                fingerprint=str(_fingerprint),
+                ms=(time.perf_counter() - start) * 1e3,
+                ok=report.ok,
+            )
         if not report.ok:
             self._metrics.counter("plans_rejected").increment()
         return report.ok
@@ -112,6 +195,18 @@ class AcquisitionalService:
     def cache_enabled(self) -> bool:
         return self._cache_enabled
 
+    @property
+    def profiling(self) -> bool:
+        return self._profiling
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    @property
+    def tracer(self) -> "Tracer | None":
+        return self._tracer
+
     def fingerprint(self, text: str) -> QueryFingerprint:
         """Canonical fingerprint of a statement under the engine's schema."""
         return fingerprint_parsed(
@@ -121,23 +216,79 @@ class AcquisitionalService:
     def plan_for(self, text: str) -> PreparedQuery:
         """The (cached) prepared plan serving a statement."""
         parsed = parse_query(text, self._engine.schema)
-        return self._prepared_for(parsed, text)
+        fingerprint = fingerprint_parsed(parsed, self._engine.schema)
+        return self._prepared_for(parsed, fingerprint, text, span="")
+
+    def _span(self) -> str:
+        return self._tracer.new_span() if self._tracer is not None else ""
 
     def _prepared_for(
-        self, parsed: ParsedQuery, text: str
+        self,
+        parsed: ParsedQuery,
+        fingerprint: QueryFingerprint,
+        text: str,
+        span: str,
     ) -> PreparedQuery:
-        fingerprint = fingerprint_parsed(parsed, self._engine.schema)
         version = self._engine.statistics_version
         if self._cache_enabled:
             cached = self._cache.get(fingerprint, version)
             if cached is not None:
+                self._metrics.labeled_counter("cache_events", "event").labels(
+                    event="hit"
+                ).increment()
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "cache-hit", span=span, fingerprint=str(fingerprint)
+                    )
                 return cached
+            self._metrics.labeled_counter("cache_events", "event").labels(
+                event="miss"
+            ).increment()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "cache-miss", span=span, fingerprint=str(fingerprint)
+                )
         prepared = self._engine.prepare_parsed(parsed, text=text)
         self._metrics.counter("plans_built").increment()
         self._metrics.histogram("planning").observe(prepared.planning_seconds)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "plan",
+                span=span,
+                fingerprint=str(fingerprint),
+                ms=prepared.planning_seconds * 1e3,
+                planner=prepared.planner,
+            )
         if self._cache_enabled:
-            self._cache.put(fingerprint, version, prepared)
+            self._active_span = span
+            try:
+                self._cache.put(fingerprint, version, prepared)
+            finally:
+                self._active_span = ""
         return prepared
+
+    def _observer(
+        self, fingerprint: QueryFingerprint, prepared: PreparedQuery
+    ) -> "PlanProfile | None":
+        """The per-plan profile fed by this execution (profiling on only).
+
+        A fingerprint's profile is replaced whenever its plan changes
+        (replanning under new statistics resets the ledger — old counts
+        describe the old tree).
+        """
+        if not self._profiling:
+            return None
+        from repro.obs.profile import PlanProfile
+
+        entry = self._profiles.get(fingerprint)
+        if entry is None or entry.prepared is not prepared:
+            entry = _PlanObservability(
+                prepared,
+                PlanProfile(self._engine.schema),
+                self._drift_threshold,
+            )
+            self._profiles[fingerprint] = entry
+        return entry.profile
 
     # ------------------------------------------------------------------
     # Execution paths
@@ -146,12 +297,26 @@ class AcquisitionalService:
     def execute(self, text: str, readings: np.ndarray) -> QueryResult:
         """Serve one statement over live readings."""
         self._metrics.counter("queries").increment()
-        prepared = self.plan_for(text)
+        span = self._span()
+        parsed = parse_query(text, self._engine.schema)
+        fingerprint = fingerprint_parsed(parsed, self._engine.schema)
+        prepared = self._prepared_for(parsed, fingerprint, text, span)
+        observer = self._observer(fingerprint, prepared)
         start = time.perf_counter()
-        result = self._engine.execute_prepared(prepared, readings)
-        self._metrics.histogram("execution").observe(
-            time.perf_counter() - start
+        result = self._engine.execute_prepared(
+            prepared, readings, observer=observer
         )
+        elapsed = time.perf_counter() - start
+        self._metrics.histogram("execution").observe(elapsed)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "execute",
+                span=span,
+                fingerprint=str(fingerprint),
+                ms=elapsed * 1e3,
+                rows=len(result.rows),
+                tuples=result.tuples_scanned,
+            )
         return result
 
     def execute_batch(
@@ -166,6 +331,7 @@ class AcquisitionalService:
         """
         self._metrics.counter("queries").increment(len(requests))
         self._metrics.counter("batch_requests").increment(len(requests))
+        span = self._span()
         groups: dict[QueryFingerprint, list[int]] = {}
         parsed_requests: list[tuple[ParsedQuery, np.ndarray]] = []
         for position, (text, readings) in enumerate(requests):
@@ -175,18 +341,28 @@ class AcquisitionalService:
             parsed_requests.append((parsed, readings))
 
         results: list[QueryResult | None] = [None] * len(requests)
-        for positions in groups.values():
+        for fingerprint, positions in groups.items():
             first_parsed, _first_readings = parsed_requests[positions[0]]
             text = requests[positions[0]][0]
-            prepared = self._prepared_for(first_parsed, text)
+            prepared = self._prepared_for(
+                first_parsed, fingerprint, text, span
+            )
+            observer = self._observer(fingerprint, prepared)
             matrices = [parsed_requests[p][1] for p in positions]
             start = time.perf_counter()
             group_results = self._engine.execute_prepared_many(
-                prepared, matrices
+                prepared, matrices, observer=observer
             )
-            self._metrics.histogram("execution").observe(
-                time.perf_counter() - start
-            )
+            elapsed = time.perf_counter() - start
+            self._metrics.histogram("execution").observe(elapsed)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "execute",
+                    span=span,
+                    fingerprint=str(fingerprint),
+                    ms=elapsed * 1e3,
+                    requests=len(positions),
+                )
             for position, result in zip(positions, group_results):
                 results[position] = result
         self._metrics.counter("batch_groups").increment(len(groups))
@@ -213,7 +389,8 @@ class AcquisitionalService:
         plans were trained on, so the service bumps the statistics
         version — invalidating the plan cache — on every swap.
         ``kwargs`` pass through to
-        :class:`~repro.execution.streaming.AdaptiveStreamExecutor`.
+        :class:`~repro.execution.streaming.AdaptiveStreamExecutor`
+        (including the profile-drift knobs).
         """
         parsed = parse_query(text, self._engine.schema)
         if not parsed.is_conjunctive:
@@ -226,8 +403,16 @@ class AcquisitionalService:
                 "for additional replan handling"
             )
 
-        def on_replan(_event) -> None:
+        def on_replan(event) -> None:
             self._metrics.counter("stream_replans").increment()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "replan",
+                    reason=event.reason,
+                    position=event.position,
+                    expected_cost=event.expected_cost,
+                    drift_score=event.drift_score,
+                )
             self._engine.bump_statistics_version()
 
         return AdaptiveStreamExecutor(
@@ -241,6 +426,81 @@ class AcquisitionalService:
     def _on_statistics_version(self, version: int) -> None:
         self._metrics.counter("statistics_bumps").increment()
         self._cache.invalidate_stale(version)
+        # Profiles describe plans trained on the old statistics; their
+        # monitors' predictions are stale too.  Start fresh ledgers.
+        self._profiles.clear()
+
+    # ------------------------------------------------------------------
+    # Drift monitoring
+    # ------------------------------------------------------------------
+
+    def profile_for(self, text: str) -> "PlanProfile | None":
+        """The live profile of the plan serving ``text`` (or ``None``)."""
+        if not self._profiling:
+            return None
+        entry = self._profiles.get(self.fingerprint(text))
+        return entry.profile if entry is not None else None
+
+    def drift_reports(
+        self, min_tuples: int | None = None
+    ) -> dict[str, "DriftReport"]:
+        """Assess every sufficiently-profiled plan; no side effects.
+
+        Keys are fingerprint digests (the stable metrics/log label).
+        """
+        if not self._profiling:
+            return {}
+        floor = self._drift_min_tuples if min_tuples is None else min_tuples
+        reports: dict[str, DriftReport] = {}
+        for fingerprint, entry in self._profiles.items():
+            if entry.profile.tuples < floor:
+                continue
+            reports[str(fingerprint)] = entry.monitor(self._engine).assess(
+                entry.profile
+            )
+        return reports
+
+    def check_drift(
+        self, refit_history: np.ndarray | None = None
+    ) -> dict[str, "DriftReport"]:
+        """Assess drift and, if any plan drifted, invalidate stale plans.
+
+        Counts each drifted plan in ``plans_drifted``; when at least one
+        plan drifted, counts one ``replans_triggered`` and either refits
+        the engine on ``refit_history`` (when given) or bumps the
+        statistics version — both invalidate every cached plan, so
+        subsequent requests replan against fresh statistics.  Returns
+        the per-plan reports (keyed by fingerprint digest) computed
+        *before* invalidation.
+        """
+        if not self._profiling:
+            raise ServiceError(
+                "check_drift requires the service to be built with "
+                "profiling=True"
+            )
+        reports = self.drift_reports()
+        drifted = {
+            digest: report
+            for digest, report in reports.items()
+            if report.drifted
+        }
+        for digest, report in drifted.items():
+            self._metrics.counter("plans_drifted").increment()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "replan",
+                    fingerprint=digest,
+                    reason="profile-drift",
+                    drift_score=report.normalized,
+                    cost_ratio=report.cost_ratio,
+                )
+        if drifted:
+            self._metrics.counter("replans_triggered").increment()
+            if refit_history is not None:
+                self.refit(refit_history)
+            else:
+                self._engine.bump_statistics_version()
+        return reports
 
     # ------------------------------------------------------------------
     # Introspection
@@ -248,11 +508,20 @@ class AcquisitionalService:
 
     def stats(self) -> dict:
         """Point-in-time service snapshot: cache, counters, latencies."""
+        cache_stats = self._cache.stats()
+        self._metrics.gauge("cache_size").set(cache_stats.size)
+        self._metrics.gauge("statistics_version").set(
+            self._engine.statistics_version
+        )
+        self._metrics.gauge("profiled_plans").set(len(self._profiles))
         metrics = self._metrics.snapshot()
         return {
             "statistics_version": self._engine.statistics_version,
             "cache_enabled": self._cache_enabled,
-            "cache": self._cache.stats().as_dict(),
+            "profiling": self._profiling,
+            "cache": cache_stats.as_dict(),
             "counters": metrics["counters"],
+            "gauges": metrics["gauges"],
+            "labeled_counters": metrics["labeled_counters"],
             "latency": metrics["histograms"],
         }

@@ -37,6 +37,7 @@ from repro.verify.diagnostics import (
     VerificationReport,
 )
 from repro.verify.mutations import MutationCase, bytecode_mutations, plan_mutations
+from repro.verify.paths import ROOT_PATH, iter_plan_paths, node_at, step_path
 from repro.verify.verifier import (
     PlanVerifier,
     assert_valid_plan,
@@ -56,4 +57,8 @@ __all__ = [
     "MutationCase",
     "plan_mutations",
     "bytecode_mutations",
+    "ROOT_PATH",
+    "iter_plan_paths",
+    "node_at",
+    "step_path",
 ]

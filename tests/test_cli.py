@@ -307,6 +307,175 @@ class TestErrors:
         assert code == 2
 
 
+class TestVersionAndLogging:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_log_level_routes_status_to_stderr(self, tmp_path, capsys):
+        out = tmp_path / "gen"
+        code = main(
+            [
+                "--log-level",
+                "info",
+                "generate",
+                "garden",
+                "--rows",
+                "200",
+                "--motes",
+                "2",
+                "--out-dir",
+                str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "wrote" in captured.err  # status goes through logging
+        assert "wrote" not in captured.out
+
+    def test_default_level_suppresses_status(self, tmp_path, capsys):
+        out = tmp_path / "gen"
+        code = main(
+            [
+                "generate",
+                "garden",
+                "--rows",
+                "200",
+                "--motes",
+                "2",
+                "--out-dir",
+                str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "wrote" not in captured.err
+        assert "wrote" not in captured.out
+
+
+class TestProfileCommand:
+    QUERY = "SELECT * WHERE light >= 9 AND temp <= 5"
+
+    def test_tree_shows_predicted_vs_observed(self, trace_dir, capsys):
+        code = main(
+            [
+                "profile",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--test",
+                str(trace_dir / "test.csv"),
+                "--query",
+                self.QUERY,
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "drift" in output
+        assert "pred=" in output and "obs=" in output
+        assert "cost/tuple" in output
+
+    def test_json_report(self, trace_dir, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--query",
+                self.QUERY,
+                "--json",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query"] == self.QUERY
+        assert payload["tuples"] > 0
+        assert payload["nodes"]
+        assert "drift" in payload
+        assert json.loads(out.read_text()) == payload
+
+
+class TestMetricsCommand:
+    QUERY = "SELECT * WHERE light >= 9 AND temp <= 5"
+
+    def _run(self, trace_dir, *extra):
+        return main(
+            [
+                "metrics",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--query",
+                self.QUERY,
+                "--repeat",
+                "3",
+                *extra,
+            ]
+        )
+
+    def test_prometheus_output_parses(self, trace_dir, capsys):
+        from repro.obs import parse_prometheus
+
+        assert self._run(trace_dir, "--profiling") == 0
+        samples = parse_prometheus(capsys.readouterr().out)
+        assert samples["repro_queries_total"] == 3
+        assert samples['repro_cache_events_total{event="hit"}'] == 2
+        assert samples["repro_profiled_plans"] == 1
+
+    def test_json_output(self, trace_dir, capsys):
+        assert self._run(trace_dir, "--format", "json") == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["queries"] == 3
+        assert snapshot["counters"]["plans_built"] == 1
+
+
+class TestServeBenchObservability:
+    def test_metrics_and_trace_outputs(self, trace_dir, tmp_path, capsys):
+        from repro.obs import TRACE_PHASES, parse_prometheus
+
+        metrics_out = tmp_path / "metrics.json"
+        trace_out = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "serve-bench",
+                "--schema",
+                str(trace_dir / "schema.json"),
+                "--trace",
+                str(trace_dir / "train.csv"),
+                "--shapes",
+                "4",
+                "--requests",
+                "20",
+                "--rows-per-request",
+                "32",
+                "--metrics-out",
+                str(metrics_out),
+                "--trace-out",
+                str(trace_out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(metrics_out.read_text())
+        samples = parse_prometheus(doc["prometheus"])
+        assert samples["repro_queries_total"] == 20
+        assert doc["snapshot"]["counters"]["queries"] == 20
+        phases = set()
+        for line in trace_out.read_text().splitlines():
+            event = json.loads(line)
+            assert event["phase"] in TRACE_PHASES
+            phases.add(event["phase"])
+        assert {"plan", "execute", "cache-hit", "cache-miss"} <= phases
+
+
 class TestLintPlan:
     QUERY = "SELECT * WHERE light >= 9 AND temp <= 5"
 

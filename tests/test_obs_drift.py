@@ -1,0 +1,185 @@
+"""Tests for Eq. 3 per-node predictions and drift scoring (repro.obs.drift)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Attribute,
+    ConjunctiveQuery,
+    RangePredicate,
+    Schema,
+    dataset_execution,
+    expected_cost,
+)
+from repro.obs import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DriftMonitor,
+    PlanProfile,
+    predict_plan,
+)
+from repro.planning import CorrSeqPlanner, GreedyConditionalPlanner
+from repro.probability import EmpiricalDistribution
+from repro.verify import ROOT_PATH
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("mode", 2, 1.0),
+            Attribute("p", 2, 100.0),
+            Attribute("q", 2, 100.0),
+        ]
+    )
+
+
+@pytest.fixture
+def query(schema) -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        schema, [RangePredicate("p", 2, 2), RangePredicate("q", 2, 2)]
+    )
+
+
+def regime_data(n: int, flipped: bool, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    mode = rng.integers(1, 3, n)
+    fail_p = (mode == 1) != flipped
+    p = np.where(fail_p, 1, rng.integers(1, 3, n))
+    q = np.where(~fail_p, 1, rng.integers(1, 3, n))
+    return np.stack([mode, p, q], axis=1).astype(np.int64)
+
+
+@pytest.fixture
+def train(schema) -> np.ndarray:
+    return regime_data(3000, flipped=False, seed=1)
+
+
+@pytest.fixture
+def distribution(schema, train) -> EmpiricalDistribution:
+    return EmpiricalDistribution(schema, train, smoothing=0.5)
+
+
+@pytest.fixture
+def planned(query, distribution):
+    planner = GreedyConditionalPlanner(
+        distribution, CorrSeqPlanner(distribution), max_splits=3
+    )
+    return planner.plan(query)
+
+
+class TestPredictPlan:
+    def test_per_node_costs_sum_to_eq3(self, planned, distribution):
+        predictions = predict_plan(planned.plan, distribution)
+        total = sum(prediction.cost for prediction in predictions.values())
+        assert total == pytest.approx(
+            expected_cost(planned.plan, distribution), abs=1e-9
+        )
+        assert total == pytest.approx(planned.expected_cost, abs=1e-9)
+
+    def test_root_reach_is_one(self, planned, distribution):
+        predictions = predict_plan(planned.plan, distribution)
+        assert predictions[ROOT_PATH].reach == pytest.approx(1.0)
+
+    def test_covers_every_plan_node(self, planned, distribution):
+        from repro.verify import iter_plan_paths
+
+        predictions = predict_plan(planned.plan, distribution)
+        assert set(predictions) == {
+            path for path, _node in iter_plan_paths(planned.plan)
+        }
+
+    def test_probabilities_are_valid(self, planned, distribution):
+        for prediction in predict_plan(planned.plan, distribution).values():
+            if prediction.p_below is not None:
+                assert 0.0 <= prediction.p_below <= 1.0
+            for passed in prediction.step_pass:
+                assert 0.0 <= passed <= 1.0
+
+
+class TestDriftMonitor:
+    def test_no_drift_in_distribution(self, schema, planned, distribution):
+        monitor = DriftMonitor(
+            planned.plan, distribution, expected=planned.expected_cost
+        )
+        profile = PlanProfile(schema)
+        dataset_execution(
+            planned.plan,
+            regime_data(3000, flipped=False, seed=2),
+            schema,
+            observer=profile,
+        )
+        report = monitor.assess(profile)
+        assert not report.drifted
+        assert report.normalized < DEFAULT_DRIFT_THRESHOLD
+        assert report.cost_ratio == pytest.approx(1.0, abs=0.25)
+        assert "ok" in report.describe()
+
+    def test_detects_regime_flip(self, schema, planned, distribution):
+        monitor = DriftMonitor(
+            planned.plan, distribution, expected=planned.expected_cost
+        )
+        profile = PlanProfile(schema)
+        dataset_execution(
+            planned.plan,
+            regime_data(3000, flipped=True, seed=3),
+            schema,
+            observer=profile,
+        )
+        report = monitor.assess(profile)
+        assert report.drifted
+        assert report.normalized > DEFAULT_DRIFT_THRESHOLD
+        assert report.worst  # the worst cells are named
+        assert "DRIFTED" in report.describe()
+
+    def test_min_visits_suppresses_small_samples(
+        self, schema, planned, distribution
+    ):
+        monitor = DriftMonitor(planned.plan, distribution, min_visits=1000)
+        profile = PlanProfile(schema)
+        dataset_execution(
+            planned.plan,
+            regime_data(100, flipped=True, seed=4),
+            schema,
+            observer=profile,
+        )
+        report = monitor.assess(profile)
+        assert report.cells == 0
+        assert report.score == 0.0
+        assert not report.drifted
+
+    def test_empty_profile_is_not_drifted(self, schema, planned, distribution):
+        monitor = DriftMonitor(planned.plan, distribution)
+        report = monitor.assess(PlanProfile(schema))
+        assert report.tuples == 0
+        assert not report.drifted
+
+    def test_cell_drifts_and_report_serialize(
+        self, schema, planned, distribution
+    ):
+        monitor = DriftMonitor(planned.plan, distribution)
+        profile = PlanProfile(schema)
+        dataset_execution(
+            planned.plan,
+            regime_data(2000, flipped=True, seed=5),
+            schema,
+            observer=profile,
+        )
+        cells = monitor.cell_drifts(profile)
+        assert cells
+        for cell in cells:
+            assert cell.kind in ("split", "step")
+            assert cell.term >= 0.0
+        json.dumps(monitor.assess(profile).as_dict())  # must not raise
+
+    def test_threshold_is_respected(self, schema, planned, distribution):
+        lax = DriftMonitor(planned.plan, distribution, threshold=1e9)
+        profile = PlanProfile(schema)
+        dataset_execution(
+            planned.plan,
+            regime_data(2000, flipped=True, seed=6),
+            schema,
+            observer=profile,
+        )
+        assert not lax.assess(profile).drifted

@@ -1,0 +1,117 @@
+"""Tests for the metrics instruments and Prometheus exposition."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.obs import parse_prometheus, render_prometheus
+from repro.service import Gauge, LabeledCounter, MetricsRegistry
+
+
+class TestGauge:
+    def test_set_and_increment(self):
+        gauge = Gauge()
+        assert gauge.value == 0.0
+        gauge.set(3)
+        gauge.increment()
+        gauge.increment(-1.5)
+        assert gauge.value == pytest.approx(2.5)
+
+
+class TestLabeledCounter:
+    def test_children_keyed_by_label_values(self):
+        family = LabeledCounter(("event",))
+        family.labels(event="hit").increment(2)
+        family.labels(event="miss").increment()
+        assert family.labels(event="hit").value == 2
+        snapshot = family.snapshot()
+        assert snapshot["labels"] == ["event"]
+        assert {
+            series["labels"]["event"]: series["value"]
+            for series in snapshot["series"]
+        } == {"hit": 2, "miss": 1}
+
+    def test_rejects_empty_or_invalid_label_names(self):
+        with pytest.raises(ServiceError):
+            LabeledCounter(())
+        with pytest.raises(ServiceError):
+            LabeledCounter(("bad-name",))
+
+    def test_rejects_wrong_label_set(self):
+        family = LabeledCounter(("event",))
+        with pytest.raises(ServiceError):
+            family.labels(outcome="hit")
+
+
+class TestRegistry:
+    def test_gauges_and_labeled_counters_are_reused(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("g") is registry.gauge("g")
+        family = registry.labeled_counter("events", "event")
+        assert registry.labeled_counter("events") is family
+
+    def test_label_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.labeled_counter("events", "event")
+        with pytest.raises(ServiceError):
+            registry.labeled_counter("events", "other")
+
+    def test_snapshot_includes_every_instrument_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").increment()
+        registry.gauge("g").set(2.5)
+        registry.labeled_counter("events", "event").labels(
+            event="hit"
+        ).increment()
+        registry.histogram("h").observe(0.001)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["gauges"] == {"g": 2.5}
+        assert snapshot["labeled_counters"]["events"]["series"]
+        histogram = snapshot["histograms"]["h"]
+        assert histogram["count"] == 1
+        assert "p50_ms_window" in histogram
+        assert histogram["window"] == 1
+
+
+class TestPrometheusExposition:
+    @pytest.fixture
+    def snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("queries").increment(7)
+        registry.gauge("cache_size").set(3)
+        registry.labeled_counter("cache_events", "event").labels(
+            event="hit"
+        ).increment(5)
+        registry.labeled_counter("cache_events", "event").labels(
+            event="miss"
+        ).increment(2)
+        registry.histogram("planning").observe(0.004)
+        return registry.snapshot()
+
+    def test_round_trips_through_the_parser(self, snapshot):
+        text = render_prometheus(snapshot)
+        samples = parse_prometheus(text)
+        assert samples["repro_queries_total"] == 7
+        assert samples["repro_cache_size"] == 3
+        assert samples['repro_cache_events_total{event="hit"}'] == 5
+        assert samples['repro_cache_events_total{event="miss"}'] == 2
+        assert samples["repro_planning_count"] == 1
+
+    def test_type_lines_precede_samples(self, snapshot):
+        lines = render_prometheus(snapshot).splitlines()
+        assert "# TYPE repro_queries_total counter" in lines
+        assert "# TYPE repro_cache_size gauge" in lines
+
+    def test_prefix_is_configurable(self, snapshot):
+        samples = parse_prometheus(render_prometheus(snapshot, prefix="svc"))
+        assert "svc_queries_total" in samples
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is { not a sample\n")
+        with pytest.raises(ValueError):
+            parse_prometheus("metric_name not_a_number\n")
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+        assert parse_prometheus("") == {}

@@ -1,0 +1,75 @@
+"""Tests for JSON-lines tracing (repro.obs.trace)."""
+
+import io
+import json
+
+from repro.obs import TRACE_PHASES, TraceEvent, Tracer
+
+
+class TestTraceEvent:
+    def test_as_dict_rounds_and_merges_fields(self):
+        event = TraceEvent(
+            ts=123.4567891234,
+            span="s1",
+            phase="plan",
+            fingerprint="abcd",
+            ms=1.23456,
+            fields={"planner": "corr-seq"},
+        )
+        record = event.as_dict()
+        assert record["ts"] == 123.456789
+        assert record["ms"] == 1.235
+        assert record["planner"] == "corr-seq"
+        assert record["fingerprint"] == "abcd"
+
+    def test_optional_parts_are_omitted(self):
+        record = TraceEvent(ts=1.0, span="", phase="execute").as_dict()
+        assert "fingerprint" not in record
+        assert "ms" not in record
+
+    def test_to_json_is_deterministic(self):
+        event = TraceEvent(ts=1.0, span="s1", phase="plan", fields={"b": 1, "a": 2})
+        assert event.to_json() == json.dumps(event.as_dict(), sort_keys=True)
+
+
+class TestTracer:
+    def test_emit_buffers_events_in_order(self):
+        tracer = Tracer()
+        for phase in TRACE_PHASES:
+            tracer.emit(phase, span="s1")
+        assert list(tracer.phases()) == list(TRACE_PHASES)
+        assert tracer.emitted == len(TRACE_PHASES)
+
+    def test_streams_one_json_line_per_event(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream)
+        tracer.emit("plan", span="s1", fingerprint="ff", ms=2.0, planner="naive")
+        tracer.emit("execute", span="s1", rows=3)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["phase"] == "plan" and first["planner"] == "naive"
+        assert second["phase"] == "execute" and second["rows"] == 3
+
+    def test_capacity_bounds_buffer_but_not_stream(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream, capacity=4)
+        for index in range(10):
+            tracer.emit("execute", span=f"s{index}")
+        assert len(tracer.events) == 4
+        assert tracer.emitted == 10
+        assert len(stream.getvalue().splitlines()) == 10
+        # The buffer keeps the most recent events.
+        assert tracer.events[-1].span == "s9"
+
+    def test_new_span_ids_are_unique(self):
+        tracer = Tracer()
+        spans = {tracer.new_span() for _ in range(50)}
+        assert len(spans) == 50
+
+    def test_clear_empties_buffer_only(self):
+        tracer = Tracer()
+        tracer.emit("plan")
+        tracer.clear()
+        assert tracer.events == ()
+        assert tracer.emitted == 1

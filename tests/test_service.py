@@ -89,7 +89,11 @@ class TestServiceExecution:
         for name in ("planning", "execution"):
             snapshot = stats["latency"][name]
             assert snapshot["count"] >= 1
-            assert snapshot["p50_ms"] <= snapshot["p99_ms"] <= snapshot["max_ms"]
+            assert (
+                snapshot["p50_ms_window"]
+                <= snapshot["p99_ms_window"]
+                <= snapshot["max_ms"]
+            )
 
 
 class TestBatching:
@@ -158,14 +162,16 @@ class TestMetrics:
         assert histogram.percentile(50) == pytest.approx(0.0505, abs=1e-3)
         snapshot = histogram.snapshot()
         assert snapshot["max_ms"] == pytest.approx(100.0)
-        assert snapshot["p99_ms"] <= snapshot["max_ms"]
+        assert snapshot["p99_ms_window"] <= snapshot["max_ms"]
+        assert snapshot["window"] == 100
         with pytest.raises(ServiceError):
             histogram.observe(-0.1)
 
     def test_empty_histogram_snapshot(self):
         snapshot = LatencyHistogram().snapshot()
         assert snapshot["count"] == 0
-        assert snapshot["p50_ms"] == 0.0
+        assert snapshot["p50_ms_window"] == 0.0
+        assert snapshot["window"] == 0
 
     def test_registry_reuses_instruments(self):
         registry = MetricsRegistry()

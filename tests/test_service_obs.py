@@ -1,0 +1,170 @@
+"""Service-level observability: profiling, drift checks, and tracing."""
+
+import numpy as np
+import pytest
+
+from repro.core import Attribute, Schema
+from repro.engine import AcquisitionalEngine
+from repro.exceptions import ServiceError
+from repro.obs import Tracer
+from repro.service import AcquisitionalService
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("mode", 2, 1.0),
+            Attribute("p", 2, 100.0),
+            Attribute("q", 2, 100.0),
+        ]
+    )
+
+
+def regime_data(n: int, flipped: bool, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    mode = rng.integers(1, 3, n)
+    fail_p = (mode == 1) != flipped
+    p = np.where(fail_p, 1, rng.integers(1, 3, n))
+    q = np.where(~fail_p, 1, rng.integers(1, 3, n))
+    return np.stack([mode, p, q], axis=1).astype(np.int64)
+
+
+@pytest.fixture
+def engine(schema) -> AcquisitionalEngine:
+    return AcquisitionalEngine(
+        schema, regime_data(3000, flipped=False, seed=1), smoothing=0.5
+    )
+
+
+TEXT = "SELECT * WHERE p >= 2 AND q >= 2"
+
+
+class TestProfilingDisabled:
+    def test_profile_accessors_are_inert(self, engine):
+        service = AcquisitionalService(engine)
+        service.execute(TEXT, regime_data(200, flipped=False, seed=2))
+        assert not service.profiling
+        assert service.profile_for(TEXT) is None
+        assert service.drift_reports() == {}
+
+    def test_check_drift_requires_profiling(self, engine):
+        service = AcquisitionalService(engine)
+        with pytest.raises(ServiceError):
+            service.check_drift()
+
+
+class TestProfilingEnabled:
+    def test_profile_accumulates_across_requests(self, engine):
+        service = AcquisitionalService(engine, profiling=True)
+        live = regime_data(900, flipped=False, seed=3)
+        for begin in (0, 300, 600):
+            service.execute(TEXT, live[begin : begin + 300])
+        profile = service.profile_for(TEXT)
+        assert profile is not None
+        assert profile.tuples == 900
+        assert service.stats()["gauges"]["profiled_plans"] == 1
+
+    def test_drift_reports_keyed_by_digest(self, engine):
+        service = AcquisitionalService(engine, profiling=True)
+        service.execute(TEXT, regime_data(600, flipped=False, seed=4))
+        reports = service.drift_reports()
+        assert set(reports) == {str(service.fingerprint(TEXT))}
+        assert not reports[str(service.fingerprint(TEXT))].drifted
+
+    def test_min_tuples_floor_suppresses_reports(self, engine):
+        service = AcquisitionalService(
+            engine, profiling=True, drift_min_tuples=1000
+        )
+        service.execute(TEXT, regime_data(500, flipped=False, seed=5))
+        assert service.drift_reports() == {}
+        assert service.drift_reports(min_tuples=100)  # floor is overridable
+
+    def test_check_drift_without_drift_is_quiet(self, engine):
+        service = AcquisitionalService(engine, profiling=True)
+        service.execute(TEXT, regime_data(600, flipped=False, seed=6))
+        version = engine.statistics_version
+        reports = service.check_drift()
+        assert reports and not any(r.drifted for r in reports.values())
+        stats = service.stats()
+        assert stats["counters"].get("plans_drifted", 0) == 0
+        assert stats["counters"].get("replans_triggered", 0) == 0
+        assert engine.statistics_version == version
+
+    def test_check_drift_invalidates_on_shift(self, engine):
+        service = AcquisitionalService(engine, profiling=True)
+        service.execute(TEXT, regime_data(1200, flipped=True, seed=7))
+        version = engine.statistics_version
+        reports = service.check_drift()
+        assert any(report.drifted for report in reports.values())
+        stats = service.stats()
+        assert stats["counters"]["plans_drifted"] >= 1
+        assert stats["counters"]["replans_triggered"] == 1
+        assert engine.statistics_version == version + 1
+        # Profiles were reset with the stale plans.
+        assert service.profile_for(TEXT) is None
+
+    def test_version_bump_clears_profiles(self, engine):
+        service = AcquisitionalService(engine, profiling=True)
+        service.execute(TEXT, regime_data(400, flipped=False, seed=8))
+        engine.bump_statistics_version()
+        assert service.profile_for(TEXT) is None
+        assert service.stats()["gauges"]["profiled_plans"] == 0
+
+    def test_ctor_validation(self, engine):
+        with pytest.raises(ServiceError):
+            AcquisitionalService(engine, drift_threshold=0.0)
+        with pytest.raises(ServiceError):
+            AcquisitionalService(engine, drift_min_tuples=0)
+
+
+class TestTracing:
+    def test_spans_cover_the_query_lifecycle(self, engine):
+        tracer = Tracer()
+        service = AcquisitionalService(engine, tracer=tracer)
+        live = regime_data(300, flipped=False, seed=9)
+        service.execute(TEXT, live)
+        service.execute(TEXT, live)
+        phases = list(tracer.phases())
+        assert phases.count("cache-miss") == 1
+        assert phases.count("plan") == 1
+        assert phases.count("verify") == 1
+        assert phases.count("cache-hit") == 1
+        assert phases.count("execute") == 2
+
+    def test_events_of_one_call_share_a_span(self, engine):
+        tracer = Tracer()
+        service = AcquisitionalService(engine, tracer=tracer)
+        service.execute(TEXT, regime_data(100, flipped=False, seed=10))
+        spans = {event.span for event in tracer.events}
+        assert len(spans) == 1
+
+    def test_check_drift_emits_replan_events(self, engine):
+        tracer = Tracer()
+        service = AcquisitionalService(engine, profiling=True, tracer=tracer)
+        service.execute(TEXT, regime_data(1200, flipped=True, seed=11))
+        service.check_drift()
+        replans = [
+            event for event in tracer.events if event.phase == "replan"
+        ]
+        assert replans
+        assert replans[0].fields["reason"] == "profile-drift"
+        assert replans[0].fields["drift_score"] > 0
+
+    def test_stream_replans_are_traced_and_bump_version(self, engine):
+        tracer = Tracer()
+        service = AcquisitionalService(engine, tracer=tracer)
+        executor = service.stream_executor(
+            TEXT,
+            window=800,
+            replan_interval=500,
+            drift_threshold=None,
+        )
+        version = engine.statistics_version
+        executor.process(regime_data(1600, flipped=False, seed=12))
+        replans = [
+            event for event in tracer.events if event.phase == "replan"
+        ]
+        assert replans
+        assert engine.statistics_version > version
+        assert service.stats()["counters"]["stream_replans"] == len(replans)
