@@ -1,0 +1,259 @@
+"""Cost-bound certificates and the ``DF101`` rule.
+
+A :class:`CostCertificate` attaches to a plan a claimed Equation 3
+expected cost for every subtree, keyed by the verifier's node paths and
+conditioned on the subtree's range context (the cost is *per tuple
+reaching the node*).  Producers:
+
+- :meth:`repro.planning.ExhaustivePlanner` exports the bounds straight
+  from its dynamic-programming cache — the claims really are the DP
+  optima;
+- :func:`certify_plan` recomputes them from any plan and distribution
+  (the Eq. 3 fallback used by the heuristic planners and the CLI).
+
+:func:`check_certificate` then re-derives every claim independently and
+emits ``DF101`` (ERROR) when a claim diverges from the Eq. 3
+recomputation, anchors to a node the plan does not have, or falls below
+the admissible information-theoretic floor :func:`admissible_lower_bound`
+— a sound lower bound ``l(R)`` on any correct plan's cost for the
+subproblem, so a smaller claim is provably a lie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.analysis.dataflow import AnyQuery
+from repro.core.attributes import Schema
+from repro.core.cost import expected_cost
+from repro.core.cost_models import AcquisitionCostModel
+from repro.core.plan import ConditionNode, PlanNode, SequentialNode, VerdictLeaf
+from repro.core.predicates import Truth
+from repro.core.ranges import RangeVector
+from repro.exceptions import PlanError
+from repro.probability.base import Distribution
+from repro.verify.diagnostics import Diagnostic, make_diagnostic
+
+__all__ = [
+    "CostCertificate",
+    "certify_plan",
+    "admissible_lower_bound",
+    "check_certificate",
+    "DEFAULT_CERTIFICATE_TOLERANCE",
+]
+
+DEFAULT_CERTIFICATE_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class CostCertificate:
+    """Per-subtree expected-cost claims for one plan.
+
+    ``bounds[path]`` is the claimed Eq. 3 expected cost of the subtree
+    rooted at ``path``, conditioned on the subtree's range context.
+    ``source`` records who issued the claims (``"eq3"`` for the
+    recomputation fallback, ``"exhaustive-dp"`` for the DP cache).
+    """
+
+    bounds: Mapping[str, float] = field(default_factory=dict)
+    source: str = "eq3"
+
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def root_bound(self) -> float | None:
+        return self.bounds.get("root")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "bounds": {path: round(bound, 9) for path, bound in self.bounds.items()},
+        }
+
+
+def certify_plan(
+    plan: PlanNode,
+    distribution: Distribution,
+    ranges: RangeVector | None = None,
+    cost_model: AcquisitionCostModel | None = None,
+) -> CostCertificate:
+    """Issue an Eq. 3 certificate for every subtree of ``plan``.
+
+    One recursive pass: each node's bound is assembled from its
+    children's, so the whole certificate costs the same as one
+    :func:`~repro.core.cost.expected_cost` call.  Raises
+    :class:`~repro.exceptions.PlanError` on structurally broken plans
+    (same contract as ``expected_cost``).
+    """
+    schema = distribution.schema
+    context = ranges if ranges is not None else RangeVector.full(schema)
+    bounds: dict[str, float] = {}
+
+    def walk(node: PlanNode, node_ranges: RangeVector, path: str) -> float:
+        if isinstance(node, VerdictLeaf):
+            bounds[path] = 0.0
+            return 0.0
+        if isinstance(node, SequentialNode):
+            cost = expected_cost(node, distribution, node_ranges, cost_model)
+            bounds[path] = cost
+            return cost
+        if isinstance(node, ConditionNode):
+            index = node.attribute_index
+            if not 0 <= index < len(schema):
+                raise PlanError(
+                    f"condition node attribute index {index} out of range "
+                    f"for a schema of {len(schema)} attributes"
+                )
+            interval = node_ranges[index]
+            if not interval.low < node.split_value <= interval.high:
+                raise PlanError(
+                    f"plan splits {node.attribute!r} at {node.split_value} "
+                    f"outside the reachable range "
+                    f"[{interval.low}, {interval.high}]"
+                )
+            if node_ranges.is_acquired(index):
+                acquisition = 0.0
+            elif cost_model is None:
+                acquisition = schema[index].cost
+            else:
+                acquisition = cost_model.cost(index, node_ranges.acquired_indices())
+            probability = distribution.split_probability(
+                index, node.split_value, node_ranges
+            )
+            below_ranges, above_ranges = node_ranges.split(index, node.split_value)
+            below = walk(node.below, below_ranges, path + "/below")
+            above = walk(node.above, above_ranges, path + "/above")
+            cost = acquisition + probability * below + (1.0 - probability) * above
+            bounds[path] = cost
+            return cost
+        raise PlanError(f"unknown plan node type {type(node).__name__}")
+
+    walk(plan, context, "root")
+    return CostCertificate(bounds=bounds, source="eq3")
+
+
+def admissible_lower_bound(
+    query: AnyQuery | None,
+    schema: Schema,
+    ranges: RangeVector,
+    cost_model: AcquisitionCostModel | None = None,
+) -> float:
+    """A sound floor ``l(R)`` on any correct plan's cost for a subproblem.
+
+    When the query is still undetermined under ``ranges``, any correct
+    plan must acquire at least one attribute backing an undetermined
+    predicate before it can ever reach a verdict — predicates here are
+    per-attribute, so reads of *other* attributes cannot decide them.
+    The floor is therefore the cheapest such acquisition (zero if one of
+    those attributes was already acquired).  Conditional cost models can
+    make later acquisitions cheaper than the flat costs suggest, so the
+    floor conservatively collapses to zero there; a decided (or absent)
+    query needs no acquisitions at all.
+    """
+    if query is None or cost_model is not None:
+        return 0.0
+    if query.truth_under(ranges) is not Truth.UNDETERMINED:
+        return 0.0
+    undetermined = query.undetermined_predicates(ranges)
+    if not undetermined:  # inconsistent query object; stay sound
+        return 0.0
+    floors = []
+    for _predicate, index in undetermined:
+        if ranges.is_acquired(index):
+            return 0.0
+        floors.append(schema[index].cost)
+    return min(floors)
+
+
+def check_certificate(
+    plan: PlanNode,
+    certificate: CostCertificate,
+    distribution: Distribution,
+    query: AnyQuery | None = None,
+    ranges: RangeVector | None = None,
+    cost_model: AcquisitionCostModel | None = None,
+    tolerance: float = DEFAULT_CERTIFICATE_TOLERANCE,
+) -> list[Diagnostic]:
+    """Independently re-derive every certificate claim; emit ``DF101``.
+
+    Claims on structurally broken plans are not checkable — the caller's
+    structural rules gate this (mirroring the verifier's cost rules), and
+    an unverifiable certificate yields a single ``DF101`` saying so.
+    """
+    findings: list[Diagnostic] = []
+    try:
+        recomputed = certify_plan(
+            plan, distribution, ranges=ranges, cost_model=cost_model
+        )
+    except PlanError as error:
+        return [
+            make_diagnostic(
+                "DF101",
+                "root",
+                f"certificate cannot be verified: {error}",
+                hint="fix the structural errors, then re-certify",
+            )
+        ]
+    schema = distribution.schema
+    context = ranges if ranges is not None else RangeVector.full(schema)
+    contexts = _subproblem_contexts(plan, context)
+    for path, claimed in sorted(certificate.bounds.items()):
+        actual = recomputed.bounds.get(path)
+        if actual is None:
+            findings.append(
+                make_diagnostic(
+                    "DF101",
+                    path,
+                    "certificate bound anchors to a node the plan does not have",
+                    hint="the certificate was issued for a different plan shape",
+                )
+            )
+            continue
+        if abs(claimed - actual) > tolerance * max(1.0, abs(actual)):
+            findings.append(
+                make_diagnostic(
+                    "DF101",
+                    path,
+                    f"claimed expected cost {claimed:.9g} disagrees with the "
+                    f"Eq. 3 recomputation {actual:.9g}",
+                    hint="re-certify the plan against its own distribution",
+                )
+            )
+            continue
+        floor = admissible_lower_bound(
+            query, schema, contexts[path], cost_model=cost_model
+        )
+        if claimed < floor - tolerance:
+            findings.append(
+                make_diagnostic(
+                    "DF101",
+                    path,
+                    f"claimed expected cost {claimed:.9g} falls below the "
+                    f"admissible floor {floor:.9g} for the subproblem — no "
+                    "correct plan can be that cheap",
+                    hint="the certificate or the plan is lying about the "
+                    "query it answers",
+                )
+            )
+    return findings
+
+
+def _subproblem_contexts(
+    plan: PlanNode, context: RangeVector
+) -> dict[str, RangeVector]:
+    """Range context per node path (valid plans only — caller pre-checks)."""
+    contexts: dict[str, RangeVector] = {}
+
+    def walk(node: PlanNode, node_ranges: RangeVector, path: str) -> None:
+        contexts[path] = node_ranges
+        if isinstance(node, ConditionNode):
+            below_ranges, above_ranges = node_ranges.split(
+                node.attribute_index, node.split_value
+            )
+            walk(node.below, below_ranges, path + "/below")
+            walk(node.above, above_ranges, path + "/above")
+
+    walk(plan, context, "root")
+    return contexts

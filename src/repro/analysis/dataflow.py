@@ -1,0 +1,165 @@
+"""The abstract-interpretation pass over plan trees.
+
+:func:`analyze_plan` pushes an :class:`~repro.analysis.domain.AbstractState`
+from the root down every path of a plan, recording one
+:class:`NodeFacts` per node (keyed by the verifier's node paths, in
+pre-order).  Condition nodes fork the state through
+:meth:`~repro.analysis.domain.AbstractState.assume_split`; sequential
+leaves thread it step by step through
+:meth:`~repro.analysis.domain.AbstractState.assume_pass`, switching to
+bottom after a step the state proves always-false (no tuple survives
+it).  Everything downstream — the ``DF*`` checks, the
+:func:`~repro.analysis.rewrite.optimize_plan` rewriter, and the
+``repro analyze`` tree rendering — consumes the resulting
+:class:`PlanAnalysis` instead of re-walking the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.attributes import Schema
+from repro.core.boolean import BooleanQuery
+from repro.core.plan import (
+    ConditionNode,
+    PlanNode,
+    SequentialNode,
+)
+from repro.core.predicates import Truth
+from repro.core.query import ConjunctiveQuery
+from repro.core.ranges import RangeVector
+from repro.analysis.domain import AbstractState
+
+__all__ = ["StepFacts", "NodeFacts", "PlanAnalysis", "analyze_plan"]
+
+AnyQuery = ConjunctiveQuery | BooleanQuery
+
+
+@dataclass(frozen=True)
+class StepFacts:
+    """Abstract facts at one sequential step.
+
+    ``state`` holds before the step runs; ``truth`` is the step
+    predicate's three-valued outcome under it (``None`` when the state
+    is bottom or the step's attribute index is out of the schema).
+    """
+
+    state: AbstractState
+    truth: Truth | None
+
+
+@dataclass(frozen=True)
+class NodeFacts:
+    """Abstract facts at one plan node.
+
+    ``state`` is the node's entry state; ``query_truth`` the query's
+    three-valued truth under it (``None`` without a query or at
+    bottom); ``steps`` carries per-step facts for sequential leaves.
+    """
+
+    path: str
+    node: PlanNode
+    state: AbstractState
+    query_truth: Truth | None = None
+    steps: tuple[StepFacts, ...] = ()
+
+    @property
+    def reachable(self) -> bool:
+        return self.state.feasible
+
+
+@dataclass(frozen=True)
+class PlanAnalysis:
+    """The result of one dataflow pass: per-node facts in pre-order."""
+
+    plan: PlanNode
+    schema: Schema
+    query: AnyQuery | None
+    facts: dict[str, NodeFacts] = field(default_factory=dict)
+
+    def at(self, path: str) -> NodeFacts | None:
+        return self.facts.get(path)
+
+    def __iter__(self) -> Iterator[NodeFacts]:
+        return iter(self.facts.values())
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+
+def analyze_plan(
+    plan: PlanNode,
+    schema: Schema,
+    query: AnyQuery | None = None,
+    ranges: RangeVector | None = None,
+) -> PlanAnalysis:
+    """Run the interval-domain abstract interpretation over ``plan``.
+
+    ``ranges`` narrows the entry state (verifying a subtree in
+    isolation); it defaults to the full attribute space.  The pass never
+    raises on broken plans: out-of-schema attribute indices simply stop
+    the analysis below that node (the structural rules report them), and
+    unreachable regions carry the bottom state.
+    """
+    analysis = PlanAnalysis(plan=plan, schema=schema, query=query)
+    _walk(plan, AbstractState.top(schema, ranges), "root", schema, query, analysis)
+    return analysis
+
+
+def _query_truth(state: AbstractState, query: AnyQuery | None) -> Truth | None:
+    if query is None or state.ranges is None:
+        return None
+    return query.truth_under(state.ranges)
+
+
+def _walk(
+    node: PlanNode,
+    state: AbstractState,
+    path: str,
+    schema: Schema,
+    query: AnyQuery | None,
+    analysis: PlanAnalysis,
+) -> None:
+    query_truth = _query_truth(state, query)
+    if isinstance(node, ConditionNode):
+        analysis.facts[path] = NodeFacts(
+            path=path, node=node, state=state, query_truth=query_truth
+        )
+        index = node.attribute_index
+        if state.feasible and not 0 <= index < len(schema):
+            return  # structurally broken (STR002): no facts below
+        if not state.feasible:
+            below = above = AbstractState.bottom()
+        else:
+            below, above = state.assume_split(index, node.split_value)
+        _walk(node.below, below, path + "/below", schema, query, analysis)
+        _walk(node.above, above, path + "/above", schema, query, analysis)
+        return
+    if isinstance(node, SequentialNode):
+        steps: list[StepFacts] = []
+        current = state
+        for step in node.steps:
+            index = step.attribute_index
+            if not current.feasible or not 0 <= index < len(schema):
+                steps.append(StepFacts(state=current, truth=None))
+                continue
+            truth = current.truth_of(step.predicate, index)
+            steps.append(StepFacts(state=current, truth=truth))
+            if truth is Truth.FALSE:
+                # No tuple survives an always-false step: the tail of
+                # the leaf is unreachable.
+                current = AbstractState.bottom()
+            else:
+                current = current.assume_pass(step.predicate, index)
+        analysis.facts[path] = NodeFacts(
+            path=path,
+            node=node,
+            state=state,
+            query_truth=query_truth,
+            steps=tuple(steps),
+        )
+        return
+    analysis.facts[path] = NodeFacts(
+        path=path, node=node, state=state, query_truth=query_truth
+    )

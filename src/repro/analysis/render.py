@@ -1,0 +1,96 @@
+"""Human-readable rendering of a dataflow analysis.
+
+:func:`render_analysis` draws the plan tree with each node's abstract
+state alongside it — the feasible interval per attribute (``*`` marks
+attributes already observed on the path), the query's three-valued truth
+where known, and per-step predicate verdicts for sequential leaves.
+``repro analyze`` prints exactly this.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import NodeFacts, PlanAnalysis
+from repro.core.plan import ConditionNode, SequentialNode, VerdictLeaf
+from repro.core.predicates import Truth
+
+__all__ = ["render_analysis"]
+
+_TRUTH_LABEL = {
+    Truth.TRUE: "always true",
+    Truth.FALSE: "always false",
+    Truth.UNDETERMINED: "undetermined",
+}
+
+
+def render_analysis(analysis: PlanAnalysis) -> str:
+    """Render the analyzed plan as an annotated tree, one node per line."""
+    lines: list[str] = []
+    _render(analysis, "root", "", "", lines)
+    return "\n".join(lines)
+
+
+def _label(facts: NodeFacts) -> str:
+    node = facts.node
+    if isinstance(node, ConditionNode):
+        return f"T({node.attribute} >= {node.split_value})"
+    if isinstance(node, SequentialNode):
+        if not node.steps:
+            return "sequential (empty: TRUE)"
+        return f"sequential ({len(node.steps)} steps)"
+    if isinstance(node, VerdictLeaf):
+        return f"verdict {'TRUE' if node.verdict else 'FALSE'}"
+    return type(node).__name__
+
+
+def _annotations(facts: NodeFacts, analysis: PlanAnalysis) -> str:
+    parts = [facts.state.describe(analysis.schema)]
+    if facts.query_truth is not None:
+        parts.append(f"query {_TRUTH_LABEL[facts.query_truth]}")
+    return "  [" + "; ".join(parts) + "]"
+
+
+def _render(
+    analysis: PlanAnalysis,
+    path: str,
+    prefix: str,
+    child_prefix: str,
+    lines: list[str],
+) -> None:
+    facts = analysis.at(path)
+    tag = path.rsplit("/", maxsplit=1)[-1]
+    if facts is None:
+        lines.append(f"{prefix}{tag}: (not analyzed: parent is broken)")
+        return
+    lines.append(f"{prefix}{tag}: {_label(facts)}{_annotations(facts, analysis)}")
+    node = facts.node
+    if isinstance(node, SequentialNode):
+        for position, step_facts in enumerate(facts.steps):
+            step = node.steps[position]
+            if step_facts.truth is None:
+                verdict = (
+                    "unreachable"
+                    if not step_facts.state.feasible
+                    else "not analyzable"
+                )
+            else:
+                verdict = _TRUTH_LABEL[step_facts.truth]
+            lines.append(
+                f"{child_prefix}    steps[{position}] "
+                f"{step.predicate.describe()}  -> {verdict}"
+            )
+        return
+    if isinstance(node, ConditionNode):
+        _render(
+            analysis,
+            f"{path}/below",
+            f"{child_prefix}├─ ",
+            f"{child_prefix}│  ",
+            lines,
+        )
+        _render(
+            analysis,
+            f"{path}/above",
+            f"{child_prefix}└─ ",
+            f"{child_prefix}   ",
+            lines,
+        )

@@ -20,6 +20,11 @@ Mirrors the basestation workflow of the paper's architecture
     repro lint-plan --schema trace/schema.json --plan plan.json \
                   --trace trace/train.csv --query "SELECT * WHERE ..."
     repro lint-plan --suite
+    repro analyze --schema trace/schema.json --plan plan.json \
+                  --query "SELECT * WHERE ..."
+    repro analyze --schema trace/schema.json --plan plan.json --fix \
+                  --out plan.min.json
+    repro analyze --suite
     repro profile --schema trace/schema.json --trace trace/train.csv \
                   --test trace/test.csv --query "SELECT * WHERE ..."
     repro metrics --schema trace/schema.json --trace trace/train.csv \
@@ -42,8 +47,18 @@ from pathlib import Path
 import numpy as np
 
 from repro import __version__
+from repro.analysis import (
+    analyze_plan,
+    certificate_mutations,
+    certify_plan,
+    check_certificate,
+    check_dataflow,
+    dataflow_mutations,
+    optimize_plan,
+    render_analysis,
+)
 from repro.core.analysis import annotate_plan, plan_summary
-from repro.core.attributes import Schema
+from repro.core.attributes import Attribute, Schema
 from repro.core.cost import dataset_execution
 from repro.data.garden import generate_garden_dataset
 from repro.data.lab import generate_lab_dataset
@@ -83,9 +98,20 @@ from repro.planning.greedy_sequential import GreedySequentialPlanner
 from repro.planning.naive import NaivePlanner
 from repro.planning.optimal_sequential import OptimalSequentialPlanner
 from repro.planning.split_points import SplitPointPolicy
+from repro.core.predicates import RangePredicate
+from repro.core.query import ConjunctiveQuery
 from repro.probability.empirical import EmpiricalDistribution
 from repro.service.service import AcquisitionalService
-from repro.verify import verify_bytecode, verify_plan
+from repro.verify import (
+    VerificationReport,
+    iter_plan_paths,
+    verify_bytecode,
+    verify_plan,
+)
+from repro.verify.mutations import (
+    canonical_conditional_plan,
+    canonical_sequential_plan,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -229,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
         "lint-plan",
         help="statically verify a plan file, a bytecode file, or every "
         "planner x dataset combination (--suite)",
+        description="Statically verify a plan against the full rule catalog "
+        "(STR/SEM/RNG/COST/DF/BC codes).  Exit status: 0 when no ERROR-level "
+        "diagnostic fires (warnings do not fail), 1 on any ERROR, 2 on usage "
+        "or I/O errors.  `repro analyze` shares these exit-code semantics.  "
+        "Honours the global --log-level flag.",
     )
     lint.add_argument("--schema", type=Path, default=None)
     lint.add_argument("--plan", type=Path, default=None, help="plan JSON to lint")
@@ -254,6 +285,59 @@ def build_parser() -> argparse.ArgumentParser:
         "synthetic workloads; exit 1 on any ERROR diagnostic",
     )
     lint.add_argument(
+        "--json", action="store_true", dest="as_json", help="JSON report output"
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="dataflow-analyze a plan: per-node abstract states, DF* "
+        "diagnostics, --fix rewriting, or the CI suite (--suite)",
+        description="Run the interval-domain abstract interpretation over a "
+        "plan and report the DF* dataflow diagnostics (dead branches, "
+        "decided predicates, redundant re-acquisitions, infeasible splits) "
+        "alongside a tree rendering of each node's abstract state.  "
+        "--fix rewrites the plan with the analysis-driven optimizer (dead-"
+        "branch elimination and predicate subsumption; the result is "
+        "re-verified before it is written).  --suite analyzes every "
+        "planner x dataset combination, checks planner cost certificates "
+        "(DF101), and runs the DF mutation corpus.  Exit status matches "
+        "`repro lint-plan`: 0 when no ERROR-level diagnostic fires "
+        "(warnings do not fail), 1 on any ERROR, 2 on usage or I/O errors.  "
+        "Honours the global --log-level flag.",
+    )
+    analyze.add_argument("--schema", type=Path, default=None)
+    analyze.add_argument(
+        "--plan", type=Path, default=None, help="plan JSON to analyze"
+    )
+    analyze.add_argument(
+        "--query",
+        default=None,
+        help="statement the plan should answer; enables query-truth facts "
+        "and query-aware --fix subsumption",
+    )
+    analyze.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite the plan with optimize_plan and write it back "
+        "(to --out, or over --plan)",
+    )
+    analyze.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="where --fix writes the optimized plan (default: --plan)",
+    )
+    analyze.add_argument(
+        "--suite",
+        action="store_true",
+        help="analyze the plans of all five planners on Garden, Lab, and "
+        "synthetic workloads, verify cost certificates, and self-test the "
+        "DF rules on the mutation corpus; exit 1 on any ERROR diagnostic",
+    )
+    analyze.add_argument(
+        "--smoothing", type=float, default=0.0, help="suite distribution smoothing"
+    )
+    analyze.add_argument(
         "--json", action="store_true", dest="as_json", help="JSON report output"
     )
 
@@ -878,6 +962,219 @@ def _command_lint_plan(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _analysis_self_test() -> list[str]:
+    """The DF rules' negative and positive controls; returns failures.
+
+    Every seeded mutation must fire its documented code, and the
+    canonical clean plans (plus an honest certificate) must stay silent
+    — a silently-dead DF rule fails the suite even when every planner
+    output happens to be clean.
+    """
+    schema = Schema(
+        (
+            Attribute(name="pressure", domain_size=8, cost=10.0),
+            Attribute(name="flow", domain_size=8, cost=4.0),
+        )
+    )
+    query = ConjunctiveQuery(
+        schema=schema,
+        predicates=(
+            RangePredicate(attribute="pressure", low=3, high=6),
+            RangePredicate(attribute="flow", low=2, high=7),
+        ),
+    )
+    rng = np.random.default_rng(29)
+    data = np.column_stack(
+        [rng.integers(1, 9, size=300), rng.integers(1, 9, size=300)]
+    )
+    distribution = EmpiricalDistribution(schema, data, smoothing=0.5)
+    failures: list[str] = []
+    for case in dataflow_mutations(query):
+        codes = {f.code for f in check_dataflow(case.plan, schema, query=query)}
+        if case.expected_code not in codes:
+            failures.append(
+                f"mutation {case.name!r} did not fire {case.expected_code} "
+                f"(got {sorted(codes)})"
+            )
+    for cert_case in certificate_mutations(query, distribution):
+        codes = {
+            f.code
+            for f in check_certificate(
+                cert_case.plan, cert_case.certificate, distribution, query=query
+            )
+        }
+        if cert_case.expected_code not in codes:
+            failures.append(
+                f"certificate mutation {cert_case.name!r} did not fire "
+                f"{cert_case.expected_code} (got {sorted(codes)})"
+            )
+    for name, plan in (
+        ("sequential", canonical_sequential_plan(query)),
+        ("conditional", canonical_conditional_plan(query)),
+    ):
+        findings = check_dataflow(plan, schema, query=query)
+        if findings:
+            failures.append(
+                f"clean {name} plan fired {sorted(f.code for f in findings)}"
+            )
+    clean_plan = canonical_conditional_plan(query)
+    honest = certify_plan(clean_plan, distribution)
+    stray = check_certificate(clean_plan, honest, distribution, query=query)
+    if stray:
+        failures.append(
+            f"honest certificate fired {sorted(f.code for f in stray)}"
+        )
+    return failures
+
+
+def _command_analyze_suite(args: argparse.Namespace) -> int:
+    total_errors = 0
+    total_warnings = 0
+    rows = []
+    reports = []
+    gate_failures: list[str] = []
+    for dataset_name, dataset, queries in _lint_suite_datasets():
+        schema = dataset.schema
+        distribution = EmpiricalDistribution(
+            schema, dataset.data, smoothing=args.smoothing or 0.5
+        )
+        for planner_name, planner in _lint_suite_planners(distribution).items():
+            errors = 0
+            warnings = 0
+            certified = 0
+            for query in queries:
+                result = planner.plan_timed(query)
+                report = verify_plan(
+                    result.plan,
+                    schema,
+                    query=query,
+                    distribution=distribution,
+                    claimed_cost=result.expected_cost,
+                    certificate=result.certificate,
+                    subject=f"{dataset_name}/{planner_name}: {query.describe()}",
+                )
+                errors += len(report.errors)
+                warnings += len(report.warnings)
+                if result.certificate is not None and not report.has("DF101"):
+                    certified += 1
+                if report.diagnostics:
+                    reports.append(report)
+            # CI gate: every exhaustive plan must ship a DP-cache
+            # certificate that survives independent re-derivation.
+            if planner_name == "exhaustive" and certified != len(queries):
+                gate_failures.append(
+                    f"{dataset_name}/exhaustive: only {certified}/{len(queries)}"
+                    " plans certified DF101-clean"
+                )
+            rows.append(
+                (dataset_name, planner_name, len(queries), errors, warnings, certified)
+            )
+            total_errors += errors
+            total_warnings += warnings
+
+    corpus_failures = _analysis_self_test()
+    failed = bool(total_errors or gate_failures or corpus_failures)
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "ok": not failed,
+                    "errors": total_errors,
+                    "warnings": total_warnings,
+                    "results": [
+                        {
+                            "dataset": dataset,
+                            "planner": planner,
+                            "queries": queries,
+                            "errors": errors,
+                            "warnings": warnings,
+                            "certified": certified,
+                        }
+                        for dataset, planner, queries, errors, warnings, certified
+                        in rows
+                    ],
+                    "certificate_gate_failures": gate_failures,
+                    "mutation_corpus_failures": corpus_failures,
+                    "reports": [report.as_dict() for report in reports],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"{'dataset':<11} {'planner':<13} {'queries':>7} {'errors':>7} "
+            f"{'warnings':>9} {'certified':>9}"
+        )
+        for dataset, planner, queries, errors, warnings, certified in rows:
+            print(
+                f"{dataset:<11} {planner:<13} {queries:>7} {errors:>7} "
+                f"{warnings:>9} {certified:>9}"
+            )
+        for report in reports:
+            print()
+            print(report.format())
+        for message in gate_failures:
+            print(f"\ncertificate gate FAILED: {message}")
+        for message in corpus_failures:
+            print(f"\nmutation corpus FAILED: {message}")
+        verdict = "FAILED" if failed else "clean"
+        print(
+            f"\nanalyze suite {verdict}: {total_errors} error(s), "
+            f"{total_warnings} warning(s) across {len(rows)} planner/dataset "
+            f"runs; {len(corpus_failures)} corpus failure(s)"
+        )
+    return 1 if failed else 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    if args.suite:
+        return _command_analyze_suite(args)
+    if args.schema is None or args.plan is None:
+        raise ReproError("analyze needs --schema and --plan (or --suite)")
+    schema = load_schema(args.schema)
+    plan = load_plan(args.plan)
+    query = None
+    if args.query is not None:
+        query = parse_query(args.query, schema).query
+    analysis = analyze_plan(plan, schema, query=query)
+    findings = check_dataflow(plan, schema, query=query, analysis=analysis)
+    report = VerificationReport.from_findings(findings, subject=str(args.plan))
+    fix_summary = None
+    if args.fix:
+        optimized = optimize_plan(plan, schema, query=query)
+        nodes_before = sum(1 for _ in iter_plan_paths(plan))
+        nodes_after = sum(1 for _ in iter_plan_paths(optimized))
+        destination = args.out if args.out is not None else args.plan
+        save_plan(optimized, destination)
+        fix_summary = {
+            "out": str(destination),
+            "nodes_before": nodes_before,
+            "nodes_after": nodes_after,
+        }
+    if args.as_json:
+        payload = {
+            "subject": str(args.plan),
+            "report": report.as_dict(),
+            "states": {
+                facts.path: facts.state.describe(schema) for facts in analysis
+            },
+        }
+        if fix_summary is not None:
+            payload["fix"] = fix_summary
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_analysis(analysis))
+        print()
+        print(report.format())
+        if fix_summary is not None:
+            print(
+                f"\nfix: wrote optimized plan to {fix_summary['out']} "
+                f"({fix_summary['nodes_before']} -> "
+                f"{fix_summary['nodes_after']} nodes)"
+            )
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -897,6 +1194,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-bench": _command_serve_bench,
         "cache-stats": _command_cache_stats,
         "lint-plan": _command_lint_plan,
+        "analyze": _command_analyze,
         "profile": _command_profile,
         "metrics": _command_metrics,
     }

@@ -10,6 +10,11 @@ Implements the paper's three cost quantities plus the Section 2.4 extension:
 - :func:`expected_cost` — Equation 3: the model-expected cost under any
   :class:`~repro.probability.base.Distribution`, computed by recursing over
   the plan tree while tracking the subproblem ranges each branch implies.
+- :func:`cost_decomposition` — the same Equation 3 expectation, broken
+  into one :class:`NodeCostContribution` per plan node (keyed by the
+  verifier's node paths).  The verifier's cost-conservation rules and the
+  observability layer's :func:`repro.obs.drift.predict_plan` both consume
+  this single decomposition instead of re-walking Eq. 3 independently.
 - :func:`combined_objective` — Section 2.4: ``C(P) + alpha * zeta(P)``,
   folding plan-dissemination cost into the optimization target.
 """
@@ -39,6 +44,8 @@ __all__ = [
     "dataset_execution",
     "empirical_cost",
     "expected_cost",
+    "cost_decomposition",
+    "NodeCostContribution",
     "combined_objective",
     "DatasetExecution",
     "ExecutionObserver",
@@ -338,6 +345,198 @@ def _expected_cost(
             conditioner.condition_on(binding)
         return total
     raise PlanError(f"unknown plan node type {type(plan).__name__}")
+
+
+@dataclass(frozen=True)
+class NodeCostContribution:
+    """One node's share of the Equation 3 expected-cost decomposition.
+
+    ``reach`` is the probability a tuple entering the root reaches this
+    node; ``cost`` is the node's reach-weighted contribution to the plan
+    total, so summing ``cost`` over all records reproduces
+    :func:`expected_cost`.  ``acquisition`` is the per-visit charge at a
+    condition node (zero when the context already acquired the
+    attribute).  ``probability_below`` is the raw model value for live
+    condition nodes — it may fall outside ``[0, 1]`` when the model is
+    inconsistent, which is exactly what the verifier's COST002 rule
+    checks.  ``feasible`` is False when the node is structurally broken
+    (attribute index out of range, split outside the reachable interval,
+    unknown node type); ``detail`` then carries the reason.  ``is_leaf``
+    marks records where the walk stopped: verdict/sequential leaves and
+    broken nodes — their ``reach`` values partition the root context.
+    Records inside zero-reach subtrees carry zero reach/cost and no
+    probabilities; their range context is not tracked.
+    """
+
+    path: str
+    kind: str  # "condition" | "sequential" | "verdict" | "unknown"
+    reach: float
+    acquisition: float
+    cost: float
+    probability_below: float | None = None
+    step_passes: tuple[float, ...] = ()
+    step_costs: tuple[float, ...] = ()
+    feasible: bool = True
+    is_leaf: bool = True
+    detail: str = ""
+
+
+def cost_decomposition(
+    plan: PlanNode,
+    distribution: Distribution,
+    ranges: RangeVector | None = None,
+    cost_model: AcquisitionCostModel | None = None,
+) -> dict[str, NodeCostContribution]:
+    """Per-node Equation 3 decomposition of ``plan`` under ``distribution``.
+
+    Returns one record per plan node, keyed by the verifier's node-path
+    convention (``root``, ``root/below``, ...), in pre-order.  The
+    decomposition is exact: live-node ``cost`` values sum to the Eq. 3
+    expectation, and leaf ``reach`` values sum to 1 for any plan whose
+    splits partition the context.  Unlike :func:`expected_cost` this
+    never raises on a broken plan — infeasible splits and out-of-range
+    indices yield ``feasible=False`` records so verifier rules can turn
+    them into diagnostics.
+    """
+    schema = distribution.schema
+    context = ranges if ranges is not None else RangeVector.full(schema)
+    records: dict[str, NodeCostContribution] = {}
+
+    def dead(node: PlanNode, path: str) -> None:
+        # Zero-reach subtree: record every node with zero contributions.
+        if isinstance(node, ConditionNode):
+            records[path] = NodeCostContribution(
+                path=path, kind="condition", reach=0.0, acquisition=0.0,
+                cost=0.0, is_leaf=False,
+            )
+            dead(node.below, path + "/below")
+            dead(node.above, path + "/above")
+        elif isinstance(node, SequentialNode):
+            records[path] = NodeCostContribution(
+                path=path, kind="sequential", reach=0.0, acquisition=0.0,
+                cost=0.0, step_costs=tuple(0.0 for _ in node.steps),
+            )
+        else:
+            kind = "verdict" if isinstance(node, VerdictLeaf) else "unknown"
+            records[path] = NodeCostContribution(
+                path=path, kind=kind, reach=0.0, acquisition=0.0, cost=0.0
+            )
+
+    def walk(
+        node: PlanNode, node_ranges: RangeVector, reach: float, path: str
+    ) -> None:
+        if reach <= 0.0:
+            dead(node, path)
+            return
+        if isinstance(node, VerdictLeaf):
+            records[path] = NodeCostContribution(
+                path=path, kind="verdict", reach=reach, acquisition=0.0, cost=0.0
+            )
+            return
+        if isinstance(node, SequentialNode):
+            records[path] = _sequential_contribution(
+                node, node_ranges, reach, path, schema, distribution, cost_model
+            )
+            return
+        if isinstance(node, ConditionNode):
+            index = node.attribute_index
+            if not 0 <= index < len(schema):
+                records[path] = NodeCostContribution(
+                    path=path, kind="condition", reach=reach, acquisition=0.0,
+                    cost=0.0, feasible=False,
+                    detail=f"condition node attribute index {index} out of "
+                    f"range for a schema of {len(schema)} attributes",
+                )
+                return
+            interval = node_ranges[index]
+            if not interval.low < node.split_value <= interval.high:
+                records[path] = NodeCostContribution(
+                    path=path, kind="condition", reach=reach, acquisition=0.0,
+                    cost=0.0, feasible=False,
+                    detail=f"plan splits {node.attribute!r} at "
+                    f"{node.split_value} outside the reachable range "
+                    f"[{interval.low}, {interval.high}]",
+                )
+                return
+            if node_ranges.is_acquired(index):
+                acquisition = 0.0
+            elif cost_model is None:
+                acquisition = schema[index].cost
+            else:
+                acquisition = cost_model.cost(index, node_ranges.acquired_indices())
+            probability = distribution.split_probability(
+                index, node.split_value, node_ranges
+            )
+            records[path] = NodeCostContribution(
+                path=path, kind="condition", reach=reach,
+                acquisition=acquisition, cost=reach * acquisition,
+                probability_below=probability, is_leaf=False,
+            )
+            below_ranges, above_ranges = node_ranges.split(index, node.split_value)
+            walk(node.below, below_ranges, reach * probability, path + "/below")
+            walk(
+                node.above, above_ranges, reach * (1.0 - probability),
+                path + "/above",
+            )
+            return
+        records[path] = NodeCostContribution(
+            path=path, kind="unknown", reach=reach, acquisition=0.0, cost=0.0,
+            feasible=False,
+            detail=f"unknown plan node type {type(node).__name__}",
+        )
+
+    walk(plan, context, 1.0, "root")
+    return records
+
+
+def _sequential_contribution(
+    node: SequentialNode,
+    ranges: RangeVector,
+    reach: float,
+    path: str,
+    schema: Schema,
+    distribution: Distribution,
+    cost_model: AcquisitionCostModel | None,
+) -> NodeCostContribution:
+    """Live sequential leaf: per-step pass probabilities and costs."""
+    conditioner = distribution.sequential_conditioner(ranges)
+    acquired = set(ranges.acquired_indices())
+    survival = 1.0
+    passes: list[float] = []
+    costs: list[float] = []
+    feasible = True
+    detail = ""
+    for step in node.steps:
+        index = step.attribute_index
+        if not 0 <= index < len(schema):
+            feasible = False
+            detail = (
+                f"sequential step attribute index {index} out of range "
+                f"for a schema of {len(schema)} attributes"
+            )
+            costs.extend(0.0 for _ in range(len(node.steps) - len(costs)))
+            break
+        if survival > 0.0 and index not in acquired:
+            if cost_model is None:
+                costs.append(reach * survival * schema[index].cost)
+            else:
+                costs.append(reach * survival * cost_model.cost(index, acquired))
+        else:
+            costs.append(0.0)
+        acquired.add(index)
+        if survival > 0.0:
+            binding = (step.predicate, step.attribute_index)
+            passed = conditioner.pass_probability(binding)
+            conditioner.condition_on(binding)
+        else:
+            passed = 0.0
+        passes.append(passed)
+        survival *= passed
+    return NodeCostContribution(
+        path=path, kind="sequential", reach=reach, acquisition=0.0,
+        cost=sum(costs), step_passes=tuple(passes), step_costs=tuple(costs),
+        feasible=feasible, detail=detail,
+    )
 
 
 def combined_objective(

@@ -270,28 +270,17 @@ class ConditionNode(PlanNode):
 def simplify_plan(plan: PlanNode) -> PlanNode:
     """Structurally simplify a plan without changing its behaviour.
 
-    Collapses condition nodes whose branches are identical subtrees (the
-    exhaustive DP produces such free-split ties) and rewrites empty
-    sequential nodes as TRUE leaves.  Useful when plan size matters — the
-    dissemination-cost objective of Section 2.4 — since the simplified plan
-    acquires exactly the same attributes on every tuple except the dropped
-    no-op splits.
+    Deprecated shim: this is now the schema-free mode of
+    :func:`repro.analysis.rewrite.optimize_plan`, kept for callers that
+    have no schema at hand.  It collapses condition nodes whose branches
+    are identical subtrees (the exhaustive DP produces such free-split
+    ties) and rewrites empty sequential nodes as TRUE leaves.  Pass a
+    schema (and query) to ``optimize_plan`` for the full dataflow
+    rewrites — dead-branch elimination and predicate subsumption.
     """
-    if isinstance(plan, ConditionNode):
-        below = simplify_plan(plan.below)
-        above = simplify_plan(plan.above)
-        if below == above:
-            return below
-        return ConditionNode(
-            attribute=plan.attribute,
-            attribute_index=plan.attribute_index,
-            split_value=plan.split_value,
-            below=below,
-            above=above,
-        )
-    if isinstance(plan, SequentialNode) and not plan.steps:
-        return VerdictLeaf(verdict=True)
-    return plan
+    from repro.analysis.rewrite import optimize_plan  # avoid core->analysis cycle
+
+    return optimize_plan(plan)
 
 
 def plan_from_dict(payload: dict[str, Any]) -> PlanNode:

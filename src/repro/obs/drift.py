@@ -32,18 +32,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.cost import expected_cost
-from repro.core.plan import (
-    ConditionNode,
-    PlanNode,
-    SequentialNode,
-    VerdictLeaf,
-)
-from repro.core.ranges import RangeVector
+from repro.core.cost import cost_decomposition, expected_cost
+from repro.core.plan import PlanNode
 from repro.exceptions import PlanError
 from repro.obs.profile import PlanProfile
 from repro.probability.base import Distribution
-from repro.verify.paths import ROOT_PATH, step_path
+from repro.verify.paths import step_path
 
 __all__ = [
     "NodePrediction",
@@ -84,94 +78,36 @@ def predict_plan(
 ) -> dict[str, NodePrediction]:
     """Per-node Eq. 3 decomposition of a plan under ``distribution``.
 
-    Returns predictions keyed by the verifier's node paths.  Subtrees
-    with zero reach probability are recorded with zero reach/cost and no
+    A thin adapter over the shared
+    :func:`repro.core.cost.cost_decomposition` helper (the same ledger
+    the verifier's cost-conservation rules consume).  Returns
+    predictions keyed by the verifier's node paths.  Subtrees with zero
+    reach probability are recorded with zero reach/cost and no
     probability predictions (the model has nothing to say about them —
     but the *parent's* split probability still flags tuples arriving
-    there as drift).
+    there as drift).  Raises :class:`~repro.exceptions.PlanError` for
+    plans whose reachable nodes are structurally broken (infeasible
+    splits, out-of-range indices).
     """
-    schema = distribution.schema
     predictions: dict[str, NodePrediction] = {}
-
-    def dead(node: PlanNode, path: str) -> None:
-        if isinstance(node, ConditionNode):
-            predictions[path] = NodePrediction(reach=0.0, cost=0.0)
-            dead(node.below, path + "/below")
-            dead(node.above, path + "/above")
-        elif isinstance(node, SequentialNode):
+    for path, record in cost_decomposition(plan, distribution).items():
+        if not record.feasible and record.reach > 0.0:
+            raise PlanError(record.detail)
+        if record.kind == "sequential":
             predictions[path] = NodePrediction(
-                reach=0.0,
-                cost=0.0,
-                step_pass=(),
-                step_cost=tuple(0.0 for _ in node.steps),
+                reach=record.reach,
+                cost=record.cost,
+                step_pass=record.step_passes,
+                step_cost=record.step_costs,
+            )
+        elif record.kind == "condition" and record.reach > 0.0:
+            predictions[path] = NodePrediction(
+                reach=record.reach,
+                cost=record.cost,
+                p_below=record.probability_below,
             )
         else:
-            predictions[path] = NodePrediction(reach=0.0, cost=0.0)
-
-    def walk(
-        node: PlanNode, ranges: RangeVector, reach: float, path: str
-    ) -> None:
-        if reach <= 0.0:
-            dead(node, path)
-            return
-        if isinstance(node, VerdictLeaf):
-            predictions[path] = NodePrediction(reach=reach, cost=0.0)
-            return
-        if isinstance(node, ConditionNode):
-            index = node.attribute_index
-            acquisition = (
-                0.0 if ranges.is_acquired(index) else schema[index].cost
-            )
-            interval = ranges[index]
-            if not interval.low < node.split_value <= interval.high:
-                raise PlanError(
-                    f"plan splits {node.attribute!r} at {node.split_value} "
-                    f"outside the reachable range "
-                    f"[{interval.low}, {interval.high}]"
-                )
-            p_below = distribution.split_probability(
-                index, node.split_value, ranges
-            )
-            predictions[path] = NodePrediction(
-                reach=reach, cost=reach * acquisition, p_below=p_below
-            )
-            below_ranges, above_ranges = ranges.split(index, node.split_value)
-            walk(node.below, below_ranges, reach * p_below, path + "/below")
-            walk(
-                node.above, above_ranges, reach * (1.0 - p_below), path + "/above"
-            )
-            return
-        if isinstance(node, SequentialNode):
-            conditioner = distribution.sequential_conditioner(ranges)
-            acquired = set(ranges.acquired_indices())
-            survival = 1.0
-            passes: list[float] = []
-            costs: list[float] = []
-            for step in node.steps:
-                index = step.attribute_index
-                if survival > 0.0 and index not in acquired:
-                    costs.append(reach * survival * schema[index].cost)
-                else:
-                    costs.append(0.0)
-                acquired.add(index)
-                if survival > 0.0:
-                    binding = (step.predicate, step.attribute_index)
-                    passed = conditioner.pass_probability(binding)
-                    conditioner.condition_on(binding)
-                else:
-                    passed = 0.0
-                passes.append(passed)
-                survival *= passed
-            predictions[path] = NodePrediction(
-                reach=reach,
-                cost=sum(costs),
-                step_pass=tuple(passes),
-                step_cost=tuple(costs),
-            )
-            return
-        raise PlanError(f"unknown plan node type {type(node).__name__}")
-
-    walk(plan, RangeVector.full(schema), 1.0, ROOT_PATH)
+            predictions[path] = NodePrediction(reach=record.reach, cost=record.cost)
     return predictions
 
 

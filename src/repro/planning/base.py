@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -27,6 +28,9 @@ from repro.core.query import ConjunctiveQuery
 from repro.core.ranges import RangeVector
 from repro.exceptions import PlanningError
 from repro.probability.base import Distribution, PredicateBinding
+
+if TYPE_CHECKING:
+    from repro.analysis.certificates import CostCertificate
 
 __all__ = [
     "PlannerStats",
@@ -66,7 +70,10 @@ class PlanningResult:
     ``planning_seconds`` is the wall-clock cost of producing the plan —
     zero unless the run went through :meth:`Planner.plan_timed`.  Serving
     layers use it to report planning-vs-execution latency and to decide
-    whether a plan is worth caching.
+    whether a plan is worth caching.  ``certificate`` (when the planner
+    issues one) carries per-subtree Eq. 3 cost-bound claims the verifier
+    re-derives independently (``DF101``); the exhaustive planner exports
+    it straight from its DP cache.
     """
 
     plan: PlanNode
@@ -74,6 +81,7 @@ class PlanningResult:
     planner: str
     stats: PlannerStats = field(default_factory=PlannerStats)
     planning_seconds: float = 0.0
+    certificate: "CostCertificate | None" = None
 
 
 class Planner(ABC):

@@ -22,6 +22,9 @@ import heapq
 import itertools
 from dataclasses import dataclass
 
+from repro.analysis.certificates import certify_plan
+from repro.analysis.rewrite import optimize_plan
+from repro.core.cost import expected_cost
 from repro.core.plan import ConditionNode, PlanNode
 from repro.core.query import ConjunctiveQuery
 from repro.core.ranges import RangeVector
@@ -230,11 +233,21 @@ class GreedyConditionalPlanner(Planner):
             expected_total -= saving
             splits_used += 1
 
+        plan = root.freeze()
+        optimized = optimize_plan(plan, schema, query=query)
+        if optimized != plan:
+            plan = optimized
+            expected_total = expected_cost(
+                plan, self.distribution, cost_model=self.cost_model
+            )
         return PlanningResult(
-            plan=root.freeze(),
+            plan=plan,
             expected_cost=expected_total,
             planner=f"{self.name}-{self._max_splits}",
             stats=stats,
+            certificate=certify_plan(
+                plan, self.distribution, cost_model=self.cost_model
+            ),
         )
 
     def _split_for(

@@ -11,7 +11,7 @@ plans *without executing them* and emits structured diagnostics with
 stable error codes (see :mod:`repro.verify.diagnostics` for the
 catalog, mirrored in ``docs/VERIFIER.md``).
 
-Four rule families:
+Five rule families:
 
 - **semantic equivalence** — every root-to-leaf path decides exactly
   the query's conjuncts (``SEM*``);
@@ -21,6 +21,10 @@ Four rule families:
 - **cost conservation** — the claimed expected cost matches an
   independent Equation 3 recomputation and branch probabilities are
   sound (``COST*``);
+- **dataflow analysis** — an interval-domain abstract interpretation
+  (:mod:`repro.analysis`) proves dead branches, decided step
+  predicates, redundant re-acquisitions, infeasible splits, and
+  cost-bound certificate violations (``DF*``);
 - **bytecode safety** — compiled plans have in-bounds, acyclic,
   non-overlapping node layouts and round-trip losslessly (``BC*``).
 

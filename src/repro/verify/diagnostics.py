@@ -64,6 +64,12 @@ CODE_CATALOG: dict[str, tuple[Severity, str]] = {
     "COST002": (Severity.ERROR, "branch probability outside [0, 1]"),
     "COST003": (Severity.ERROR, "leaf reach probabilities do not partition the context"),
     "COST004": (Severity.WARNING, "dead branch: reach probability is zero under the model"),
+    # Dataflow analysis (interval abstract interpretation over the tree)
+    "DF001": (Severity.WARNING, "dead branch: no tuple can reach it"),
+    "DF002": (Severity.WARNING, "step predicate already decided by the path facts"),
+    "DF003": (Severity.WARNING, "redundant re-acquisition of an already-observed attribute"),
+    "DF004": (Severity.ERROR, "split value outside the feasible interval at the node"),
+    "DF101": (Severity.ERROR, "cost-bound certificate violation"),
     # Bytecode safety (compiled plan byte strings)
     "BC001": (Severity.ERROR, "offset out of bounds or truncated node"),
     "BC002": (Severity.ERROR, "cyclic control flow in child offsets"),

@@ -16,18 +16,19 @@ implement a general formula — the same restriction
 :func:`~repro.planning.base.require_conjunctive` enforces at planning
 time), while verdict leaves are still checked against ``truth_under``.
 
-The cost rule is Equation 3 run independently of
-:func:`repro.core.cost.expected_cost`: condition recursion is
-re-implemented here (with probability-sanity checks folded in) and the
-two implementations are required to agree, as is any claimed cost the
-planner reported.
+The cost rule consumes the shared per-node Equation 3 decomposition
+(:func:`repro.core.cost.cost_decomposition` — the same helper behind
+:func:`repro.obs.drift.predict_plan`): probability-sanity checks run
+over its per-node records, and the summed decomposition is required to
+agree with the closed-form :func:`repro.core.cost.expected_cost`
+recursion, as is any claimed cost the planner reported.
 """
 
 from __future__ import annotations
 
 from repro.core.attributes import Schema
 from repro.core.boolean import BooleanQuery
-from repro.core.cost import expected_cost
+from repro.core.cost import cost_decomposition, expected_cost
 from repro.core.cost_models import AcquisitionCostModel
 from repro.core.plan import (
     ConditionNode,
@@ -331,93 +332,63 @@ def check_cost(
 ) -> list[Diagnostic]:
     """Cost-conservation rules (Equation 3) under ``distribution``.
 
-    Recomputes the plan's expected cost with an independent condition-node
-    recursion, checking along the way that every split probability lies in
-    ``[0, 1]`` (COST002), that leaf reach-probabilities partition the root
-    context (COST003), and flagging model-dead branches (COST004).  The
-    result must agree with :func:`repro.core.cost.expected_cost` and with
-    ``claimed_cost`` when given (COST001).
+    Consumes the shared per-node decomposition
+    (:func:`repro.core.cost.cost_decomposition`), checking that every
+    split probability lies in ``[0, 1]`` (COST002), that leaf
+    reach-probabilities partition the root context (COST003), and
+    flagging model-dead branches (COST004).  The summed decomposition
+    must agree with :func:`repro.core.cost.expected_cost` — a guard that
+    the per-node ledger stays exact — and with ``claimed_cost`` when
+    given (COST001).
     """
     findings: list[Diagnostic] = []
     schema = distribution.schema
     context = ranges if ranges is not None else RangeVector.full(schema)
-    reach_total = 0.0
+    records = cost_decomposition(
+        plan, distribution, ranges=context, cost_model=cost_model
+    )
 
-    def walk(node: PlanNode, node_ranges: RangeVector, reach: float, path: str) -> float:
-        nonlocal reach_total
-        if isinstance(node, VerdictLeaf):
-            reach_total += reach
-            return 0.0
-        if isinstance(node, SequentialNode):
-            reach_total += reach
-            # Sequential-leaf costing is shared with the core implementation;
-            # the conservation check below exercises the condition recursion.
-            return expected_cost(node, distribution, node_ranges, cost_model)
-        if isinstance(node, ConditionNode):
-            index = node.attribute_index
-            if not 0 <= index < len(schema):
-                reach_total += reach  # structurally broken: reported by check_tree
-                return 0.0
-            interval = node_ranges[index]
-            if not interval.low < node.split_value <= interval.high:
-                reach_total += reach  # RNG001 territory: reported by check_tree
-                return 0.0
-            if node_ranges.is_acquired(index):
-                acquisition = 0.0
-            elif cost_model is None:
-                acquisition = schema[index].cost
-            else:
-                acquisition = cost_model.cost(index, node_ranges.acquired_indices())
-            probability = distribution.split_probability(
-                index, node.split_value, node_ranges
+    recomputed = 0.0
+    leaf_mass = 0.0
+    dead_branches = False
+    for record in records.values():
+        recomputed += record.cost
+        if record.is_leaf:
+            # Verdict/sequential leaves plus structurally-broken nodes
+            # (the latter are reported by check_tree, not here).
+            leaf_mass += record.reach
+            continue
+        if record.reach <= 0.0 or record.probability_below is None:
+            continue  # inside a dead subtree: the parent already flagged it
+        probability = record.probability_below
+        if probability < -tolerance or probability > 1.0 + tolerance:
+            findings.append(
+                make_diagnostic(
+                    "COST002",
+                    record.path,
+                    f"split probability {probability!r} lies outside [0, 1]",
+                    hint="the probability model is inconsistent",
+                )
             )
-            if probability < -tolerance or probability > 1.0 + tolerance:
+        clamped = min(1.0, max(0.0, probability))
+        for branch, branch_probability in (
+            ("below", clamped),
+            ("above", 1.0 - clamped),
+        ):
+            if branch_probability <= 0.0:
+                dead_branches = True
                 findings.append(
                     make_diagnostic(
-                        "COST002",
-                        path,
-                        f"P({node.attribute} < {node.split_value}) = "
-                        f"{probability!r} lies outside [0, 1]",
-                        hint="the probability model is inconsistent",
+                        "COST004",
+                        f"{record.path}/{branch}",
+                        f"branch is dead under the model "
+                        f"(P = {branch_probability:.3g}); it only runs "
+                        "if live data drifts from the statistics",
                     )
                 )
-            probability = min(1.0, max(0.0, probability))
-            below_ranges, above_ranges = node_ranges.split(index, node.split_value)
-            total = acquisition
-            for branch, branch_ranges, branch_probability in (
-                ("below", below_ranges, probability),
-                ("above", above_ranges, 1.0 - probability),
-            ):
-                branch_path = f"{path}/{branch}"
-                if branch_probability <= 0.0:
-                    findings.append(
-                        make_diagnostic(
-                            "COST004",
-                            branch_path,
-                            f"branch is dead under the model "
-                            f"(P = {branch_probability:.3g}); it only runs "
-                            "if live data drifts from the statistics",
-                        )
-                    )
-                    continue
-                total += branch_probability * walk(
-                    getattr(node, branch),
-                    branch_ranges,
-                    reach * branch_probability,
-                    branch_path,
-                )
-            return total
-        reach_total += reach  # unknown node: reported by check_tree
-        return 0.0
-
-    recomputed = walk(plan, context, 1.0, "root")
-
-    leaf_mass = reach_total
-    # Dead branches are excluded from the walk, so the reachable leaf mass
-    # must still account for the whole context.
-    if abs(leaf_mass - 1.0) > max(tolerance, 1e-9) and not any(
-        finding.code == "COST004" for finding in findings
-    ):
+    # Dead subtrees carry zero reach, so the reachable leaf mass must
+    # still account for the whole context.
+    if abs(leaf_mass - 1.0) > max(tolerance, 1e-9) and not dead_branches:
         findings.append(
             make_diagnostic(
                 "COST003",

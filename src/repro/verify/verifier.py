@@ -12,6 +12,8 @@ admission gate, the CLI suite).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.attributes import Schema
 from repro.core.boolean import BooleanQuery
 from repro.core.cost_models import AcquisitionCostModel
@@ -24,6 +26,9 @@ from repro.probability.base import Distribution
 from repro.verify.bytecode_check import check_bytecode
 from repro.verify.diagnostics import VerificationReport, make_diagnostic
 from repro.verify.rules import check_cost, check_tree
+
+if TYPE_CHECKING:
+    from repro.analysis.certificates import CostCertificate
 
 __all__ = [
     "PlanVerifier",
@@ -52,15 +57,24 @@ def verify_plan(
     check_compiled: bool = False,
     tolerance: float = DEFAULT_COST_TOLERANCE,
     subject: str = "plan",
+    certificate: "CostCertificate | None" = None,
 ) -> VerificationReport:
     """Statically verify a plan tree; nothing is executed.
 
     ``query`` enables the semantic-equivalence rules, ``distribution``
     the cost-conservation rules (with ``claimed_cost`` compared when
     given), and ``check_compiled`` additionally compiles the plan and
-    runs the bytecode safety rules over the result.
+    runs the bytecode safety rules over the result.  The dataflow rules
+    (``DF001``-``DF004``) always run; a ``certificate`` (with a
+    distribution) additionally re-derives its cost-bound claims
+    (``DF101``).
     """
+    # Imported lazily: repro.analysis imports this package's submodules.
+    from repro.analysis.certificates import check_certificate
+    from repro.analysis.checks import check_dataflow
+
     findings = check_tree(plan, schema, query=query, ranges=ranges)
+    findings.extend(check_dataflow(plan, schema, query=query, ranges=ranges))
     structurally_sound = not any(
         finding.code.startswith(("STR", "RNG")) for finding in findings
     )
@@ -75,6 +89,17 @@ def verify_plan(
                 ranges=ranges,
             )
         )
+        if certificate is not None:
+            findings.extend(
+                check_certificate(
+                    plan,
+                    certificate,
+                    distribution,
+                    query=query,
+                    ranges=ranges,
+                    cost_model=cost_model,
+                )
+            )
     if check_compiled and structurally_sound:
         try:
             code = compile_plan(plan)
@@ -129,6 +154,7 @@ def assert_valid_plan(
     cost_model: AcquisitionCostModel | None = None,
     check_compiled: bool = True,
     subject: str = "plan",
+    certificate: "CostCertificate | None" = None,
 ) -> VerificationReport:
     """Verify and raise :class:`PlanVerificationError` on any ERROR."""
     report = verify_plan(
@@ -140,6 +166,7 @@ def assert_valid_plan(
         cost_model=cost_model,
         check_compiled=check_compiled,
         subject=subject,
+        certificate=certificate,
     )
     if not report.ok:
         raise PlanVerificationError(report.format(), report=report)
@@ -174,6 +201,7 @@ class PlanVerifier:
         query: AnyQuery | None = None,
         claimed_cost: float | None = None,
         subject: str = "plan",
+        certificate: "CostCertificate | None" = None,
     ) -> VerificationReport:
         return verify_plan(
             plan,
@@ -185,6 +213,7 @@ class PlanVerifier:
             check_compiled=self.check_compiled,
             tolerance=self.tolerance,
             subject=subject,
+            certificate=certificate,
         )
 
     def verify_bytecode(
@@ -210,6 +239,9 @@ class PlanVerifier:
         plan: PlanNode,
         query: AnyQuery | None = None,
         claimed_cost: float | None = None,
+        certificate: "CostCertificate | None" = None,
     ) -> bool:
         """Admission predicate for :class:`~repro.service.cache.PlanCache`."""
-        return self.verify(plan, query=query, claimed_cost=claimed_cost).ok
+        return self.verify(
+            plan, query=query, claimed_cost=claimed_cost, certificate=certificate
+        ).ok

@@ -1,14 +1,11 @@
 """Tests for plan analysis and reporting."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
-    Attribute,
     ConditionNode,
     ConjunctiveQuery,
     RangePredicate,
-    Schema,
     SequentialNode,
     SequentialStep,
     VerdictLeaf,

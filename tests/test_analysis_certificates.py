@@ -1,0 +1,158 @@
+"""Tests for Eq. 5 cost-bound certificates and the DF101 verifier rule."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CostCertificate,
+    admissible_lower_bound,
+    certificate_mutations,
+    certify_plan,
+    check_certificate,
+)
+from repro.core import (
+    Attribute,
+    ConjunctiveQuery,
+    RangePredicate,
+    RangeVector,
+    Schema,
+    VerdictLeaf,
+    expected_cost,
+)
+from repro.planning import ExhaustivePlanner
+from repro.probability import EmpiricalDistribution
+from repro.verify import verify_plan
+from repro.verify.mutations import canonical_conditional_plan
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    schema = Schema(
+        (
+            Attribute("pressure", domain_size=8, cost=10.0),
+            Attribute("flow", domain_size=8, cost=4.0),
+        )
+    )
+    query = ConjunctiveQuery(
+        schema,
+        (RangePredicate("pressure", 3, 6), RangePredicate("flow", 2, 7)),
+    )
+    rng = np.random.default_rng(29)
+    data = np.column_stack(
+        [rng.integers(1, 9, size=300), rng.integers(1, 9, size=300)]
+    )
+    distribution = EmpiricalDistribution(schema, data, smoothing=0.5)
+    return schema, query, distribution
+
+
+class TestCertifyPlan:
+    def test_root_bound_equals_expected_cost(self, fixture):
+        schema, query, distribution = fixture
+        plan = canonical_conditional_plan(query)
+        certificate = certify_plan(plan, distribution)
+        assert certificate.root_bound == pytest.approx(
+            expected_cost(plan, distribution), rel=1e-9
+        )
+
+    def test_covers_every_node(self, fixture):
+        schema, query, distribution = fixture
+        from repro.verify import iter_plan_paths
+
+        plan = canonical_conditional_plan(query)
+        certificate = certify_plan(plan, distribution)
+        node_paths = {path for path, _node in iter_plan_paths(plan)}
+        assert set(certificate.bounds) == node_paths
+
+    def test_honest_certificate_is_clean(self, fixture):
+        schema, query, distribution = fixture
+        plan = canonical_conditional_plan(query)
+        certificate = certify_plan(plan, distribution)
+        assert check_certificate(plan, certificate, distribution, query=query) == []
+
+    def test_verdict_leaf_certifies_at_zero(self, fixture):
+        schema, query, distribution = fixture
+        certificate = certify_plan(VerdictLeaf(True), distribution)
+        assert certificate.root_bound == 0.0
+
+
+class TestDF101Fires:
+    @pytest.mark.parametrize(
+        "name", ["inflated-bound", "phantom-node", "free-lunch-verdict"]
+    )
+    def test_mutation_fires(self, fixture, name):
+        schema, query, distribution = fixture
+        case = {c.name: c for c in certificate_mutations(query, distribution)}[name]
+        findings = check_certificate(
+            case.plan, case.certificate, distribution, query=query
+        )
+        assert any(f.code == "DF101" for f in findings), name
+
+    def test_deflated_bound_fires(self, fixture):
+        schema, query, distribution = fixture
+        plan = canonical_conditional_plan(query)
+        honest = certify_plan(plan, distribution)
+        lying = CostCertificate(
+            bounds={**honest.as_dict(), "root": honest.root_bound / 2.0},
+            source="test",
+        )
+        findings = check_certificate(plan, lying, distribution, query=query)
+        assert any(f.code == "DF101" and f.path == "root" for f in findings)
+
+    def test_verify_plan_integration(self, fixture):
+        schema, query, distribution = fixture
+        case = {
+            c.name: c for c in certificate_mutations(query, distribution)
+        }["inflated-bound"]
+        report = verify_plan(
+            case.plan,
+            schema,
+            query=query,
+            distribution=distribution,
+            certificate=case.certificate,
+        )
+        assert not report.ok
+        assert any(f.code == "DF101" for f in report.errors)
+
+    def test_no_certificate_means_no_df101(self, fixture):
+        schema, query, distribution = fixture
+        plan = canonical_conditional_plan(query)
+        report = verify_plan(plan, schema, query=query, distribution=distribution)
+        assert report.ok
+
+
+class TestAdmissibleFloor:
+    def test_floor_is_cheapest_undetermined_attribute(self, fixture):
+        schema, query, distribution = fixture
+        full = RangeVector.full(schema)
+        # Both predicates undetermined: cheapest relevant read is flow (4.0).
+        assert admissible_lower_bound(query, schema, full) == 4.0
+
+    def test_floor_zero_once_decided(self, fixture):
+        schema, query, distribution = fixture
+        full = RangeVector.full(schema)
+        from repro.core import Range
+
+        decided = full.with_range(0, Range(7, 8))
+        # pressure in [7, 8] refutes the query: nothing more must be read.
+        assert admissible_lower_bound(query, schema, decided) == 0.0
+
+    def test_floor_zero_without_query(self, fixture):
+        schema, query, distribution = fixture
+        assert admissible_lower_bound(None, schema, RangeVector.full(schema)) == 0.0
+
+
+class TestExhaustiveCertificate:
+    def test_planner_exports_dp_certificate(self, fixture):
+        schema, query, distribution = fixture
+        result = ExhaustivePlanner(distribution).plan(query)
+        assert result.certificate is not None
+        report = verify_plan(
+            result.plan,
+            schema,
+            query=query,
+            distribution=distribution,
+            claimed_cost=result.expected_cost,
+            certificate=result.certificate,
+        )
+        assert report.ok
+        assert not report.has("DF101")

@@ -1,0 +1,187 @@
+"""Tests for the analysis-driven plan rewriter (``optimize_plan``).
+
+The headline property: on any plan, the optimizer preserves the verdict of
+every tuple while never increasing node count, size, or per-tuple cost —
+checked both on randomized planner outputs (hypothesis) and on a
+paper-workload plan seeded with dead branches, where the reduction must be
+strict.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.analysis import check_dataflow, dataflow_mutations, optimize_plan
+from repro.core import (
+    Attribute,
+    ConditionNode,
+    ConjunctiveQuery,
+    RangePredicate,
+    Schema,
+    VerdictLeaf,
+    dataset_execution,
+    simplify_plan,
+)
+from repro.data.garden import generate_garden_dataset
+from repro.data.workload import garden_queries
+from repro.planning import (
+    ExhaustivePlanner,
+    GreedyConditionalPlanner,
+    GreedySequentialPlanner,
+)
+from repro.probability import EmpiricalDistribution
+
+from tests.test_properties import SETTINGS, planning_instance
+
+
+def resplit(plan, attribute, index, value):
+    """Wrap ``plan`` under a split, with the below side re-splitting at the
+    same value — the inner ``above`` branch is dead by construction."""
+    inner = ConditionNode(
+        attribute=attribute,
+        attribute_index=index,
+        split_value=value,
+        below=plan,
+        above=plan,
+    )
+    return ConditionNode(
+        attribute=attribute,
+        attribute_index=index,
+        split_value=value,
+        below=inner,
+        above=plan,
+    )
+
+
+@SETTINGS
+@given(instance=planning_instance())
+def test_optimize_is_dataset_equivalent_and_never_grows(instance):
+    schema, data, query = instance
+    distribution = EmpiricalDistribution(schema, data)
+    planner = GreedyConditionalPlanner(
+        distribution, GreedySequentialPlanner(distribution), max_splits=3
+    )
+    plan = planner.plan(query).plan
+    optimized = optimize_plan(plan, schema, query=query)
+    assert optimized.size_nodes() <= plan.size_nodes()
+    assert optimized.size_bytes() <= plan.size_bytes()
+    before = dataset_execution(plan, data, schema)
+    after = dataset_execution(optimized, data, schema)
+    assert np.array_equal(before.verdicts, after.verdicts)
+    assert (after.costs <= before.costs + 1e-9).all()
+
+
+@SETTINGS
+@given(instance=planning_instance())
+def test_optimize_mutated_plan_is_dataset_equivalent(instance):
+    """Even on hand-broken plans (dead branches injected), the rewriter
+    must keep every tuple's verdict while stripping the dead region."""
+    schema, data, query = instance
+    distribution = EmpiricalDistribution(schema, data)
+    plan = ExhaustivePlanner(distribution).plan(query).plan
+    predicate = query.predicates[0]
+    index = query.attribute_indices[0]
+    if not 2 <= predicate.low <= schema[index].domain_size:
+        return  # degenerate draw: no legal re-split value
+    mutated = resplit(plan, predicate.attribute, index, predicate.low)
+    optimized = optimize_plan(mutated, schema, query=query)
+    assert optimized.size_nodes() < mutated.size_nodes()
+    before = dataset_execution(mutated, data, schema)
+    after = dataset_execution(optimized, data, schema)
+    assert np.array_equal(before.verdicts, after.verdicts)
+    assert (after.costs <= before.costs + 1e-9).all()
+
+
+class TestPaperWorkload:
+    """Acceptance: strict node-count reduction on a paper-workload plan."""
+
+    @pytest.fixture(scope="class")
+    def garden(self):
+        dataset = generate_garden_dataset(n_motes=1, n_epochs=300, seed=7)
+        distribution = EmpiricalDistribution(
+            dataset.schema, dataset.data, smoothing=0.5
+        )
+        return dataset, distribution
+
+    def test_strict_reduction_with_identical_verdicts(self, garden):
+        dataset, distribution = garden
+        schema = dataset.schema
+        query = garden_queries(dataset, n_queries=4, seed=7)[0]
+        plan = GreedyConditionalPlanner(
+            distribution, GreedySequentialPlanner(distribution), max_splits=5
+        ).plan(query).plan
+        index = query.attribute_indices[0]
+        predicate = query.predicates[0]
+        wrapped = resplit(plan, predicate.attribute, index, max(predicate.low, 2))
+        optimized = optimize_plan(wrapped, schema, query=query)
+        assert optimized.size_nodes() < wrapped.size_nodes()
+        before = dataset_execution(wrapped, dataset.data, schema)
+        after = dataset_execution(optimized, dataset.data, schema)
+        assert np.array_equal(before.verdicts, after.verdicts)
+        assert check_dataflow(optimized, schema, query=query) == []
+
+
+class TestRewriteRules:
+    @pytest.fixture
+    def schema(self):
+        return Schema(
+            (
+                Attribute("pressure", domain_size=8, cost=10.0),
+                Attribute("flow", domain_size=8, cost=4.0),
+            )
+        )
+
+    @pytest.fixture
+    def query(self, schema):
+        return ConjunctiveQuery(
+            schema,
+            (RangePredicate("pressure", 3, 6), RangePredicate("flow", 2, 7)),
+        )
+
+    def test_identical_branches_collapse(self, schema, query):
+        leaf = VerdictLeaf(True)
+        plan = ConditionNode(
+            attribute="pressure",
+            attribute_index=0,
+            split_value=4,
+            below=leaf,
+            above=leaf,
+        )
+        assert optimize_plan(plan, schema) == leaf
+
+    def test_dead_branch_spliced_out(self, schema, query):
+        for case in dataflow_mutations(query):
+            optimized = optimize_plan(case.plan, schema, query=query)
+            assert check_dataflow(optimized, schema, query=query) == [], case.name
+
+    def test_query_subsumption_folds_to_verdict(self, schema):
+        from repro.verify.mutations import canonical_sequential_plan
+
+        query = ConjunctiveQuery(schema, (RangePredicate("pressure", 1, 8),))
+        plan = canonical_sequential_plan(query)
+        assert optimize_plan(plan, schema, query=query) == VerdictLeaf(True)
+
+    def test_schema_free_mode_matches_simplify_plan(self, schema):
+        leaf = VerdictLeaf(False)
+        plan = ConditionNode(
+            attribute="pressure",
+            attribute_index=0,
+            split_value=4,
+            below=leaf,
+            above=leaf,
+        )
+        assert optimize_plan(plan) == simplify_plan(plan) == leaf
+
+    def test_verdict_leaves_untouched(self, schema):
+        assert optimize_plan(VerdictLeaf(True), schema) == VerdictLeaf(True)
+        assert optimize_plan(VerdictLeaf(False), schema) == VerdictLeaf(False)
+
+    def test_broken_plan_survives_unchanged(self, schema):
+        plan = ConditionNode(
+            attribute="ghost",
+            attribute_index=42,
+            split_value=3,
+            below=VerdictLeaf(False),
+            above=VerdictLeaf(True),
+        )
+        assert optimize_plan(plan, schema) == plan
