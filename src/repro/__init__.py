@@ -63,8 +63,10 @@ from repro.core import (
 )
 from repro.exceptions import (
     AcquisitionError,
+    AcquisitionFailure,
     DiscretizationError,
     DistributionError,
+    FaultConfigError,
     PlanError,
     PlanningError,
     PlanVerificationError,
@@ -72,6 +74,15 @@ from repro.exceptions import (
     ReproError,
     SchemaError,
     ServiceError,
+)
+from repro.faults import (
+    AttributeFaults,
+    DegradationMode,
+    FaultInjector,
+    FaultPolicy,
+    FaultSchedule,
+    FaultTolerantExecutor,
+    RetryPolicy,
 )
 from repro.execution import (
     AdaptiveStreamExecutor,
@@ -180,6 +191,14 @@ __all__ = [
     "Mote",
     "SensorNetworkSimulator",
     "AdaptiveStreamExecutor",
+    # faults
+    "AttributeFaults",
+    "FaultSchedule",
+    "FaultInjector",
+    "RetryPolicy",
+    "DegradationMode",
+    "FaultPolicy",
+    "FaultTolerantExecutor",
     # engine
     "AcquisitionalEngine",
     "parse_query",
@@ -204,6 +223,8 @@ __all__ = [
     "PlanVerificationError",
     "DistributionError",
     "AcquisitionError",
+    "AcquisitionFailure",
+    "FaultConfigError",
     "DiscretizationError",
     "ServiceError",
 ]

@@ -29,6 +29,9 @@ Mirrors the basestation workflow of the paper's architecture
                   --test trace/test.csv --query "SELECT * WHERE ..."
     repro metrics --schema trace/schema.json --trace trace/train.csv \
                   --query "SELECT * WHERE ..." --repeat 25 --format prometheus
+    repro chaos   --schema trace/schema.json --plan plan.json \
+                  --trace trace/test.csv --query "SELECT * WHERE ..." \
+                  --schedule faults.json --seed 7 --degradation skip
 
 Every command reads/writes the JSON/CSV formats of
 :mod:`repro.data.trace_io`, so artifacts interoperate with the library
@@ -82,6 +85,13 @@ from repro.data.workload import (
 from repro.engine.engine import AcquisitionalEngine
 from repro.engine.language import parse_query
 from repro.exceptions import ReproError
+from repro.faults import (
+    DegradationMode,
+    FaultPolicy,
+    FaultSchedule,
+    FaultTolerantExecutor,
+    RetryPolicy,
+)
 from repro.obs import (
     DEFAULT_DRIFT_THRESHOLD,
     DriftMonitor,
@@ -397,6 +407,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable per-plan execution profiling in the service",
     )
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="replay a fault schedule against a saved plan and audit "
+        "soundness plus the retry cost ledger",
+        description="Run a saved plan over a trace through the seeded "
+        "fault injector, degrade failed acquisitions per --degradation, "
+        "and audit the outcome: every selected tuple must satisfy the "
+        "query on its observed (delivered) values, and the cost ledger "
+        "must reconcile (total == base + retry).  The replay is "
+        "deterministic for a fixed --seed.  Exit status: 0 when the "
+        "audit passes, 1 when a selected tuple is unsound or the ledger "
+        "drifts, 2 on usage or I/O errors.",
+    )
+    chaos.add_argument("--schema", type=Path, required=True)
+    chaos.add_argument("--plan", type=Path, required=True)
+    chaos.add_argument("--trace", type=Path, required=True, help="replay trace CSV")
+    chaos.add_argument(
+        "--schedule",
+        type=Path,
+        required=True,
+        help="fault schedule JSON "
+        '({"faults": {"<attr>": {"drop_rate": 0.2, ...}}})',
+    )
+    chaos.add_argument(
+        "--query",
+        default=None,
+        help="statement the plan answers; required for skip/impute "
+        "degradation, enables the soundness audit",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--degradation", choices=("abstain", "skip", "impute"), default="abstain"
+    )
+    chaos.add_argument("--max-retries", type=int, default=2)
+    chaos.add_argument("--backoff-base", type=float, default=2.0)
+    chaos.add_argument(
+        "--train",
+        type=Path,
+        default=None,
+        help="training trace CSV; fits the distribution consulted by "
+        "impute degradation (skip semantics without it)",
+    )
+    chaos.add_argument("--smoothing", type=float, default=0.0)
+    chaos.add_argument(
+        "--json", action="store_true", dest="as_json", help="JSON report output"
+    )
+
     return parser
 
 
@@ -543,6 +600,98 @@ def _command_execute(args: argparse.Namespace) -> int:
     print(f"total cost     : {outcome.total_cost:.1f}")
     print(f"mean cost/tuple: {outcome.mean_cost:.2f}")
     return 0
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    plan = load_plan(args.plan)
+    trace = load_trace(args.trace, schema)
+    with open(args.schedule, encoding="utf-8") as handle:
+        schedule = FaultSchedule.from_dict(json.load(handle), schema)
+    query = None
+    if args.query is not None:
+        parsed = parse_query(args.query, schema)
+        if not parsed.is_conjunctive:
+            raise ReproError("chaos needs a conjunctive WHERE clause")
+        query = parsed.query
+    mode = DegradationMode[args.degradation.upper()]
+    if mode is not DegradationMode.ABSTAIN and query is None:
+        raise ReproError(f"--degradation {args.degradation} needs --query")
+    distribution = None
+    if args.train is not None:
+        train = load_trace(args.train, schema)
+        distribution = EmpiricalDistribution(schema, train, smoothing=args.smoothing)
+    policy = FaultPolicy(
+        retry=RetryPolicy(
+            max_retries=args.max_retries, backoff_base=args.backoff_base
+        ),
+        degradation=mode,
+    )
+    executor = FaultTolerantExecutor(
+        schema, policy, query=query, distribution=distribution
+    )
+    outcome = executor.run(plan, trace, schedule, np.random.default_rng(args.seed))
+
+    unsound: list[int] = []
+    if query is not None:
+        for row in outcome.selected:
+            observed = outcome.results[row].observed
+            for predicate, index in zip(query.predicates, query.attribute_indices):
+                value = observed.get(index)
+                if value is None or not predicate.satisfied_by(value):
+                    unsound.append(row)
+                    break
+    ledger_gap = abs(
+        outcome.total_cost - (outcome.base_cost + outcome.retry_cost)
+    )
+    ledger_ok = ledger_gap <= 1e-6 * max(1.0, outcome.total_cost)
+    failed = bool(unsound) or not ledger_ok
+
+    if args.as_json:
+        payload = {
+            "seed": args.seed,
+            "degradation": args.degradation,
+            "tuples_scanned": outcome.rows,
+            "tuples_selected": len(outcome.selected),
+            "tuples_abstained": outcome.tuples_abstained,
+            "tuples_degraded": outcome.tuples_degraded,
+            "abstained_rows": list(outcome.abstained),
+            "acquisitions_failed": outcome.acquisitions_failed,
+            "retries_total": outcome.retries_total,
+            "failures_by_kind": dict(outcome.failures_by_kind),
+            "base_cost": outcome.base_cost,
+            "retry_cost": outcome.retry_cost,
+            "total_cost": outcome.total_cost,
+            "ledger_ok": ledger_ok,
+            "unsound_rows": unsound,
+            "ok": not failed,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"tuples scanned     : {outcome.rows}")
+        print(f"tuples selected    : {len(outcome.selected)}")
+        print(f"tuples abstained   : {outcome.tuples_abstained}")
+        print(f"tuples degraded    : {outcome.tuples_degraded}")
+        print(f"acquisitions failed: {outcome.acquisitions_failed}")
+        print(f"retries            : {outcome.retries_total}")
+        if outcome.failures_by_kind:
+            kinds = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(outcome.failures_by_kind.items())
+            )
+            print(f"failures by kind   : {kinds}")
+        print(
+            f"cost ledger        : total {outcome.total_cost:.1f} = "
+            f"base {outcome.base_cost:.1f} + retry {outcome.retry_cost:.1f} "
+            f"[{'ok' if ledger_ok else 'DRIFT'}]"
+        )
+        if query is not None:
+            verdict = "sound" if not unsound else f"UNSOUND rows {unsound}"
+            print(f"selected tuples    : {verdict}")
+        else:
+            print("selected tuples    : soundness audit skipped (no --query)")
+        print(f"chaos audit        : {'FAILED' if failed else 'passed'}")
+    return 1 if failed else 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
@@ -1197,6 +1346,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _command_analyze,
         "profile": _command_profile,
         "metrics": _command_metrics,
+        "chaos": _command_chaos,
     }
     try:
         return handlers[args.command](args)

@@ -1,12 +1,18 @@
 """TinyDB-flavoured facade: textual queries over the acquisitional stack."""
 
-from repro.engine.engine import AcquisitionalEngine, PreparedQuery, QueryResult
+from repro.engine.engine import (
+    AcquisitionalEngine,
+    PreparedQuery,
+    QueryResult,
+    ResilientQueryResult,
+)
 from repro.engine.language import ParsedQuery, parse_query
 
 __all__ = [
     "AcquisitionalEngine",
     "PreparedQuery",
     "QueryResult",
+    "ResilientQueryResult",
     "ParsedQuery",
     "parse_query",
 ]

@@ -16,7 +16,7 @@ have touched — and can EXPLAIN its plans with branch probabilities.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.core.cost import ExecutionObserver, dataset_execution
 from repro.core.plan import PlanNode
 from repro.core.query import ConjunctiveQuery
 from repro.engine.language import ParsedQuery, parse_query
-from repro.exceptions import QueryError
+from repro.exceptions import FaultConfigError, QueryError
 from repro.planning.base import Planner
 from repro.planning.corrseq import CorrSeqPlanner
 from repro.planning.exhaustive import ExhaustivePlanner
@@ -34,7 +34,16 @@ from repro.planning.greedy_conditional import GreedyConditionalPlanner
 from repro.planning.split_points import SplitPointPolicy
 from repro.probability.empirical import EmpiricalDistribution
 
-__all__ = ["PreparedQuery", "QueryResult", "AcquisitionalEngine"]
+if TYPE_CHECKING:
+    from repro.faults.model import FaultSchedule
+    from repro.faults.policy import FaultPolicy
+
+__all__ = [
+    "PreparedQuery",
+    "QueryResult",
+    "ResilientQueryResult",
+    "AcquisitionalEngine",
+]
 
 # Builds the planner used for each statement; receives the engine's fitted
 # distribution so statistics are shared across statements.
@@ -84,6 +93,29 @@ class QueryResult:
         if self.tuples_scanned == 0:
             return 0.0
         return self.total_cost / self.tuples_scanned
+
+
+@dataclass(frozen=True)
+class ResilientQueryResult:
+    """A :class:`QueryResult` plus the fault accounting behind it.
+
+    ``abstained_rows`` indexes into the scanned readings: tuples the
+    degraded execution withdrew from the result set rather than risk an
+    unsound verdict.  ``retry_cost`` is the slice of ``where_cost`` spent
+    on backed-off re-attempts — Eq. 3 predicts ``where_cost -
+    retry_cost`` for the fault-free traversal.
+    """
+
+    result: QueryResult
+    abstained_rows: tuple[int, ...]
+    tuples_degraded: int
+    acquisitions_failed: int
+    retries_total: int
+    retry_cost: float
+
+    @property
+    def tuples_abstained(self) -> int:
+        return len(self.abstained_rows)
 
 
 class AcquisitionalEngine:
@@ -275,6 +307,64 @@ class AcquisitionalEngine:
         extra = self._projection_extra(prepared, matrix)
         return self._build_result(
             prepared, matrix, outcome.costs, outcome.verdicts, extra
+        )
+
+    def execute_prepared_resilient(
+        self,
+        prepared: PreparedQuery,
+        readings: np.ndarray,
+        schedule: "FaultSchedule",
+        rng: np.random.Generator,
+        policy: "FaultPolicy | None" = None,
+    ) -> ResilientQueryResult:
+        """Run a prepared statement with fault injection and degradation.
+
+        WHERE-clause acquisitions flow through a seeded
+        :class:`~repro.faults.FaultInjector`; once retries are exhausted
+        the configured :class:`~repro.faults.FaultPolicy` degrades the
+        tuple (abstain / skip-to-predicates / impute).  Abstained tuples
+        are excluded from the rows and reported in ``abstained_rows``.
+        Projection acquisitions for matching tuples are charged at schema
+        cost as in :meth:`execute_prepared` (result reporting is assumed
+        reliable once a tuple matches).
+        """
+        from repro.faults.executor import FaultTolerantExecutor
+        from repro.faults.policy import DegradationMode, FaultPolicy
+
+        matrix = self._validated(readings)
+        effective = policy if policy is not None else FaultPolicy()
+        query = prepared.parsed.query if prepared.parsed.is_conjunctive else None
+        if (
+            query is None
+            and effective.degradation is not DegradationMode.ABSTAIN
+        ):
+            raise FaultConfigError(
+                "SKIP/IMPUTE degradation needs a conjunctive query as its "
+                "fallback path; disjunctive statements must use ABSTAIN"
+            )
+        executor = FaultTolerantExecutor(
+            self._schema,
+            effective,
+            query=query,
+            distribution=self._distribution,
+        )
+        outcome = executor.run(prepared.plan, matrix, schedule, rng)
+        verdicts = np.fromiter(
+            (r.verdict is True for r in outcome.results),
+            dtype=bool,
+            count=len(outcome.results),
+        )
+        extra = self._projection_extra(prepared, matrix)
+        result = self._build_result(
+            prepared, matrix, outcome.costs, verdicts, extra
+        )
+        return ResilientQueryResult(
+            result=result,
+            abstained_rows=outcome.abstained,
+            tuples_degraded=outcome.tuples_degraded,
+            acquisitions_failed=outcome.acquisitions_failed,
+            retries_total=outcome.retries_total,
+            retry_cost=outcome.retry_cost,
         )
 
     def execute_prepared_many(

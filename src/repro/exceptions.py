@@ -48,6 +48,30 @@ class AcquisitionError(ReproError):
     """An acquisition source failed to produce an attribute value."""
 
 
+class AcquisitionFailure(AcquisitionError):
+    """A single attribute read failed at the physical layer.
+
+    Raised by fault-injecting (and, in a real deployment, hardware-backed)
+    acquisition sources when a read attempt produces no value: the reading
+    was dropped, the sensor timed out, or the attribute is inside a burst
+    outage.  ``kind`` is one of ``"drop"``, ``"timeout"``, ``"outage"``;
+    ``attribute_index`` locates the attribute in the schema.  The energy
+    for the failed attempt has already been charged when this is raised —
+    failed reads are not free.
+    """
+
+    def __init__(self, kind: str, attribute_index: int) -> None:
+        super().__init__(
+            f"acquisition of attribute {attribute_index} failed: {kind}"
+        )
+        self.kind = kind
+        self.attribute_index = attribute_index
+
+
+class FaultConfigError(AcquisitionError):
+    """A fault schedule, retry policy, or degradation policy is invalid."""
+
+
 class DiscretizationError(ReproError):
     """Real-valued data could not be mapped onto a discrete domain."""
 

@@ -25,6 +25,7 @@ from repro.execution.simulator import (
 from repro.execution.streaming import (
     AdaptiveStreamExecutor,
     ReplanEvent,
+    StreamFaultStats,
     StreamReport,
 )
 
@@ -44,5 +45,6 @@ __all__ = [
     "SimulationReport",
     "AdaptiveStreamExecutor",
     "ReplanEvent",
+    "StreamFaultStats",
     "StreamReport",
 ]

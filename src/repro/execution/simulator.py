@@ -25,6 +25,7 @@ fewer acquisitions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -33,6 +34,10 @@ from repro.core.cost import dataset_execution
 from repro.core.plan import PlanNode
 from repro.core.query import ConjunctiveQuery, ExistentialQuery, LimitQuery
 from repro.exceptions import AcquisitionError
+
+if TYPE_CHECKING:
+    from repro.faults.model import FaultSchedule
+    from repro.faults.policy import FaultPolicy
 
 __all__ = [
     "Mote",
@@ -63,7 +68,13 @@ class Mote:
 
 @dataclass
 class SimulationReport:
-    """Energy accounting for one simulated query deployment."""
+    """Energy accounting for one simulated query deployment.
+
+    The fault fields stay zero for fault-free runs; for
+    :meth:`SensorNetworkSimulator.run_faulted` deployments they aggregate
+    the per-mote injector counters, and ``retry_energy`` is the slice of
+    acquisition energy spent on backed-off re-attempts.
+    """
 
     epochs: int
     acquisition_energy: dict[int, float] = field(default_factory=dict)
@@ -71,6 +82,11 @@ class SimulationReport:
     result_energy: dict[int, float] = field(default_factory=dict)
     matches: int = 0
     acquisitions_performed: int = 0
+    acquisitions_failed: int = 0
+    retries_total: int = 0
+    tuples_degraded: int = 0
+    tuples_abstained: int = 0
+    retry_energy: float = 0.0
 
     def mote_energy(self, mote_id: int) -> float:
         return (
@@ -197,6 +213,53 @@ class SensorNetworkSimulator:
             report.result_energy[mote.mote_id] = matches * result_cost
             report.matches += matches
             report.acquisitions_performed += horizon
+        return report
+
+    def run_faulted(
+        self,
+        plan: PlanNode,
+        schedule: "FaultSchedule",
+        rng: np.random.Generator,
+        query: ConjunctiveQuery | None = None,
+        policy: "FaultPolicy | None" = None,
+        epochs: int | None = None,
+    ) -> SimulationReport:
+        """Deploy ``plan`` on every mote with fault injection.
+
+        Each mote gets its own fault stream (its sensors fail
+        independently), deterministically child-seeded from the single
+        ``rng`` so the whole deployment replays from one seed.  Abstained
+        tuples are withdrawn — they cost acquisition energy but are never
+        radioed back — and the report's fault counters aggregate the
+        per-mote injectors.  ``query`` is required for SKIP/IMPUTE
+        degradation (the fallback path evaluates it directly).
+        """
+        from repro.faults.executor import FaultTolerantExecutor
+        from repro.faults.policy import FaultPolicy
+
+        effective = policy if policy is not None else FaultPolicy()
+        horizon = self.epochs if epochs is None else min(int(epochs), self.epochs)
+        report = SimulationReport(epochs=horizon)
+        dissemination = self.dissemination_cost(plan)
+        result_cost = self._result_bytes * self._radio_cost_per_byte
+        executor = FaultTolerantExecutor(self._schema, effective, query=query)
+        for mote in self._motes:
+            window = mote.readings[:horizon]
+            mote_rng = np.random.default_rng(
+                int(rng.integers(0, np.iinfo(np.int64).max))
+            )
+            outcome = executor.run(plan, window, schedule, mote_rng)
+            matches = len(outcome.selected)
+            report.acquisition_energy[mote.mote_id] = float(outcome.costs.sum())
+            report.dissemination_energy[mote.mote_id] = dissemination
+            report.result_energy[mote.mote_id] = matches * result_cost
+            report.matches += matches
+            report.acquisitions_performed += horizon
+            report.acquisitions_failed += outcome.acquisitions_failed
+            report.retries_total += outcome.retries_total
+            report.tuples_degraded += outcome.tuples_degraded
+            report.tuples_abstained += outcome.tuples_abstained
+            report.retry_energy += outcome.retry_cost
         return report
 
     def estimate_lifetime(

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -33,11 +33,20 @@ from repro.core.attributes import Schema
 from repro.core.cost import ExecutionObserver, dataset_execution
 from repro.core.plan import PlanNode
 from repro.core.query import ConjunctiveQuery
-from repro.exceptions import PlanningError
+from repro.exceptions import AcquisitionFailure, FaultConfigError, PlanningError
 from repro.planning.base import Planner
 from repro.probability.empirical import EmpiricalDistribution
 
-__all__ = ["ReplanEvent", "StreamReport", "AdaptiveStreamExecutor"]
+if TYPE_CHECKING:
+    from repro.faults.model import FaultSchedule
+    from repro.faults.policy import FaultPolicy
+
+__all__ = [
+    "ReplanEvent",
+    "StreamFaultStats",
+    "StreamReport",
+    "AdaptiveStreamExecutor",
+]
 
 # A factory building a planner for a freshly-fitted window distribution.
 PlannerFactory = Callable[[EmpiricalDistribution], Planner]
@@ -53,17 +62,36 @@ class ReplanEvent:
 
     position: int
     expected_cost: float
-    reason: str  # "interval", "drift", or "profile-drift"
+    reason: str  # "interval", "drift", "profile-drift", or "outage"
     drift_score: float | None = None
 
 
 @dataclass(frozen=True)
+class StreamFaultStats:
+    """Run-wide fault accounting for a fault-injected stream."""
+
+    acquisitions_failed: int = 0
+    retries_total: int = 0
+    tuples_degraded: int = 0
+    tuples_abstained: int = 0
+    corruptions: int = 0
+    retry_cost: float = 0.0
+
+
+@dataclass(frozen=True)
 class StreamReport:
-    """Outcome of streaming execution."""
+    """Outcome of streaming execution.
+
+    ``abstained`` and ``faults`` are populated only for fault-injected
+    runs; an abstained position carries ``verdicts == False`` (the tuple
+    is not selected) with ``abstained == True`` marking the withdrawal.
+    """
 
     costs: np.ndarray
     verdicts: np.ndarray
     replans: tuple[ReplanEvent, ...]
+    abstained: np.ndarray | None = None
+    faults: StreamFaultStats | None = None
 
     @property
     def mean_cost(self) -> float:
@@ -113,6 +141,21 @@ class AdaptiveStreamExecutor:
         Optional extra :class:`~repro.core.cost.ExecutionObserver` that
         receives every execution event across all plans (on top of the
         internal per-plan profiles).
+    fault_schedule:
+        When given, every acquisition flows through a seeded
+        :class:`~repro.faults.FaultInjector` replaying this schedule, the
+        plan is executed with :class:`~repro.faults.FaultTolerantExecutor`
+        degradation, and sustained outages (per the policy's
+        ``outage_replan_threshold`` over ``outage_window`` recent tuples)
+        become an ``"outage"`` replan trigger.  Requires ``fault_rng``;
+        incompatible with ``profile_drift_threshold`` (per-node profiling
+        needs the vectorized executor).
+    fault_policy:
+        Retry/degradation policy for fault-injected runs; defaults to the
+        :class:`~repro.faults.FaultPolicy` defaults (retry twice, then
+        abstain).
+    fault_rng:
+        The single seeded generator all fault randomness flows from.
     """
 
     def __init__(
@@ -129,6 +172,9 @@ class AdaptiveStreamExecutor:
         profile_check_every: int = 128,
         profile_min_tuples: int = 256,
         profile_sink: ExecutionObserver | None = None,
+        fault_schedule: "FaultSchedule | None" = None,
+        fault_policy: "FaultPolicy | None" = None,
+        fault_rng: np.random.Generator | None = None,
     ) -> None:
         if window < 2:
             raise PlanningError(f"window must be >= 2, got {window}")
@@ -165,6 +211,22 @@ class AdaptiveStreamExecutor:
         self._profile_check_every = int(profile_check_every)
         self._profile_min_tuples = int(profile_min_tuples)
         self._profile_sink = profile_sink
+        if fault_schedule is not None:
+            if fault_rng is None:
+                raise FaultConfigError(
+                    "fault_schedule requires fault_rng: fault injection is "
+                    "deterministic and seeds flow from a single generator"
+                )
+            if profile_drift_threshold is not None:
+                raise FaultConfigError(
+                    "profile_drift_threshold is unsupported under fault "
+                    "injection (per-node profiling needs the vectorized "
+                    "executor); use outage_replan_threshold instead"
+                )
+            fault_schedule.validated(schema)
+        self._fault_schedule = fault_schedule
+        self._fault_policy = fault_policy
+        self._fault_rng = fault_rng
 
     def process(self, stream: np.ndarray) -> StreamReport:
         """Run the query over ``stream`` (rows in arrival order)."""
@@ -174,6 +236,8 @@ class AdaptiveStreamExecutor:
                 f"stream shape {matrix.shape} incompatible with schema of "
                 f"{len(self._schema)} attributes"
             )
+        if self._fault_schedule is not None:
+            return self._process_faulted(matrix)
         total = matrix.shape[0]
         costs = np.zeros(total, dtype=np.float64)
         verdicts = np.zeros(total, dtype=bool)
@@ -303,3 +367,167 @@ class AdaptiveStreamExecutor:
         planner = self._factory(distribution)
         result = planner.plan(self._query)
         return result.plan, result.expected_cost, distribution
+
+    def _process_faulted(self, matrix: np.ndarray) -> StreamReport:
+        """The fault-injected twin of :meth:`process`.
+
+        One :class:`~repro.faults.FaultInjector` serves the whole stream
+        (outages span tuples, budgets deplete run-wide); degradation runs
+        through :class:`~repro.faults.FaultTolerantExecutor`, rebuilt at
+        each replan so IMPUTE marginals track the window distribution.
+        Sustained outages — a fraction of recent tuples with at least one
+        failed acquisition above the policy's threshold — trigger an
+        ``"outage"`` replan.
+        """
+        from repro.execution.acquisition import TupleSource
+        from repro.faults.executor import FaultTolerantExecutor
+        from repro.faults.injector import FaultInjector
+        from repro.faults.policy import FaultPolicy
+
+        assert self._fault_schedule is not None
+        assert self._fault_rng is not None
+        policy = (
+            self._fault_policy if self._fault_policy is not None else FaultPolicy()
+        )
+        total = matrix.shape[0]
+        costs = np.zeros(total, dtype=np.float64)
+        verdicts = np.zeros(total, dtype=bool)
+        abstained = np.zeros(total, dtype=bool)
+        replans: list[ReplanEvent] = []
+        tuples_degraded = 0
+
+        window: deque = deque(maxlen=self._window)
+        fail_window: deque = deque(maxlen=policy.outage_window)
+        plan: PlanNode | None = None
+        predicted = 0.0
+        since_replan = 0
+        cost_since_replan = 0.0
+        executor = FaultTolerantExecutor(self._schema, policy, query=self._query)
+        injector: FaultInjector | None = None
+
+        def swap_plan() -> None:
+            nonlocal plan, predicted, executor
+            plan, predicted, distribution = self._replan(window)
+            executor = FaultTolerantExecutor(
+                self._schema, policy, query=self._query, distribution=distribution
+            )
+
+        warmup = min(self._window, self._replan_interval, total)
+        for position in range(total):
+            row = matrix[position]
+            source = TupleSource(self._schema, row)
+            if injector is None:
+                injector = FaultInjector(
+                    source,
+                    self._fault_schedule,
+                    self._fault_rng,
+                    retry_policy=policy.retry,
+                )
+            else:
+                injector.rebind(source)
+
+            if plan is None:
+                verdict, failed = self._warmup_acquire(injector, policy)
+                costs[position] = injector.total_cost
+                verdicts[position] = verdict is True
+                abstained[position] = verdict is None
+                fail_window.append(failed)
+                if failed:
+                    tuples_degraded += 1
+                window.append(row)
+                if position + 1 >= warmup:
+                    swap_plan()
+                    self._record(
+                        replans, ReplanEvent(position + 1, predicted, "interval")
+                    )
+                    since_replan = 0
+                    cost_since_replan = 0.0
+                continue
+
+            result = executor.execute_source(plan, injector)
+            costs[position] = result.cost
+            verdicts[position] = result.verdict is True
+            abstained[position] = result.abstained
+            fail_window.append(bool(result.failed))
+            if result.degraded:
+                tuples_degraded += 1
+            window.append(row)
+            since_replan += 1
+            cost_since_replan += float(result.cost)
+
+            drifted = (
+                self._drift_threshold is not None
+                and since_replan >= 50
+                and predicted > 0.0
+                and cost_since_replan / since_replan
+                > self._drift_threshold * predicted
+            )
+            outage = (
+                policy.outage_replan_threshold is not None
+                and len(fail_window) >= policy.outage_window
+                and sum(fail_window) / len(fail_window)
+                >= policy.outage_replan_threshold
+            )
+            if since_replan >= self._replan_interval or drifted or outage:
+                if outage:
+                    reason = "outage"
+                elif drifted:
+                    reason = "drift"
+                else:
+                    reason = "interval"
+                swap_plan()
+                self._record(
+                    replans, ReplanEvent(position + 1, predicted, reason)
+                )
+                since_replan = 0
+                cost_since_replan = 0.0
+                if outage:
+                    fail_window.clear()
+
+        stats = StreamFaultStats(
+            acquisitions_failed=(
+                injector.acquisitions_failed if injector is not None else 0
+            ),
+            retries_total=injector.retries_total if injector is not None else 0,
+            tuples_degraded=tuples_degraded,
+            tuples_abstained=int(abstained.sum()),
+            corruptions=injector.corruptions if injector is not None else 0,
+            retry_cost=injector.run_retry_cost if injector is not None else 0.0,
+        )
+        return StreamReport(
+            costs=costs,
+            verdicts=verdicts,
+            replans=tuple(replans),
+            abstained=abstained,
+            faults=stats,
+        )
+
+    def _warmup_acquire(
+        self, injector: "FaultInjector", policy: "FaultPolicy"
+    ) -> tuple[bool | None, bool]:
+        """Plan-less warm-up read of every query attribute through faults.
+
+        Mirrors the plain warm-up (acquire all query attributes, evaluate
+        the query) so a zero schedule reproduces it exactly; under real
+        faults a falsified predicate still decides False, otherwise any
+        failed read abstains the tuple.
+        """
+        from repro.faults.policy import DegradationMode
+
+        verdict: bool | None = True
+        failed = False
+        for predicate, index in zip(
+            self._query.predicates, self._query.attribute_indices
+        ):
+            try:
+                value = injector.acquire(index)
+            except AcquisitionFailure:
+                failed = True
+                if policy.degradation is DegradationMode.ABSTAIN:
+                    return None, True
+                if verdict is True:
+                    verdict = None
+                continue
+            if not predicate.satisfied_by(value):
+                verdict = False
+        return verdict, failed

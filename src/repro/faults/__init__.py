@@ -1,0 +1,33 @@
+"""Fault-tolerant acquisition: injection, retry/degradation, chaos replay.
+
+The package models what the executor layer otherwise assumes away — that
+``acquire()`` can fail.  :mod:`repro.faults.model` declares per-attribute
+failure modes, :mod:`repro.faults.injector` replays them deterministically
+over any acquisition backend from a single seeded generator,
+:mod:`repro.faults.policy` bounds retries and selects a degraded path, and
+:mod:`repro.faults.executor` runs conditional plans to *sound* three-valued
+verdicts under those policies.
+"""
+
+from repro.faults.executor import (
+    FaultedDatasetExecution,
+    FaultedExecutionResult,
+    FaultTolerantExecutor,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FAULT_KINDS, AttributeFaults, FaultSchedule
+from repro.faults.policy import NO_RETRY, DegradationMode, FaultPolicy, RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "AttributeFaults",
+    "FaultSchedule",
+    "FaultInjector",
+    "RetryPolicy",
+    "NO_RETRY",
+    "DegradationMode",
+    "FaultPolicy",
+    "FaultTolerantExecutor",
+    "FaultedExecutionResult",
+    "FaultedDatasetExecution",
+]

@@ -1,0 +1,373 @@
+"""Fault-tolerant plan execution with verifier-checked degraded paths.
+
+:class:`FaultTolerantExecutor` runs a conditional plan against a
+:class:`~repro.faults.injector.FaultInjector` and keeps producing
+*sound* answers when reads fail.  Retries are the injector's job; this
+layer decides what happens once retries are exhausted, per the
+:class:`~repro.faults.policy.DegradationMode` in force:
+
+- **ABSTAIN** — the tuple is withdrawn and reported; verdict ``None``.
+- **SKIP** — skip-to-expensive-predicate: abandon the plan's cheap
+  conditioning for this tuple and evaluate the original query's
+  predicates directly.  One proven-false predicate decides ``False``
+  even when other reads fail; the tuple abstains only when a
+  query-essential read itself stays unavailable with no predicate
+  falsified.
+- **IMPUTE** — an unavailable *conditioning* read follows the branch the
+  training marginal makes more likely; positive verdicts reached through
+  an imputed branch are re-confirmed on real values before being emitted
+  (unless ``confirm_positives`` is off — which the verifier's FT001 rule
+  flags as unsound).
+
+Soundness here means: a ``True`` verdict implies the query holds on the
+values the executor *actually observed*.  Silently corrupting faults
+(stuck-at-last, noise) are undetectable by construction, so guarantees
+are stated against delivered values, not ground truth — the chaos suite
+asserts exactly this invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.attributes import Schema
+from repro.core.plan import ConditionNode, PlanNode, SequentialNode, VerdictLeaf
+from repro.core.query import ConjunctiveQuery
+from repro.core.ranges import RangeVector
+from repro.exceptions import AcquisitionFailure, FaultConfigError, PlanError
+from repro.execution.acquisition import TupleSource
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultSchedule
+from repro.faults.policy import DegradationMode, FaultPolicy
+from repro.probability.base import Distribution
+
+__all__ = [
+    "FaultedExecutionResult",
+    "FaultedDatasetExecution",
+    "FaultTolerantExecutor",
+]
+
+
+@dataclass(frozen=True)
+class FaultedExecutionResult:
+    """Outcome of one tuple's execution under faults.
+
+    ``verdict`` is three-valued: ``True`` (selected), ``False``
+    (rejected), or ``None`` (abstained — the tuple is withdrawn from the
+    result set and must be surfaced to the caller).  ``observed`` maps
+    each acquired attribute to the value actually delivered, which is
+    the reference frame for the soundness guarantee.
+    """
+
+    verdict: bool | None
+    cost: float
+    base_cost: float
+    retry_cost: float
+    acquired: frozenset[int]
+    failed: frozenset[int]
+    imputed: frozenset[int]
+    degraded: bool
+    observed: Mapping[int, int]
+
+    @property
+    def abstained(self) -> bool:
+        return self.verdict is None
+
+    @property
+    def reads(self) -> int:
+        return len(self.acquired)
+
+
+@dataclass(frozen=True)
+class FaultedDatasetExecution:
+    """Per-row results plus run-wide fault accounting for one dataset.
+
+    The cost ledger satisfies ``total_cost == base_cost + retry_cost``
+    exactly (the conservation law the chaos suite checks), and the fault
+    counters are snapshots of the single injector that served every row.
+    """
+
+    results: tuple[FaultedExecutionResult, ...]
+    acquisitions_failed: int
+    retries_total: int
+    attempts: int
+    corruptions: int
+    failures_by_kind: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> int:
+        return len(self.results)
+
+    @property
+    def selected(self) -> tuple[int, ...]:
+        return tuple(
+            i for i, r in enumerate(self.results) if r.verdict is True
+        )
+
+    @property
+    def rejected(self) -> tuple[int, ...]:
+        return tuple(
+            i for i, r in enumerate(self.results) if r.verdict is False
+        )
+
+    @property
+    def abstained(self) -> tuple[int, ...]:
+        return tuple(i for i, r in enumerate(self.results) if r.abstained)
+
+    @property
+    def tuples_abstained(self) -> int:
+        return sum(1 for r in self.results if r.abstained)
+
+    @property
+    def tuples_degraded(self) -> int:
+        return sum(1 for r in self.results if r.degraded)
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(r.cost for r in self.results))
+
+    @property
+    def base_cost(self) -> float:
+        return float(sum(r.base_cost for r in self.results))
+
+    @property
+    def retry_cost(self) -> float:
+        return float(sum(r.retry_cost for r in self.results))
+
+    @property
+    def costs(self) -> np.ndarray:
+        return np.array([r.cost for r in self.results], dtype=float)
+
+
+class _TupleState:
+    """Mutable bookkeeping for one tuple's degraded walk."""
+
+    __slots__ = ("failed", "imputed", "degraded")
+
+    def __init__(self) -> None:
+        self.failed: set[int] = set()
+        self.imputed: set[int] = set()
+        self.degraded = False
+
+
+class FaultTolerantExecutor:
+    """Executes plans through a fault injector with graceful degradation.
+
+    Parameters
+    ----------
+    schema:
+        Table schema; must match every source the executor is handed.
+    policy:
+        The :class:`FaultPolicy` in force; defaults to retrying twice and
+        abstaining on exhaustion.
+    query:
+        The original query — required for ``SKIP`` (its predicates *are*
+        the degraded path) and for confirming imputed positives under
+        ``IMPUTE``.  The verifier's FT002 rule enforces this statically.
+    distribution:
+        Training distribution for ``IMPUTE``'s marginals.  Without one,
+        imputation falls back to ``SKIP`` semantics at the failed read.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        policy: FaultPolicy | None = None,
+        query: ConjunctiveQuery | None = None,
+        distribution: Distribution | None = None,
+    ) -> None:
+        self._schema = schema
+        self._policy = policy if policy is not None else FaultPolicy()
+        self._query = query
+        self._distribution = distribution
+        mode = self._policy.degradation
+        if mode is not DegradationMode.ABSTAIN and query is None:
+            raise FaultConfigError(
+                f"degradation mode {mode.value!r} needs the original query "
+                "to evaluate the degraded path; pass query= or use ABSTAIN"
+            )
+        if query is not None and query.schema is not schema:
+            raise FaultConfigError("query schema differs from executor schema")
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def policy(self) -> FaultPolicy:
+        return self._policy
+
+    @property
+    def query(self) -> ConjunctiveQuery | None:
+        return self._query
+
+    def injector(
+        self, values: Sequence[int], schedule: FaultSchedule, rng: np.random.Generator
+    ) -> FaultInjector:
+        """A fault injector over one tuple with this executor's retry policy."""
+        return FaultInjector(
+            TupleSource(self._schema, values),
+            schedule,
+            rng,
+            retry_policy=self._policy.retry,
+        )
+
+    def execute_source(
+        self, plan: PlanNode, source: FaultInjector
+    ) -> FaultedExecutionResult:
+        """Run a plan on one tuple through an already-wired injector."""
+        if source.schema is not self._schema:
+            raise PlanError("source schema differs from executor schema")
+        state = _TupleState()
+        verdict = self._walk(plan, source, state)
+        if (
+            verdict is True
+            and state.imputed
+            and self._policy.confirm_positives
+        ):
+            # An imputed branch routed us to TRUE: re-derive the verdict
+            # from the query's own predicates on real values.
+            verdict = self._skip_evaluate(source, state)
+        return FaultedExecutionResult(
+            verdict=verdict,
+            cost=source.total_cost,
+            base_cost=source.base_cost,
+            retry_cost=source.retry_cost,
+            acquired=source.acquired_indices,
+            failed=frozenset(state.failed),
+            imputed=frozenset(state.imputed),
+            degraded=state.degraded,
+            observed=source.observed,
+        )
+
+    def run(
+        self,
+        plan: PlanNode,
+        data: np.ndarray,
+        schedule: FaultSchedule,
+        rng: np.random.Generator,
+    ) -> FaultedDatasetExecution:
+        """Execute every row through one shared injector (faults persist).
+
+        A single :class:`FaultInjector` serves the whole dataset so burst
+        outages span rows, stuck values carry over, and retry budgets
+        deplete run-wide — :meth:`FaultInjector.rebind` swaps the backing
+        row between tuples.
+        """
+        rows = np.asarray(data)
+        injector: FaultInjector | None = None
+        results: list[FaultedExecutionResult] = []
+        for row in rows:
+            source = TupleSource(self._schema, row)
+            if injector is None:
+                injector = FaultInjector(
+                    source, schedule, rng, retry_policy=self._policy.retry
+                )
+            else:
+                injector.rebind(source)
+            results.append(self.execute_source(plan, injector))
+        if injector is None:
+            return FaultedDatasetExecution(
+                results=(),
+                acquisitions_failed=0,
+                retries_total=0,
+                attempts=0,
+                corruptions=0,
+            )
+        return FaultedDatasetExecution(
+            results=tuple(results),
+            acquisitions_failed=injector.acquisitions_failed,
+            retries_total=injector.retries_total,
+            attempts=injector.attempts,
+            corruptions=injector.corruptions,
+            failures_by_kind=injector.failures_by_kind,
+        )
+
+    # ------------------------------------------------------------------
+    # Degraded plan walk
+    # ------------------------------------------------------------------
+
+    def _walk(
+        self, node: PlanNode, source: FaultInjector, state: _TupleState
+    ) -> bool | None:
+        if isinstance(node, VerdictLeaf):
+            return node.verdict
+        if isinstance(node, SequentialNode):
+            for step in node.steps:
+                try:
+                    value = source.acquire(step.attribute_index)
+                except AcquisitionFailure:
+                    return self._degrade(
+                        source, state, step.attribute_index, node=None
+                    )
+                if not step.predicate.satisfied_by(value):
+                    return False
+            return True
+        if isinstance(node, ConditionNode):
+            try:
+                value = source.acquire(node.attribute_index)
+            except AcquisitionFailure:
+                return self._degrade(
+                    source, state, node.attribute_index, node=node
+                )
+            branch = node.above if value >= node.split_value else node.below
+            return self._walk(branch, source, state)
+        raise PlanError(f"unknown plan node type {type(node).__name__}")
+
+    def _degrade(
+        self,
+        source: FaultInjector,
+        state: _TupleState,
+        attribute_index: int,
+        node: ConditionNode | None,
+    ) -> bool | None:
+        """Retries are spent; pick the degraded path for this tuple."""
+        state.failed.add(attribute_index)
+        state.degraded = True
+        mode = self._policy.degradation
+        if mode is DegradationMode.ABSTAIN:
+            return None
+        if (
+            mode is DegradationMode.IMPUTE
+            and node is not None
+            and self._distribution is not None
+        ):
+            # Follow the branch the training marginal favours.  The
+            # confirm-positives pass in execute_source keeps this sound.
+            p_below = self._distribution.split_probability(
+                node.attribute_index,
+                node.split_value,
+                RangeVector.full(self._schema),
+            )
+            state.imputed.add(attribute_index)
+            branch = node.below if p_below >= 0.5 else node.above
+            return self._walk(branch, source, state)
+        # SKIP, or IMPUTE with nothing to impute from / a failed
+        # predicate read: evaluate the query's own predicates directly.
+        return self._skip_evaluate(source, state)
+
+    def _skip_evaluate(
+        self, source: FaultInjector, state: _TupleState
+    ) -> bool | None:
+        """Evaluate the original query on real values (the SKIP path).
+
+        One falsified predicate decides ``False`` outright; otherwise any
+        unreadable predicate attribute forces an abstain — never a
+        fabricated ``True``.
+        """
+        query = self._query
+        assert query is not None  # guaranteed by the constructor
+        any_failed = False
+        for predicate, index in zip(query.predicates, query.attribute_indices):
+            try:
+                value = source.acquire(index)
+            except AcquisitionFailure:
+                state.failed.add(index)
+                any_failed = True
+                continue
+            if not predicate.satisfied_by(value):
+                return False
+        return None if any_failed else True

@@ -1,0 +1,292 @@
+"""Deterministic fault injection over any acquisition backend.
+
+:class:`FaultInjector` wraps an :class:`~repro.execution.acquisition.AcquisitionSource`
+and replays a :class:`~repro.faults.model.FaultSchedule` against it:
+failed attempts raise :class:`~repro.exceptions.AcquisitionFailure`
+(*after* charging the attempt's energy — a timed-out listen is not
+free), corrupting modes silently deliver a stuck or noisy value, and an
+attached :class:`~repro.faults.policy.RetryPolicy` makes ``acquire``
+fight through transient failures with exponentially backed-off,
+budgeted retries whose charges land in the same cost ledger.
+
+Determinism is a hard requirement (the chaos suite replays schedules in
+CI): all randomness flows from the single ``rng`` argument — a
+:class:`numpy.random.Generator` the caller seeds — and the injector
+draws from it only for attempts on attributes with a non-zero profile,
+so a given (schedule, seed, plan, data) quadruple reproduces the exact
+same fault sequence.  There is no module-level randomness.
+
+Fault *state* outlives individual tuples: stuck-at-last remembers the
+last delivered value across resets, burst outages span tuples, and
+retry budgets deplete over the whole run.  :meth:`rebind` swaps in the
+next tuple's backend while preserving that state; :meth:`reset` clears
+the per-tuple read cache and cost only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import AcquisitionError, AcquisitionFailure
+from repro.execution.acquisition import AcquisitionSource
+from repro.faults.model import FaultSchedule
+from repro.faults.policy import RetryPolicy
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector(AcquisitionSource):
+    """A fault-injecting, retrying proxy in front of a real source.
+
+    Parameters
+    ----------
+    source:
+        The backend actually producing values (and defining per-read
+        costs — board-aware cost models meter through unchanged).
+    schedule:
+        What to inject, per attribute.
+    rng:
+        The **single** source of randomness.  Callers seed it
+        (``np.random.default_rng(seed)``) and hand it in; the injector
+        never touches global numpy state.
+    retry_policy:
+        When given, ``acquire`` retries failed attempts up to the
+        policy's bounds before letting :class:`AcquisitionFailure`
+        escape; retry charges are metered separately (:attr:`retry_cost`)
+        on top of the base ledger.
+    """
+
+    def __init__(
+        self,
+        source: AcquisitionSource,
+        schedule: FaultSchedule,
+        rng: np.random.Generator,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
+        if not isinstance(rng, np.random.Generator):
+            raise AcquisitionError(
+                "FaultInjector requires a numpy Generator as its single "
+                f"seed source, got {type(rng).__name__}"
+            )
+        super().__init__(source.schema)
+        self._source = source
+        self._schedule = schedule.validated(source.schema)
+        self._rng = rng
+        self._retry_policy = retry_policy
+        # Per-tuple ledgers (cleared by reset/rebind).
+        self._tuple_base_cost = 0.0
+        self._tuple_retry_cost = 0.0
+        # Run-wide fault state (survives reset/rebind).
+        self._last_delivered: dict[int, int] = {}
+        self._outage_remaining: dict[int, int] = {}
+        self._budget_spent: dict[int, int] = {}
+        # Run-wide counters.
+        self._attempts = 0
+        self._failures: dict[str, int] = {}
+        self._corruptions: dict[str, int] = {}
+        self._retries_total = 0
+        self._run_base_cost = 0.0
+        self._run_retry_cost = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def source(self) -> AcquisitionSource:
+        return self._source
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        return self._schedule
+
+    @property
+    def retry_policy(self) -> RetryPolicy | None:
+        return self._retry_policy
+
+    @property
+    def base_cost(self) -> float:
+        """This tuple's first-attempt charges (what a fault-free run pays)."""
+        return self._tuple_base_cost
+
+    @property
+    def retry_cost(self) -> float:
+        """This tuple's retry surcharges (backoff-scaled re-attempts)."""
+        return self._tuple_retry_cost
+
+    @property
+    def run_base_cost(self) -> float:
+        return self._run_base_cost
+
+    @property
+    def run_retry_cost(self) -> float:
+        return self._run_retry_cost
+
+    @property
+    def attempts(self) -> int:
+        """Read attempts over the injector's lifetime (incl. failures)."""
+        return self._attempts
+
+    @property
+    def retries_total(self) -> int:
+        return self._retries_total
+
+    @property
+    def acquisitions_failed(self) -> int:
+        """Failed attempts over the run (each retry that fails counts)."""
+        return sum(self._failures.values())
+
+    @property
+    def failures_by_kind(self) -> dict[str, int]:
+        return dict(self._failures)
+
+    @property
+    def corruptions(self) -> int:
+        """Silently wrong deliveries (stuck/noise that changed the value)."""
+        return sum(self._corruptions.values())
+
+    @property
+    def corruptions_by_kind(self) -> dict[str, int]:
+        return dict(self._corruptions)
+
+    @property
+    def observed(self) -> dict[int, int]:
+        """The values actually delivered for the current tuple."""
+        return dict(self._cache)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """New tuple on the same backend; fault state persists."""
+        super().reset()
+        self._source.reset()
+        self._tuple_base_cost = 0.0
+        self._tuple_retry_cost = 0.0
+
+    def rebind(self, source: AcquisitionSource) -> None:
+        """Point at the next tuple's backend; fault state persists."""
+        if source.schema is not self._schema:
+            raise AcquisitionError(
+                "rebound source schema differs from the injector's schema"
+            )
+        self._source = source
+        super().reset()
+        self._tuple_base_cost = 0.0
+        self._tuple_retry_cost = 0.0
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+
+    def acquire(self, attribute_index: int) -> int:
+        """Read one attribute through the fault model, retrying per policy."""
+        if not 0 <= attribute_index < len(self._schema):
+            raise AcquisitionError(
+                f"attribute index {attribute_index} out of range "
+                f"[0, {len(self._schema) - 1}]"
+            )
+        cached = self._cache.get(attribute_index)
+        if cached is not None:
+            return cached
+        retry_number = 0
+        while True:
+            try:
+                value = self._attempt(attribute_index, retry_number)
+            except AcquisitionFailure:
+                if not self._may_retry(attribute_index, retry_number):
+                    raise
+                self._budget_spent[attribute_index] = (
+                    self._budget_spent.get(attribute_index, 0) + 1
+                )
+                self._retries_total += 1
+                retry_number += 1
+                continue
+            self._cache[attribute_index] = value
+            return value
+
+    def _may_retry(self, attribute_index: int, retry_number: int) -> bool:
+        policy = self._retry_policy
+        if policy is None or retry_number >= policy.max_retries:
+            return False
+        budget = policy.budget_for(attribute_index)
+        if budget is None:
+            return True
+        return self._budget_spent.get(attribute_index, 0) < budget
+
+    def _read(self, attribute_index: int) -> int:
+        # Unused: acquire() is fully overridden, but the ABC requires it.
+        return self._source.acquire(attribute_index)
+
+    def _charge(self, attribute_index: int, retry_number: int) -> None:
+        # Backends meter stateful costs (board power-ups) via _cost_of;
+        # charging through it keeps rich cost models exact under faults.
+        charge = self._source._cost_of(attribute_index)
+        if retry_number > 0:
+            assert self._retry_policy is not None
+            charge *= self._retry_policy.backoff_multiplier(retry_number)
+            self._tuple_retry_cost += charge
+            self._run_retry_cost += charge
+        else:
+            self._tuple_base_cost += charge
+            self._run_base_cost += charge
+        self._total_cost += charge
+
+    def _fail(self, attribute_index: int, kind: str) -> None:
+        self._failures[kind] = self._failures.get(kind, 0) + 1
+        raise AcquisitionFailure(kind, attribute_index)
+
+    def _attempt(self, attribute_index: int, retry_number: int) -> int:
+        """One read attempt: charge energy, then roll the fault dice."""
+        self._attempts += 1
+        self._charge(attribute_index, retry_number)
+        profile = self._schedule.for_index(attribute_index)
+        if profile is None or profile.is_zero:
+            # Fault-free attribute: no draw at all, so a zero schedule is
+            # byte-identical to the plain backend.
+            value = self._source._read(attribute_index)
+            self._last_delivered[attribute_index] = value
+            return value
+        remaining = self._outage_remaining.get(attribute_index, 0)
+        if remaining > 0:
+            self._outage_remaining[attribute_index] = remaining - 1
+            self._fail(attribute_index, "outage")
+        draw = float(self._rng.random())
+        if draw < profile.drop_rate:
+            self._fail(attribute_index, "drop")
+        draw -= profile.drop_rate
+        if draw < profile.timeout_rate:
+            self._fail(attribute_index, "timeout")
+        draw -= profile.timeout_rate
+        if draw < profile.outage_rate:
+            # This attempt fails and starts a burst covering the next
+            # outage_length - 1 attempts as well.
+            self._outage_remaining[attribute_index] = profile.outage_length - 1
+            self._fail(attribute_index, "outage")
+        draw -= profile.outage_rate
+        true_value = self._source._read(attribute_index)
+        if draw < profile.stuck_rate:
+            value = self._last_delivered.get(attribute_index, true_value)
+            if value != true_value:
+                self._corruptions["stuck"] = (
+                    self._corruptions.get("stuck", 0) + 1
+                )
+            # A stuck sensor keeps reporting the same value: do not
+            # refresh last_delivered from the true reading.
+            self._last_delivered[attribute_index] = value
+            return value
+        draw -= profile.stuck_rate
+        if draw < profile.noise_rate:
+            scale = profile.noise_scale
+            delta = int(self._rng.integers(-scale, scale + 1))
+            domain = self._schema[attribute_index].domain_size
+            value = min(max(true_value + delta, 1), domain)
+            if value != true_value:
+                self._corruptions["noise"] = (
+                    self._corruptions.get("noise", 0) + 1
+                )
+            self._last_delivered[attribute_index] = value
+            return value
+        self._last_delivered[attribute_index] = true_value
+        return true_value

@@ -1,0 +1,152 @@
+"""Retry and degradation policies for fault-tolerant acquisition.
+
+:class:`RetryPolicy` bounds how hard the executor fights for a reading
+before giving up: up to ``max_retries`` extra attempts per read, each
+retry charged at the attribute's acquisition cost scaled by an
+exponential backoff factor (a longer listen window burns proportionally
+more energy), with an optional per-attribute retry *budget* across the
+whole run so a dead sensor cannot bleed the node dry one tuple at a
+time.  Every retry charge lands in the same cost ledger Equation 3
+predicts over, so retries show up in profiles and reconcile against the
+plan's expected cost plus the retry surcharge.
+
+:class:`DegradationMode` selects what the executor does once retries are
+exhausted, and :class:`FaultPolicy` bundles both with the knobs the
+streaming and serving layers use to treat sustained outages as a replan
+trigger.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.exceptions import FaultConfigError
+
+__all__ = ["RetryPolicy", "NO_RETRY", "DegradationMode", "FaultPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, budgeted, exponentially backed-off retries.
+
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts after a failed read, per ``acquire`` call.  Zero
+        disables retrying entirely.
+    backoff_base:
+        Retry ``k`` (1-based) is charged ``cost * backoff_base ** (k - 1)``
+        — the energy model of listening exponentially longer.  Must be
+        >= 1 so the charge never undercuts a plain read.
+    attribute_budgets:
+        Optional per-attribute retry budgets for the whole run (dataset /
+        stream), keyed by schema index.  Once an attribute's budget is
+        spent, further failures on it degrade immediately.
+    default_budget:
+        Budget for attributes absent from ``attribute_budgets``;
+        ``None`` means unbounded.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 2.0
+    attribute_budgets: Mapping[int, int] = field(default_factory=dict)
+    default_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 1.0:
+            raise FaultConfigError(
+                f"backoff_base must be >= 1, got {self.backoff_base}"
+            )
+        for index, budget in self.attribute_budgets.items():
+            if budget < 0:
+                raise FaultConfigError(
+                    f"retry budget for attribute {index} must be >= 0, "
+                    f"got {budget}"
+                )
+        if self.default_budget is not None and self.default_budget < 0:
+            raise FaultConfigError(
+                f"default_budget must be >= 0, got {self.default_budget}"
+            )
+        object.__setattr__(
+            self, "attribute_budgets", dict(self.attribute_budgets)
+        )
+
+    def budget_for(self, attribute_index: int) -> int | None:
+        """The run-wide retry budget for one attribute (None = unbounded)."""
+        return self.attribute_budgets.get(attribute_index, self.default_budget)
+
+    def backoff_multiplier(self, retry_number: int) -> float:
+        """Cost multiplier for retry ``retry_number`` (1-based)."""
+        if retry_number < 1:
+            raise FaultConfigError(
+                f"retry_number is 1-based, got {retry_number}"
+            )
+        return float(self.backoff_base ** (retry_number - 1))
+
+
+NO_RETRY = RetryPolicy(max_retries=0)
+
+
+class DegradationMode(enum.Enum):
+    """What the executor does when an attribute stays unavailable.
+
+    - ``ABSTAIN`` — the tuple is withdrawn from the result set and
+      reported as abstained.  Trivially sound; costs recall.
+    - ``SKIP`` — skip-to-expensive-predicate: the conditional plan's
+      cheap routing is abandoned for this tuple and the original query's
+      predicates are evaluated directly on real values.  Sound by
+      construction; abstains only when a query-essential attribute
+      itself is unavailable and the verdict is not already decided.
+    - ``IMPUTE`` — marginal-probability imputation: an unavailable
+      *conditioning* read follows the branch the training marginal makes
+      more likely.  Positive verdicts reached through an imputed branch
+      are re-confirmed on real values before being emitted (see
+      :attr:`FaultPolicy.confirm_positives`), which restores soundness
+      at the price of extra acquisitions on the confirm path.
+    """
+
+    ABSTAIN = "abstain"
+    SKIP = "skip"
+    IMPUTE = "impute"
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """The complete fault-handling contract for one execution context.
+
+    ``confirm_positives`` only matters under ``IMPUTE``: when True (the
+    default), a True verdict reached through an imputed branch is
+    re-derived from the query's own predicates on actually-acquired
+    values — the verifier's FT001 rule flags configurations that turn
+    this off.  ``outage_replan_threshold`` is the fraction of recent
+    tuples that hit at least one acquisition failure above which the
+    streaming layer and the service treat the situation as a sustained
+    outage and trigger a replan / cache invalidation; ``None`` disables
+    the trigger.  ``outage_window`` is the number of recent tuples the
+    fraction is measured over.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    degradation: DegradationMode = DegradationMode.ABSTAIN
+    confirm_positives: bool = True
+    outage_replan_threshold: float | None = None
+    outage_window: int = 64
+
+    def __post_init__(self) -> None:
+        if self.outage_replan_threshold is not None and not (
+            0.0 < self.outage_replan_threshold <= 1.0
+        ):
+            raise FaultConfigError(
+                "outage_replan_threshold must lie in (0, 1], got "
+                f"{self.outage_replan_threshold}"
+            )
+        if self.outage_window < 1:
+            raise FaultConfigError(
+                f"outage_window must be >= 1, got {self.outage_window}"
+            )

@@ -37,9 +37,14 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.engine.engine import AcquisitionalEngine, PreparedQuery, QueryResult
+from repro.engine.engine import (
+    AcquisitionalEngine,
+    PreparedQuery,
+    QueryResult,
+    ResilientQueryResult,
+)
 from repro.engine.language import ParsedQuery, parse_query
-from repro.exceptions import QueryError, ServiceError
+from repro.exceptions import PlanVerificationError, QueryError, ServiceError
 from repro.execution.streaming import AdaptiveStreamExecutor
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import QueryFingerprint, fingerprint_parsed
@@ -48,6 +53,8 @@ from repro.service.metrics import MetricsRegistry
 from repro.verify import verify_plan
 
 if TYPE_CHECKING:
+    from repro.faults.model import FaultSchedule
+    from repro.faults.policy import FaultPolicy
     from repro.obs.drift import DriftReport
     from repro.obs.profile import PlanProfile
     from repro.obs.trace import Tracer
@@ -319,6 +326,104 @@ class AcquisitionalService:
             )
         return result
 
+    def execute_resilient(
+        self,
+        text: str,
+        readings: np.ndarray,
+        schedule: "FaultSchedule",
+        rng: np.random.Generator,
+        policy: "FaultPolicy | None" = None,
+    ) -> ResilientQueryResult:
+        """Serve one statement with fault injection and degradation.
+
+        The served plan is first re-verified *with* the fault policy (the
+        ``FT*`` rules: degraded paths must stay sound), and the execution
+        feeds the fault metrics — ``acquisitions_failed``,
+        ``retries_total``, ``tuples_degraded``, ``tuples_abstained``.
+        When the run's failure fraction reaches the policy's
+        ``outage_replan_threshold``, the service treats it as a sustained
+        outage: the statistics version is bumped, invalidating every
+        cached plan, and an ``outage_invalidations`` count is recorded.
+        """
+        from repro.faults.policy import FaultPolicy
+
+        effective = policy if policy is not None else FaultPolicy()
+        self._metrics.counter("queries").increment()
+        span = self._span()
+        parsed = parse_query(text, self._engine.schema)
+        fingerprint = fingerprint_parsed(parsed, self._engine.schema)
+        prepared = self._prepared_for(parsed, fingerprint, text, span)
+        report = verify_plan(
+            prepared.plan,
+            self._engine.schema,
+            query=parsed.query,
+            fault_policy=effective,
+        )
+        if not report.ok:
+            self._metrics.counter("plans_rejected").increment()
+            raise PlanVerificationError(report.format(), report=report)
+        start = time.perf_counter()
+        outcome = self._engine.execute_prepared_resilient(
+            prepared, readings, schedule, rng, policy=effective
+        )
+        elapsed = time.perf_counter() - start
+        self._metrics.histogram("execution").observe(elapsed)
+        self._metrics.counter("acquisitions_failed").increment(
+            outcome.acquisitions_failed
+        )
+        self._metrics.counter("retries_total").increment(outcome.retries_total)
+        self._metrics.counter("tuples_degraded").increment(
+            outcome.tuples_degraded
+        )
+        self._metrics.counter("tuples_abstained").increment(
+            outcome.tuples_abstained
+        )
+        if self._tracer is not None:
+            self._tracer.emit(
+                "execute-resilient",
+                span=span,
+                fingerprint=str(fingerprint),
+                ms=elapsed * 1e3,
+                rows=len(outcome.result.rows),
+                tuples=outcome.result.tuples_scanned,
+                failed=outcome.acquisitions_failed,
+                retries=outcome.retries_total,
+                degraded=outcome.tuples_degraded,
+                abstained=outcome.tuples_abstained,
+            )
+        self._check_outage(outcome, fingerprint, effective)
+        return outcome
+
+    def _check_outage(
+        self,
+        outcome: ResilientQueryResult,
+        fingerprint: QueryFingerprint,
+        policy: "FaultPolicy",
+    ) -> None:
+        """Treat a sustained-outage run as a statistics-invalidation event.
+
+        A high fraction of degraded tuples means the live acquisition
+        environment no longer matches what the cached plans were costed
+        for — the same staleness signal as statistical drift, handled the
+        same way: bump the version, drop every cached plan.
+        """
+        threshold = policy.outage_replan_threshold
+        scanned = outcome.result.tuples_scanned
+        if threshold is None or scanned == 0:
+            return
+        fraction = outcome.tuples_degraded / scanned
+        if fraction < threshold:
+            return
+        self._metrics.counter("outage_invalidations").increment()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "replan",
+                fingerprint=str(fingerprint),
+                reason="outage",
+                failure_fraction=fraction,
+            )
+        self._engine.bump_statistics_version()
+
     def execute_batch(
         self, requests: Sequence[tuple[str, np.ndarray]]
     ) -> list[QueryResult]:
@@ -405,6 +510,8 @@ class AcquisitionalService:
 
         def on_replan(event) -> None:
             self._metrics.counter("stream_replans").increment()
+            if event.reason == "outage":
+                self._metrics.counter("outage_replans").increment()
             if self._tracer is not None:
                 self._tracer.emit(
                     "replan",

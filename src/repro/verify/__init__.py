@@ -11,7 +11,7 @@ plans *without executing them* and emits structured diagnostics with
 stable error codes (see :mod:`repro.verify.diagnostics` for the
 catalog, mirrored in ``docs/VERIFIER.md``).
 
-Five rule families:
+Six rule families:
 
 - **semantic equivalence** — every root-to-leaf path decides exactly
   the query's conjuncts (``SEM*``);
@@ -26,7 +26,10 @@ Five rule families:
   predicates, redundant re-acquisitions, infeasible splits, and
   cost-bound certificate violations (``DF*``);
 - **bytecode safety** — compiled plans have in-bounds, acyclic,
-  non-overlapping node layouts and round-trip losslessly (``BC*``).
+  non-overlapping node layouts and round-trip losslessly (``BC*``);
+- **fault tolerance** — when a plan will run under a
+  :class:`~repro.faults.FaultPolicy`, its degraded paths must remain
+  semantically sound (``FT*``, :mod:`repro.verify.ft`).
 
 Entry points: :func:`verify_plan`, :func:`verify_bytecode`,
 :func:`assert_valid_plan`, and :class:`PlanVerifier` for callers that
@@ -40,6 +43,7 @@ from repro.verify.diagnostics import (
     Severity,
     VerificationReport,
 )
+from repro.verify.ft import check_fault_tolerance
 from repro.verify.mutations import MutationCase, bytecode_mutations, plan_mutations
 from repro.verify.paths import ROOT_PATH, iter_plan_paths, node_at, step_path
 from repro.verify.verifier import (
@@ -58,6 +62,7 @@ __all__ = [
     "verify_plan",
     "verify_bytecode",
     "assert_valid_plan",
+    "check_fault_tolerance",
     "MutationCase",
     "plan_mutations",
     "bytecode_mutations",

@@ -70,6 +70,10 @@ CODE_CATALOG: dict[str, tuple[Severity, str]] = {
     "DF003": (Severity.WARNING, "redundant re-acquisition of an already-observed attribute"),
     "DF004": (Severity.ERROR, "split value outside the feasible interval at the node"),
     "DF101": (Severity.ERROR, "cost-bound certificate violation"),
+    # Fault tolerance (degraded-path soundness under a FaultPolicy)
+    "FT001": (Severity.ERROR, "imputed positives emitted without confirmation"),
+    "FT002": (Severity.ERROR, "SKIP/IMPUTE degradation configured without the query"),
+    "FT003": (Severity.WARNING, "conditioning-only attribute is a SPOF under ABSTAIN"),
     # Bytecode safety (compiled plan byte strings)
     "BC001": (Severity.ERROR, "offset out of bounds or truncated node"),
     "BC002": (Severity.ERROR, "cyclic control flow in child offsets"),

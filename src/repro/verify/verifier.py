@@ -29,6 +29,7 @@ from repro.verify.rules import check_cost, check_tree
 
 if TYPE_CHECKING:
     from repro.analysis.certificates import CostCertificate
+    from repro.faults.policy import FaultPolicy
 
 __all__ = [
     "PlanVerifier",
@@ -58,6 +59,7 @@ def verify_plan(
     tolerance: float = DEFAULT_COST_TOLERANCE,
     subject: str = "plan",
     certificate: "CostCertificate | None" = None,
+    fault_policy: "FaultPolicy | None" = None,
 ) -> VerificationReport:
     """Statically verify a plan tree; nothing is executed.
 
@@ -67,7 +69,9 @@ def verify_plan(
     runs the bytecode safety rules over the result.  The dataflow rules
     (``DF001``-``DF004``) always run; a ``certificate`` (with a
     distribution) additionally re-derives its cost-bound claims
-    (``DF101``).
+    (``DF101``).  A ``fault_policy`` enables the fault-tolerance rules
+    (``FT001``-``FT003``): the degraded paths the policy selects must
+    remain semantically sound.
     """
     # Imported lazily: repro.analysis imports this package's submodules.
     from repro.analysis.certificates import check_certificate
@@ -75,6 +79,13 @@ def verify_plan(
 
     findings = check_tree(plan, schema, query=query, ranges=ranges)
     findings.extend(check_dataflow(plan, schema, query=query, ranges=ranges))
+    if fault_policy is not None:
+        from repro.verify.ft import check_fault_tolerance
+
+        ft_query = query if isinstance(query, ConjunctiveQuery) else None
+        findings.extend(
+            check_fault_tolerance(plan, schema, fault_policy, query=ft_query)
+        )
     structurally_sound = not any(
         finding.code.startswith(("STR", "RNG")) for finding in findings
     )
@@ -155,6 +166,7 @@ def assert_valid_plan(
     check_compiled: bool = True,
     subject: str = "plan",
     certificate: "CostCertificate | None" = None,
+    fault_policy: "FaultPolicy | None" = None,
 ) -> VerificationReport:
     """Verify and raise :class:`PlanVerificationError` on any ERROR."""
     report = verify_plan(
@@ -167,6 +179,7 @@ def assert_valid_plan(
         check_compiled=check_compiled,
         subject=subject,
         certificate=certificate,
+        fault_policy=fault_policy,
     )
     if not report.ok:
         raise PlanVerificationError(report.format(), report=report)
@@ -202,6 +215,7 @@ class PlanVerifier:
         claimed_cost: float | None = None,
         subject: str = "plan",
         certificate: "CostCertificate | None" = None,
+        fault_policy: "FaultPolicy | None" = None,
     ) -> VerificationReport:
         return verify_plan(
             plan,
@@ -214,6 +228,7 @@ class PlanVerifier:
             tolerance=self.tolerance,
             subject=subject,
             certificate=certificate,
+            fault_policy=fault_policy,
         )
 
     def verify_bytecode(

@@ -1,0 +1,154 @@
+"""The ``repro chaos`` verb: deterministic fault-schedule replay from the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def artifacts(tmp_path, capsys):
+    """Schema, train/test traces, a saved plan, and a fault-schedule file."""
+    out = tmp_path / "trace"
+    assert (
+        main(
+            [
+                "generate",
+                "synthetic",
+                "--rows",
+                "3000",
+                "--motes",
+                "4",
+                "--out-dir",
+                str(out),
+                "--seed",
+                "3",
+            ]
+        )
+        == 0
+    )
+    plan_path = tmp_path / "plan.json"
+    query = "SELECT * WHERE x1 >= 2 AND x2 <= 1"
+    assert (
+        main(
+            [
+                "plan",
+                "--schema",
+                str(out / "schema.json"),
+                "--trace",
+                str(out / "train.csv"),
+                "--query",
+                query,
+                "--out",
+                str(plan_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()  # discard generate/plan output
+    schedule_path = tmp_path / "faults.json"
+    schedule_path.write_text(
+        json.dumps(
+            {
+                "faults": {
+                    "x1": {"drop_rate": 0.2, "stuck_rate": 0.05},
+                    "x2": {"timeout_rate": 0.1},
+                }
+            }
+        )
+    )
+    return {
+        "schema": str(out / "schema.json"),
+        "train": str(out / "train.csv"),
+        "trace": str(out / "test.csv"),
+        "plan": str(plan_path),
+        "schedule": str(schedule_path),
+        "query": query,
+    }
+
+
+def chaos(artifacts, *extra):
+    return main(
+        [
+            "chaos",
+            "--schema",
+            artifacts["schema"],
+            "--plan",
+            artifacts["plan"],
+            "--trace",
+            artifacts["trace"],
+            "--schedule",
+            artifacts["schedule"],
+            *extra,
+        ]
+    )
+
+
+def test_audit_passes_and_reports(artifacts, capsys):
+    code = chaos(artifacts, "--query", artifacts["query"], "--seed", "7")
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "chaos audit        : passed" in output
+    assert "selected tuples    : sound" in output
+    assert "cost ledger" in output and "[ok]" in output
+
+
+@pytest.mark.parametrize("degradation", ["abstain", "skip", "impute"])
+def test_json_replay_is_deterministic(artifacts, capsys, degradation):
+    extra = [
+        "--query",
+        artifacts["query"],
+        "--seed",
+        "11",
+        "--degradation",
+        degradation,
+        "--train",
+        artifacts["train"],
+        "--json",
+    ]
+    assert chaos(artifacts, *extra) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert chaos(artifacts, *extra) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert first == second
+    assert first["ok"] is True
+    assert first["ledger_ok"] is True
+    assert first["unsound_rows"] == []
+    assert first["total_cost"] == pytest.approx(
+        first["base_cost"] + first["retry_cost"]
+    )
+    assert first["acquisitions_failed"] > 0
+
+
+def test_seed_changes_the_storm(artifacts, capsys):
+    base = ["--query", artifacts["query"], "--json"]
+    assert chaos(artifacts, *base, "--seed", "1") == 0
+    first = json.loads(capsys.readouterr().out)
+    assert chaos(artifacts, *base, "--seed", "2") == 0
+    second = json.loads(capsys.readouterr().out)
+    assert first != second
+
+
+def test_no_query_skips_soundness_audit(artifacts, capsys):
+    code = chaos(artifacts, "--seed", "3")
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "soundness audit skipped" in output
+
+
+def test_skip_without_query_is_usage_error(artifacts, capsys):
+    code = chaos(artifacts, "--degradation", "skip")
+    assert code == 2
+    assert "needs --query" in capsys.readouterr().err
+
+
+def test_bad_schedule_is_usage_error(artifacts, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"faults": {"nope": {"drop_rate": 0.5}}}))
+    artifacts = dict(artifacts, schedule=str(bad))
+    code = chaos(artifacts, "--query", artifacts["query"])
+    assert code == 2
+    assert "unknown attribute" in capsys.readouterr().err

@@ -1,0 +1,217 @@
+"""The deterministic chaos harness: every planner under seeded fault storms.
+
+Each planner's plan runs through the fault injector under several named
+fault schedules and every degradation mode.  The invariants:
+
+1. **Determinism** — the same (plan, data, schedule, seed) quadruple
+   produces byte-identical verdicts, costs, and fault counters.
+2. **Soundness** — no false positives: every selected tuple satisfies
+   the query on the values the executor actually observed (corrupting
+   faults make ground truth unknowable; delivered values are the
+   contract).  Abstained tuples are reported, never silently dropped.
+3. **Ledger conservation** — Eq. 3 charges reconcile exactly:
+   ``total_cost == base_cost + retry_cost``, per tuple and run-wide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConjunctiveQuery, RangePredicate, Schema
+from repro.faults import (
+    AttributeFaults,
+    DegradationMode,
+    FaultPolicy,
+    FaultSchedule,
+    FaultTolerantExecutor,
+    RetryPolicy,
+)
+from repro.faults.policy import NO_RETRY
+from repro.planning import (
+    CorrSeqPlanner,
+    ExhaustivePlanner,
+    GreedyConditionalPlanner,
+    GreedySequentialPlanner,
+    NaivePlanner,
+    OptimalSequentialPlanner,
+    SizeAwareConditionalPlanner,
+)
+from repro.probability import EmpiricalDistribution
+
+from tests.conftest import correlated_dataset
+
+PLANNERS = {
+    "naive": lambda d: NaivePlanner(d),
+    "optseq": lambda d: OptimalSequentialPlanner(d),
+    "greedy-seq": lambda d: GreedySequentialPlanner(d),
+    "greedy-split": lambda d: GreedyConditionalPlanner(
+        d, CorrSeqPlanner(d), max_splits=3
+    ),
+    "exhaustive": lambda d: ExhaustivePlanner(d),
+    "bounded": lambda d: SizeAwareConditionalPlanner(
+        d, CorrSeqPlanner(d), alpha=0.05
+    ),
+}
+
+SCHEDULES = {
+    "transient-drops": lambda schema: FaultSchedule.uniform(
+        schema, drop_rate=0.25
+    ),
+    "mixed-failures": lambda schema: FaultSchedule(
+        profiles={
+            0: AttributeFaults(drop_rate=0.3, outage_rate=0.05, outage_length=5),
+            1: AttributeFaults(timeout_rate=0.2, stuck_rate=0.1),
+            2: AttributeFaults(noise_rate=0.2, noise_scale=2),
+        }
+    ),
+    "dead-conditioner": lambda schema: FaultSchedule(
+        profiles={0: AttributeFaults(drop_rate=0.9)}
+    ),
+}
+
+MODES = (DegradationMode.ABSTAIN, DegradationMode.SKIP, DegradationMode.IMPUTE)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    """Schema, train/test split, fitted distribution, and the query."""
+    schema, data = correlated_dataset(n_rows=1200, seed=5)
+    train, test = data[:900], data[900:1100]
+    distribution = EmpiricalDistribution(schema, train, smoothing=0.5)
+    query = ConjunctiveQuery(
+        schema, [RangePredicate("a", 1, 2), RangePredicate("b", 3, 5)]
+    )
+    return schema, distribution, query, test
+
+
+@pytest.fixture(scope="module")
+def plans(instance):
+    schema, distribution, query, _test = instance
+    return {
+        name: build(distribution).plan(query).plan
+        for name, build in PLANNERS.items()
+    }
+
+
+def run_chaos(instance, plan, schedule_name, mode, seed=17, retry=None):
+    schema, distribution, query, test = instance
+    policy = FaultPolicy(
+        retry=retry if retry is not None else RetryPolicy(max_retries=2),
+        degradation=mode,
+    )
+    executor = FaultTolerantExecutor(
+        schema, policy, query=query, distribution=distribution
+    )
+    schedule = SCHEDULES[schedule_name](schema)
+    return executor.run(plan, test, schedule, np.random.default_rng(seed))
+
+
+def assert_sound(query, outcome):
+    """No false positives against observed values; abstains accounted."""
+    for row in outcome.selected:
+        observed = outcome.results[row].observed
+        for predicate, index in zip(query.predicates, query.attribute_indices):
+            assert index in observed, (
+                f"selected row {row} never observed query attribute {index}"
+            )
+            assert predicate.satisfied_by(observed[index]), (
+                f"false positive: row {row} fails {predicate.describe()} "
+                f"on observed value {observed[index]}"
+            )
+    verdicts = [r.verdict for r in outcome.results]
+    assert set(outcome.abstained) == {
+        i for i, v in enumerate(verdicts) if v is None
+    }
+    assert outcome.tuples_abstained == len(outcome.abstained)
+
+
+def assert_ledger(outcome):
+    for result in outcome.results:
+        assert result.cost == pytest.approx(
+            result.base_cost + result.retry_cost, rel=1e-12, abs=1e-9
+        )
+    assert outcome.total_cost == pytest.approx(
+        outcome.base_cost + outcome.retry_cost, rel=1e-12, abs=1e-9
+    )
+
+
+@pytest.mark.parametrize("planner_name", sorted(PLANNERS))
+@pytest.mark.parametrize("schedule_name", sorted(SCHEDULES))
+@pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+class TestChaosMatrix:
+    def test_sound_and_conserving(
+        self, instance, plans, planner_name, schedule_name, mode
+    ):
+        _schema, _dist, query, _test = instance
+        outcome = run_chaos(instance, plans[planner_name], schedule_name, mode)
+        assert_sound(query, outcome)
+        assert_ledger(outcome)
+
+    def test_deterministic_replay(
+        self, instance, plans, planner_name, schedule_name, mode
+    ):
+        first = run_chaos(instance, plans[planner_name], schedule_name, mode)
+        second = run_chaos(instance, plans[planner_name], schedule_name, mode)
+        assert [r.verdict for r in first.results] == [
+            r.verdict for r in second.results
+        ]
+        assert np.array_equal(first.costs, second.costs)
+        assert first.failures_by_kind == second.failures_by_kind
+        assert first.retries_total == second.retries_total
+        assert [r.observed for r in first.results] == [
+            r.observed for r in second.results
+        ]
+
+
+@pytest.mark.parametrize("planner_name", sorted(PLANNERS))
+class TestChaosBehaviour:
+    def test_different_seeds_differ(self, instance, plans, planner_name):
+        """The seed is live — faults are injected, not a no-op."""
+        a = run_chaos(
+            instance, plans[planner_name], "transient-drops",
+            DegradationMode.ABSTAIN, seed=1, retry=NO_RETRY,
+        )
+        b = run_chaos(
+            instance, plans[planner_name], "transient-drops",
+            DegradationMode.ABSTAIN, seed=2, retry=NO_RETRY,
+        )
+        assert a.acquisitions_failed > 0
+        assert (
+            a.abstained != b.abstained
+            or not np.array_equal(a.costs, b.costs)
+        )
+
+    def test_abstains_surface_under_unretried_storm(
+        self, instance, plans, planner_name
+    ):
+        outcome = run_chaos(
+            instance, plans[planner_name], "transient-drops",
+            DegradationMode.ABSTAIN, retry=NO_RETRY,
+        )
+        assert outcome.tuples_abstained > 0
+        assert outcome.tuples_degraded >= outcome.tuples_abstained
+
+    def test_skip_decides_more_than_abstain(self, instance, plans, planner_name):
+        """SKIP's whole point: fewer withdrawn tuples than ABSTAIN."""
+        abstain = run_chaos(
+            instance, plans[planner_name], "dead-conditioner",
+            DegradationMode.ABSTAIN, retry=NO_RETRY,
+        )
+        skip = run_chaos(
+            instance, plans[planner_name], "dead-conditioner",
+            DegradationMode.SKIP, retry=NO_RETRY,
+        )
+        assert skip.tuples_abstained <= abstain.tuples_abstained
+
+    def test_retries_recover_tuples(self, instance, plans, planner_name):
+        unretried = run_chaos(
+            instance, plans[planner_name], "transient-drops",
+            DegradationMode.ABSTAIN, retry=NO_RETRY,
+        )
+        retried = run_chaos(
+            instance, plans[planner_name], "transient-drops",
+            DegradationMode.ABSTAIN, retry=RetryPolicy(max_retries=3),
+        )
+        assert retried.tuples_abstained < unretried.tuples_abstained
+        assert retried.retry_cost > 0.0

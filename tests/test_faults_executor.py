@@ -1,0 +1,338 @@
+"""FaultTolerantExecutor: degradation semantics and the soundness contract.
+
+The contract under every mode: a ``True`` verdict implies the query
+holds on the values the executor actually observed.  ABSTAIN withdraws
+the tuple, SKIP falls back to evaluating the query's own predicates,
+IMPUTE follows the training marginal through a failed conditioning read
+and re-confirms positives on real values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Attribute,
+    ConditionNode,
+    ConjunctiveQuery,
+    RangePredicate,
+    Schema,
+    SequentialNode,
+    SequentialStep,
+    VerdictLeaf,
+)
+from repro.exceptions import FaultConfigError
+from repro.faults import (
+    AttributeFaults,
+    DegradationMode,
+    FaultPolicy,
+    FaultSchedule,
+    FaultTolerantExecutor,
+)
+from repro.faults.policy import NO_RETRY, RetryPolicy
+from repro.probability import EmpiricalDistribution
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("mode", 2, 1.0),
+            Attribute("a", 4, 50.0),
+            Attribute("b", 4, 50.0),
+        ]
+    )
+
+
+@pytest.fixture
+def query(schema) -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        schema, [RangePredicate("a", 3, 4), RangePredicate("b", 1, 2)]
+    )
+
+
+def _steps(query) -> tuple[SequentialStep, ...]:
+    return tuple(
+        SequentialStep(predicate=predicate, attribute_index=index)
+        for predicate, index in zip(query.predicates, query.attribute_indices)
+    )
+
+
+@pytest.fixture
+def sequential_plan(query) -> SequentialNode:
+    return SequentialNode(steps=_steps(query))
+
+
+@pytest.fixture
+def conditional_plan(query) -> ConditionNode:
+    """Condition on the non-query attribute ``mode``, then test a and b."""
+    return ConditionNode(
+        attribute="mode",
+        attribute_index=0,
+        split_value=2,
+        below=SequentialNode(steps=_steps(query)),
+        above=SequentialNode(steps=_steps(query)),
+    )
+
+
+def drop_all(*indices: int, length: int = 1) -> FaultSchedule:
+    return FaultSchedule(
+        profiles={i: AttributeFaults(drop_rate=1.0) for i in indices}
+    )
+
+
+def policy_for(mode: DegradationMode, **kwargs) -> FaultPolicy:
+    return FaultPolicy(retry=NO_RETRY, degradation=mode, **kwargs)
+
+
+class TestConstruction:
+    def test_skip_requires_query(self, schema):
+        with pytest.raises(FaultConfigError, match="needs the original query"):
+            FaultTolerantExecutor(schema, policy_for(DegradationMode.SKIP))
+
+    def test_impute_requires_query(self, schema):
+        with pytest.raises(FaultConfigError):
+            FaultTolerantExecutor(schema, policy_for(DegradationMode.IMPUTE))
+
+    def test_query_schema_must_match(self, schema, query):
+        other = Schema([Attribute(a.name, a.domain_size, a.cost) for a in schema])
+        with pytest.raises(FaultConfigError, match="schema differs"):
+            FaultTolerantExecutor(
+                other, policy_for(DegradationMode.SKIP), query=query
+            )
+
+
+class TestAbstain:
+    def test_failed_read_abstains(self, schema, query, sequential_plan):
+        executor = FaultTolerantExecutor(
+            schema, policy_for(DegradationMode.ABSTAIN), query=query
+        )
+        outcome = executor.run(
+            sequential_plan,
+            np.array([[1, 3, 1]]),
+            drop_all(1),
+            np.random.default_rng(0),
+        )
+        result = outcome.results[0]
+        assert result.verdict is None
+        assert result.abstained
+        assert result.degraded
+        assert 1 in result.failed
+        assert outcome.abstained == (0,)
+        assert outcome.tuples_abstained == 1
+
+    def test_fault_free_rows_unaffected(self, schema, query, sequential_plan):
+        executor = FaultTolerantExecutor(
+            schema, policy_for(DegradationMode.ABSTAIN), query=query
+        )
+        outcome = executor.run(
+            sequential_plan,
+            np.array([[1, 3, 1], [1, 1, 1]]),
+            FaultSchedule.zero(),
+            np.random.default_rng(0),
+        )
+        assert [r.verdict for r in outcome.results] == [True, False]
+        assert outcome.tuples_degraded == 0
+
+
+class TestSkip:
+    def test_skip_evaluates_query_directly(self, schema, query, conditional_plan):
+        # The conditioning attribute is dead, but both predicates are
+        # readable: SKIP must still decide the tuple.
+        executor = FaultTolerantExecutor(
+            schema, policy_for(DegradationMode.SKIP), query=query
+        )
+        outcome = executor.run(
+            conditional_plan,
+            np.array([[1, 3, 1], [1, 1, 4]]),
+            drop_all(0),
+            np.random.default_rng(0),
+        )
+        assert [r.verdict for r in outcome.results] == [True, False]
+        assert all(r.degraded for r in outcome.results)
+        assert outcome.tuples_abstained == 0
+
+    def test_one_false_predicate_decides_despite_failures(
+        self, schema, query, sequential_plan
+    ):
+        # a is dead, but b=4 falsifies its predicate: False, not abstain.
+        executor = FaultTolerantExecutor(
+            schema, policy_for(DegradationMode.SKIP), query=query
+        )
+        outcome = executor.run(
+            sequential_plan,
+            np.array([[1, 3, 4]]),
+            drop_all(1),
+            np.random.default_rng(0),
+        )
+        assert outcome.results[0].verdict is False
+
+    def test_unreadable_essential_attribute_abstains(
+        self, schema, query, sequential_plan
+    ):
+        # a is dead and b passes its predicate: no sound verdict exists.
+        executor = FaultTolerantExecutor(
+            schema, policy_for(DegradationMode.SKIP), query=query
+        )
+        outcome = executor.run(
+            sequential_plan,
+            np.array([[1, 3, 1]]),
+            drop_all(1),
+            np.random.default_rng(0),
+        )
+        assert outcome.results[0].verdict is None
+
+
+class TestImpute:
+    @pytest.fixture
+    def distribution(self, schema) -> EmpiricalDistribution:
+        # mode is mostly 1 (below a split at 2), so imputation follows
+        # the below branch.
+        rows = [[1, 3, 1]] * 9 + [[2, 3, 1]]
+        return EmpiricalDistribution(schema, np.array(rows))
+
+    def test_imputes_conditioning_read(
+        self, schema, query, conditional_plan, distribution
+    ):
+        executor = FaultTolerantExecutor(
+            schema,
+            policy_for(DegradationMode.IMPUTE),
+            query=query,
+            distribution=distribution,
+        )
+        outcome = executor.run(
+            conditional_plan,
+            np.array([[1, 3, 1]]),
+            drop_all(0),
+            np.random.default_rng(0),
+        )
+        result = outcome.results[0]
+        assert result.verdict is True
+        assert 0 in result.imputed
+        assert result.degraded
+
+    def test_imputed_positive_is_confirmed_on_real_values(
+        self, schema, query, distribution
+    ):
+        # A plan that answers True for the whole below branch without
+        # reading b would be unsound when the branch was guessed; the
+        # confirm pass must re-derive the verdict from the query.
+        plan = ConditionNode(
+            attribute="mode",
+            attribute_index=0,
+            split_value=2,
+            below=SequentialNode(steps=_steps(query)[:1]),
+            above=VerdictLeaf(False),
+        )
+        executor = FaultTolerantExecutor(
+            schema,
+            policy_for(DegradationMode.IMPUTE),
+            query=query,
+            distribution=distribution,
+        )
+        outcome = executor.run(
+            plan,
+            np.array([[1, 3, 4]]),  # b=4 fails its predicate
+            drop_all(0),
+            np.random.default_rng(0),
+        )
+        assert outcome.results[0].verdict is False
+
+    def test_unconfirmed_impute_can_emit_false_positive(
+        self, schema, query, distribution
+    ):
+        # Same setup with confirm_positives off: the guessed branch's
+        # True escapes.  This is exactly what verifier rule FT001 flags.
+        plan = ConditionNode(
+            attribute="mode",
+            attribute_index=0,
+            split_value=2,
+            below=SequentialNode(steps=_steps(query)[:1]),
+            above=VerdictLeaf(False),
+        )
+        executor = FaultTolerantExecutor(
+            schema,
+            policy_for(DegradationMode.IMPUTE, confirm_positives=False),
+            query=query,
+            distribution=distribution,
+        )
+        outcome = executor.run(
+            plan,
+            np.array([[1, 3, 4]]),
+            drop_all(0),
+            np.random.default_rng(0),
+        )
+        assert outcome.results[0].verdict is True  # unsound by design
+
+    def test_without_distribution_falls_back_to_skip(
+        self, schema, query, conditional_plan
+    ):
+        executor = FaultTolerantExecutor(
+            schema, policy_for(DegradationMode.IMPUTE), query=query
+        )
+        outcome = executor.run(
+            conditional_plan,
+            np.array([[1, 1, 4]]),
+            drop_all(0),
+            np.random.default_rng(0),
+        )
+        assert outcome.results[0].verdict is False
+        assert not outcome.results[0].imputed
+
+    def test_failed_predicate_read_never_imputed(
+        self, schema, query, sequential_plan, distribution
+    ):
+        # Imputing a *predicate* attribute would fabricate the verdict;
+        # the executor must fall to skip semantics (here: abstain, since
+        # the essential read stays dead and b passes).
+        executor = FaultTolerantExecutor(
+            schema,
+            policy_for(DegradationMode.IMPUTE),
+            query=query,
+            distribution=distribution,
+        )
+        outcome = executor.run(
+            sequential_plan,
+            np.array([[1, 3, 1]]),
+            drop_all(1),
+            np.random.default_rng(0),
+        )
+        assert outcome.results[0].verdict is None
+        assert not outcome.results[0].imputed
+
+
+class TestLedger:
+    def test_per_row_and_run_conservation(self, schema, query, conditional_plan):
+        schedule = FaultSchedule.uniform(schema, drop_rate=0.3)
+        executor = FaultTolerantExecutor(
+            schema,
+            FaultPolicy(
+                retry=RetryPolicy(max_retries=2, backoff_base=2.0),
+                degradation=DegradationMode.SKIP,
+            ),
+            query=query,
+        )
+        rng = np.random.default_rng(13)
+        data = np.array([[1, 3, 1], [2, 1, 4], [1, 4, 2]] * 20)
+        outcome = executor.run(conditional_plan, data, schedule, rng)
+        for result in outcome.results:
+            assert result.cost == pytest.approx(
+                result.base_cost + result.retry_cost
+            )
+        assert outcome.total_cost == pytest.approx(
+            outcome.base_cost + outcome.retry_cost
+        )
+        assert outcome.retries_total > 0
+        assert outcome.retry_cost > 0.0
+
+    def test_empty_dataset(self, schema, query, sequential_plan):
+        executor = FaultTolerantExecutor(schema, query=query)
+        outcome = executor.run(
+            sequential_plan,
+            np.empty((0, 3), dtype=np.int64),
+            FaultSchedule.zero(),
+            np.random.default_rng(0),
+        )
+        assert outcome.rows == 0
+        assert outcome.total_cost == 0.0

@@ -1,0 +1,302 @@
+"""Unit tests for the fault model, retry policy, and FaultInjector.
+
+Determinism is the load-bearing property: all randomness flows from the
+single ``rng`` argument, zero-rate profiles never draw from it, and a
+given (schedule, seed, data) triple replays the exact same fault
+sequence.  The cost ledger must conserve — every charge lands in either
+the base or the retry bucket, never both, never neither.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Attribute, Schema
+from repro.exceptions import AcquisitionError, AcquisitionFailure, FaultConfigError
+from repro.execution import TupleSource
+from repro.faults import (
+    AttributeFaults,
+    FaultInjector,
+    FaultSchedule,
+    RetryPolicy,
+)
+from repro.faults.policy import NO_RETRY
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("cheap", 4, 1.0),
+            Attribute("mid", 4, 10.0),
+            Attribute("dear", 4, 100.0),
+        ]
+    )
+
+
+def make_injector(schema, schedule, seed=0, retry=None, values=(2, 3, 4)):
+    return FaultInjector(
+        TupleSource(schema, values),
+        schedule,
+        np.random.default_rng(seed),
+        retry_policy=retry,
+    )
+
+
+class TestAttributeFaults:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(FaultConfigError):
+            AttributeFaults(drop_rate=-0.1)
+        with pytest.raises(FaultConfigError):
+            AttributeFaults(timeout_rate=1.5)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(FaultConfigError):
+            AttributeFaults(drop_rate=0.6, stuck_rate=0.6)
+        AttributeFaults(drop_rate=0.5, stuck_rate=0.5)  # exactly 1 is fine
+
+    def test_structural_knobs_validated(self):
+        with pytest.raises(FaultConfigError):
+            AttributeFaults(outage_length=0)
+        with pytest.raises(FaultConfigError):
+            AttributeFaults(noise_scale=0)
+
+    def test_is_zero_and_failure_rate(self):
+        assert AttributeFaults().is_zero
+        profile = AttributeFaults(drop_rate=0.1, timeout_rate=0.2, stuck_rate=0.3)
+        assert not profile.is_zero
+        assert profile.failure_rate == pytest.approx(0.3)
+
+    def test_dict_round_trip_keeps_only_non_defaults(self):
+        profile = AttributeFaults(drop_rate=0.25, outage_length=7)
+        payload = profile.as_dict()
+        assert payload == {"drop_rate": 0.25, "outage_length": 7}
+        assert AttributeFaults.from_dict(payload) == profile
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultConfigError, match="unknown fault fields"):
+            AttributeFaults.from_dict({"drop_rate": 0.1, "jitter": 0.5})
+
+
+class TestFaultSchedule:
+    def test_zero_schedule_is_zero(self):
+        assert FaultSchedule.zero().is_zero
+        assert FaultSchedule(
+            profiles={0: AttributeFaults(), 1: AttributeFaults()}
+        ).is_zero
+
+    def test_uniform_covers_every_attribute(self, schema):
+        schedule = FaultSchedule.uniform(schema, drop_rate=0.1)
+        assert set(schedule) == {0, 1, 2}
+        assert not schedule.is_zero
+
+    def test_validated_rejects_out_of_schema_indices(self, schema):
+        schedule = FaultSchedule(profiles={5: AttributeFaults(drop_rate=0.1)})
+        with pytest.raises(FaultConfigError, match="only 3 attributes"):
+            schedule.validated(schema)
+
+    def test_keys_must_be_indices(self):
+        with pytest.raises(FaultConfigError):
+            FaultSchedule(profiles={-1: AttributeFaults()})
+
+    def test_json_round_trip_by_attribute_name(self, schema):
+        schedule = FaultSchedule(
+            profiles={
+                0: AttributeFaults(drop_rate=0.2),
+                2: AttributeFaults(stuck_rate=0.1, noise_rate=0.1, noise_scale=2),
+            }
+        )
+        payload = schedule.to_dict(schema)
+        assert set(payload["faults"]) == {"cheap", "dear"}
+        assert FaultSchedule.from_dict(payload, schema) == schedule
+
+    def test_from_dict_rejects_unknown_attribute(self, schema):
+        with pytest.raises(FaultConfigError, match="unknown attribute"):
+            FaultSchedule.from_dict(
+                {"faults": {"nope": {"drop_rate": 0.1}}}, schema
+            )
+
+    def test_from_dict_requires_faults_object(self, schema):
+        with pytest.raises(FaultConfigError, match='"faults"'):
+            FaultSchedule.from_dict({"drop_rate": 0.1}, schema)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_one_based_exponential(self):
+        policy = RetryPolicy(max_retries=3, backoff_base=3.0)
+        assert policy.backoff_multiplier(1) == 1.0
+        assert policy.backoff_multiplier(2) == 3.0
+        assert policy.backoff_multiplier(3) == 9.0
+        with pytest.raises(FaultConfigError):
+            policy.backoff_multiplier(0)
+
+    def test_budget_lookup_falls_back_to_default(self):
+        policy = RetryPolicy(attribute_budgets={1: 2}, default_budget=5)
+        assert policy.budget_for(1) == 2
+        assert policy.budget_for(0) == 5
+        assert RetryPolicy().budget_for(0) is None
+
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(backoff_base=0.5)
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(attribute_budgets={0: -1})
+
+    def test_no_retry_constant(self):
+        assert NO_RETRY.max_retries == 0
+
+
+class TestInjectorSeeding:
+    def test_requires_a_numpy_generator(self, schema):
+        source = TupleSource(schema, [1, 1, 1])
+        with pytest.raises(AcquisitionError, match="numpy Generator"):
+            FaultInjector(source, FaultSchedule.zero(), rng=42)
+
+    def test_same_seed_same_fault_sequence(self, schema):
+        schedule = FaultSchedule.uniform(
+            schema, drop_rate=0.3, stuck_rate=0.2, noise_rate=0.2
+        )
+        outcomes = []
+        for _ in range(2):
+            injector = make_injector(schema, schedule, seed=7, retry=NO_RETRY)
+            trail = []
+            for _row in range(40):
+                for index in range(3):
+                    try:
+                        trail.append(injector.acquire(index))
+                    except AcquisitionFailure as failure:
+                        trail.append(failure.kind)
+                injector.rebind(TupleSource(schema, [2, 3, 4]))
+            outcomes.append((tuple(trail), injector.failures_by_kind))
+        assert outcomes[0] == outcomes[1]
+
+    def test_zero_profiles_never_draw_from_rng(self, schema):
+        rng = np.random.default_rng(11)
+        injector = FaultInjector(
+            TupleSource(schema, [2, 3, 4]), FaultSchedule.zero(), rng
+        )
+        for index in range(3):
+            injector.acquire(index)
+        untouched = np.random.default_rng(11)
+        assert rng.random() == untouched.random()
+
+
+class TestInjectorFaultModes:
+    def test_drop_fails_after_charging(self, schema):
+        schedule = FaultSchedule(profiles={2: AttributeFaults(drop_rate=1.0)})
+        injector = make_injector(schema, schedule)
+        with pytest.raises(AcquisitionFailure) as excinfo:
+            injector.acquire(2)
+        assert excinfo.value.kind == "drop"
+        assert excinfo.value.attribute_index == 2
+        assert injector.total_cost == 100.0  # a failed listen is not free
+        assert injector.failures_by_kind == {"drop": 1}
+
+    def test_outage_bursts_span_tuples(self, schema):
+        schedule = FaultSchedule(
+            profiles={0: AttributeFaults(outage_rate=1.0, outage_length=3)}
+        )
+        injector = make_injector(schema, schedule)
+        kinds = []
+        for _ in range(4):
+            with pytest.raises(AcquisitionFailure) as excinfo:
+                injector.acquire(0)
+            kinds.append(excinfo.value.kind)
+            injector.rebind(TupleSource(schema, [2, 3, 4]))
+        # Attempt 1 starts the burst; 2 and 3 ride it; 4 starts a new one.
+        assert kinds == ["outage"] * 4
+        assert injector.failures_by_kind == {"outage": 4}
+
+    def test_stuck_returns_last_delivered_value(self, schema):
+        schedule = FaultSchedule(profiles={1: AttributeFaults(stuck_rate=1.0)})
+        injector = make_injector(schema, schedule, values=(1, 4, 1))
+        # No prior delivery: the first stuck read falls back to the truth.
+        assert injector.acquire(1) == 4
+        injector.rebind(TupleSource(schema, [1, 2, 1]))
+        # The sensor is stuck at 4 even though the true value moved to 2.
+        assert injector.acquire(1) == 4
+        assert injector.corruptions_by_kind == {"stuck": 1}
+
+    def test_noise_stays_in_domain(self, schema):
+        schedule = FaultSchedule(
+            profiles={0: AttributeFaults(noise_rate=1.0, noise_scale=3)}
+        )
+        injector = make_injector(schema, schedule, seed=3, values=(1, 1, 1))
+        seen = set()
+        for _ in range(60):
+            seen.add(injector.acquire(0))
+            injector.rebind(TupleSource(schema, [1, 1, 1]))
+        assert seen <= {1, 2, 3, 4}
+        assert len(seen) > 1
+
+    def test_cache_serves_repeat_reads_without_new_attempts(self, schema):
+        schedule = FaultSchedule.uniform(schema, drop_rate=0.5)
+        injector = make_injector(schema, schedule, seed=1, retry=RetryPolicy())
+        value = injector.acquire(0)
+        attempts = injector.attempts
+        assert injector.acquire(0) == value
+        assert injector.attempts == attempts
+
+
+class TestRetryLedger:
+    def test_retries_charge_backoff_into_retry_cost(self, schema):
+        # Fail exactly twice, then succeed: force it with a rigged profile.
+        schedule = FaultSchedule(profiles={2: AttributeFaults(drop_rate=0.5)})
+        retry = RetryPolicy(max_retries=10, backoff_base=2.0)
+        injector = make_injector(schema, schedule, seed=5, retry=retry)
+        injector.acquire(2)
+        retries = injector.retries_total
+        assert injector.base_cost == 100.0
+        expected_retry = sum(100.0 * 2.0**k for k in range(retries))
+        assert injector.retry_cost == pytest.approx(expected_retry)
+        assert injector.total_cost == pytest.approx(
+            injector.base_cost + injector.retry_cost
+        )
+
+    def test_run_ledger_conserves_across_rebinds(self, schema):
+        schedule = FaultSchedule.uniform(schema, drop_rate=0.3)
+        injector = make_injector(schema, schedule, seed=9, retry=RetryPolicy())
+        total = 0.0
+        for _ in range(50):
+            for index in range(3):
+                try:
+                    injector.acquire(index)
+                except AcquisitionFailure:
+                    pass
+            total += injector.total_cost
+            injector.rebind(TupleSource(schema, [2, 3, 4]))
+        total += injector.total_cost
+        assert math.isclose(
+            total, injector.run_base_cost + injector.run_retry_cost
+        )
+
+    def test_budget_exhausts_run_wide(self, schema):
+        schedule = FaultSchedule(profiles={0: AttributeFaults(drop_rate=1.0)})
+        retry = RetryPolicy(max_retries=5, attribute_budgets={0: 3})
+        injector = make_injector(schema, schedule, retry=retry)
+        with pytest.raises(AcquisitionFailure):
+            injector.acquire(0)
+        assert injector.retries_total == 3  # budget, not max_retries, binds
+        injector.rebind(TupleSource(schema, [2, 3, 4]))
+        with pytest.raises(AcquisitionFailure):
+            injector.acquire(0)
+        assert injector.retries_total == 3  # spent: no retries left this run
+
+    def test_no_retry_fails_immediately(self, schema):
+        schedule = FaultSchedule(profiles={0: AttributeFaults(drop_rate=1.0)})
+        injector = make_injector(schema, schedule, retry=NO_RETRY)
+        with pytest.raises(AcquisitionFailure):
+            injector.acquire(0)
+        assert injector.retries_total == 0
+        assert injector.retry_cost == 0.0
+
+    def test_rebind_rejects_foreign_schema(self, schema):
+        other = Schema([Attribute("x", 2, 1.0)])
+        injector = make_injector(schema, FaultSchedule.zero())
+        with pytest.raises(AcquisitionError, match="schema"):
+            injector.rebind(TupleSource(other, [1]))

@@ -1,0 +1,174 @@
+"""Property tests: a zero-failure schedule is the identity transform.
+
+A :class:`FaultSchedule` with every rate zero must make the
+fault-injected stack byte-identical to the plain one — same verdicts,
+same float costs (not just approximately equal), same matches — on the
+per-tuple executor, the dataset walker, the sensor-network simulator,
+and the adaptive streaming layer.  This pins down that the injector
+draws no randomness and adds no cost for fault-free attributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Attribute,
+    ConjunctiveQuery,
+    RangePredicate,
+    Schema,
+    dataset_execution,
+)
+from repro.execution import (
+    AdaptiveStreamExecutor,
+    Mote,
+    PlanExecutor,
+    SensorNetworkSimulator,
+)
+from repro.faults import FaultPolicy, FaultSchedule, FaultTolerantExecutor
+from repro.planning import CorrSeqPlanner, GreedyConditionalPlanner
+from repro.probability import EmpiricalDistribution
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def faulted_instance(draw):
+    """A random correlated instance: schema, data, plan, query."""
+    seed = draw(st.integers(0, 2**16))
+    n_attributes = draw(st.integers(2, 4))
+    rng = np.random.default_rng(seed)
+    domains = [int(rng.integers(2, 5)) for _ in range(n_attributes)]
+    costs = [float(rng.choice([1.0, 10.0, 100.0])) for _ in range(n_attributes)]
+    schema = Schema(
+        [
+            Attribute(f"x{i}", domains[i], costs[i])
+            for i in range(n_attributes)
+        ]
+    )
+    n_rows = draw(st.integers(60, 160))
+    driver = rng.integers(1, domains[0] + 1, size=n_rows)
+    columns = [driver]
+    for i in range(1, n_attributes):
+        # Correlate with the first attribute so conditioning pays off.
+        noise = rng.integers(0, 2, size=n_rows)
+        column = np.clip((driver + noise) % domains[i] + 1, 1, domains[i])
+        columns.append(column)
+    data = np.stack(columns, axis=1).astype(np.int64)
+
+    predicate_count = draw(st.integers(1, min(2, n_attributes - 1)))
+    predicates = []
+    for i in range(1, 1 + predicate_count):
+        low = draw(st.integers(1, domains[i]))
+        high = draw(st.integers(low, domains[i]))
+        predicates.append(RangePredicate(f"x{i}", low, high))
+    query = ConjunctiveQuery(schema, predicates)
+
+    distribution = EmpiricalDistribution(schema, data, smoothing=0.5)
+    planner = GreedyConditionalPlanner(
+        distribution, CorrSeqPlanner(distribution), max_splits=2
+    )
+    plan = planner.plan(query).plan
+    return schema, data, plan, query
+
+
+@given(faulted_instance())
+@SETTINGS
+def test_zero_schedule_identical_to_dataset_execution(instance):
+    schema, data, plan, query = instance
+    plain = dataset_execution(plan, data, schema)
+    executor = FaultTolerantExecutor(schema, FaultPolicy(), query=query)
+    faulted = executor.run(
+        plan, data, FaultSchedule.zero(), np.random.default_rng(0)
+    )
+    assert [r.verdict for r in faulted.results] == list(plain.verdicts)
+    assert np.array_equal(faulted.costs, plain.costs)  # byte-identical floats
+    assert faulted.total_cost == plain.total_cost
+    assert faulted.retry_cost == 0.0
+    assert faulted.acquisitions_failed == 0
+    assert faulted.tuples_degraded == 0
+    assert faulted.tuples_abstained == 0
+
+
+@given(faulted_instance())
+@SETTINGS
+def test_zero_schedule_identical_to_per_tuple_executor(instance):
+    schema, data, plan, query = instance
+    plain = PlanExecutor(schema)
+    executor = FaultTolerantExecutor(schema, FaultPolicy(), query=query)
+    faulted = executor.run(
+        plan, data, FaultSchedule.zero(), np.random.default_rng(0)
+    )
+    for row, result in zip(data, faulted.results):
+        reference = plain.execute(plan, row)
+        assert result.verdict is reference.verdict
+        assert result.cost == reference.cost
+        assert result.acquired == reference.acquired
+
+
+@given(faulted_instance())
+@SETTINGS
+def test_zero_schedule_identical_in_simulator(instance):
+    schema, data, plan, query = instance
+    half = len(data) // 2
+    motes = [Mote(0, data[:half]), Mote(1, data[half : 2 * half])]
+    simulator = SensorNetworkSimulator(schema, motes)
+    plain = simulator.run(plan)
+    faulted = simulator.run_faulted(
+        plan, FaultSchedule.zero(), np.random.default_rng(0), query=query
+    )
+    assert faulted.matches == plain.matches
+    assert faulted.acquisition_energy == plain.acquisition_energy
+    assert faulted.dissemination_energy == plain.dissemination_energy
+    assert faulted.result_energy == plain.result_energy
+    assert faulted.total_energy == plain.total_energy
+    assert faulted.acquisitions_failed == 0
+    assert faulted.retries_total == 0
+    assert faulted.tuples_abstained == 0
+    assert faulted.retry_energy == 0.0
+
+
+@given(faulted_instance())
+@SETTINGS
+def test_zero_schedule_identical_in_streaming(instance):
+    schema, data, plan, query = instance
+
+    def factory(distribution):
+        return GreedyConditionalPlanner(
+            distribution, CorrSeqPlanner(distribution), max_splits=2
+        )
+
+    def build(**fault_kwargs):
+        return AdaptiveStreamExecutor(
+            schema,
+            query,
+            factory,
+            window=40,
+            replan_interval=30,
+            drift_threshold=None,
+            **fault_kwargs,
+        )
+
+    plain = build().process(data)
+    faulted = build(
+        fault_schedule=FaultSchedule.zero(),
+        fault_rng=np.random.default_rng(0),
+    ).process(data)
+    assert np.array_equal(faulted.verdicts, plain.verdicts)
+    assert np.array_equal(faulted.costs, plain.costs)
+    assert len(faulted.replans) == len(plain.replans)
+    for ours, theirs in zip(faulted.replans, plain.replans):
+        assert ours.position == theirs.position
+        assert ours.reason == theirs.reason
+        assert ours.expected_cost == theirs.expected_cost
+    assert faulted.abstained is not None
+    assert not faulted.abstained.any()
+    assert faulted.faults is not None
+    assert faulted.faults.acquisitions_failed == 0
+    assert faulted.faults.retry_cost == 0.0

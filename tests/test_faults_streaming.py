@@ -1,0 +1,161 @@
+"""Fault-injected streaming: outage replans, stats, and configuration gates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConjunctiveQuery, RangePredicate
+from repro.exceptions import FaultConfigError
+from repro.execution import AdaptiveStreamExecutor, StreamFaultStats
+from repro.faults import (
+    AttributeFaults,
+    DegradationMode,
+    FaultPolicy,
+    FaultSchedule,
+)
+from repro.faults.policy import NO_RETRY
+from repro.planning import CorrSeqPlanner, GreedyConditionalPlanner
+
+from tests.conftest import correlated_dataset
+
+
+@pytest.fixture
+def instance():
+    schema, data = correlated_dataset(n_rows=600, seed=2)
+    query = ConjunctiveQuery(
+        schema, [RangePredicate("a", 1, 2), RangePredicate("b", 3, 5)]
+    )
+    return schema, data, query
+
+
+def factory(distribution):
+    return GreedyConditionalPlanner(
+        distribution, CorrSeqPlanner(distribution), max_splits=3
+    )
+
+
+def build(schema, query, **kwargs):
+    defaults = dict(window=100, replan_interval=80, drift_threshold=None)
+    defaults.update(kwargs)
+    return AdaptiveStreamExecutor(schema, query, factory, **defaults)
+
+
+class TestConfiguration:
+    def test_schedule_requires_rng(self, instance):
+        schema, _data, query = instance
+        with pytest.raises(FaultConfigError, match="requires fault_rng"):
+            build(schema, query, fault_schedule=FaultSchedule.zero())
+
+    def test_schedule_incompatible_with_profile_drift(self, instance):
+        schema, _data, query = instance
+        with pytest.raises(FaultConfigError, match="profile_drift_threshold"):
+            build(
+                schema,
+                query,
+                fault_schedule=FaultSchedule.zero(),
+                fault_rng=np.random.default_rng(0),
+                profile_drift_threshold=5.0,
+            )
+
+    def test_schedule_validated_against_schema(self, instance):
+        schema, _data, query = instance
+        bad = FaultSchedule(profiles={9: AttributeFaults(drop_rate=0.5)})
+        with pytest.raises(FaultConfigError, match="only 4 attributes"):
+            build(
+                schema,
+                query,
+                fault_schedule=bad,
+                fault_rng=np.random.default_rng(0),
+            )
+
+
+class TestFaultedStream:
+    def test_report_carries_fault_stats(self, instance):
+        schema, data, query = instance
+        schedule = FaultSchedule.uniform(schema, drop_rate=0.2)
+        report = build(
+            schema,
+            query,
+            fault_schedule=schedule,
+            fault_rng=np.random.default_rng(3),
+        ).process(data)
+        assert isinstance(report.faults, StreamFaultStats)
+        assert report.faults.acquisitions_failed > 0
+        assert report.faults.retries_total > 0
+        assert report.faults.retry_cost > 0.0
+        assert report.abstained is not None
+        assert report.abstained.shape == report.verdicts.shape
+        # An abstained tuple is never selected.
+        assert not (report.abstained & report.verdicts).any()
+
+    def test_sustained_outage_triggers_replan(self, instance):
+        schema, data, query = instance
+        # Every read on the cheap conditioning attribute fails and retries
+        # are disabled: the failure fraction saturates immediately.
+        schedule = FaultSchedule(
+            profiles={0: AttributeFaults(drop_rate=1.0)}
+        )
+        policy = FaultPolicy(
+            retry=NO_RETRY,
+            degradation=DegradationMode.SKIP,
+            outage_replan_threshold=0.6,
+            outage_window=16,
+        )
+        events = []
+        report = build(
+            schema,
+            query,
+            replan_interval=500,
+            fault_schedule=schedule,
+            fault_policy=policy,
+            fault_rng=np.random.default_rng(4),
+            on_replan=events.append,
+        ).process(data)
+        outage_replans = [e for e in report.replans if e.reason == "outage"]
+        assert outage_replans, "sustained outage never triggered a replan"
+        assert [e.reason for e in events] == [e.reason for e in report.replans]
+        # SKIP keeps deciding tuples through the outage.
+        assert report.faults is not None
+        assert report.faults.tuples_degraded > 0
+        assert report.verdicts.sum() > 0
+
+    def test_no_outage_replan_below_threshold(self, instance):
+        schema, data, query = instance
+        schedule = FaultSchedule(
+            profiles={0: AttributeFaults(drop_rate=0.05)}
+        )
+        policy = FaultPolicy(
+            degradation=DegradationMode.SKIP,
+            outage_replan_threshold=0.9,
+            outage_window=16,
+        )
+        report = build(
+            schema,
+            query,
+            replan_interval=200,
+            fault_schedule=schedule,
+            fault_policy=policy,
+            fault_rng=np.random.default_rng(5),
+        ).process(data)
+        assert not [e for e in report.replans if e.reason == "outage"]
+
+    def test_deterministic_replay(self, instance):
+        schema, data, query = instance
+        schedule = FaultSchedule.uniform(
+            schema, drop_rate=0.15, noise_rate=0.1
+        )
+
+        def run():
+            return build(
+                schema,
+                query,
+                fault_schedule=schedule,
+                fault_rng=np.random.default_rng(11),
+            ).process(data)
+
+        first, second = run(), run()
+        assert np.array_equal(first.costs, second.costs)
+        assert np.array_equal(first.verdicts, second.verdicts)
+        assert np.array_equal(first.abstained, second.abstained)
+        assert first.faults == second.faults

@@ -1,0 +1,155 @@
+"""The serving layer's resilient path: metrics, FT gating, outage invalidation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import AcquisitionalEngine, ResilientQueryResult
+from repro.exceptions import FaultConfigError, PlanVerificationError
+from repro.faults import (
+    AttributeFaults,
+    DegradationMode,
+    FaultPolicy,
+    FaultSchedule,
+)
+from repro.faults.policy import NO_RETRY
+from repro.obs import Tracer
+from repro.service import AcquisitionalService
+
+from tests.conftest import correlated_dataset
+
+STATEMENT = "SELECT * WHERE a <= 2 AND b >= 3"
+
+
+@pytest.fixture
+def parts():
+    schema, data = correlated_dataset(n_rows=1500, seed=8)
+    engine = AcquisitionalEngine(schema, data[:1000])
+    service = AcquisitionalService(engine)
+    return schema, data[1000:1300], service
+
+
+def storm(schema, rate=0.3):
+    return FaultSchedule.uniform(schema, drop_rate=rate)
+
+
+class TestExecuteResilient:
+    def test_counts_fault_metrics(self, parts):
+        schema, live, service = parts
+        outcome = service.execute_resilient(
+            STATEMENT,
+            live,
+            storm(schema),
+            np.random.default_rng(0),
+            policy=FaultPolicy(retry=NO_RETRY),
+        )
+        assert isinstance(outcome, ResilientQueryResult)
+        snapshot = {
+            name: service.metrics.counter(name).value
+            for name in (
+                "acquisitions_failed",
+                "retries_total",
+                "tuples_degraded",
+                "tuples_abstained",
+            )
+        }
+        assert snapshot["acquisitions_failed"] == outcome.acquisitions_failed > 0
+        assert snapshot["retries_total"] == outcome.retries_total == 0
+        assert snapshot["tuples_degraded"] == outcome.tuples_degraded > 0
+        assert snapshot["tuples_abstained"] == outcome.tuples_abstained > 0
+        assert outcome.tuples_abstained == len(outcome.abstained_rows)
+
+    def test_metrics_accumulate_across_calls(self, parts):
+        schema, live, service = parts
+        rng = np.random.default_rng(1)
+        first = service.execute_resilient(STATEMENT, live, storm(schema), rng)
+        second = service.execute_resilient(STATEMENT, live, storm(schema), rng)
+        counter = service.metrics.counter("acquisitions_failed").value
+        assert counter == first.acquisitions_failed + second.acquisitions_failed
+
+    def test_zero_schedule_matches_plain_execute(self, parts):
+        schema, live, service = parts
+        plain = service.execute(STATEMENT, live)
+        resilient = service.execute_resilient(
+            STATEMENT, live, FaultSchedule.zero(), np.random.default_rng(0)
+        )
+        assert resilient.result.rows == plain.rows
+        assert resilient.result.where_cost == plain.where_cost
+        assert resilient.tuples_abstained == 0
+        assert resilient.retry_cost == 0.0
+
+    def test_ft_gate_rejects_unsound_policy(self, parts):
+        schema, live, service = parts
+        unsound = FaultPolicy(
+            degradation=DegradationMode.IMPUTE, confirm_positives=False
+        )
+        with pytest.raises(PlanVerificationError, match="FT001"):
+            service.execute_resilient(
+                STATEMENT, live, storm(schema), np.random.default_rng(0),
+                policy=unsound,
+            )
+        assert service.metrics.counter("plans_rejected").value == 1
+
+    def test_disjunctive_statement_needs_abstain(self, parts):
+        schema, live, service = parts
+        with pytest.raises((PlanVerificationError, FaultConfigError)):
+            service.execute_resilient(
+                "SELECT * WHERE a <= 2 OR b >= 3",
+                live,
+                storm(schema),
+                np.random.default_rng(0),
+                policy=FaultPolicy(degradation=DegradationMode.SKIP),
+            )
+
+
+class TestOutageInvalidation:
+    def test_sustained_outage_bumps_statistics_version(self, parts):
+        schema, live, _service = parts
+        policy = FaultPolicy(
+            retry=NO_RETRY,
+            degradation=DegradationMode.ABSTAIN,
+            outage_replan_threshold=0.2,
+        )
+        tracer = Tracer()
+        service = AcquisitionalService(
+            AcquisitionalEngine(schema, live), tracer=tracer
+        )
+        before = service.engine.statistics_version
+        service.execute_resilient(
+            STATEMENT,
+            live,
+            FaultSchedule.uniform(schema, drop_rate=0.6),
+            np.random.default_rng(0),
+            policy=policy,
+        )
+        assert service.engine.statistics_version == before + 1
+        assert service.metrics.counter("outage_invalidations").value == 1
+        replans = [e for e in tracer.events if e.phase == "replan"]
+        assert replans and replans[0].fields["reason"] == "outage"
+
+    def test_quiet_run_does_not_invalidate(self, parts):
+        schema, live, service = parts
+        policy = FaultPolicy(outage_replan_threshold=0.9)
+        before = service.engine.statistics_version
+        service.execute_resilient(
+            STATEMENT,
+            live,
+            FaultSchedule.uniform(schema, drop_rate=0.05),
+            np.random.default_rng(0),
+            policy=policy,
+        )
+        assert service.engine.statistics_version == before
+        assert service.metrics.counter("outage_invalidations").value == 0
+
+    def test_threshold_none_disables_trigger(self, parts):
+        schema, live, service = parts
+        before = service.engine.statistics_version
+        service.execute_resilient(
+            STATEMENT,
+            live,
+            FaultSchedule.uniform(schema, drop_rate=0.6),
+            np.random.default_rng(0),
+            policy=FaultPolicy(retry=NO_RETRY),
+        )
+        assert service.engine.statistics_version == before

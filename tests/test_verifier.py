@@ -76,7 +76,16 @@ class TestCatalog:
     def test_codes_are_unique_and_prefixed(self):
         assert len(CODE_CATALOG) == len(set(CODE_CATALOG))
         for code, (severity, title) in CODE_CATALOG.items():
-            assert code[:3] in ("STR", "SEM", "RNG", "COS", "BC0", "DF0", "DF1")
+            assert code[:3] in (
+                "STR",
+                "SEM",
+                "RNG",
+                "COS",
+                "BC0",
+                "DF0",
+                "DF1",
+                "FT0",
+            )
             assert isinstance(severity, Severity)
             assert title
 

@@ -1,0 +1,166 @@
+"""The verifier's FT rule family: degraded paths must stay sound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Attribute,
+    ConditionNode,
+    ConjunctiveQuery,
+    RangePredicate,
+    Schema,
+    SequentialNode,
+    SequentialStep,
+)
+from repro.faults import DegradationMode, FaultPolicy
+from repro.verify import check_fault_tolerance, verify_plan
+from repro.verify.diagnostics import CODE_CATALOG, Severity
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("mode", 2, 1.0),
+            Attribute("a", 4, 50.0),
+            Attribute("b", 4, 50.0),
+        ]
+    )
+
+
+@pytest.fixture
+def query(schema) -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        schema, [RangePredicate("a", 3, 4), RangePredicate("b", 1, 2)]
+    )
+
+
+def seq(query) -> SequentialNode:
+    return SequentialNode(
+        steps=tuple(
+            SequentialStep(predicate=p, attribute_index=i)
+            for p, i in zip(query.predicates, query.attribute_indices)
+        )
+    )
+
+
+@pytest.fixture
+def conditioning_plan(query) -> ConditionNode:
+    """Conditions on ``mode``, which the query itself never tests."""
+    return ConditionNode(
+        attribute="mode",
+        attribute_index=0,
+        split_value=2,
+        below=seq(query),
+        above=seq(query),
+    )
+
+
+def codes(findings) -> list[str]:
+    return [finding.code for finding in findings]
+
+
+class TestCatalog:
+    def test_ft_codes_registered(self):
+        assert CODE_CATALOG["FT001"][0] is Severity.ERROR
+        assert CODE_CATALOG["FT002"][0] is Severity.ERROR
+        assert CODE_CATALOG["FT003"][0] is Severity.WARNING
+
+
+class TestFT001:
+    def test_unconfirmed_impute_is_an_error(self, conditioning_plan, schema, query):
+        policy = FaultPolicy(
+            degradation=DegradationMode.IMPUTE, confirm_positives=False
+        )
+        findings = check_fault_tolerance(
+            conditioning_plan, schema, policy, query=query
+        )
+        assert "FT001" in codes(findings)
+
+    def test_confirmed_impute_is_clean(self, conditioning_plan, schema, query):
+        policy = FaultPolicy(degradation=DegradationMode.IMPUTE)
+        findings = check_fault_tolerance(
+            conditioning_plan, schema, policy, query=query
+        )
+        assert "FT001" not in codes(findings)
+
+
+class TestFT002:
+    @pytest.mark.parametrize(
+        "mode", (DegradationMode.SKIP, DegradationMode.IMPUTE)
+    )
+    def test_fallback_modes_need_the_query(self, conditioning_plan, schema, mode):
+        findings = check_fault_tolerance(
+            conditioning_plan, schema, FaultPolicy(degradation=mode), query=None
+        )
+        assert "FT002" in codes(findings)
+
+    def test_abstain_never_needs_the_query(self, conditioning_plan, schema):
+        findings = check_fault_tolerance(
+            conditioning_plan, schema, FaultPolicy(), query=None
+        )
+        assert "FT002" not in codes(findings)
+
+
+class TestFT003:
+    def test_conditioning_only_attribute_warns_under_abstain(
+        self, conditioning_plan, schema, query
+    ):
+        findings = check_fault_tolerance(
+            conditioning_plan, schema, FaultPolicy(), query=query
+        )
+        ft3 = [f for f in findings if f.code == "FT003"]
+        assert len(ft3) == 1  # one warning per attribute, not per node
+        assert "mode" in ft3[0].message
+
+    def test_skip_silences_the_spof_warning(
+        self, conditioning_plan, schema, query
+    ):
+        policy = FaultPolicy(degradation=DegradationMode.SKIP)
+        findings = check_fault_tolerance(
+            conditioning_plan, schema, policy, query=query
+        )
+        assert "FT003" not in codes(findings)
+
+    def test_query_tested_conditioner_is_fine(self, schema, query):
+        plan = ConditionNode(
+            attribute="a",
+            attribute_index=1,
+            split_value=3,
+            below=seq(query),
+            above=seq(query),
+        )
+        findings = check_fault_tolerance(plan, schema, FaultPolicy(), query=query)
+        assert "FT003" not in codes(findings)
+
+
+class TestVerifyPlanIntegration:
+    def test_fault_policy_parameter_runs_ft_rules(
+        self, conditioning_plan, schema, query
+    ):
+        policy = FaultPolicy(
+            degradation=DegradationMode.IMPUTE, confirm_positives=False
+        )
+        report = verify_plan(
+            conditioning_plan, schema, query=query, fault_policy=policy
+        )
+        assert not report.ok
+        assert "FT001" in [d.code for d in report.diagnostics]
+
+    def test_without_fault_policy_no_ft_diagnostics(
+        self, conditioning_plan, schema, query
+    ):
+        report = verify_plan(conditioning_plan, schema, query=query)
+        assert not any(
+            d.code.startswith("FT") for d in report.diagnostics
+        )
+
+    def test_sound_policy_passes_the_gate(self, conditioning_plan, schema, query):
+        report = verify_plan(
+            conditioning_plan,
+            schema,
+            query=query,
+            fault_policy=FaultPolicy(degradation=DegradationMode.SKIP),
+        )
+        assert report.ok  # FT003 would be a warning; SKIP has none
