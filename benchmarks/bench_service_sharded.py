@@ -1,0 +1,269 @@
+"""Sharded serving tier: throughput and latency vs worker count.
+
+The sharded front door's gains on a concurrent workload come from two
+multiplicative effects the single-process baseline cannot exploit:
+
+- **request coalescing** — requests arriving in one acquisition epoch
+  (a concurrent wave sharing a sensor-readings window) with the same
+  canonical fingerprint execute once and fan out, so only unique
+  (shape, window) pairs cost anything;
+- **shard-local plan caches** — consistent-hash routing pins every shape
+  to one shard, so each shard plans only its own shapes once.
+
+This benchmark drives the same Zipf workload (24 Garden shapes, skew
+1.1, 48-row windows, waves of 512 concurrent requests) through a
+single-process `AcquisitionalService` baseline — one `execute()` per
+request, warm cache, exactly how PR 4's serving layer is driven — and
+through `ShardedServiceCluster` at 1/2/4/8 workers, recording
+queries/second and per-request p50/p95/p99 latency for each worker
+count into ``BENCH_service_sharded.json``.
+
+Acceptance bar: >= 10x warm-cache q/s over the single-process baseline
+at 8 workers.  On a single-core runner the factor is carried by
+coalescing (wave size / distinct shapes ~ 21x headroom); on multi-core
+machines shard parallelism multiplies on top.  The in-process backend
+is used so the numbers isolate the serving-tier algorithms from
+process-spawn artifacts; ``--backend process`` via the CLI exercises
+the real multiprocessing path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, ShardConfig, ShardedServiceCluster
+from repro.data import (
+    garden_queries,
+    generate_garden_dataset,
+    query_text,
+    time_split,
+    zipf_draws,
+)
+from repro.engine import AcquisitionalEngine
+from repro.planning import CorrSeqPlanner
+from repro.service import AcquisitionalService
+
+from common import print_table
+
+N_SHAPES = 24
+N_REQUESTS = 1024
+WAVE_SIZE = 512
+ZIPF_SKEW = 1.1
+ROWS_PER_REQUEST = 48
+WORKER_COUNTS = (1, 2, 4, 8)
+REPORT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_service_sharded.json"
+)
+
+
+def build_setting():
+    garden = generate_garden_dataset(n_motes=5, n_epochs=4_000, seed=3)
+    train, test = time_split(garden.data, 0.5)
+    shapes: list[str] = []
+    seed = 0
+    while len(shapes) < N_SHAPES:
+        for query in garden_queries(garden, N_SHAPES, seed=seed):
+            text = query_text(query)
+            if text not in shapes:
+                shapes.append(text)
+            if len(shapes) == N_SHAPES:
+                break
+        seed += 1
+    return garden, train, test, shapes
+
+
+def build_requests(shapes, test) -> list[tuple[str, np.ndarray]]:
+    """Zipf draws in waves; each wave shares one readings window."""
+    draws = zipf_draws(N_REQUESTS, N_SHAPES, skew=ZIPF_SKEW, seed=42)
+    windows: dict[int, np.ndarray] = {}
+    requests = []
+    for position, shape_index in enumerate(draws):
+        wave = position // WAVE_SIZE
+        if wave not in windows:
+            offset = (wave * ROWS_PER_REQUEST) % (len(test) - ROWS_PER_REQUEST)
+            windows[wave] = test[offset : offset + ROWS_PER_REQUEST]
+        requests.append((shapes[shape_index], windows[wave]))
+    return requests
+
+
+def run_baseline(garden, train, requests) -> dict:
+    """Single-process serving: sequential execute(), warm plan cache."""
+    engine = AcquisitionalEngine(
+        garden.schema,
+        train,
+        planner_factory=lambda distribution: CorrSeqPlanner(distribution),
+    )
+    service = AcquisitionalService(
+        engine, cache_capacity=N_SHAPES, cache_policy="lfu"
+    )
+    # Warm the plan cache: the acceptance bar compares *warm-cache*
+    # steady state, so one-time planning cost is paid outside the
+    # timed region in both arms.
+    for text, readings in requests[:WAVE_SIZE]:
+        service.execute(text, readings)
+    latencies = []
+    start = time.perf_counter()
+    for text, readings in requests:
+        began = time.perf_counter()
+        service.execute(text, readings)
+        latencies.append(time.perf_counter() - began)
+    elapsed = time.perf_counter() - start
+    return summarize(elapsed, latencies, extra={"stats": service.stats()})
+
+
+def run_cluster(garden, train, requests, workers: int) -> dict:
+    """The sharded tier at a given worker count, wave-concurrent."""
+
+    async def main() -> dict:
+        config = ClusterConfig(
+            shard_config=ShardConfig(
+                schema=garden.schema,
+                history=train,
+                planner="corr-seq",
+                cache_capacity=N_SHAPES,
+                cache_policy="lfu",
+            ),
+            shards=workers,
+            backend="inproc",
+            soft_limit=4 * WAVE_SIZE,
+            hard_limit=8 * WAVE_SIZE,
+        )
+        latencies: list[float] = []
+
+        async with ShardedServiceCluster(config) as cluster:
+            # Same warm-up as the baseline: plan the shapes once on
+            # their owning shards before the timed waves.
+            await cluster.execute_many(requests[:WAVE_SIZE])
+            start = time.perf_counter()
+            for begin in range(0, len(requests), WAVE_SIZE):
+                wave = requests[begin : begin + WAVE_SIZE]
+                began = time.perf_counter()
+                responses = await cluster.execute_many(wave)
+                wave_elapsed = time.perf_counter() - began
+                assert all(response.ok for response in responses)
+                # Every request in a concurrent wave experiences the
+                # wave's wall-clock time: they were issued together and
+                # the last fan-out answers when the wave drains.
+                latencies.extend([wave_elapsed] * len(responses))
+            elapsed = time.perf_counter() - start
+            front = cluster.front_door_stats()
+        return summarize(
+            elapsed,
+            latencies,
+            extra={
+                "workers": workers,
+                "coalescing": front["coalescing"],
+                "live_shards": front["live_shards"],
+            },
+        )
+
+    return asyncio.run(main())
+
+
+def summarize(elapsed: float, latencies: list[float], extra: dict) -> dict:
+    window = np.asarray(latencies, dtype=float) * 1e3
+    return {
+        "queries_per_second": round(len(latencies) / elapsed, 2),
+        "elapsed_seconds": round(elapsed, 4),
+        "latency_ms": {
+            "p50": round(float(np.percentile(window, 50)), 4),
+            "p95": round(float(np.percentile(window, 95)), 4),
+            "p99": round(float(np.percentile(window, 99)), 4),
+            "mean": round(float(window.mean()), 4),
+        },
+        **extra,
+    }
+
+
+def best_of(repeats: int, run) -> dict:
+    """Best-of-N timing (as ``timeit`` does): noise only slows runs."""
+    return max(
+        (run() for _ in range(repeats)),
+        key=lambda result: result["queries_per_second"],
+    )
+
+
+def test_sharded_tier_delivers_10x_over_single_process(benchmark):
+    garden, train, test, shapes = build_setting()
+    requests = build_requests(shapes, test)
+
+    # The speedup ratio compares the baseline against the 8-worker
+    # tier; measure both best-of-3 so scheduler noise on a shared
+    # runner cannot fail the acceptance bar.
+    baseline = best_of(3, lambda: run_baseline(garden, train, requests))
+    by_workers = {
+        workers: run_cluster(garden, train, requests, workers)
+        for workers in WORKER_COUNTS
+        if workers != 8
+    }
+    by_workers[8] = best_of(
+        3, lambda: run_cluster(garden, train, requests, 8)
+    )
+
+    # pytest-benchmark timed arm: steady-state wave at 8 workers.
+    benchmark(lambda: run_cluster(garden, train, requests[:WAVE_SIZE], 8))
+
+    rows = [
+        [
+            "baseline (1 process)",
+            baseline["queries_per_second"],
+            baseline["latency_ms"]["p50"],
+            baseline["latency_ms"]["p95"],
+            baseline["latency_ms"]["p99"],
+        ]
+    ]
+    for workers in WORKER_COUNTS:
+        result = by_workers[workers]
+        rows.append(
+            [
+                f"sharded x{workers}",
+                result["queries_per_second"],
+                result["latency_ms"]["p50"],
+                result["latency_ms"]["p95"],
+                result["latency_ms"]["p99"],
+            ]
+        )
+    print_table(
+        "Sharded serving tier: Zipf(%.1f) waves of %d over %d shapes"
+        % (ZIPF_SKEW, WAVE_SIZE, N_SHAPES),
+        ["configuration", "q/s", "p50 ms", "p95 ms", "p99 ms"],
+        rows,
+    )
+    speedup = (
+        by_workers[8]["queries_per_second"] / baseline["queries_per_second"]
+    )
+    print(f"speedup at 8 workers: {speedup:.1f}x (acceptance bar: 10x)")
+
+    report = {
+        "benchmark": "service_sharded",
+        "workload": {
+            "dataset": "garden-5",
+            "shapes": N_SHAPES,
+            "requests": N_REQUESTS,
+            "wave_size": WAVE_SIZE,
+            "zipf_skew": ZIPF_SKEW,
+            "rows_per_request": ROWS_PER_REQUEST,
+            "planner": "corr-seq",
+            "backend": "inproc",
+        },
+        "baseline": baseline,
+        "sharded": {str(workers): by_workers[workers] for workers in WORKER_COUNTS},
+        "speedup_at_8_workers": round(speedup, 2),
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"curves written to {REPORT_PATH}")
+
+    # Coalescing is the mechanism: far fewer dispatches than requests.
+    # Counters include the warm-up wave (front stats are cumulative).
+    total = N_REQUESTS + WAVE_SIZE
+    eight = by_workers[8]["coalescing"]
+    assert eight["dispatched_requests"] <= total // 8
+    assert (
+        eight["coalesced_requests"] + eight["dispatched_requests"] == total
+    )
+    assert speedup >= 10.0

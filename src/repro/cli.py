@@ -261,6 +261,87 @@ def build_parser() -> argparse.ArgumentParser:
     cache_stats.add_argument("--policy", choices=("lru", "lfu"), default="lru")
     cache_stats.add_argument("--smoothing", type=float, default=0.0)
 
+    serve_sharded = commands.add_parser(
+        "serve-sharded",
+        help="drive a Zipf workload through the sharded async serving tier",
+    )
+    add_common(serve_sharded)
+    serve_sharded.add_argument(
+        "--live", type=Path, default=None, help="live trace CSV (default: --trace)"
+    )
+    serve_sharded.add_argument("--workers", type=int, default=4)
+    serve_sharded.add_argument("--shapes", type=int, default=24)
+    serve_sharded.add_argument("--requests", type=int, default=400)
+    serve_sharded.add_argument("--zipf", type=float, default=1.1)
+    serve_sharded.add_argument("--rows-per-request", type=int, default=48)
+    serve_sharded.add_argument(
+        "--concurrency",
+        type=int,
+        default=64,
+        help="requests submitted per concurrent wave",
+    )
+    serve_sharded.add_argument(
+        "--backend", choices=("process", "inproc"), default="process"
+    )
+    serve_sharded.add_argument(
+        "--shed-mode", choices=("abstain", "skip"), default="abstain"
+    )
+    serve_sharded.add_argument("--soft-limit", type=int, default=256)
+    serve_sharded.add_argument("--hard-limit", type=int, default=1024)
+    serve_sharded.add_argument(
+        "--no-coalescing",
+        action="store_true",
+        help="dispatch every request individually (baseline mode)",
+    )
+    serve_sharded.add_argument(
+        "--induce-outage",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help="kill this shard halfway through the workload",
+    )
+    serve_sharded.add_argument(
+        "--outage-mode",
+        choices=("skip", "abstain"),
+        default="skip",
+        help="re-route (skip) or shed (abstain) a dead shard's requests",
+    )
+    serve_sharded.add_argument("--capacity", type=int, default=256)
+    serve_sharded.add_argument("--policy", choices=("lru", "lfu"), default="lfu")
+    serve_sharded.add_argument("--smoothing", type=float, default=0.0)
+    serve_sharded.add_argument("--seed", type=int, default=0)
+    serve_sharded.add_argument("--out", type=Path, default=None, help="JSON report path")
+    serve_sharded.add_argument(
+        "--prometheus-out",
+        type=Path,
+        default=None,
+        help="write the merged shard-labeled Prometheus exposition",
+    )
+
+    shard_stats = commands.add_parser(
+        "shard-stats",
+        help="boot a sharded cluster, serve statements, print cluster stats JSON",
+    )
+    add_common(shard_stats)
+    shard_stats.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        help="statement to serve (repeatable)",
+    )
+    shard_stats.add_argument("--repeat", type=int, default=10)
+    shard_stats.add_argument(
+        "--live", type=Path, default=None, help="live trace CSV (default: --trace)"
+    )
+    shard_stats.add_argument("--workers", type=int, default=2)
+    shard_stats.add_argument("--rows-per-request", type=int, default=48)
+    shard_stats.add_argument(
+        "--backend", choices=("process", "inproc"), default="inproc"
+    )
+    shard_stats.add_argument("--capacity", type=int, default=256)
+    shard_stats.add_argument("--policy", choices=("lru", "lfu"), default="lfu")
+    shard_stats.add_argument("--smoothing", type=float, default=0.0)
+
     lint = commands.add_parser(
         "lint-plan",
         help="statically verify a plan file, a bytecode file, or every "
@@ -882,6 +963,203 @@ def _command_cache_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_config(
+    args: argparse.Namespace, schema: Schema, train: np.ndarray, workers: int
+) -> "ClusterConfig":
+    from repro.cluster import ClusterConfig, ShardConfig
+
+    return ClusterConfig(
+        shard_config=ShardConfig(
+            schema=schema,
+            history=train,
+            smoothing=args.smoothing,
+            cache_capacity=args.capacity,
+            cache_policy=args.policy,
+        ),
+        shards=workers,
+        backend=args.backend,
+        coalescing=not getattr(args, "no_coalescing", False),
+        soft_limit=getattr(args, "soft_limit", 256),
+        hard_limit=getattr(args, "hard_limit", 1024),
+        shed_mode=getattr(args, "shed_mode", "abstain"),
+        outage_mode=getattr(args, "outage_mode", "skip"),
+    )
+
+
+async def _drive_cluster(
+    cluster: "ShardedServiceCluster",
+    requests: list[tuple[str, np.ndarray]],
+    concurrency: int,
+    outage_shard: int | None,
+) -> tuple[list, float]:
+    """Submit the workload in concurrent waves; returns (responses, seconds).
+
+    With an outage shard configured, the shard is killed after half the
+    workload has been submitted — mid-wave traffic exercises the
+    re-route/shed path.
+    """
+    from repro.exceptions import ClusterError
+
+    import asyncio
+
+    responses: list = []
+    halfway = len(requests) // 2
+    outage_pending = outage_shard is not None
+    start = time.perf_counter()
+    position = 0
+    while position < len(requests):
+        wave = requests[position : position + concurrency]
+        task = asyncio.ensure_future(cluster.execute_many(wave))
+        if outage_pending and position + len(wave) > halfway:
+            # Kill the shard while this wave is in flight so its pending
+            # requests exercise the re-route/shed path, not just future
+            # routing.  The small sleep lets the wave's dispatches reach
+            # the workers before the plug is pulled.
+            await asyncio.sleep(0.01)
+            try:
+                cluster.induce_outage(outage_shard)
+            except ClusterError as error:
+                logger.warning("outage injection skipped: %s", error)
+            outage_pending = False
+        responses.extend(await task)
+        position += len(wave)
+    return responses, time.perf_counter() - start
+
+
+def _command_serve_sharded(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import ShardedServiceCluster
+
+    if args.requests < 1 or args.shapes < 1 or args.workers < 1:
+        raise ReproError(
+            "serve-sharded needs at least one worker, shape, and request"
+        )
+    if args.concurrency < 1:
+        raise ReproError("--concurrency must be >= 1")
+    if args.induce_outage is not None and not (
+        0 <= args.induce_outage < args.workers
+    ):
+        raise ReproError(
+            f"--induce-outage shard must be in [0, {args.workers})"
+        )
+    schema = load_schema(args.schema)
+    train = load_trace(args.trace, schema)
+    live = load_trace(args.live, schema) if args.live is not None else train
+
+    shapes = _workload_shapes(schema, args.shapes, args.seed)
+    draws = zipf_draws(args.requests, len(shapes), skew=args.zipf, seed=args.seed)
+    # Requests in one concurrent wave model one acquisition epoch: they
+    # read the same sensor window, so repeated shapes within a wave are
+    # coalescible (acquire once, serve many).
+    requests = [
+        (
+            shapes[shape],
+            _request_matrix(
+                live, position // args.concurrency, args.rows_per_request
+            ),
+        )
+        for position, shape in enumerate(draws)
+    ]
+
+    async def main() -> dict:
+        config = _cluster_config(args, schema, train, args.workers)
+        async with ShardedServiceCluster(config) as cluster:
+            responses, elapsed = await _drive_cluster(
+                cluster, requests, args.concurrency, args.induce_outage
+            )
+            stats = await cluster.stats()
+            exposition = await cluster.prometheus()
+        served = sum(1 for r in responses if r.ok)
+        shed = sum(1 for r in responses if r.shed)
+        failed = len(responses) - served - shed
+        front = stats["front_door"]
+        report = {
+            "config": {
+                "workers": args.workers,
+                "backend": args.backend,
+                "shapes": len(shapes),
+                "requests": args.requests,
+                "zipf": args.zipf,
+                "rows_per_request": args.rows_per_request,
+                "concurrency": args.concurrency,
+                "coalescing": not args.no_coalescing,
+                "shed_mode": args.shed_mode,
+                "soft_limit": args.soft_limit,
+                "hard_limit": args.hard_limit,
+                "induced_outage": args.induce_outage,
+            },
+            "queries_per_second": round(len(responses) / elapsed, 2)
+            if elapsed > 0
+            else float("inf"),
+            "served": served,
+            "shed": shed,
+            "failed": failed,
+            "front_door": front,
+            "shards": stats["shards"],
+            "merged_metrics": stats["merged_metrics"],
+        }
+        if args.prometheus_out is not None:
+            args.prometheus_out.write_text(exposition)
+            logger.info("exposition written to %s", args.prometheus_out)
+        return report
+
+    report = asyncio.run(main())
+    front = report["front_door"]
+    coalescing = front["coalescing"]
+    print(
+        f"workload: {report['config']['requests']} requests over "
+        f"{report['config']['shapes']} shapes (zipf {args.zipf}), "
+        f"{args.workers} workers ({args.backend})"
+    )
+    print(
+        f"served {report['served']}, shed {report['shed']}, "
+        f"failed {report['failed']} at {report['queries_per_second']:.1f} q/s"
+    )
+    print(
+        f"coalescing: {coalescing['dispatched_requests']} dispatched, "
+        f"{coalescing['coalesced_requests']} coalesced"
+    )
+    print(
+        f"admission: {front['admission']['requests_shed']} shed, "
+        f"{front['admission']['shed_cost_avoided']} Eq.3 cost avoided"
+    )
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2))
+        logger.info("report written to %s", args.out)
+    return 0
+
+
+def _command_shard_stats(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import ShardedServiceCluster
+
+    if args.workers < 1 or args.repeat < 1:
+        raise ReproError("shard-stats needs at least one worker and repeat")
+    schema = load_schema(args.schema)
+    train = load_trace(args.trace, schema)
+    live = load_trace(args.live, schema) if args.live is not None else train
+    readings = live[: args.rows_per_request]
+
+    async def main() -> dict:
+        config = _cluster_config(args, schema, train, args.workers)
+        async with ShardedServiceCluster(config) as cluster:
+            for text in args.query:
+                for _repeat in range(args.repeat):
+                    response = await cluster.execute(text, readings)
+                    if not response.ok:
+                        raise ReproError(
+                            f"statement failed on shard "
+                            f"{response.shard}: {response.error}"
+                        )
+            return await cluster.stats()
+
+    stats = asyncio.run(main())
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
 def _command_profile(args: argparse.Namespace) -> int:
     schema = load_schema(args.schema)
     train = load_trace(args.trace, schema)
@@ -1342,6 +1620,8 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _command_compare,
         "serve-bench": _command_serve_bench,
         "cache-stats": _command_cache_stats,
+        "serve-sharded": _command_serve_sharded,
+        "shard-stats": _command_shard_stats,
         "lint-plan": _command_lint_plan,
         "analyze": _command_analyze,
         "profile": _command_profile,

@@ -1,0 +1,123 @@
+"""Front-door request coalescing: acquire and plan once, serve many.
+
+The paper's setting makes identical concurrent requests genuinely
+shareable: a query fingerprint over a given readings window acquires the
+same attributes and returns the same rows no matter how many clients ask,
+so only the *first* in-flight request needs to cross the shard boundary.
+:class:`CoalescingMap` tracks in-flight executions keyed by
+``(fingerprint digest, readings hash, fault key)``; later arrivals
+attach an :class:`asyncio.Future` to the existing entry and the single
+reply fans out to every waiter.
+
+This map lives on the event loop (single-threaded access), so it needs
+no locking; replies arriving from worker threads are marshalled onto
+the loop before they touch it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Hashable
+
+__all__ = ["CoalescingMap", "InFlight"]
+
+
+@dataclass
+class InFlight:
+    """One pending shard execution and everyone waiting on it."""
+
+    key: tuple
+    shard: Hashable
+    request_id: int
+    text: str
+    waiters: list[asyncio.Future] = field(default_factory=list)
+    #: The dispatched ExecuteRequest, kept so an outage re-route can
+    #: resubmit the execution verbatim to the ring successor.
+    request: object | None = None
+    #: One watchdog timer per execution (not per waiter): cancelled when
+    #: the reply lands, fired to expire every waiter at once.
+    timeout_handle: object | None = None
+
+    @property
+    def fanout(self) -> int:
+        return len(self.waiters)
+
+
+class CoalescingMap:
+    """In-flight executions keyed by what makes results interchangeable."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[tuple, InFlight] = {}
+        self._by_request: dict[int, InFlight] = {}
+        self.coalesced_requests = 0
+        self.dispatched_requests = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def inflight_requests(self) -> int:
+        """Total waiters across every pending execution."""
+        return sum(entry.fanout for entry in self._inflight.values())
+
+    def join(self, key: tuple, future: asyncio.Future) -> InFlight | None:
+        """Attach to an existing in-flight execution, if any.
+
+        Returns the entry joined, or ``None`` when the caller must
+        dispatch a fresh execution (and then :meth:`open` it).
+        """
+        entry = self._inflight.get(key)
+        if entry is None:
+            return None
+        entry.waiters.append(future)
+        self.coalesced_requests += 1
+        return entry
+
+    def open(
+        self,
+        key: tuple,
+        shard: Hashable,
+        request_id: int,
+        text: str,
+        future: asyncio.Future,
+    ) -> InFlight:
+        """Register a freshly-dispatched execution with its first waiter."""
+        entry = InFlight(
+            key=key, shard=shard, request_id=request_id, text=text
+        )
+        entry.waiters.append(future)
+        self._inflight[key] = entry
+        self._by_request[request_id] = entry
+        self.dispatched_requests += 1
+        return entry
+
+    def resolve(self, request_id: int) -> InFlight | None:
+        """Close the execution a reply answers; caller fans out to waiters."""
+        entry = self._by_request.pop(request_id, None)
+        if entry is None:
+            return None
+        current = self._inflight.get(entry.key)
+        if current is entry:
+            del self._inflight[entry.key]
+        return entry
+
+    def reassign(self, entry: InFlight, shard: Hashable, request_id: int) -> None:
+        """Move a pending execution to a new shard (outage re-route)."""
+        self._by_request.pop(entry.request_id, None)
+        entry.shard = shard
+        entry.request_id = request_id
+        self._by_request[request_id] = entry
+        self._inflight[entry.key] = entry
+
+    def entries(self) -> list[InFlight]:
+        """Every in-flight execution (shutdown sweep)."""
+        return list(self._inflight.values())
+
+    def pending_on(self, shard: Hashable) -> list[InFlight]:
+        """Every in-flight execution currently owned by ``shard``."""
+        return [
+            entry
+            for entry in self._inflight.values()
+            if entry.shard == shard
+        ]

@@ -1,0 +1,102 @@
+"""Consistent-hash routing of query fingerprints to shard workers.
+
+The front door routes every request by the *digest* of its canonical
+:class:`~repro.service.fingerprint.QueryFingerprint`, so all spellings
+of one query shape land on the same shard and hit the same shard-local
+plan cache.  A consistent-hash ring (vs. ``hash(key) % n``) keeps that
+property cheap to maintain under membership changes: when a shard dies,
+only the keys it owned move — every other fingerprint keeps its warm
+cache slot.
+
+Hashing is SHA-256-based rather than Python's builtin ``hash`` because
+routing decisions must agree across processes and runs: ``PYTHONHASHSEED``
+randomizes ``hash(str)`` per interpreter, which would scatter one
+fingerprint across shards between the front door and a restarted
+worker.  Each node is planted at ``vnodes`` pseudo-random points so load
+spreads evenly even with a handful of shards.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Iterable
+
+from repro.exceptions import ClusterError
+
+__all__ = ["ConsistentHashRing", "stable_hash"]
+
+
+def stable_hash(key: object) -> int:
+    """A process-stable 64-bit hash (non-strings hash via ``str``)."""
+    text = key if isinstance(key, str) else str(key)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """Map string keys onto nodes with minimal disruption on changes."""
+
+    def __init__(
+        self, nodes: Iterable[Hashable] = (), vnodes: int = 64
+    ) -> None:
+        if vnodes < 1:
+            raise ClusterError(f"vnodes must be >= 1, got {vnodes}")
+        self._vnodes = int(vnodes)
+        # Parallel arrays: sorted virtual-point hashes and their owners.
+        self._hashes: list[int] = []
+        self._owners: list[Hashable] = []
+        self._nodes: set[Hashable] = set()
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> frozenset[Hashable]:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    def add(self, node: Hashable) -> None:
+        """Plant a node at its virtual points (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self._vnodes):
+            point = stable_hash(f"{node!r}#{replica}")
+            index = bisect.bisect_right(self._hashes, point)
+            self._hashes.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: Hashable) -> None:
+        """Withdraw a node; its keys redistribute to ring successors."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._hashes, self._owners)
+            if owner != node
+        ]
+        self._hashes = [point for point, _owner in keep]
+        self._owners = [owner for _point, owner in keep]
+
+    def node_for(self, key: str) -> Hashable:
+        """The node owning ``key`` (clockwise successor on the ring)."""
+        if not self._hashes:
+            raise ClusterError("hash ring has no nodes")
+        point = stable_hash(key)
+        index = bisect.bisect_right(self._hashes, point)
+        if index == len(self._hashes):
+            index = 0
+        return self._owners[index]
+
+    def assignment(self, keys: Iterable[str]) -> dict[Hashable, list[str]]:
+        """Group ``keys`` by owning node (diagnostics / balance checks)."""
+        grouped: dict[Hashable, list[str]] = {node: [] for node in self._nodes}
+        for key in keys:
+            grouped[self.node_for(key)].append(key)
+        return grouped

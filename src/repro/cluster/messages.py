@@ -1,0 +1,150 @@
+"""The worker protocol: messages crossing the front-door/shard boundary.
+
+Everything here is a plain picklable dataclass so the same types flow
+over ``multiprocessing`` queues (process backend) and plain function
+calls (in-process backend).  The protocol is deliberately small:
+
+- :class:`ExecuteRequest` — serve one statement over a readings matrix,
+  optionally under a fault schedule (per-shard chaos);
+- :class:`ExecuteReply` — the result (or error) plus the shard's current
+  statistics version, which doubles as the piggybacked signal the front
+  door uses for cross-shard invalidation broadcasts;
+- :class:`ControlRequest` / :class:`ControlReply` — stats collection,
+  statistics-version synchronization, liveness pings, and shutdown.
+
+:class:`ShardConfig` is the recipe a worker uses to build its private
+:class:`~repro.service.AcquisitionalService`: schema + training history
++ planner/cache knobs.  Workers never share Python objects with the
+front door — each shard owns its engine, plan cache, metrics registry,
+and tracer outright, which is what makes the per-shard state safe
+without cross-process locking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.attributes import Schema
+from repro.exceptions import ClusterError
+
+__all__ = [
+    "ShardConfig",
+    "ExecuteRequest",
+    "ExecuteReply",
+    "ControlRequest",
+    "ControlReply",
+    "CONTROL_KINDS",
+]
+
+_PLANNERS = ("naive", "greedy-seq", "opt-seq", "corr-seq", "heuristic")
+CONTROL_KINDS = ("ping", "stats", "sync_version", "shutdown")
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a worker needs to build its shard-local service.
+
+    ``planner`` names the conjunctive planner family (disjunctive
+    statements fall back to the exhaustive planner inside the engine as
+    usual).  It is a *name* rather than a factory callable so the config
+    pickles under the ``spawn`` start method, not just ``fork``.
+    ``batch_window`` caps how many queued requests a worker drains into
+    one coalesced/batched execution pass.
+    """
+
+    schema: Schema
+    history: np.ndarray
+    planner: str = "corr-seq"
+    max_splits: int = 5
+    smoothing: float = 0.0
+    cache_capacity: int = 256
+    cache_policy: str = "lfu"
+    verify_admission: bool = True
+    profiling: bool = False
+    batch_window: int = 128
+
+    def __post_init__(self) -> None:
+        if self.planner not in _PLANNERS:
+            raise ClusterError(
+                f"unknown planner {self.planner!r}; choose from {_PLANNERS}"
+            )
+        if self.batch_window < 1:
+            raise ClusterError(
+                f"batch_window must be >= 1, got {self.batch_window}"
+            )
+
+
+@dataclass(frozen=True)
+class ExecuteRequest:
+    """Serve ``text`` over ``readings`` on the routed shard.
+
+    ``fingerprint`` is the canonical digest the front door routed on; the
+    shard trusts it only as a grouping hint and re-canonicalizes for its
+    own plan cache.  When ``fault_schedule`` (a
+    :meth:`~repro.faults.FaultSchedule.to_dict` payload) is present the
+    shard runs the resilient path; ``fault_seed`` is combined with the
+    fingerprint digest so the injection stream is deterministic per query
+    shape no matter how requests are coalesced or batched.
+    """
+
+    request_id: int
+    text: str
+    readings: np.ndarray
+    fingerprint: str = ""
+    fault_schedule: Mapping[str, Any] | None = None
+    fault_seed: int = 0
+    degradation: str = "abstain"
+    max_retries: int = 2
+
+
+@dataclass(frozen=True)
+class ExecuteReply:
+    """One request's outcome plus shard health piggybacked alongside.
+
+    ``payload`` is a :class:`~repro.engine.QueryResult` (plain path) or
+    :class:`~repro.engine.ResilientQueryResult` (chaos path); ``None``
+    when ``ok`` is false and ``error`` explains why.  ``group_size`` is
+    how many requests the shard served from this one execution (its
+    local coalescing factor).  ``expected_where_cost`` feeds the front
+    door's Eq. 3 shed-accounting ledger.
+    """
+
+    request_id: int
+    shard: int
+    ok: bool
+    payload: Any = None
+    error: str = ""
+    statistics_version: int = 1
+    group_size: int = 1
+    expected_where_cost: float = 0.0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ControlRequest:
+    """A non-query instruction to one shard worker."""
+
+    request_id: int
+    kind: str
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CONTROL_KINDS:
+            raise ClusterError(
+                f"unknown control kind {self.kind!r}; "
+                f"choose from {CONTROL_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class ControlReply:
+    """A shard's answer to a :class:`ControlRequest`."""
+
+    request_id: int
+    shard: int
+    kind: str
+    statistics_version: int = 1
+    payload: dict = field(default_factory=dict)

@@ -1,0 +1,310 @@
+"""Shard-local request handling: one service, one cache, one owner.
+
+:class:`ShardServer` wraps a private
+:class:`~repro.service.AcquisitionalService` (engine + plan cache +
+metrics registry + optional profiling) and speaks the message protocol
+of :mod:`repro.cluster.messages`.  The same class backs both the
+multiprocessing worker loop (:mod:`repro.cluster.worker`) and the
+in-process backend the deterministic tests drive, so every behaviour the
+cluster promises — coalescing, chaos, version sync — is testable without
+spawning processes.
+
+Coalescing happens *again* at the shard even though the front door
+already merges identical in-flight requests: a batch drained from the
+queue may contain same-shape requests the front door admitted before the
+first reply landed.  Identical ``(fingerprint, readings)`` pairs execute
+once and fan out; distinct readings under one fingerprint go through the
+service's vectorized batch path.
+
+Chaos determinism: a faulted group's RNG is seeded from
+``(fault_seed, fingerprint, readings)`` only — never from batch
+composition — so a request's outcome is byte-identical whether it was
+served alone, coalesced, or re-routed after an outage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+import numpy as np
+
+from repro.cluster.hashring import stable_hash
+from repro.cluster.messages import (
+    ControlReply,
+    ControlRequest,
+    ExecuteReply,
+    ExecuteRequest,
+    ShardConfig,
+)
+from repro.engine.engine import AcquisitionalEngine
+from repro.exceptions import ClusterError, ReproError
+from repro.planning.corrseq import CorrSeqPlanner
+from repro.planning.greedy_conditional import GreedyConditionalPlanner
+from repro.planning.greedy_sequential import GreedySequentialPlanner
+from repro.planning.naive import NaivePlanner
+from repro.planning.optimal_sequential import OptimalSequentialPlanner
+from repro.service.service import AcquisitionalService
+
+__all__ = ["ShardServer", "readings_key"]
+
+_SEED_MASK = (1 << 32) - 1
+
+
+def readings_key(readings: np.ndarray) -> str:
+    """A content hash of a readings matrix (shape + dtype + bytes).
+
+    Two requests coalesce only when their fingerprints *and* readings
+    agree — same query over different windows must execute separately.
+    """
+    matrix = np.ascontiguousarray(readings)
+    header = f"{matrix.shape}:{matrix.dtype.str}:".encode()
+    return hashlib.sha256(header + matrix.tobytes()).hexdigest()[:16]
+
+
+def _planner_factory(config: ShardConfig):
+    """Build the engine's planner factory from a picklable planner name."""
+    name = config.planner
+    max_splits = config.max_splits
+
+    def factory(distribution):
+        if name == "naive":
+            return NaivePlanner(distribution)
+        if name == "greedy-seq":
+            return GreedySequentialPlanner(distribution)
+        if name == "opt-seq":
+            return OptimalSequentialPlanner(distribution)
+        if name == "corr-seq":
+            return CorrSeqPlanner(distribution)
+        return GreedyConditionalPlanner(
+            distribution, CorrSeqPlanner(distribution), max_splits=max_splits
+        )
+
+    return factory
+
+
+class ShardServer:
+    """One shard's synchronous request handler (single-owner access).
+
+    The service, plan cache, and metrics registry are owned exclusively
+    by this server; in the process backend that ownership is physical
+    (separate address spaces), in the in-process backend it is enforced
+    by the front door serializing calls per shard.
+    """
+
+    def __init__(self, shard_id: int, config: ShardConfig) -> None:
+        self.shard_id = int(shard_id)
+        self._config = config
+        engine = AcquisitionalEngine(
+            config.schema,
+            config.history,
+            planner_factory=_planner_factory(config),
+            smoothing=config.smoothing,
+        )
+        self.service = AcquisitionalService(
+            engine,
+            cache_capacity=config.cache_capacity,
+            cache_policy=config.cache_policy,
+            verify_admission=config.verify_admission,
+            profiling=config.profiling,
+        )
+
+    # ------------------------------------------------------------------
+    # Execute path
+    # ------------------------------------------------------------------
+
+    def handle_batch(
+        self, requests: list[ExecuteRequest]
+    ) -> list[ExecuteReply]:
+        """Serve a drained batch with shard-level coalescing.
+
+        Requests are grouped by ``(fingerprint, readings, fault key)``;
+        each group executes exactly once and its reply payload is shared
+        by every member (results are immutable).  Plain groups sharing a
+        fingerprint additionally execute through the service's stacked
+        vectorized pass.
+        """
+        groups: dict[tuple, list[ExecuteRequest]] = {}
+        order: list[tuple] = []
+        digests: dict[tuple, str] = {}
+        for request in requests:
+            digest = request.fingerprint or str(
+                self.service.fingerprint(request.text)
+            )
+            fault_key = None
+            if request.fault_schedule is not None:
+                fault_key = (
+                    repr(sorted(request.fault_schedule.items())),
+                    request.fault_seed,
+                    request.degradation,
+                    request.max_retries,
+                )
+            key = (digest, readings_key(request.readings), fault_key)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+                digests[key] = digest
+            groups[key].append(request)
+
+        payloads: dict[tuple, tuple[bool, object, str, float]] = {}
+        plain = [key for key in order if key[2] is None]
+        faulted = [key for key in order if key[2] is not None]
+
+        if plain:
+            payloads.update(self._execute_plain(plain, groups))
+        for key in faulted:
+            payloads[key] = self._execute_faulted(
+                groups[key][0], digests[key], key
+            )
+
+        replies: list[ExecuteReply] = []
+        version = self.service.engine.statistics_version
+        for key in order:
+            ok, payload, error, elapsed = payloads[key]
+            members = groups[key]
+            expected = 0.0
+            if ok:
+                expected = self._expected_cost(members[0].text)
+            for request in members:
+                replies.append(
+                    ExecuteReply(
+                        request_id=request.request_id,
+                        shard=self.shard_id,
+                        ok=ok,
+                        payload=payload,
+                        error=error,
+                        statistics_version=version,
+                        group_size=len(members),
+                        expected_where_cost=expected,
+                        elapsed_seconds=elapsed,
+                    )
+                )
+        order_index = {
+            request.request_id: position
+            for position, request in enumerate(requests)
+        }
+        replies.sort(key=lambda reply: order_index[reply.request_id])
+        return replies
+
+    def _execute_plain(
+        self,
+        keys: list[tuple],
+        groups: dict[tuple, list[ExecuteRequest]],
+    ) -> dict[tuple, tuple[bool, object, str, float]]:
+        """One stacked vectorized pass over every unique plain group."""
+        start = time.perf_counter()
+        unique = [
+            (groups[key][0].text, groups[key][0].readings) for key in keys
+        ]
+        outcomes: dict[tuple, tuple[bool, object, str, float]] = {}
+        try:
+            results = self.service.execute_batch(unique)
+        except ReproError as error:
+            # Batch-level failure (e.g. a malformed statement): fall back
+            # to per-group execution so one bad request cannot poison the
+            # whole drained batch.
+            for key in keys:
+                request = groups[key][0]
+                one_start = time.perf_counter()
+                try:
+                    result = self.service.execute(
+                        request.text, request.readings
+                    )
+                except ReproError as group_error:
+                    outcomes[key] = (
+                        False,
+                        None,
+                        str(group_error),
+                        time.perf_counter() - one_start,
+                    )
+                else:
+                    outcomes[key] = (
+                        True,
+                        result,
+                        "",
+                        time.perf_counter() - one_start,
+                    )
+            del error
+            return outcomes
+        elapsed = time.perf_counter() - start
+        for key, result in zip(keys, results):
+            outcomes[key] = (True, result, "", elapsed)
+        return outcomes
+
+    def _execute_faulted(
+        self, request: ExecuteRequest, digest: str, key: tuple
+    ) -> tuple[bool, object, str, float]:
+        """Chaos path: deterministic per-(shape, readings) injection."""
+        from repro.faults.model import FaultSchedule
+        from repro.faults.policy import DegradationMode, FaultPolicy, RetryPolicy
+
+        start = time.perf_counter()
+        try:
+            schedule = FaultSchedule.from_dict(
+                dict(request.fault_schedule or {}), self._config.schema
+            )
+            policy = FaultPolicy(
+                retry=RetryPolicy(max_retries=request.max_retries),
+                degradation=DegradationMode[request.degradation.upper()],
+            )
+            rng = np.random.default_rng(
+                [
+                    request.fault_seed & _SEED_MASK,
+                    stable_hash(digest) & _SEED_MASK,
+                    stable_hash(key[1]) & _SEED_MASK,
+                ]
+            )
+            outcome = self.service.execute_resilient(
+                request.text, request.readings, schedule, rng, policy=policy
+            )
+        except (ReproError, KeyError) as error:
+            return False, None, str(error), time.perf_counter() - start
+        return True, outcome, "", time.perf_counter() - start
+
+    def _expected_cost(self, text: str) -> float:
+        """The served plan's Eq. 3 expectation (cache hit after execute)."""
+        try:
+            return self.service.plan_for(text).expected_where_cost
+        except ReproError:
+            return 0.0
+
+    # ------------------------------------------------------------------
+    # Control path
+    # ------------------------------------------------------------------
+
+    def handle_control(self, request: ControlRequest) -> ControlReply:
+        if request.kind == "ping":
+            payload = {}
+        elif request.kind == "stats":
+            payload = {
+                "stats": self.service.stats(),
+                "metrics": self.service.metrics.snapshot(),
+            }
+        elif request.kind == "sync_version":
+            payload = {"bumps": self.sync_version(request.version)}
+        elif request.kind == "shutdown":
+            payload = {}
+        else:  # pragma: no cover - constructor validates kinds
+            raise ClusterError(f"unhandled control kind {request.kind!r}")
+        return ControlReply(
+            request_id=request.request_id,
+            shard=self.shard_id,
+            kind=request.kind,
+            statistics_version=self.service.engine.statistics_version,
+            payload=payload,
+        )
+
+    def sync_version(self, version: int) -> int:
+        """Advance this shard's statistics generation to ``>= version``.
+
+        Each bump drops the shard's stale cached plans (the engine
+        notifies the service, which invalidates the cache) — this is the
+        receiving side of the cross-shard invalidation broadcast.
+        Returns the number of bumps applied.
+        """
+        bumps = 0
+        engine = self.service.engine
+        while engine.statistics_version < version:
+            engine.bump_statistics_version()
+            bumps += 1
+        return bumps

@@ -68,27 +68,40 @@ def _format_value(value: Any) -> str:
 
 
 def render_prometheus(
-    snapshot: Mapping[str, Any], prefix: str = "repro"
+    snapshot: Mapping[str, Any],
+    prefix: str = "repro",
+    labels: Mapping[str, str] | None = None,
 ) -> str:
-    """Render a registry snapshot as Prometheus exposition text."""
+    """Render a registry snapshot as Prometheus exposition text.
+
+    ``labels`` are constant labels stamped onto *every* sample — the
+    sharded serving tier uses this to render one worker's registry as
+    ``repro_queries_total{shard="3"}`` so the front door can concatenate
+    per-shard sections into a single scrape body.  Labeled-counter series
+    merge the constant labels with their own (series labels win on
+    collision, which cannot happen for the reserved ``shard`` label).
+    """
     lines: list[str] = []
+    constant = dict(labels) if labels else {}
+    plain = _render_labels(constant)
 
     for name, value in sorted(snapshot.get("counters", {}).items()):
         metric = _metric_name(prefix, name, "total")
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_format_value(value)}")
+        lines.append(f"{metric}{plain} {_format_value(value)}")
 
     for name, family in sorted(snapshot.get("labeled_counters", {}).items()):
         metric = _metric_name(prefix, name, "total")
         lines.append(f"# TYPE {metric} counter")
         for series in family.get("series", []):
-            labels = _render_labels(series.get("labels", {}))
-            lines.append(f"{metric}{labels} {_format_value(series['value'])}")
+            merged = {**constant, **series.get("labels", {})}
+            rendered = _render_labels(merged)
+            lines.append(f"{metric}{rendered} {_format_value(series['value'])}")
 
     for name, value in sorted(snapshot.get("gauges", {}).items()):
         metric = _metric_name(prefix, name)
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_format_value(value)}")
+        lines.append(f"{metric}{plain} {_format_value(value)}")
 
     for name, fields in sorted(snapshot.get("histograms", {}).items()):
         for key, value in sorted(fields.items()):
@@ -96,7 +109,7 @@ def render_prometheus(
                 continue
             metric = _metric_name(prefix, name, key)
             lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {_format_value(value)}")
+            lines.append(f"{metric}{plain} {_format_value(value)}")
 
     return "\n".join(lines) + ("\n" if lines else "")
 

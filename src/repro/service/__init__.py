@@ -21,6 +21,7 @@ from repro.service.metrics import (
     LabeledCounter,
     LatencyHistogram,
     MetricsRegistry,
+    merge_snapshots,
 )
 from repro.service.service import AcquisitionalService
 
@@ -36,4 +37,5 @@ __all__ = [
     "LabeledCounter",
     "LatencyHistogram",
     "MetricsRegistry",
+    "merge_snapshots",
 ]

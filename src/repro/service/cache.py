@@ -15,10 +15,25 @@ Two eviction policies cover the workloads we care about:
 - ``"lfu"`` — frequency (ties broken by recency): right for the heavy
   Zipf skew of production traffic, where a few hot shapes should never
   be pushed out by a scan of one-off queries.
+
+Concurrency: every operation that reads or mutates the entry map — and
+*all* of them do, since even :meth:`get` bumps recency/frequency state
+and drops stale generations — runs under one reentrant lock, so
+eviction, admission, and version-bump invalidation interleave safely
+when a cache is shared across threads.  The admission gate is
+deliberately invoked *outside* the lock: verification is orders of
+magnitude slower than a dict operation, and running it inside the
+critical section would serialize every concurrent miss behind it.  Two
+threads admitting the same key may therefore both verify, with the
+later insert winning — idempotent, since both verified the same plan.
+In the sharded serving tier each shard worker additionally owns its
+cache exclusively (single-owner-per-shard), making the lock
+uncontended on that path.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Generic, Hashable, TypeVar
@@ -103,6 +118,7 @@ class PlanCache(Generic[K, V]):
         self._policy = policy
         self._admission = admission
         self._entries: OrderedDict[K, _Entry[V]] = OrderedDict()
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -110,10 +126,12 @@ class PlanCache(Generic[K, V]):
         self._rejections = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: K) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def capacity(self) -> int:
@@ -125,65 +143,72 @@ class PlanCache(Generic[K, V]):
 
     def get(self, key: K, version: int) -> V | None:
         """The cached value, or None on miss / stale generation."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        if entry.version != version:
-            # Trained on old statistics: drop, report a miss.
-            del self._entries[key]
-            self._invalidations += 1
-            self._misses += 1
-            return None
-        self._hits += 1
-        entry.frequency += 1
-        self._entries.move_to_end(key)
-        return entry.value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            if entry.version != version:
+                # Trained on old statistics: drop, report a miss.
+                del self._entries[key]
+                self._invalidations += 1
+                self._misses += 1
+                return None
+            self._hits += 1
+            entry.frequency += 1
+            self._entries.move_to_end(key)
+            return entry.value
 
     def put(self, key: K, version: int, value: V) -> bool:
         """Insert or replace; evicts per policy once capacity is hit.
 
         Returns ``False`` (and caches nothing) when the admission gate
-        refuses the entry.
+        refuses the entry.  The gate runs outside the lock (see the
+        module docstring for why that race is benign).
         """
         if self._admission is not None and not self._admission(key, value):
-            self._rejections += 1
+            with self._lock:
+                self._rejections += 1
             return False
-        existing = self._entries.pop(key, None)
-        while len(self._entries) >= self._capacity:
-            self._evict()
-        entry = _Entry(version, value)
-        if existing is not None and existing.version == version:
-            entry.frequency = existing.frequency
-        self._entries[key] = entry
+        with self._lock:
+            existing = self._entries.pop(key, None)
+            while len(self._entries) >= self._capacity:
+                self._evict()
+            entry = _Entry(version, value)
+            if existing is not None and existing.version == version:
+                entry.frequency = existing.frequency
+            self._entries[key] = entry
         return True
 
     def invalidate_stale(self, version: int) -> int:
         """Drop every entry not trained on ``version``; returns the count."""
-        stale = [
-            key
-            for key, entry in self._entries.items()
-            if entry.version != version
-        ]
-        for key in stale:
-            del self._entries[key]
-        self._invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if entry.version != version
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            invalidations=self._invalidations,
-            size=len(self._entries),
-            capacity=self._capacity,
-            policy=self._policy,
-            rejections=self._rejections,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._entries),
+                capacity=self._capacity,
+                policy=self._policy,
+                rejections=self._rejections,
+            )
 
     def _evict(self) -> None:
         if self._policy == "lru":

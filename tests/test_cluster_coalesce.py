@@ -1,0 +1,137 @@
+"""Units: the coalescing map and the admission controller."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster.admission import AdmissionController
+from repro.cluster.coalesce import CoalescingMap
+from repro.exceptions import ClusterError
+from repro.faults.policy import DegradationMode
+
+KEY_A = ("digest-a", "readings-1", None)
+KEY_B = ("digest-b", "readings-1", None)
+
+
+def _future() -> asyncio.Future:
+    return asyncio.new_event_loop().create_future()
+
+
+class TestCoalescingMap:
+    def test_join_before_open_returns_none(self) -> None:
+        coalescer = CoalescingMap()
+        assert coalescer.join(KEY_A, _future()) is None
+        assert coalescer.dispatched_requests == 0
+
+    def test_join_attaches_to_open_entry(self) -> None:
+        coalescer = CoalescingMap()
+        first, second = _future(), _future()
+        entry = coalescer.open(KEY_A, shard=0, request_id=1, text="q", future=first)
+        joined = coalescer.join(KEY_A, second)
+        assert joined is entry
+        assert entry.fanout == 2
+        assert coalescer.coalesced_requests == 1
+        assert coalescer.inflight_requests == 2
+
+    def test_distinct_keys_do_not_coalesce(self) -> None:
+        coalescer = CoalescingMap()
+        coalescer.open(KEY_A, 0, 1, "q", _future())
+        assert coalescer.join(KEY_B, _future()) is None
+
+    def test_resolve_pops_entry_once(self) -> None:
+        coalescer = CoalescingMap()
+        coalescer.open(KEY_A, 0, 1, "q", _future())
+        coalescer.join(KEY_A, _future())
+        entry = coalescer.resolve(1)
+        assert entry is not None and entry.fanout == 2
+        assert coalescer.resolve(1) is None
+        assert len(coalescer) == 0
+        # the key is free again: the next request dispatches fresh
+        assert coalescer.join(KEY_A, _future()) is None
+
+    def test_reassign_moves_shard_and_request_id(self) -> None:
+        coalescer = CoalescingMap()
+        entry = coalescer.open(KEY_A, 0, 1, "q", _future())
+        coalescer.reassign(entry, shard=3, request_id=9)
+        assert coalescer.resolve(1) is None  # old id is dead
+        assert coalescer.pending_on(3) == [entry]
+        assert coalescer.resolve(9) is entry
+
+    def test_pending_on_filters_by_shard(self) -> None:
+        coalescer = CoalescingMap()
+        a = coalescer.open(KEY_A, 0, 1, "qa", _future())
+        b = coalescer.open(KEY_B, 1, 2, "qb", _future())
+        assert coalescer.pending_on(0) == [a]
+        assert coalescer.pending_on(1) == [b]
+        assert coalescer.pending_on(2) == []
+        assert {id(e) for e in coalescer.entries()} == {id(a), id(b)}
+
+
+class TestAdmissionController:
+    def test_under_soft_limit_everything_flows(self) -> None:
+        controller = AdmissionController(soft_limit=4, hard_limit=8)
+        decision = controller.decide(
+            inflight=3, shard_depth=3, warm=False, joinable=False
+        )
+        assert decision.admitted
+
+    def test_abstain_sheds_between_limits(self) -> None:
+        controller = AdmissionController(
+            soft_limit=4, hard_limit=8, shed_mode=DegradationMode.ABSTAIN
+        )
+        decision = controller.decide(
+            inflight=5, shard_depth=0, warm=True, joinable=False
+        )
+        assert not decision.admitted and decision.reason == "overload"
+
+    def test_skip_admits_warm_sheds_cold_between_limits(self) -> None:
+        controller = AdmissionController(
+            soft_limit=4, hard_limit=8, shed_mode=DegradationMode.SKIP
+        )
+        warm = controller.decide(inflight=5, shard_depth=0, warm=True, joinable=False)
+        cold = controller.decide(inflight=5, shard_depth=0, warm=False, joinable=False)
+        assert warm.admitted
+        assert not cold.admitted and cold.reason == "cold"
+
+    def test_hard_limit_sheds_even_warm_skip(self) -> None:
+        controller = AdmissionController(
+            soft_limit=4, hard_limit=8, shed_mode=DegradationMode.SKIP
+        )
+        decision = controller.decide(
+            inflight=8, shard_depth=0, warm=True, joinable=False
+        )
+        assert not decision.admitted and decision.reason == "overload"
+
+    def test_joinable_always_admitted(self) -> None:
+        controller = AdmissionController(soft_limit=1, hard_limit=1)
+        decision = controller.decide(
+            inflight=10_000, shard_depth=10_000, warm=False, joinable=True
+        )
+        assert decision.admitted
+
+    def test_shard_depth_limit(self) -> None:
+        controller = AdmissionController(
+            soft_limit=100, hard_limit=200, max_shard_depth=2
+        )
+        decision = controller.decide(
+            inflight=1, shard_depth=2, warm=True, joinable=False
+        )
+        assert not decision.admitted and decision.reason == "queue-depth"
+
+    def test_shed_ledger_charges_eq3_cost(self) -> None:
+        controller = AdmissionController()
+        controller.charge_shed(expected_where_cost=2.5, rows=40)
+        controller.charge_shed(expected_where_cost=0.0, rows=40)  # unknown cost
+        snapshot = controller.snapshot()
+        assert snapshot["requests_shed"] == 2
+        assert snapshot["shed_cost_avoided"] == pytest.approx(100.0)
+
+    def test_invalid_limits_rejected(self) -> None:
+        with pytest.raises(ClusterError):
+            AdmissionController(soft_limit=0)
+        with pytest.raises(ClusterError):
+            AdmissionController(soft_limit=10, hard_limit=5)
+        with pytest.raises(ClusterError):
+            AdmissionController(max_shard_depth=0)

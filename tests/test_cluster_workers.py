@@ -1,0 +1,93 @@
+"""The multiprocessing backend: real workers, queues, and outages.
+
+Kept deliberately small — every behaviour is already covered by the
+deterministic in-process tests; this file only proves the process
+plumbing (spawn, IPC marshalling, reply thread, shutdown, kill).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from tests.conftest import make_day_night_data
+from repro.cluster import ClusterConfig, ShardConfig, ShardedServiceCluster
+from repro.core import Attribute, Schema
+
+SCHEMA = Schema(
+    [
+        Attribute("hour", 2, 0.0),
+        Attribute("temp", 2, 1.0),
+        Attribute("light", 2, 1.0),
+    ]
+)
+HISTORY = make_day_night_data()
+READINGS = HISTORY[:40]
+QUERY = "SELECT temp WHERE temp = 2 AND light = 2"
+
+
+@pytest.mark.slow
+def test_process_cluster_serves_and_survives_an_outage() -> None:
+    async def main() -> None:
+        config = ClusterConfig(
+            shard_config=ShardConfig(schema=SCHEMA, history=HISTORY),
+            shards=2,
+            backend="process",
+            request_timeout=60.0,
+        )
+        async with ShardedServiceCluster(config) as cluster:
+            wave = await cluster.execute_many([(QUERY, READINGS)] * 6)
+            assert all(r.ok for r in wave)
+            assert len({r.result.rows for r in wave}) == 1
+            assert sum(r.coalesced for r in wave) == 5
+
+            stats = await cluster.stats()
+            assert sorted(stats["shards"]) == [0, 1]
+            # front-door coalescing: one execution crossed the boundary
+            assert stats["merged_metrics"]["counters"]["queries"] == 1
+
+            # chaos across the process boundary is still deterministic
+            schedule = {"faults": {"temp": {"drop_rate": 0.4}}}
+            chaos_a = await cluster.execute(
+                QUERY, READINGS, fault_schedule=schedule, fault_seed=3,
+                degradation="skip",
+            )
+            assert chaos_a.ok
+
+            victim = wave[0].shard
+            cluster.induce_outage(victim)
+            assert cluster.live_shards == frozenset({1 - victim})
+            after = await cluster.execute(QUERY, READINGS)
+            assert after.ok and after.shard == 1 - victim
+            assert after.result.rows == wave[0].result.rows
+
+            exposition = await cluster.prometheus()
+            assert f'shard="{1 - victim}"' in exposition
+
+    asyncio.run(main())
+
+
+@pytest.mark.slow
+def test_process_chaos_matches_inproc_chaos() -> None:
+    schedule = {"faults": {"temp": {"drop_rate": 0.4}}}
+
+    async def run(backend: str) -> object:
+        config = ClusterConfig(
+            shard_config=ShardConfig(schema=SCHEMA, history=HISTORY),
+            shards=2,
+            backend=backend,
+        )
+        async with ShardedServiceCluster(config) as cluster:
+            response = await cluster.execute(
+                QUERY, READINGS, fault_schedule=schedule, fault_seed=17,
+                degradation="abstain",
+            )
+            assert response.ok
+            return response.payload
+
+    via_process = asyncio.run(run("process"))
+    via_inproc = asyncio.run(run("inproc"))
+    assert via_process.result.rows == via_inproc.result.rows
+    assert via_process.abstained_rows == via_inproc.abstained_rows
+    assert via_process.retries_total == via_inproc.retries_total

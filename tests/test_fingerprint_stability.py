@@ -1,0 +1,179 @@
+"""Canonicalization stability: every spelling of a shape, one fingerprint.
+
+The sharded front door routes on the fingerprint digest and the plan
+cache keys on the fingerprint itself, so these invariances are load-
+bearing: a spelling that escaped canonicalization would land on a
+different shard with a cold cache.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Attribute, Schema
+from repro.service.fingerprint import QueryFingerprint, fingerprint_statement
+
+SCHEMA = Schema(
+    [
+        Attribute("hour", 24, 1.0),
+        Attribute("light", 12, 100.0),
+        Attribute("temp", 12, 100.0),
+    ]
+)
+
+
+def fp(text: str) -> QueryFingerprint:
+    return fingerprint_statement(text, SCHEMA)
+
+
+class TestPredicateReordering:
+    def test_conjunct_order_is_irrelevant(self) -> None:
+        a = fp("SELECT temp WHERE temp >= 3 AND light <= 4 AND hour >= 12")
+        b = fp("SELECT temp WHERE hour >= 12 AND temp >= 3 AND light <= 4")
+        c = fp("SELECT temp WHERE light <= 4 AND hour >= 12 AND temp >= 3")
+        assert a == b == c
+        assert a.digest == b.digest == c.digest
+
+    def test_all_permutations_of_three_conjuncts(self) -> None:
+        conjuncts = ["temp >= 3", "light <= 4", "hour BETWEEN 2 AND 20"]
+        fingerprints = set()
+        rng = random.Random(7)
+        for _ in range(10):
+            rng.shuffle(conjuncts)
+            fingerprints.add(fp("SELECT * WHERE " + " AND ".join(conjuncts)))
+        assert len(fingerprints) == 1
+
+    def test_or_branch_order_is_irrelevant(self) -> None:
+        a = fp("SELECT temp WHERE temp >= 9 OR light <= 2")
+        b = fp("SELECT temp WHERE light <= 2 OR temp >= 9")
+        assert a == b
+
+
+class TestRangeNormalization:
+    def test_bounds_clamp_to_domain(self) -> None:
+        # temp has 12 buckets: `temp <= 50` and `temp <= 12` accept the
+        # same tuples, as do `temp >= -3` and `temp >= 1`.
+        assert fp("SELECT * WHERE temp <= 50") == fp("SELECT * WHERE temp <= 12")
+        assert fp("SELECT * WHERE temp >= 1") == fp(
+            "SELECT * WHERE temp BETWEEN 1 AND 12"
+        )
+
+    def test_between_equals_two_sided_spelling(self) -> None:
+        assert fp("SELECT * WHERE temp BETWEEN 3 AND 7") == fp(
+            "SELECT * WHERE temp >= 3 AND temp <= 7"
+        )
+
+    def test_equality_is_a_degenerate_range(self) -> None:
+        assert fp("SELECT * WHERE hour = 5") == fp(
+            "SELECT * WHERE hour BETWEEN 5 AND 5"
+        )
+
+    def test_strict_comparisons_normalize_to_inclusive(self) -> None:
+        assert fp("SELECT * WHERE temp > 3") == fp("SELECT * WHERE temp >= 4")
+        assert fp("SELECT * WHERE temp < 7") == fp("SELECT * WHERE temp <= 6")
+
+
+class TestBooleanForms:
+    def test_nested_ands_flatten(self) -> None:
+        flat = fp("SELECT * WHERE temp >= 3 AND light <= 4 AND hour >= 2")
+        nested = fp("SELECT * WHERE (temp >= 3 AND light <= 4) AND hour >= 2")
+        nested2 = fp("SELECT * WHERE temp >= 3 AND (light <= 4 AND hour >= 2)")
+        assert flat == nested == nested2
+
+    def test_nested_ors_flatten(self) -> None:
+        a = fp("SELECT * WHERE (temp >= 9 OR light <= 2) OR hour >= 22")
+        b = fp("SELECT * WHERE temp >= 9 OR (light <= 2 OR hour >= 22)")
+        c = fp("SELECT * WHERE hour >= 22 OR temp >= 9 OR light <= 2")
+        assert a == b == c
+
+    def test_distributed_form_keeps_structure(self) -> None:
+        # (a OR b) AND c is *not* the same shape as a OR (b AND c):
+        # canonicalization must never conflate genuinely different
+        # semantics.
+        a = fp("SELECT * WHERE (temp >= 9 OR light <= 2) AND hour >= 12")
+        b = fp("SELECT * WHERE temp >= 9 OR (light <= 2 AND hour >= 12)")
+        assert a != b
+
+    def test_not_between_is_distinct(self) -> None:
+        assert fp("SELECT * WHERE NOT temp BETWEEN 3 AND 7") != fp(
+            "SELECT * WHERE temp BETWEEN 3 AND 7"
+        )
+
+
+class TestProjectionResolution:
+    def test_star_resolves_to_schema_order(self) -> None:
+        star = fp("SELECT * WHERE temp >= 3")
+        explicit = fp("SELECT hour, light, temp WHERE temp >= 3")
+        assert star == explicit
+        assert star.select == ("hour", "light", "temp")
+
+    def test_projection_order_is_significant(self) -> None:
+        # column order changes the returned rows' shape — not conflated
+        a = fp("SELECT light, temp WHERE temp >= 3")
+        b = fp("SELECT temp, light WHERE temp >= 3")
+        assert a != b
+
+
+class TestDigestProperties:
+    def test_distinct_shapes_get_distinct_fingerprints(self) -> None:
+        shapes = [
+            "SELECT temp WHERE temp >= 3",
+            "SELECT temp WHERE temp >= 4",
+            "SELECT light WHERE temp >= 3",
+            "SELECT temp WHERE light >= 3",
+            "SELECT temp WHERE temp >= 3 AND light >= 3",
+            "SELECT temp WHERE temp >= 3 OR light >= 3",
+        ]
+        fingerprints = [fp(s) for s in shapes]
+        assert len(set(fingerprints)) == len(shapes)
+        assert len({f.digest for f in fingerprints}) == len(shapes)
+
+    def test_digest_is_pinned_across_processes(self) -> None:
+        # sha256-derived, so stable across runs and PYTHONHASHSEED values
+        # (routing depends on this agreement between processes).
+        fingerprint = fp("SELECT temp WHERE temp >= 3 AND light <= 4")
+        assert fingerprint.digest == fp(
+            "SELECT temp WHERE light <= 4 AND temp >= 3"
+        ).digest
+        assert len(fingerprint.digest) == 16
+        int(fingerprint.digest, 16)  # hex digest
+
+    def test_str_is_digest(self) -> None:
+        fingerprint = fp("SELECT temp WHERE temp >= 3")
+        assert str(fingerprint) == fingerprint.digest
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bounds=st.lists(
+        st.tuples(
+            st.sampled_from(["hour", "light", "temp"]),
+            st.integers(min_value=-5, max_value=30),
+            st.integers(min_value=0, max_value=40),
+        ),
+        min_size=1,
+        max_size=3,
+        unique_by=lambda t: t[0],
+    ),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_random_conjunct_permutations_share_a_fingerprint(bounds, seed) -> None:
+    domains = {"hour": 24, "light": 12, "temp": 12}
+    conjuncts = []
+    for name, low, high in bounds:
+        low_c = max(1, min(low, domains[name]))
+        high_c = max(low_c, min(high, domains[name]))
+        conjuncts.append(f"{name} BETWEEN {low_c} AND {high_c}")
+    baseline = fp("SELECT * WHERE " + " AND ".join(conjuncts))
+    shuffled = conjuncts[:]
+    random.Random(seed).shuffle(shuffled)
+    assert fp("SELECT * WHERE " + " AND ".join(shuffled)) == baseline
+
+
+def test_unknown_attribute_still_rejected() -> None:
+    with pytest.raises(Exception):
+        fp("SELECT * WHERE banana >= 2")
