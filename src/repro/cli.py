@@ -20,6 +20,8 @@ Mirrors the basestation workflow of the paper's architecture
     repro lint-plan --schema trace/schema.json --plan plan.json \
                   --trace trace/train.csv --query "SELECT * WHERE ..."
     repro lint-plan --suite
+    repro lint-code src/repro/service/service.py --json
+    repro lint-code --suite --out lint-code.json
     repro analyze --schema trace/schema.json --plan plan.json \
                   --query "SELECT * WHERE ..."
     repro analyze --schema trace/schema.json --plan plan.json --fix \
@@ -92,6 +94,7 @@ from repro.faults import (
     FaultTolerantExecutor,
     RetryPolicy,
 )
+from repro.lint import lint_paths, lint_repo, run_corpus
 from repro.obs import (
     DEFAULT_DRIFT_THRESHOLD,
     DriftMonitor,
@@ -432,6 +435,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json", help="JSON report output"
     )
 
+    lint_code = commands.add_parser(
+        "lint-code",
+        help="run the repro-lint static analyzer over source files or the "
+        "whole package plus its violation corpus (--suite)",
+        description="Run the domain-aware static analyzer (DET/RC/ASY/LED "
+        "rule families; see docs/LINTING.md) over the given source files, "
+        "or with --suite first self-test every rule on the seeded "
+        "violation corpus and then scan the whole repro package.  Exit "
+        "status matches `repro lint-plan`/`repro analyze`: 0 when no "
+        "ERROR-level finding fires (warnings do not fail), 1 on any ERROR "
+        "or corpus failure, 2 on usage or I/O errors.  Honours the global "
+        "--log-level flag.",
+    )
+    lint_code.add_argument(
+        "paths",
+        type=Path,
+        nargs="*",
+        help="Python source files to lint (omit with --suite)",
+    )
+    lint_code.add_argument(
+        "--suite",
+        action="store_true",
+        help="self-test every rule on the violation corpus, then lint "
+        "every module of the repro package; exit 1 on any ERROR finding "
+        "or corpus failure",
+    )
+    lint_code.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package root for --suite's repo scan and for deriving "
+        "module names (default: the installed repro source tree)",
+    )
+    lint_code.add_argument(
+        "--json", action="store_true", dest="as_json", help="JSON report output"
+    )
+    lint_code.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the JSON report to this file (the CI artifact)",
+    )
+
     profile = commands.add_parser(
         "profile",
         help="plan a query, execute it with per-node profiling, and print an "
@@ -722,10 +768,7 @@ def _command_chaos(args: argparse.Namespace) -> int:
                 if value is None or not predicate.satisfied_by(value):
                     unsound.append(row)
                     break
-    ledger_gap = abs(
-        outcome.total_cost - (outcome.base_cost + outcome.retry_cost)
-    )
-    ledger_ok = ledger_gap <= 1e-6 * max(1.0, outcome.total_cost)
+    ledger_ok = outcome.ledger_conserved()
     failed = bool(unsound) or not ledger_ok
 
     if args.as_json:
@@ -1389,6 +1432,47 @@ def _command_lint_plan(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _command_lint_code(args: argparse.Namespace) -> int:
+    """Static source analysis: file mode, or corpus self-test + repo scan."""
+    if args.suite:
+        if args.paths:
+            raise ReproError("lint-code --suite takes no positional files")
+        corpus_failures = run_corpus()
+        report = lint_repo(root=args.root)
+        payload = {
+            "ok": report.ok and not corpus_failures,
+            "corpus": {
+                "ok": not corpus_failures,
+                "failures": corpus_failures,
+            },
+            "report": report.as_dict(),
+        }
+        if args.out is not None:
+            args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        if args.as_json:
+            print(json.dumps(payload, indent=2))
+        else:
+            if corpus_failures:
+                print(f"corpus FAILED ({len(corpus_failures)} case(s)):")
+                for failure in corpus_failures:
+                    print(f"  - {failure}")
+            else:
+                print("corpus ok: every rule fires on its seeded violation")
+            print(report.format())
+        return 0 if report.ok and not corpus_failures else 1
+
+    if not args.paths:
+        raise ReproError("lint-code needs source files (or --suite)")
+    report = lint_paths(args.paths, root=args.root)
+    if args.out is not None:
+        args.out.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+    if args.as_json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
 def _analysis_self_test() -> list[str]:
     """The DF rules' negative and positive controls; returns failures.
 
@@ -1623,6 +1707,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-sharded": _command_serve_sharded,
         "shard-stats": _command_shard_stats,
         "lint-plan": _command_lint_plan,
+        "lint-code": _command_lint_code,
         "analyze": _command_analyze,
         "profile": _command_profile,
         "metrics": _command_metrics,

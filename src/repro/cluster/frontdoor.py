@@ -36,7 +36,7 @@ import logging
 import threading
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
@@ -148,9 +148,13 @@ class _InProcessBackend:
         self._pending: dict[int, list[object]] = {}
         self._scheduled: set[int] = set()
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._on_message = None
+        self._on_message: Callable[[object], None] | None = None
 
-    def start(self, loop, on_message) -> None:
+    def start(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        on_message: Callable[[object], None],
+    ) -> None:
         self._loop = loop
         self._on_message = on_message
         for shard_id, config in self._configs.items():
@@ -174,6 +178,8 @@ class _InProcessBackend:
         self._pending[shard] = []
         if server is None or not batch:
             return
+        on_message = self._on_message
+        assert on_message is not None  # set by start() before any send()
         window = self._configs[shard].batch_window
         executes: list[ExecuteRequest] = []
 
@@ -182,14 +188,14 @@ class _InProcessBackend:
                 chunk = executes[:window]
                 del executes[:window]
                 for reply in server.handle_batch(chunk):
-                    self._on_message(reply)
+                    on_message(reply)
 
         for message in batch:
             if isinstance(message, ExecuteRequest):
                 executes.append(message)
             elif isinstance(message, ControlRequest):
                 flush()
-                self._on_message(server.handle_control(message))
+                on_message(server.handle_control(message))
         flush()
 
     def alive(self, shard: int) -> bool:
@@ -226,9 +232,13 @@ class _ProcessBackend:
         self._dead: set[int] = set()
         self._stopping = threading.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._on_message = None
+        self._on_message: Callable[[object], None] | None = None
 
-    def start(self, loop, on_message) -> None:
+    def start(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        on_message: Callable[[object], None],
+    ) -> None:
         from repro.cluster.worker import worker_main
 
         self._loop = loop
@@ -258,6 +268,8 @@ class _ProcessBackend:
     def _read_replies(self, shard: int, reply_queue: Any) -> None:
         import queue as queue_module
 
+        on_message = self._on_message
+        assert on_message is not None  # set by start() before threads spawn
         while not self._stopping.is_set() and shard not in self._dead:
             try:
                 message = reply_queue.get(timeout=0.2)
@@ -267,7 +279,7 @@ class _ProcessBackend:
                 break
             loop = self._loop
             if loop is not None and not loop.is_closed():
-                loop.call_soon_threadsafe(self._on_message, message)
+                loop.call_soon_threadsafe(on_message, message)
 
     def send(self, shard: int, message: object) -> None:
         queue = self._request_queues.get(shard)
@@ -373,7 +385,7 @@ class ShardedServiceCluster:
         self._started = True
         await asyncio.gather(
             *(
-                self._control(shard, "ping", timeout=self._config.control_timeout)
+                self._control(shard, "ping")
                 for shard in sorted(self._live)
             )
         )
@@ -385,7 +397,13 @@ class ShardedServiceCluster:
         self._started = False
         for task in list(self._broadcast_tasks):
             task.cancel()
-        self._backend.stop()
+        # The process backend joins workers (up to seconds); run it off
+        # the loop so concurrent traffic sees clean shutdown errors
+        # instead of a frozen event loop (the ASY001 discipline, one
+        # call deeper than the rule can see).
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._backend.stop
+        )
         for entry in self._coalescer.entries():
             if entry.timeout_handle is not None:
                 entry.timeout_handle.cancel()
@@ -404,7 +422,7 @@ class ShardedServiceCluster:
         await self.start()
         return self
 
-    async def __aexit__(self, *_exc) -> None:
+    async def __aexit__(self, *_exc: object) -> None:
         await self.stop()
 
     @property
@@ -515,7 +533,7 @@ class ShardedServiceCluster:
         )
 
     async def execute_many(
-        self, requests: list[tuple[str, np.ndarray]], **kwargs
+        self, requests: list[tuple[str, np.ndarray]], **kwargs: Any
     ) -> list[ClusterResponse]:
         """Serve a wave of requests concurrently (results in order).
 
@@ -772,11 +790,7 @@ class ShardedServiceCluster:
     # ------------------------------------------------------------------
 
     async def _control(
-        self,
-        shard: int,
-        kind: str,
-        version: int = 0,
-        timeout: float | None = None,
+        self, shard: int, kind: str, version: int = 0
     ) -> ControlReply:
         loop = asyncio.get_running_loop()
         request_id = next(self._ids)
@@ -790,7 +804,7 @@ class ShardedServiceCluster:
                 ),
             )
             return await asyncio.wait_for(
-                future, timeout=timeout or self._config.control_timeout
+                future, timeout=self._config.control_timeout
             )
         except (asyncio.TimeoutError, ShardUnavailableError):
             self._control_pending.pop(request_id, None)

@@ -37,13 +37,15 @@ from repro.cluster.messages import (
     ExecuteRequest,
     ShardConfig,
 )
-from repro.engine.engine import AcquisitionalEngine
+from repro.engine.engine import AcquisitionalEngine, PlannerFactory
 from repro.exceptions import ClusterError, ReproError
+from repro.planning.base import Planner
 from repro.planning.corrseq import CorrSeqPlanner
 from repro.planning.greedy_conditional import GreedyConditionalPlanner
 from repro.planning.greedy_sequential import GreedySequentialPlanner
 from repro.planning.naive import NaivePlanner
 from repro.planning.optimal_sequential import OptimalSequentialPlanner
+from repro.probability.empirical import EmpiricalDistribution
 from repro.service.service import AcquisitionalService
 
 __all__ = ["ShardServer", "readings_key"]
@@ -62,12 +64,12 @@ def readings_key(readings: np.ndarray) -> str:
     return hashlib.sha256(header + matrix.tobytes()).hexdigest()[:16]
 
 
-def _planner_factory(config: ShardConfig):
+def _planner_factory(config: ShardConfig) -> PlannerFactory:
     """Build the engine's planner factory from a picklable planner name."""
     name = config.planner
     max_splits = config.max_splits
 
-    def factory(distribution):
+    def factory(distribution: EmpiricalDistribution) -> Planner:
         if name == "naive":
             return NaivePlanner(distribution)
         if name == "greedy-seq":

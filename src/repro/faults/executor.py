@@ -138,6 +138,21 @@ class FaultedDatasetExecution:
         return float(sum(r.retry_cost for r in self.results))
 
     @property
+    def ledger_gap(self) -> float:
+        """The absolute Eq. 3 conservation gap: |total - (base + retry)|.
+
+        This is *the* audited derivation — the chaos CLI and the chaos
+        test matrix both call it rather than re-deriving the gap ad hoc
+        (repro-lint LED002 enforces that discipline outside the fault
+        modules).
+        """
+        return abs(self.total_cost - (self.base_cost + self.retry_cost))
+
+    def ledger_conserved(self, tolerance: float = 1e-6) -> bool:
+        """Does the two-sided ledger conserve within relative tolerance?"""
+        return self.ledger_gap <= tolerance * max(1.0, self.total_cost)
+
+    @property
     def costs(self) -> np.ndarray:
         return np.array([r.cost for r in self.results], dtype=float)
 

@@ -1,0 +1,198 @@
+"""Finding records and the stable code catalog for ``repro-lint``.
+
+The source analyzer mirrors the plan verifier's diagnostics model
+(:mod:`repro.verify.diagnostics`): every finding is a stable code, a
+severity, an anchor (here ``path:line:col`` instead of a plan-node
+path), a message, and a fix hint.  Codes are API — the corpus self-test,
+the CI gate, and suppression comments match on them — so they live in
+one catalog and are never renumbered or reused.  ``docs/LINTING.md``
+renders the same catalog for humans.
+
+Rule families:
+
+- ``DET`` — determinism: unseeded RNG, wall-clock reads in
+  deterministic paths, unordered-set iteration;
+- ``RC``  — race conditions: unlocked writes to lock-guarded shared
+  state, lock-order cycles, non-reentrant self-deadlock;
+- ``ASY`` — asyncio discipline: blocking calls and sync I/O on the
+  event loop, deprecated loop acquisition;
+- ``LED`` — ledger discipline: raw Eq. 3 cost/energy arithmetic outside
+  the approved ledger helper modules;
+- ``LINT`` — meta findings about the lint run itself (bad suppressions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.verify.diagnostics import Severity
+
+__all__ = [
+    "LINT_CATALOG",
+    "LintFinding",
+    "LintReport",
+    "make_finding",
+]
+
+
+# code -> (severity, title) for every rule repro-lint implements.
+# Stable: codes are never renumbered or reused for a different rule.
+LINT_CATALOG: dict[str, tuple[Severity, str]] = {
+    # Determinism
+    "DET001": (Severity.ERROR, "unseeded random-number generation"),
+    "DET002": (Severity.ERROR, "wall-clock read in a deterministic path"),
+    "DET003": (Severity.WARNING, "order-sensitive iteration over an unordered set"),
+    # Race conditions / locking discipline
+    "RC001": (Severity.ERROR, "unlocked write to lock-guarded shared state"),
+    "RC002": (Severity.ERROR, "lock-acquisition-order cycle between classes"),
+    "RC003": (Severity.ERROR, "nested acquisition of a non-reentrant lock"),
+    # Asyncio discipline
+    "ASY001": (Severity.ERROR, "blocking call inside an async function"),
+    "ASY002": (Severity.WARNING, "synchronous file I/O inside an async function"),
+    "ASY003": (Severity.ERROR, "asyncio.get_event_loop in library code"),
+    # Ledger discipline (Equation 3 auditability)
+    "LED001": (Severity.ERROR, "ledger field mutated outside the approved ledger modules"),
+    "LED002": (Severity.WARNING, "ad-hoc arithmetic over ledger quantities outside the approved ledger modules"),
+    # Meta
+    "LINT001": (Severity.WARNING, "suppression names an unknown lint code"),
+}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One source-level finding: stable code, severity, anchor, message.
+
+    ``path``/``line``/``col`` anchor the finding in the file (1-based
+    line, 0-based column, as in the CPython ``ast`` module); ``module``
+    is the dotted module name the anchor lives in.
+    """
+
+    code: str
+    severity: Severity
+    module: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        line = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.value.upper()} {self.code} {self.message}"
+        )
+        if self.hint:
+            line += f" (hint: {self.hint})"
+        return line
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "module": self.module,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def make_finding(
+    code: str,
+    module: str,
+    path: str,
+    line: int,
+    col: int,
+    message: str,
+    hint: str = "",
+) -> LintFinding:
+    """Build a finding with the catalog's severity for ``code``."""
+    severity, _title = LINT_CATALOG[code]
+    return LintFinding(
+        code=code,
+        severity=severity,
+        module=module,
+        path=path,
+        line=line,
+        col=col,
+        message=message,
+        hint=hint,
+    )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The ordered findings of one lint run."""
+
+    findings: tuple[LintFinding, ...] = field(default_factory=tuple)
+    subject: str = "source"
+    files: int = 0
+
+    def __iter__(self) -> Iterator[LintFinding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    @property
+    def errors(self) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """No ERROR-severity findings (warnings do not block)."""
+        return not self.errors
+
+    def codes(self) -> frozenset[str]:
+        return frozenset(f.code for f in self.findings)
+
+    def has(self, code: str) -> bool:
+        return any(f.code == code for f in self.findings)
+
+    def merged(self, other: "LintReport") -> "LintReport":
+        return LintReport.from_findings(
+            self.findings + other.findings,
+            subject=self.subject,
+            files=self.files + other.files,
+        )
+
+    def format(self) -> str:
+        if not self.findings:
+            return (
+                f"{self.subject}: clean "
+                f"({self.files} file(s), no findings)"
+            )
+        lines = [
+            f"{self.subject}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) across {self.files} file(s)"
+        ]
+        lines.extend(f.format() for f in self.findings)
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "files": self.files,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[LintFinding],
+        subject: str = "source",
+        files: int = 0,
+    ) -> "LintReport":
+        ordered = sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.code)
+        )
+        return cls(findings=tuple(ordered), subject=subject, files=files)

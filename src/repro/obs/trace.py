@@ -10,9 +10,13 @@ A :class:`Tracer` both buffers recent events in a bounded deque (for
 tests and the ``stats()``-style introspection) and, when given a stream,
 appends each event as one JSON line the moment it is emitted — the
 format ``repro serve-bench --trace-out`` writes and
-``docs/OBSERVABILITY.md`` documents.  Timestamps are wall-clock seconds
-(``time.time()``); durations are measured by callers with a monotonic
-clock and passed in.
+``docs/OBSERVABILITY.md`` documents.  Timestamps come from the tracer's
+*injectable clock* — a zero-argument callable handed to the
+constructor, defaulting to wall-clock ``time.time`` — so tests replay
+traces deterministically by injecting a fake clock; durations are
+measured by callers with a monotonic clock and passed in.  The default
+parameter below is the one allowlisted wall-clock site the ``DET002``
+lint rule permits (``docs/LINTING.md``).
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ import json
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, IO, Iterator
+from typing import Any, Callable, IO, Iterator
 
 __all__ = ["TRACE_PHASES", "TraceEvent", "Tracer"]
 
@@ -73,13 +77,21 @@ class Tracer:
     ``capacity`` bounds the in-memory buffer (oldest events fall off);
     the output stream, when given, sees *every* event regardless of the
     buffer.  The tracer never closes the stream it was handed.
+    ``clock`` supplies event timestamps (seconds); inject a
+    deterministic callable to make traces reproducible under test.
     """
 
-    def __init__(self, stream: IO[str] | None = None, capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        capacity: int = 4096,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self._stream = stream
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self._spans = itertools.count(1)
         self._emitted = 0
+        self._clock = clock
 
     def new_span(self) -> str:
         """A fresh span id grouping the events of one service call."""
@@ -95,7 +107,7 @@ class Tracer:
         **fields: Any,
     ) -> TraceEvent:
         event = TraceEvent(
-            ts=time.time(),
+            ts=self._clock(),
             span=span,
             phase=phase,
             fingerprint=fingerprint,

@@ -33,7 +33,7 @@ version stamp tracks.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ from repro.engine.engine import (
 )
 from repro.engine.language import ParsedQuery, parse_query
 from repro.exceptions import PlanVerificationError, QueryError, ServiceError
-from repro.execution.streaming import AdaptiveStreamExecutor
+from repro.execution.streaming import AdaptiveStreamExecutor, ReplanEvent
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import QueryFingerprint, fingerprint_parsed
 from repro.service.metrics import MetricsRegistry
@@ -55,7 +55,7 @@ from repro.verify import verify_plan
 if TYPE_CHECKING:
     from repro.faults.model import FaultSchedule
     from repro.faults.policy import FaultPolicy
-    from repro.obs.drift import DriftReport
+    from repro.obs.drift import DriftMonitor, DriftReport
     from repro.obs.profile import PlanProfile
     from repro.obs.trace import Tracer
 
@@ -72,10 +72,10 @@ class _PlanObservability:
     ) -> None:
         self.prepared = prepared
         self.profile = profile
-        self._monitor = None
+        self._monitor: "DriftMonitor | None" = None
         self._threshold = threshold
 
-    def monitor(self, engine: AcquisitionalEngine):
+    def monitor(self, engine: AcquisitionalEngine) -> "DriftMonitor":
         if self._monitor is None:
             from repro.obs.drift import DriftMonitor
 
@@ -484,7 +484,7 @@ class AcquisitionalService:
         return self._engine.refit(history, smoothing=smoothing)
 
     def stream_executor(
-        self, text: str, **kwargs
+        self, text: str, **kwargs: Any
     ) -> AdaptiveStreamExecutor:
         """An adaptive stream executor wired into cache invalidation.
 
@@ -508,7 +508,7 @@ class AcquisitionalService:
                 "for additional replan handling"
             )
 
-        def on_replan(event) -> None:
+        def on_replan(event: ReplanEvent) -> None:
             self._metrics.counter("stream_replans").increment()
             if event.reason == "outage":
                 self._metrics.counter("outage_replans").increment()

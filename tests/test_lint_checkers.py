@@ -1,0 +1,451 @@
+"""Unit tests for the individual repro-lint rule families.
+
+The corpus test proves every rule *can* fire; these tests pin down the
+discriminations that make the rules usable — alias resolution, the
+deterministic-module scoping, the wall-clock allowlist, the
+locked-helper exemption, cross-module lock graphs, and the suppression
+machinery.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.lint import LintConfig, ReproLinter, lint_source
+
+
+def _lint(source, module="repro.cluster.example", config=None):
+    return lint_source(
+        textwrap.dedent(source).strip() + "\n", module=module, config=config
+    )
+
+
+class TestDeterminism:
+    def test_det001_sees_through_import_aliases(self):
+        report = _lint(
+            """
+            import numpy as np
+
+            def jitter(n):
+                return np.random.rand(n)
+            """
+        )
+        assert report.has("DET001")
+
+    def test_det001_sees_from_import_aliases(self):
+        report = _lint(
+            """
+            from random import choice as pick
+
+            def sample(items):
+                return pick(items)
+            """
+        )
+        assert report.has("DET001")
+
+    def test_seeded_generators_are_clean(self):
+        report = _lint(
+            """
+            import numpy as np
+
+            def jitter(n, seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(n)
+            """
+        )
+        assert not report.has("DET001")
+
+    def test_det002_scopes_to_deterministic_modules(self):
+        source = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        assert _lint(source, module="repro.planning.example").has("DET002")
+        # The CLI is allowed to read the wall clock: it reports to
+        # humans, it does not participate in reproducible plans.
+        assert not _lint(source, module="repro.cli").has("DET002")
+
+    def test_det002_allowlist_keys_on_module_and_qualname(self):
+        source = """
+        import time
+
+        class Tracer:
+            def __init__(self, clock=time.time):
+                self._clock = clock
+        """
+        assert not _lint(source, module="repro.obs.trace").has("DET002")
+        assert _lint(source, module="repro.obs.other").has("DET002")
+
+    def test_det003_flags_set_iteration(self):
+        report = _lint(
+            """
+            def order(shards):
+                return [shard for shard in {1, 2, 3}]
+            """,
+            module="repro.planning.example",
+        )
+        assert report.has("DET003")
+
+    def test_sorted_set_iteration_is_clean(self):
+        report = _lint(
+            """
+            def order(shards):
+                return [shard for shard in sorted(shards)]
+            """,
+            module="repro.planning.example",
+        )
+        assert not report.has("DET003")
+
+
+class TestConcurrency:
+    def test_rc001_unlocked_write_to_guarded_state(self):
+        report = _lint(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def put(self, key, value):
+                    self._entries[key] = value
+            """
+        )
+        assert report.has("RC001")
+
+    def test_rc001_locked_write_is_clean(self):
+        report = _lint(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._entries[key] = value
+            """
+        )
+        assert not report.has("RC001")
+
+    def test_rc001_locked_helper_exemption(self):
+        # The PlanCache._evict idiom: the helper writes without taking
+        # the lock because its only callers already hold it.
+        report = _lint(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._entries[key] = value
+                        self._evict()
+
+                def _evict(self):
+                    while len(self._entries) > 4:
+                        self._entries.popitem()
+            """
+        )
+        assert not report.has("RC001")
+
+    def test_rc002_cycle_across_modules(self):
+        linter = ReproLinter()
+        linter.add_source(
+            textwrap.dedent(
+                """
+                import threading
+
+                from repro.cluster.b import Registry
+
+                class Router:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._registry = Registry()
+
+                    def route(self, key):
+                        with self._lock:
+                            return self._registry.lookup(key)
+                """
+            ).strip()
+            + "\n",
+            "repro.cluster.a",
+            path="a.py",
+        )
+        linter.add_source(
+            textwrap.dedent(
+                """
+                import threading
+
+                from repro.cluster.a import Router
+
+                class Registry:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._router = Router()
+
+                    def lookup(self, key):
+                        with self._lock:
+                            return self._router.route(key)
+                """
+            ).strip()
+            + "\n",
+            "repro.cluster.b",
+            path="b.py",
+        )
+        assert linter.report().has("RC002")
+
+    def test_rc003_rlock_reacquisition_is_clean(self):
+        report = _lint(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._entries = {}
+
+                def size(self):
+                    with self._lock:
+                        return len(self._entries)
+
+                def audit(self):
+                    with self._lock:
+                        return self.size()
+            """
+        )
+        assert not report.has("RC003")
+
+    def test_rc003_sibling_reacquire_of_plain_lock(self):
+        report = _lint(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def size(self):
+                    with self._lock:
+                        return len(self._entries)
+
+                def audit(self):
+                    with self._lock:
+                        return self.size()
+            """
+        )
+        assert report.has("RC003")
+
+
+class TestAsynchrony:
+    def test_asy001_only_fires_in_async_bodies(self):
+        sync = _lint(
+            """
+            import time
+
+            def backoff(attempt):
+                time.sleep(0.1 * attempt)
+            """
+        )
+        assert not sync.has("ASY001")
+
+    def test_asy001_does_not_fire_in_nested_sync_def(self):
+        report = _lint(
+            """
+            import time
+
+            async def schedule(loop):
+                def blocking():
+                    time.sleep(1.0)
+                return await loop.run_in_executor(None, blocking)
+            """
+        )
+        assert not report.has("ASY001")
+
+    def test_asy001_str_join_is_not_a_thread_join(self):
+        report = _lint(
+            """
+            async def render(parts):
+                return ", ".join(parts)
+            """
+        )
+        assert not report.has("ASY001")
+
+    def test_asy001_thread_join_fires(self):
+        report = _lint(
+            """
+            async def drain(reader):
+                reader.join()
+            """
+        )
+        assert report.has("ASY001")
+
+    def test_asy003_fires_in_sync_code_too(self):
+        report = _lint(
+            """
+            import asyncio
+
+            def loop_of():
+                return asyncio.get_event_loop()
+            """
+        )
+        assert report.has("ASY003")
+
+    def test_get_running_loop_is_clean(self):
+        report = _lint(
+            """
+            import asyncio
+
+            async def loop_of():
+                return asyncio.get_running_loop()
+            """
+        )
+        assert not report.has("ASY003")
+
+
+class TestLedger:
+    def test_led001_raw_charge_outside_ledger_modules(self):
+        report = _lint(
+            """
+            class Meter:
+                def __init__(self):
+                    self.total_cost = 0.0
+
+                def record(self, reply):
+                    self.total_cost += reply.cost
+            """,
+            module="repro.service.example",
+        )
+        assert report.has("LED001")
+
+    def test_led001_silent_inside_ledger_modules(self):
+        report = _lint(
+            """
+            class Meter:
+                def __init__(self):
+                    self.total_cost = 0.0
+
+                def record(self, reply):
+                    self.total_cost += reply.cost
+            """,
+            module="repro.faults.example",
+        )
+        assert not report.has("LED001")
+
+    def test_storing_a_received_cost_is_clean(self):
+        report = _lint(
+            """
+            class Meter:
+                def __init__(self):
+                    self.known_cost = {}
+
+                def record(self, digest, reply):
+                    self.known_cost[digest] = reply.expected_cost
+            """,
+            module="repro.service.example",
+        )
+        assert not report.has("LED001")
+
+    def test_led002_adhoc_derivation_warns(self):
+        report = _lint(
+            """
+            def gap(total_cost, base_cost):
+                return total_cost - base_cost
+            """,
+            module="repro.service.example",
+        )
+        assert report.has("LED002")
+        assert report.ok  # LED002 is a warning; it does not block
+
+
+class TestSuppressions:
+    def test_line_suppression_silences_one_finding(self):
+        report = _lint(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)  # repro-lint: disable=DET001
+            """
+        )
+        assert not report.has("DET001")
+
+    def test_file_suppression_silences_the_whole_module(self):
+        report = _lint(
+            """
+            # repro-lint: disable-file=DET001
+            import random
+
+            def pick(items):
+                return random.choice(items)
+
+            def shuffle(items):
+                random.shuffle(items)
+            """
+        )
+        assert not report.has("DET001")
+
+    def test_unknown_code_fires_lint001(self):
+        report = _lint(
+            """
+            def nothing():
+                return None  # repro-lint: disable=NOPE123
+            """
+        )
+        assert report.has("LINT001")
+
+    def test_suppression_does_not_leak_to_other_lines(self):
+        report = _lint(
+            """
+            import random
+
+            def pick(items):
+                x = random.choice(items)  # repro-lint: disable=DET001
+                return random.choice(items)
+            """
+        )
+        assert report.has("DET001")
+
+
+class TestConfigAndEngine:
+    def test_enabled_filter_restricts_codes(self):
+        config = LintConfig(enabled=frozenset({"ASY003"}))
+        report = _lint(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """,
+            config=config,
+        )
+        assert not report.has("DET001")
+
+    def test_syntax_errors_become_repro_errors(self):
+        with pytest.raises(ReproError):
+            lint_source("def broken(:\n", module="repro.cluster.example")
+
+    def test_report_orders_findings_by_position(self):
+        report = _lint(
+            """
+            import random
+
+            def second():
+                return random.random()
+
+            def first():
+                return random.random()
+            """
+        )
+        lines = [finding.line for finding in report.findings]
+        assert lines == sorted(lines)

@@ -1,0 +1,27 @@
+"""The repo-wide gate: the shipped repro package lints clean.
+
+This is the same scan ``repro lint-code --suite`` and the CI job run.
+Keeping it in the tier-1 suite means a determinism, locking, asyncio,
+or ledger regression fails the build locally, before any CI tooling.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lint import lint_repo
+
+
+def test_shipped_package_lints_clean():
+    root = Path(repro.__file__).resolve().parent
+    report = lint_repo(root)
+    assert report.files > 50  # the scan actually covered the package
+    assert not report.findings, "\n" + report.format()
+
+
+def test_repo_scan_includes_this_linter_itself():
+    root = Path(repro.__file__).resolve().parent
+    report = lint_repo(root)
+    # lint_repo's subject names the scanned root; sanity-check the scan
+    # walked into the lint package (it must hold its own rules).
+    assert (root / "lint" / "engine.py").exists()
+    assert str(root) in report.subject

@@ -4,7 +4,7 @@ import pytest
 
 from repro.exceptions import ServiceError
 from repro.obs import parse_prometheus, render_prometheus
-from repro.service import Gauge, LabeledCounter, MetricsRegistry
+from repro.service import Gauge, LabeledCounter, MetricsRegistry, merge_snapshots
 
 
 class TestGauge:
@@ -115,3 +115,90 @@ class TestPrometheusExposition:
     def test_empty_snapshot_renders_empty(self):
         assert render_prometheus({}) == ""
         assert parse_prometheus("") == {}
+
+
+class TestMergeSnapshotEdgeCases:
+    """The awkward inputs the front door's aggregation must survive."""
+
+    def test_disjoint_series_merge_without_cross_talk(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.labeled_counter("cache_events", "event").labels(event="hit").increment(4)
+        b.labeled_counter("cache_events", "event").labels(event="miss").increment(9)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        series = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in merged["labeled_counters"]["cache_events"]["series"]
+        }
+        assert series == {(("event", "hit"),): 4, (("event", "miss"),): 9}
+
+    def test_disjoint_label_names_keep_their_own_series(self):
+        # Two shards exporting the same family name with different label
+        # names is a deployment bug, but the merge must not corrupt
+        # either side: series are keyed by their full label items, so
+        # both survive verbatim.
+        a = {
+            "labeled_counters": {
+                "events": {
+                    "labels": ["kind"],
+                    "series": [{"labels": {"kind": "hit"}, "value": 2}],
+                }
+            }
+        }
+        b = {
+            "labeled_counters": {
+                "events": {
+                    "labels": ["route"],
+                    "series": [{"labels": {"route": "fast"}, "value": 5}],
+                }
+            }
+        }
+        merged = merge_snapshots([a, b])
+        series = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in merged["labeled_counters"]["events"]["series"]
+        }
+        assert series == {(("kind", "hit"),): 2, (("route", "fast"),): 5}
+
+    def test_counter_and_gauge_sharing_a_name_stay_separate(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("queries").increment(3)
+        b.gauge("queries").set(11)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["queries"] == 3
+        assert merged["gauges"]["queries"] == 11
+        # Exposition disambiguates by the counter's _total suffix, so
+        # the scrape carries both without a duplicate sample name.
+        samples = parse_prometheus(render_prometheus(merged))
+        assert samples["repro_queries_total"] == 3
+        assert samples["repro_queries"] == 11
+
+    def test_empty_and_partial_snapshots_are_harmless(self):
+        a = MetricsRegistry()
+        a.counter("queries").increment(2)
+        a.histogram("latency").observe(0.010)
+        merged = merge_snapshots([{}, a.snapshot(), {"counters": {}}])
+        assert merged["counters"] == {"queries": 2}
+        assert merged["histograms"]["latency"]["count"] == 1
+        all_empty = merge_snapshots([{}, {}])
+        assert all_empty["counters"] == {}
+        assert render_prometheus(all_empty) == ""
+
+    def test_merged_view_renders_and_round_trips(self):
+        shards = []
+        for shard in range(3):
+            registry = MetricsRegistry()
+            registry.counter("requests").increment(10 * (shard + 1))
+            registry.gauge("statistics_version").set(shard + 1)
+            registry.gauge("cache_size").set(4)
+            for _ in range(5):
+                registry.histogram("request").observe(0.002 * (shard + 1))
+            shards.append(registry.snapshot())
+        merged = merge_snapshots(shards)
+        samples = parse_prometheus(render_prometheus(merged))
+        assert samples["repro_requests_total"] == 60
+        assert samples["repro_statistics_version"] == 3  # watermark, not sum
+        assert samples["repro_cache_size"] == 12
+        assert samples["repro_request_count"] == 15
+        assert samples["repro_request_max_ms"] == pytest.approx(6.0, rel=1e-6)

@@ -2,6 +2,7 @@
 
 import io
 import json
+import time
 
 from repro.obs import TRACE_PHASES, TraceEvent, Tracer
 
@@ -73,3 +74,23 @@ class TestTracer:
         tracer.clear()
         assert tracer.events == ()
         assert tracer.emitted == 1
+
+    def test_injected_clock_makes_timestamps_deterministic(self):
+        ticks = iter(range(100, 110))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        first = tracer.emit("plan")
+        second = tracer.emit("execute")
+        assert first.ts == 100.0
+        assert second.ts == 101.0
+
+    def test_injected_clock_feeds_the_stream_too(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream, clock=lambda: 42.0)
+        tracer.emit("plan", span="s1")
+        record = json.loads(stream.getvalue())
+        assert record["ts"] == 42.0
+
+    def test_default_clock_is_wall_time(self):
+        before = time.time()
+        event = Tracer().emit("plan")
+        assert before <= event.ts <= time.time()
