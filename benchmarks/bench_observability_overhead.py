@@ -13,13 +13,20 @@ configurations:
 - ``full``      — profiling plus a :class:`Tracer` streaming JSON lines
   to an in-memory buffer.
 
-The acceptance bar: the profiling arm must hold >= 90% of the baseline's
-throughput (<10% overhead).  Results — queries/second per arm and the
-overhead ratios — are written to ``BENCH_observability.json``.
+A second experiment measures **distributed tracing** on the sharded
+tier: the same workload through an in-process 4-shard cluster with
+``tracing`` off vs on (span propagation, per-shard span export, reply
+piggybacking, front-door merge all included).
+
+The acceptance bar for both: the instrumented arm must hold >= 90% of
+the baseline's throughput (<10% overhead).  Results — queries/second
+per arm and the overhead ratios — are written to
+``BENCH_observability.json``.
 """
 
 from __future__ import annotations
 
+import asyncio
 import io
 import json
 import time
@@ -45,7 +52,12 @@ N_SHAPES = 16
 N_REQUESTS = 600
 ZIPF_SKEW = 1.1
 ROWS_PER_REQUEST = 48
-REPEATS = 3  # arms are timed repeatedly; best run is scored
+# Arms are timed in alternating rounds and scored on the *aggregate*
+# elapsed time across all rounds.  Container-grade machines drift by
+# >10% run to run, so a single paired comparison (or a best-of) is
+# noise-fragile; interleaving the arms and summing cancels slow drift
+# and leaves a stable ratio.
+REPEATS = 6
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_observability.json"
 
 
@@ -92,31 +104,101 @@ def make_service(garden, train, *, profiling: bool, tracing: bool):
     )
 
 
-def measure_arm(garden, train, requests, *, profiling: bool, tracing: bool):
-    """Best-of-REPEATS steady-state q/s (plans warmed before timing)."""
-    best = 0.0
-    for _repeat in range(REPEATS):
-        service = make_service(garden, train, profiling=profiling, tracing=tracing)
-        # Warm the plan cache so every arm times pure serving, not planning.
-        for text, readings in requests[: N_SHAPES * 2]:
-            service.execute(text, readings)
-        start = time.perf_counter()
-        for text, readings in requests:
-            service.execute(text, readings)
-        elapsed = time.perf_counter() - start
-        best = max(best, len(requests) / elapsed)
-    return best, service
+def serving_pass(service, requests) -> float:
+    """One timed pass over the workload (plan cache warmed untimed)."""
+    for text, readings in requests[: N_SHAPES * 2]:
+        service.execute(text, readings)
+    start = time.perf_counter()
+    for text, readings in requests:
+        service.execute(text, readings)
+    return time.perf_counter() - start
+
+
+def measure_service_arms(garden, train, requests):
+    """Aggregate q/s per service arm, arms interleaved round by round.
+
+    Returns ``(qps, services)`` where ``qps`` maps arm name to
+    aggregate queries/second over REPEATS rounds and ``services`` holds
+    each arm's last service (for the did-it-really-profile asserts).
+    """
+    arms = {
+        "off": {"profiling": False, "tracing": False},
+        "profiling": {"profiling": True, "tracing": False},
+        "full": {"profiling": True, "tracing": True},
+    }
+    elapsed = dict.fromkeys(arms, 0.0)
+    services = {}
+    for _round in range(REPEATS):
+        for name, knobs in arms.items():
+            service = make_service(garden, train, **knobs)
+            elapsed[name] += serving_pass(service, requests)
+            services[name] = service
+    qps = {
+        name: len(requests) * REPEATS / total
+        for name, total in elapsed.items()
+    }
+    return qps, services
+
+
+def measure_cluster_arms(garden, train, requests):
+    """Aggregate off/traced q/s through an in-process 4-shard cluster.
+
+    The traced arm pays the full distributed path: root spans at the
+    front door, ``TraceContext`` propagation on every wire record,
+    per-shard span export piggybacked on replies, and the front-door
+    merge into a JSON-lines stream.  The in-process backend is the
+    measurement vehicle on purpose — it runs the identical code path
+    without multiprocessing queue costs drowning the signal.
+    """
+    from repro.cluster import ClusterConfig, ShardConfig, ShardedServiceCluster
+
+    async def run_once(tracing: bool) -> tuple[float, object]:
+        config = ClusterConfig(
+            shard_config=ShardConfig(
+                schema=garden.schema,
+                history=train,
+                cache_capacity=N_SHAPES,
+                cache_policy="lfu",
+            ),
+            shards=4,
+            backend="inproc",
+            tracing=tracing,
+        )
+        tracer = Tracer(stream=io.StringIO(), name="fd") if tracing else None
+        async with ShardedServiceCluster(config, tracer=tracer) as cluster:
+            # Warm every shard's plan cache before the timed waves.
+            await cluster.execute_many(requests[: N_SHAPES * 2])
+            start = time.perf_counter()
+            for begin in range(0, len(requests), 50):
+                await cluster.execute_many(requests[begin : begin + 50])
+            elapsed = time.perf_counter() - start
+            return elapsed, cluster.tracer
+
+    asyncio.run(run_once(False))  # one untimed warm-up of the machinery
+    asyncio.run(run_once(True))
+    total = {False: 0.0, True: 0.0}
+    tracer = None
+    for _round in range(REPEATS):
+        elapsed, _ = asyncio.run(run_once(False))
+        total[False] += elapsed
+        elapsed, tracer = asyncio.run(run_once(True))
+        total[True] += elapsed
+    qps_off = len(requests) * REPEATS / total[False]
+    qps_traced = len(requests) * REPEATS / total[True]
+    return qps_off, qps_traced, tracer
 
 
 def test_observability_overhead_is_bounded(benchmark):
     garden, train, requests = build_setting()
 
-    qps_off, _ = measure_arm(garden, train, requests, profiling=False, tracing=False)
-    qps_profiling, profiled_service = measure_arm(
-        garden, train, requests, profiling=True, tracing=False
-    )
-    qps_full, full_service = measure_arm(
-        garden, train, requests, profiling=True, tracing=True
+    service_qps, services = measure_service_arms(garden, train, requests)
+    qps_off = service_qps["off"]
+    qps_profiling = service_qps["profiling"]
+    qps_full = service_qps["full"]
+    profiled_service = services["profiling"]
+    full_service = services["full"]
+    qps_sharded_off, qps_sharded_traced, cluster_tracer = (
+        measure_cluster_arms(garden, train, requests)
     )
     # Timed arm for pytest-benchmark: the profiling-on serving path.
     benchmark(
@@ -125,22 +207,27 @@ def test_observability_overhead_is_bounded(benchmark):
 
     profiling_ratio = qps_profiling / qps_off
     full_ratio = qps_full / qps_off
+    sharded_ratio = qps_sharded_traced / qps_sharded_off
     print_table(
         "Observability overhead: Zipf(%.1f) over %d Garden shapes"
         % (ZIPF_SKEW, N_SHAPES),
-        ["configuration", "q/s", "vs off"],
+        ["configuration", "q/s", "vs baseline"],
         [
             ["off (baseline)", qps_off, "1.00x"],
             ["profiling", qps_profiling, f"{profiling_ratio:.2f}x"],
             ["profiling+tracing", qps_full, f"{full_ratio:.2f}x"],
+            ["sharded x4 (baseline)", qps_sharded_off, "1.00x"],
+            ["sharded x4 + dist tracing", qps_sharded_traced, f"{sharded_ratio:.2f}x"],
         ],
     )
 
-    # The profiling arm really profiled (and the tracer really traced).
+    # The profiling arm really profiled (and the tracers really traced).
     reports = profiled_service.drift_reports(min_tuples=1)
     assert reports, "profiling arm must accumulate per-plan profiles"
     assert full_service.tracer is not None
     assert full_service.tracer.emitted > N_REQUESTS
+    assert cluster_tracer is not None
+    assert cluster_tracer.emitted > N_REQUESTS
 
     report = {
         "benchmark": "observability_overhead",
@@ -157,16 +244,21 @@ def test_observability_overhead_is_bounded(benchmark):
             "off": round(qps_off, 2),
             "profiling": round(qps_profiling, 2),
             "profiling_tracing": round(qps_full, 2),
+            "sharded_off": round(qps_sharded_off, 2),
+            "sharded_traced": round(qps_sharded_traced, 2),
         },
         "overhead": {
             "profiling_ratio": round(profiling_ratio, 4),
             "profiling_overhead_pct": round((1 - profiling_ratio) * 100, 2),
             "full_ratio": round(full_ratio, 4),
             "full_overhead_pct": round((1 - full_ratio) * 100, 2),
+            "sharded_tracing_ratio": round(sharded_ratio, 4),
+            "sharded_tracing_overhead_pct": round((1 - sharded_ratio) * 100, 2),
         },
         "acceptance": {
             "profiling_min_ratio": 0.90,
-            "passed": profiling_ratio >= 0.90,
+            "sharded_tracing_min_ratio": 0.90,
+            "passed": profiling_ratio >= 0.90 and sharded_ratio >= 0.90,
         },
     }
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -175,4 +267,8 @@ def test_observability_overhead_is_bounded(benchmark):
     assert profiling_ratio >= 0.90, (
         f"profiling overhead too high: {qps_profiling:.0f} vs {qps_off:.0f} "
         f"q/s ({(1 - profiling_ratio) * 100:.1f}%)"
+    )
+    assert sharded_ratio >= 0.90, (
+        f"distributed tracing overhead too high: {qps_sharded_traced:.0f} vs "
+        f"{qps_sharded_off:.0f} q/s ({(1 - sharded_ratio) * 100:.1f}%)"
     )

@@ -15,6 +15,10 @@ Mirrors the basestation workflow of the paper's architecture
                   --test trace/test.csv --query "SELECT * WHERE ..."
     repro serve-bench --schema trace/schema.json --trace trace/train.csv \
                   --live trace/test.csv --shapes 20 --requests 400
+    repro serve-sharded --schema trace/schema.json --trace trace/train.csv \
+                  --workers 4 --trace-out traced.jsonl --slo-out slo.json \
+                  --out report.json
+    repro obs-report --trace traced.jsonl --report report.json --json
     repro cache-stats --schema trace/schema.json --trace trace/train.csv \
                   --query "SELECT * WHERE ..." --repeat 25
     repro lint-plan --schema trace/schema.json --plan plan.json \
@@ -97,12 +101,18 @@ from repro.faults import (
 from repro.lint import lint_paths, lint_repo, run_corpus
 from repro.obs import (
     DEFAULT_DRIFT_THRESHOLD,
+    SEGMENTS,
     DriftMonitor,
     PlanProfile,
     Tracer,
+    assemble_traces,
+    critical_paths,
+    latency_decomposition,
     profile_report_dict,
+    reconcile_costs,
     render_profile_report,
     render_prometheus,
+    trace_summary,
 )
 from repro.planning.corrseq import CorrSeqPlanner
 from repro.planning.exhaustive import ExhaustivePlanner
@@ -320,6 +330,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the merged shard-labeled Prometheus exposition",
     )
+    serve_sharded.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="enable distributed tracing and stream the merged JSON-lines "
+        "trace (front-door events plus shard spans piggybacked on replies)",
+    )
+    serve_sharded.add_argument(
+        "--slo-out",
+        type=Path,
+        default=None,
+        help="write the front door's SLO snapshot (burn rates, budgets) "
+        "as JSON",
+    )
+    serve_sharded.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=250.0,
+        help="latency SLO target in milliseconds (default: 250)",
+    )
 
     shard_stats = commands.add_parser(
         "shard-stats",
@@ -344,6 +374,51 @@ def build_parser() -> argparse.ArgumentParser:
     shard_stats.add_argument("--capacity", type=int, default=256)
     shard_stats.add_argument("--policy", choices=("lru", "lfu"), default="lfu")
     shard_stats.add_argument("--smoothing", type=float, default=0.0)
+
+    obs_report = commands.add_parser(
+        "obs-report",
+        help="analyze a merged distributed trace: waterfalls, critical "
+        "paths, SLO state, and the trace-vs-ledger Eq. 3 reconciliation",
+        description="Assemble span trees from a JSON-lines trace file "
+        "(as written by serve-sharded --trace-out), decompose tail "
+        "latency into route/queue/coalesce/execute segments, rank the "
+        "slowest critical paths, and — given the serve-sharded JSON "
+        "report — check that span-attributed acquisition cost "
+        "reconciles with each shard's Eq. 3 ledger.  Exit status: 0 "
+        "when every trace is a complete single-root tree and the "
+        "ledgers reconcile, 1 on incomplete trees or reconciliation "
+        "drift, 2 on usage errors.",
+    )
+    obs_report.add_argument(
+        "--trace",
+        type=Path,
+        required=True,
+        help="JSON-lines trace file (serve-sharded --trace-out)",
+    )
+    obs_report.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="serve-sharded JSON report (--out) to reconcile against",
+    )
+    obs_report.add_argument(
+        "--top", type=int, default=5, help="critical paths to rank"
+    )
+    obs_report.add_argument(
+        "--percentile",
+        type=float,
+        default=95.0,
+        help="tail percentile for the latency decomposition",
+    )
+    obs_report.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the full report as JSON instead of text",
+    )
+    obs_report.add_argument(
+        "--out", type=Path, default=None, help="also write the JSON report here"
+    )
 
     lint = commands.add_parser(
         "lint-plan",
@@ -1026,6 +1101,8 @@ def _cluster_config(
         hard_limit=getattr(args, "hard_limit", 1024),
         shed_mode=getattr(args, "shed_mode", "abstain"),
         outage_mode=getattr(args, "outage_mode", "skip"),
+        tracing=getattr(args, "trace_out", None) is not None,
+        slo_latency_ms=getattr(args, "slo_latency_ms", 250.0),
     )
 
 
@@ -1107,12 +1184,24 @@ def _command_serve_sharded(args: argparse.Namespace) -> int:
 
     async def main() -> dict:
         config = _cluster_config(args, schema, train, args.workers)
-        async with ShardedServiceCluster(config) as cluster:
-            responses, elapsed = await _drive_cluster(
-                cluster, requests, args.concurrency, args.induce_outage
-            )
-            stats = await cluster.stats()
-            exposition = await cluster.prometheus()
+        tracer = None
+        trace_stream = None
+        if args.trace_out is not None:
+            # The front door's tracer is the merge point: its own events
+            # stream here directly, and shard spans (piggybacked on
+            # replies) land in the same file through ingest().
+            trace_stream = args.trace_out.open("w", encoding="utf-8")
+            tracer = Tracer(stream=trace_stream, name="fd")
+        try:
+            async with ShardedServiceCluster(config, tracer=tracer) as cluster:
+                responses, elapsed = await _drive_cluster(
+                    cluster, requests, args.concurrency, args.induce_outage
+                )
+                stats = await cluster.stats()
+                exposition = await cluster.prometheus()
+        finally:
+            if trace_stream is not None:
+                trace_stream.close()
         served = sum(1 for r in responses if r.ok)
         shed = sum(1 for r in responses if r.shed)
         failed = len(responses) - served - shed
@@ -1145,9 +1234,14 @@ def _command_serve_sharded(args: argparse.Namespace) -> int:
         if args.prometheus_out is not None:
             args.prometheus_out.write_text(exposition)
             logger.info("exposition written to %s", args.prometheus_out)
+        if args.slo_out is not None:
+            args.slo_out.write_text(json.dumps(front["slo"], indent=2) + "\n")
+            logger.info("SLO snapshot written to %s", args.slo_out)
         return report
 
     report = asyncio.run(main())
+    if args.trace_out is not None:
+        logger.info("trace events written to %s", args.trace_out)
     front = report["front_door"]
     coalescing = front["coalescing"]
     print(
@@ -1166,6 +1260,12 @@ def _command_serve_sharded(args: argparse.Namespace) -> int:
     print(
         f"admission: {front['admission']['requests_shed']} shed, "
         f"{front['admission']['shed_cost_avoided']} Eq.3 cost avoided"
+    )
+    slo = front["slo"]
+    print(
+        f"slo: {slo['requests']} requests, "
+        f"latency burn {slo['latency']['burn_rate']:.2f}, "
+        f"error burn {slo['errors']['burn_rate']:.2f}"
     )
     if args.out is not None:
         args.out.write_text(json.dumps(report, indent=2))
@@ -1201,6 +1301,148 @@ def _command_shard_stats(args: argparse.Namespace) -> int:
     stats = asyncio.run(main())
     print(json.dumps(stats, indent=2))
     return 0
+
+
+def _render_obs_report(payload: dict) -> str:
+    """Terminal rendering of the obs-report payload."""
+    lines: list[str] = []
+    summary = payload["summary"]
+    lines.append(
+        f"traces: {summary['traces']} ({summary['complete']} complete), "
+        f"{summary['events']} events; {summary['coalesced']} coalesced, "
+        f"{summary['shed']} shed, {summary['rerouted']} rerouted, "
+        f"{summary['degraded']} degraded"
+    )
+    latency = payload["latency"]
+    if latency.get("total_ms"):
+        tail_label = f"p{latency['percentile']:g}"
+        totals = latency["total_ms"]
+        lines.append(
+            f"latency: p50 {totals['p50']:.3f} ms, "
+            f"{tail_label} {totals[tail_label]:.3f} ms, "
+            f"max {totals['max']:.3f} ms over {latency['requests']} requests"
+        )
+        lines.append(f"waterfall ({tail_label} tail mean / tail share):")
+        for name in SEGMENTS:
+            cell = latency["segments"][name]
+            nested = "  (nested in execute)" if name in ("acquire", "plan") else ""
+            lines.append(
+                f"  {name:<13} {cell['tail_mean_ms']:>10.3f} ms "
+                f"{cell['tail_share']:>7.1%}{nested}"
+            )
+    paths = payload["critical_paths"]
+    if paths:
+        lines.append(f"critical paths (top {len(paths)}):")
+        for path in paths:
+            flags = " ".join(
+                name
+                for name in ("coalesced", "rerouted", "shed")
+                if path[name]
+            )
+            if not path["ok"] and not path["shed"]:
+                flags = f"{flags} error".strip()
+            suffix = f"  [{flags}]" if flags else ""
+            lines.append(
+                f"  {path['trace']:<12} {path['segments']['total']:>10.3f} ms"
+                f"  dominant={path['dominant']}"
+                f"  {path['fingerprint'][:12]}{suffix}"
+            )
+    reconciliation = payload.get("reconciliation")
+    if reconciliation is not None:
+        verdict = "ok" if reconciliation["ok"] else "MISMATCH"
+        lines.append(f"Eq. 3 reconciliation: {verdict}")
+        for shard, row in reconciliation["shards"].items():
+            if row["ok"] is None:
+                lines.append(
+                    f"  shard {shard}: attributed {row['attributed']}, "
+                    f"{row['note']}"
+                )
+            else:
+                mark = "ok" if row["ok"] else "MISMATCH"
+                lines.append(
+                    f"  shard {shard}: attributed {row['attributed']} "
+                    f"vs ledger {row['recorded']} [{mark}]"
+                )
+        shed = reconciliation.get("shed")
+        if shed is not None:
+            mark = "ok" if shed["ok"] else "MISMATCH"
+            lines.append(
+                f"  shed: attributed {shed['attributed']} "
+                f"vs ledger {shed['recorded']} [{mark}]"
+            )
+    slo = payload.get("slo")
+    if slo is not None:
+        lines.append(
+            f"slo: {slo['requests']} requests; "
+            f"latency burn {slo['latency']['burn_rate']:.2f} "
+            f"(budget {slo['latency']['budget_remaining']:.1%} left), "
+            f"error burn {slo['errors']['burn_rate']:.2f} "
+            f"(budget {slo['errors']['budget_remaining']:.1%} left)"
+        )
+    if payload["findings"]:
+        lines.append("findings:")
+        lines.extend(f"  - {finding}" for finding in payload["findings"])
+    return "\n".join(lines)
+
+
+def _command_obs_report(args: argparse.Namespace) -> int:
+    if args.top < 0:
+        raise ReproError("--top must be >= 0")
+    if not 0.0 < args.percentile <= 100.0:
+        raise ReproError("--percentile must be in (0, 100]")
+    records = []
+    with args.trace.open(encoding="utf-8") as stream:
+        for number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ReproError(
+                    f"{args.trace}:{number}: not valid JSON ({error})"
+                ) from error
+    trees = list(assemble_traces(records).values())
+    summary = trace_summary(trees)
+    payload: dict = {
+        "trace_file": str(args.trace),
+        "summary": summary,
+        "latency": latency_decomposition(trees, percentile=args.percentile),
+        "critical_paths": critical_paths(trees, top=args.top),
+    }
+    findings: list[str] = []
+    if summary["traces"] == 0:
+        findings.append("no distributed traces in the input")
+    elif summary["complete"] != summary["traces"]:
+        findings.append(
+            f"{summary['traces'] - summary['complete']} incomplete "
+            f"trace trees (multiple roots or orphaned spans)"
+        )
+    if args.report is not None:
+        report = json.loads(args.report.read_text())
+        front = report.get("front_door", {})
+        reconciliation = reconcile_costs(
+            trees, report.get("shards", {}), front.get("admission")
+        )
+        payload["reconciliation"] = reconciliation
+        if not reconciliation["ok"]:
+            findings.append(
+                "span-attributed acquisition cost does not reconcile "
+                "with the Eq. 3 ledgers"
+            )
+        if front.get("slo") is not None:
+            payload["slo"] = front["slo"]
+    payload["findings"] = findings
+    payload["ok"] = not findings
+    text = json.dumps(payload, indent=2)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+        logger.info("report written to %s", args.out)
+    if args.as_json:
+        print(text)
+    else:
+        print(_render_obs_report(payload))
+    return 0 if not findings else 1
 
 
 def _command_profile(args: argparse.Namespace) -> int:
@@ -1706,6 +1948,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache-stats": _command_cache_stats,
         "serve-sharded": _command_serve_sharded,
         "shard-stats": _command_shard_stats,
+        "obs-report": _command_obs_report,
         "lint-plan": _command_lint_plan,
         "lint-code": _command_lint_code,
         "analyze": _command_analyze,

@@ -102,11 +102,20 @@ class AdmissionController:
                 return AdmissionDecision(False, "cold")
         return AdmissionDecision(True)
 
-    def charge_shed(self, expected_where_cost: float, rows: int) -> None:
-        """Account a shed request's avoided Eq. 3 acquisition cost."""
+    def charge_shed(self, expected_where_cost: float, rows: int) -> float:
+        """Account a shed request's avoided Eq. 3 acquisition cost.
+
+        Returns the cost actually added to the ledger so callers can
+        mirror the exact charge elsewhere (trace events carry it as
+        ``cost_avoided``, which the obs-report reconciliation checks
+        against this ledger).
+        """
         self.requests_shed += 1
         if expected_where_cost > 0.0 and rows > 0:
-            self.shed_cost_avoided += expected_where_cost * rows
+            charge = expected_where_cost * rows
+            self.shed_cost_avoided += charge
+            return charge
+        return 0.0
 
     def snapshot(self) -> dict:
         return {

@@ -38,6 +38,12 @@ class InFlight:
     #: One watchdog timer per execution (not per waiter): cancelled when
     #: the reply lands, fired to expire every waiter at once.
     timeout_handle: object | None = None
+    #: Distributed-trace coordinates of the request that opened this
+    #: execution (tracing only): an outage re-route parents its reroute
+    #: span under ``root_span`` so the re-dispatched execution stays in
+    #: the original request's tree.
+    trace_id: str = ""
+    root_span: str = ""
 
     @property
     def fanout(self) -> int:

@@ -20,7 +20,14 @@ One :class:`ShardedServiceCluster` owns the whole topology:
   shard, so no stale plan survives anywhere in the cluster;
 - shard-outage handling that re-routes (SKIP) or sheds (ABSTAIN) the
   dead shard's in-flight and future traffic, with the ring re-shrunk so
-  surviving shards keep their warm caches.
+  surviving shards keep their warm caches;
+- with ``ClusterConfig.tracing``, a front-door
+  :class:`~repro.obs.trace.Tracer` rooting one ``request`` span per
+  request, a :class:`~repro.obs.trace.TraceContext` on every dispatched
+  wire record, ingestion of the span records shards piggyback on
+  replies (one process ends up holding every request's whole tree), and
+  an :class:`~repro.obs.slo.SLOTracker` feeding latency/error burn-rate
+  counters into the front-door metrics registry.
 
 Thread discipline: all mutable front-door state (coalescing map, warm
 sets, counters) is touched only on the event loop.  The process
@@ -58,6 +65,8 @@ from repro.exceptions import (
 )
 from repro.faults.policy import DegradationMode
 from repro.obs.exposition import render_prometheus
+from repro.obs.slo import SLOPolicy, SLOTracker
+from repro.obs.trace import Span, TraceContext, Tracer
 from repro.service.fingerprint import fingerprint_statement
 from repro.service.metrics import MetricsRegistry, merge_snapshots
 
@@ -70,7 +79,18 @@ _SHED_MODES = {mode.value: mode for mode in DegradationMode}
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Topology and policy knobs for one sharded cluster."""
+    """Topology and policy knobs for one sharded cluster.
+
+    ``tracing`` turns on distributed tracing end to end: the front door
+    roots one span tree per request and every shard config is promoted
+    to ``tracing=True`` so shards export their spans on replies.
+    ``trace_clock`` (in-process backend only — it is not picklable)
+    injects one shared deterministic clock into the front-door tracer
+    and every shard tracer, which is what makes whole-cluster traces
+    byte-reproducible under test; process workers keep the tracer's
+    default wall clock.  The ``slo_*`` knobs parameterize the
+    :class:`~repro.obs.slo.SLOPolicy` the front door tracks against.
+    """
 
     shard_config: ShardConfig
     shards: int = 4
@@ -84,6 +104,11 @@ class ClusterConfig:
     outage_mode: str = "skip"
     request_timeout: float = 60.0
     control_timeout: float = 30.0
+    tracing: bool = False
+    trace_clock: Callable[[], float] | None = None
+    slo_latency_ms: float = 250.0
+    slo_latency_objective: float = 0.99
+    slo_error_objective: float = 0.999
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -104,6 +129,16 @@ class ClusterConfig:
             )
         if self.request_timeout <= 0 or self.control_timeout <= 0:
             raise ClusterError("timeouts must be positive")
+        # SLOPolicy validates its own knobs; constructing it here turns a
+        # bad config into an error at cluster-build time, not first use.
+        self.slo_policy()
+
+    def slo_policy(self) -> SLOPolicy:
+        return SLOPolicy(
+            latency_target_ms=self.slo_latency_ms,
+            latency_objective=self.slo_latency_objective,
+            error_objective=self.slo_error_objective,
+        )
 
 
 @dataclass(frozen=True)
@@ -124,6 +159,9 @@ class ClusterResponse:
     shed: bool = False
     shed_reason: str = ""
     error: str = ""
+    #: The request's distributed trace id (tracing enabled only) — the
+    #: key to look its span tree up in the merged trace file.
+    trace_id: str = ""
 
     @property
     def result(self) -> QueryResult | None:
@@ -142,8 +180,13 @@ class _InProcessBackend:
     like they would across the process boundary, deterministically.
     """
 
-    def __init__(self, configs: dict[int, ShardConfig]) -> None:
+    def __init__(
+        self,
+        configs: dict[int, ShardConfig],
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         self._configs = configs
+        self._clock = clock
         self._servers: dict[int, ShardServer] = {}
         self._pending: dict[int, list[object]] = {}
         self._scheduled: set[int] = set()
@@ -158,7 +201,9 @@ class _InProcessBackend:
         self._loop = loop
         self._on_message = on_message
         for shard_id, config in self._configs.items():
-            self._servers[shard_id] = ShardServer(shard_id, config)
+            self._servers[shard_id] = ShardServer(
+                shard_id, config, clock=self._clock
+            )
             self._pending[shard_id] = []
 
     def send(self, shard: int, message: object) -> None:
@@ -336,15 +381,30 @@ class _ProcessBackend:
 class ShardedServiceCluster:
     """Consistent-hash sharded, coalescing, load-shedding serving tier."""
 
-    def __init__(self, config: ClusterConfig) -> None:
+    def __init__(
+        self, config: ClusterConfig, tracer: Tracer | None = None
+    ) -> None:
         self._config = config
+        shard_template = config.shard_config
+        if config.tracing and not shard_template.tracing:
+            shard_template = replace(shard_template, tracing=True)
         configs = {
-            shard_id: config.shard_config for shard_id in range(config.shards)
+            shard_id: shard_template for shard_id in range(config.shards)
         }
         if config.backend == "process":
             self._backend: Any = _ProcessBackend(configs)
         else:
-            self._backend = _InProcessBackend(configs)
+            self._backend = _InProcessBackend(
+                configs, clock=config.trace_clock
+            )
+        self._tracer: Tracer | None = tracer
+        if self._tracer is None and config.tracing:
+            # "fd" prefixes the front door's span/trace ids so they can
+            # never collide with shard-minted ids in the merged file.
+            if config.trace_clock is not None:
+                self._tracer = Tracer(name="fd", clock=config.trace_clock)
+            else:
+                self._tracer = Tracer(name="fd")
         self._ring = ConsistentHashRing(
             range(config.shards), vnodes=config.vnodes
         )
@@ -357,6 +417,7 @@ class ShardedServiceCluster:
             shed_mode=_SHED_MODES[config.shed_mode],
         )
         self._metrics = MetricsRegistry()
+        self._slo = SLOTracker(self._metrics, config.slo_policy())
         self._ids = itertools.count(1)
         self._cluster_version = 1
         self._warm: set[tuple[int, str]] = set()
@@ -430,6 +491,11 @@ class ShardedServiceCluster:
         return frozenset(self._live)
 
     @property
+    def tracer(self) -> Tracer | None:
+        """The front-door tracer (holds the merged trace when enabled)."""
+        return self._tracer
+
+    @property
     def statistics_version(self) -> int:
         return self._cluster_version
 
@@ -459,8 +525,15 @@ class ShardedServiceCluster:
             raise ClusterError("every shard is down")
         self._metrics.counter("requests").increment()
         start = time.perf_counter()
+        tracer = self._tracer
 
         digest = self._fingerprint(text)
+        # Every request roots its own span tree — coalesced followers and
+        # shed requests included — so the trace file answers "what
+        # happened to request X" for every X, not just dispatch leaders.
+        root: Span | None = None
+        if tracer is not None:
+            root = tracer.start_span("request", fingerprint=digest)
         fault_key = None
         if fault_schedule is not None:
             fault_key = (
@@ -479,6 +552,15 @@ class ShardedServiceCluster:
             joined = self._coalescer.join(key, future)
         if joined is not None:
             self._metrics.counter("requests_coalesced").increment()
+            if tracer is not None and root is not None:
+                tracer.emit(
+                    "coalesce-attach",
+                    trace=root.trace_id,
+                    parent=root.span_id,
+                    fingerprint=digest,
+                    leader_trace=joined.trace_id,
+                    fanout=joined.fanout,
+                )
         else:
             decision = self._admission.decide(
                 inflight=self._coalescer.inflight_requests,
@@ -487,9 +569,28 @@ class ShardedServiceCluster:
                 joinable=False,
             )
             if not decision.admitted:
-                return self._shed(digest, readings, decision.reason)
+                return self._shed(
+                    digest, readings, decision.reason,
+                    root=root, latency_start=start,
+                )
             request_id = next(self._ids)
             entry = self._coalescer.open(key, shard, request_id, text, future)
+            context: TraceContext | None = None
+            if tracer is not None and root is not None:
+                entry.trace_id = root.trace_id
+                entry.root_span = root.span_id
+                # Routing and coalesce registration ride as fields on
+                # the root span rather than as zero-duration child
+                # events — the waterfall derives the route segment as
+                # the root's residual, and two fewer events per leader
+                # keeps tracing inside the overhead benchmark's budget.
+                root.annotate(inflight=len(self._coalescer))
+                # sent_ts baggage lets the shard attribute queue time.
+                context = TraceContext(
+                    trace_id=root.trace_id,
+                    parent_span=root.span_id,
+                    baggage=(("sent_ts", repr(tracer.now())),),
+                )
             entry.request = ExecuteRequest(
                 request_id=request_id,
                 text=text,
@@ -501,6 +602,7 @@ class ShardedServiceCluster:
                 fault_seed=fault_seed,
                 degradation=degradation,
                 max_retries=max_retries,
+                trace=context,
             )
             # One watchdog per execution, shared by every waiter — far
             # cheaper than an asyncio.wait_for task per request.
@@ -510,26 +612,65 @@ class ShardedServiceCluster:
             self._dispatch(shard, entry.request)
 
         reply: ExecuteReply = await future
-        self._metrics.histogram("request").observe(
-            time.perf_counter() - start
-        )
+        latency = time.perf_counter() - start
+        self._metrics.histogram("request").observe(latency)
+        shed_reply = (not reply.ok) and reply.error.startswith("shed:")
+        self._slo.record(latency * 1e3, ok=reply.ok, shed=shed_reply)
+        trace_id = ""
+        if tracer is not None and root is not None:
+            trace_id = root.trace_id
+            if (
+                joined is None
+                and reply.ok
+                and reply.trace_id
+                and reply.trace_id != root.trace_id
+            ):
+                # The shard served this dispatch inside another request's
+                # group (shard-level coalescing the front door could not
+                # see); record which trace holds the execution spans.
+                tracer.emit(
+                    "shard-coalesce",
+                    trace=root.trace_id,
+                    parent=root.span_id,
+                    fingerprint=digest,
+                    leader_trace=reply.trace_id,
+                    shard=reply.shard,
+                )
+            end_fields: dict[str, Any] = {
+                "ok": reply.ok,
+                "coalesced": joined is not None,
+            }
+            if shed_reply:
+                end_fields["shed"] = True
+                end_fields["reason"] = reply.error.split(":", 1)[1]
+            else:
+                end_fields["shard"] = reply.shard
+                if not reply.ok:
+                    end_fields["error"] = reply.error
+            root.end(**end_fields)
         if reply.ok:
             return ClusterResponse(
                 ok=True,
                 shard=reply.shard,
                 payload=reply.payload,
                 coalesced=joined is not None,
+                trace_id=trace_id,
             )
-        if reply.error.startswith("shed:"):
+        if shed_reply:
             reason = reply.error.split(":", 1)[1]
             return ClusterResponse(
-                ok=False, shed=True, shed_reason=reason, error=reply.error
+                ok=False,
+                shed=True,
+                shed_reason=reason,
+                error=reply.error,
+                trace_id=trace_id,
             )
         return ClusterResponse(
             ok=False,
             shard=reply.shard,
             coalesced=joined is not None,
             error=reply.error,
+            trace_id=trace_id,
         )
 
     async def execute_many(
@@ -595,8 +736,33 @@ class ShardedServiceCluster:
             self._metrics.counter("requests").increment(extras)
             self._metrics.counter("requests_coalesced").increment(extras)
             self._coalescer.coalesced_requests += extras
+            tracer = self._tracer
+            dup_digest = ""
+            if tracer is not None:
+                dup_digest = self._fingerprint(requests[positions[0]][0])
             for position in positions[1:]:
-                results[position] = duplicate
+                dup_response = duplicate
+                if tracer is not None:
+                    # Wave-level duplicates never reached execute(), so
+                    # give each one its own compact tree: a root plus a
+                    # coalesce-attach pointing at the representative.
+                    dup_root = tracer.start_span(
+                        "request", fingerprint=dup_digest
+                    )
+                    tracer.emit(
+                        "coalesce-attach",
+                        trace=dup_root.trace_id,
+                        parent=dup_root.span_id,
+                        fingerprint=dup_digest,
+                        leader_trace=response.trace_id,
+                        wave_duplicate=True,
+                    )
+                    dup_root.end(ok=response.ok, coalesced=True)
+                    dup_response = replace(
+                        duplicate, trace_id=dup_root.trace_id
+                    )
+                self._slo.record(0.0, ok=response.ok, shed=False)
+                results[position] = dup_response
         return results
 
     def _fingerprint(self, text: str) -> str:
@@ -638,19 +804,48 @@ class ShardedServiceCluster:
             self._handle_outage(shard)
 
     def _shed(
-        self, digest: str, readings: np.ndarray, reason: str
+        self,
+        digest: str,
+        readings: np.ndarray,
+        reason: str,
+        root: Span | None = None,
+        latency_start: float | None = None,
     ) -> ClusterResponse:
         self._metrics.labeled_counter("requests_shed", "reason").labels(
             reason=reason
         ).increment()
-        self._admission.charge_shed(
-            self._known_cost.get(digest, 0.0), int(np.asarray(readings).shape[0])
+        avoided = self._known_cost.get(digest, 0.0)
+        charged = self._admission.charge_shed(
+            avoided, int(np.asarray(readings).shape[0])
         )
+        latency_ms = 0.0
+        if latency_start is not None:
+            latency_ms = (time.perf_counter() - latency_start) * 1e3
+        self._slo.record(latency_ms, ok=False, shed=True)
+        tracer = self._tracer
+        trace_id = ""
+        if tracer is not None:
+            if root is None:
+                root = tracer.start_span("request", fingerprint=digest)
+            trace_id = root.trace_id
+            # cost_avoided mirrors what charge_shed just recorded, so
+            # the trace-vs-ledger reconciliation can check shed
+            # conservation the same way it checks execution cost.
+            tracer.emit(
+                "shed",
+                trace=root.trace_id,
+                parent=root.span_id,
+                fingerprint=digest,
+                reason=reason,
+                cost_avoided=charged,
+            )
+            root.end(ok=False, shed=True, reason=reason)
         return ClusterResponse(
             ok=False,
             shed=True,
             shed_reason=reason,
             error=f"shed:{reason}",
+            trace_id=trace_id,
         )
 
     # ------------------------------------------------------------------
@@ -666,6 +861,11 @@ class ShardedServiceCluster:
             logger.warning("dropping unknown message %r", message)
 
     def _on_execute_reply(self, reply: ExecuteReply) -> None:
+        # Ingest piggybacked shard spans exactly once per reply — here,
+        # before coalesced fan-out and before the stale-reply early exit,
+        # so even a re-routed execution's spans reach the merged trace.
+        if self._tracer is not None and reply.spans:
+            self._tracer.ingest(reply.spans)
         self._observe_version(reply.shard, reply.statistics_version)
         entry = self._coalescer.resolve(reply.request_id)
         if entry is None:
@@ -743,12 +943,33 @@ class ShardedServiceCluster:
         }
         pending = self._coalescer.pending_on(shard)
         reroute = self._config.outage_mode == "skip" and bool(self._live)
+        tracer = self._tracer
         for entry in pending:
             if entry.timeout_handle is not None:
                 entry.timeout_handle.cancel()
             if reroute and entry.request is not None:
                 new_shard = int(self._ring.node_for(entry.key[0]))
                 request_id = next(self._ids)
+                context = entry.request.trace
+                if tracer is not None and entry.trace_id:
+                    # The reroute span stays parented under the original
+                    # request's root, so the re-dispatched execution's
+                    # shard spans land in the same single-root tree.
+                    reroute_span = tracer.new_span()
+                    tracer.emit(
+                        "reroute",
+                        span=reroute_span,
+                        trace=entry.trace_id,
+                        parent=entry.root_span,
+                        fingerprint=entry.key[0],
+                        from_shard=shard,
+                        to_shard=new_shard,
+                    )
+                    context = TraceContext(
+                        trace_id=entry.trace_id,
+                        parent_span=reroute_span,
+                        baggage=(("sent_ts", repr(tracer.now())),),
+                    )
                 request = ExecuteRequest(
                     request_id=request_id,
                     text=entry.request.text,
@@ -758,6 +979,7 @@ class ShardedServiceCluster:
                     fault_seed=entry.request.fault_seed,
                     degradation=entry.request.degradation,
                     max_retries=entry.request.max_retries,
+                    trace=context,
                 )
                 self._coalescer.reassign(entry, new_shard, request_id)
                 entry.request = request
@@ -771,10 +993,25 @@ class ShardedServiceCluster:
                 self._metrics.labeled_counter(
                     "requests_shed", "reason"
                 ).labels(reason="outage").increment(len(entry.waiters))
-                self._admission.charge_shed(
-                    self._known_cost.get(entry.key[0], 0.0),
-                    0,
-                )
+                avoided = self._known_cost.get(entry.key[0], 0.0)
+                rows = 0
+                if entry.request is not None:
+                    rows = int(np.asarray(entry.request.readings).shape[0])
+                charged = self._admission.charge_shed(avoided, rows)
+                if tracer is not None and entry.trace_id:
+                    # One accounting event per execution (not per
+                    # waiter): cost_avoided must match charge_shed
+                    # exactly once.  Waiters' own request roots close
+                    # with shed=True when the shed reply fans out.
+                    tracer.emit(
+                        "outage-shed",
+                        trace=entry.trace_id,
+                        parent=entry.root_span,
+                        fingerprint=entry.key[0],
+                        shard=shard,
+                        waiters=len(entry.waiters),
+                        cost_avoided=charged,
+                    )
                 shed_reply = ExecuteReply(
                     request_id=entry.request_id,
                     shard=shard,
@@ -836,6 +1073,7 @@ class ShardedServiceCluster:
 
     def front_door_stats(self) -> dict:
         """Front-door-local snapshot (no shard round-trips)."""
+        slo = self._slo.snapshot()  # refreshes burn-rate gauges too
         snapshot = self._metrics.snapshot()
         return {
             "live_shards": sorted(self._live),
@@ -847,6 +1085,7 @@ class ShardedServiceCluster:
                 "dispatched_requests": self._coalescer.dispatched_requests,
             },
             "admission": self._admission.snapshot(),
+            "slo": slo,
             "counters": snapshot["counters"],
             "labeled_counters": snapshot["labeled_counters"],
             "latency": snapshot["histograms"],

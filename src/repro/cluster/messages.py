@@ -5,10 +5,13 @@ over ``multiprocessing`` queues (process backend) and plain function
 calls (in-process backend).  The protocol is deliberately small:
 
 - :class:`ExecuteRequest` — serve one statement over a readings matrix,
-  optionally under a fault schedule (per-shard chaos);
+  optionally under a fault schedule (per-shard chaos), carrying the
+  front door's :class:`~repro.obs.trace.TraceContext` when tracing;
 - :class:`ExecuteReply` — the result (or error) plus the shard's current
   statistics version, which doubles as the piggybacked signal the front
-  door uses for cross-shard invalidation broadcasts;
+  door uses for cross-shard invalidation broadcasts; when tracing, the
+  group leader's reply also piggybacks the shard's exported span
+  records so one process (the front door) holds the whole request tree;
 - :class:`ControlRequest` / :class:`ControlReply` — stats collection,
   statistics-version synchronization, liveness pings, and shutdown.
 
@@ -29,6 +32,7 @@ import numpy as np
 
 from repro.core.attributes import Schema
 from repro.exceptions import ClusterError
+from repro.obs.trace import TraceContext
 
 __all__ = [
     "ShardConfig",
@@ -52,7 +56,9 @@ class ShardConfig:
     usual).  It is a *name* rather than a factory callable so the config
     pickles under the ``spawn`` start method, not just ``fork``.
     ``batch_window`` caps how many queued requests a worker drains into
-    one coalesced/batched execution pass.
+    one coalesced/batched execution pass.  ``tracing`` gives the shard a
+    name-prefixed :class:`~repro.obs.trace.Tracer` whose spans are
+    exported back to the front door on replies.
     """
 
     schema: Schema
@@ -65,6 +71,7 @@ class ShardConfig:
     verify_admission: bool = True
     profiling: bool = False
     batch_window: int = 128
+    tracing: bool = False
 
     def __post_init__(self) -> None:
         if self.planner not in _PLANNERS:
@@ -88,6 +95,11 @@ class ExecuteRequest:
     shard runs the resilient path; ``fault_seed`` is combined with the
     fingerprint digest so the injection stream is deterministic per query
     shape no matter how requests are coalesced or batched.
+
+    ``trace`` carries the distributed-trace coordinates when the cluster
+    runs with tracing enabled: the shard parents its ``shard-execute``
+    span under ``trace.parent_span`` and reads the ``sent_ts`` baggage to
+    attribute queue time.  ``None`` means untraced (zero overhead).
     """
 
     request_id: int
@@ -98,6 +110,7 @@ class ExecuteRequest:
     fault_seed: int = 0
     degradation: str = "abstain"
     max_retries: int = 2
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -110,6 +123,16 @@ class ExecuteReply:
     how many requests the shard served from this one execution (its
     local coalescing factor).  ``expected_where_cost`` feeds the front
     door's Eq. 3 shed-accounting ledger.
+
+    When tracing, ``trace_id`` names the trace that actually *executed*
+    this request's group (the group leader's trace — shard-level
+    coalescing means a follower's reply may carry a foreign trace id),
+    and ``spans`` piggybacks the shard's exported span records —
+    pre-encoded ``TraceEvent.to_json()`` lines, attached to the leader's
+    reply only so coalesced fan-out cannot double-ingest them.  Lines
+    rather than dicts keep the reply cheap: the JSON encode happens in
+    the worker process and the string pickles in one block, so the front
+    door's loop only copies it to the merged stream.
     """
 
     request_id: int
@@ -121,6 +144,8 @@ class ExecuteReply:
     group_size: int = 1
     expected_where_cost: float = 0.0
     elapsed_seconds: float = 0.0
+    trace_id: str = ""
+    spans: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)

@@ -20,12 +20,29 @@ Chaos determinism: a faulted group's RNG is seeded from
 ``(fault_seed, fingerprint, readings)`` only — never from batch
 composition — so a request's outcome is byte-identical whether it was
 served alone, coalesced, or re-routed after an outage.
+
+Tracing (``ShardConfig.tracing``): the shard owns a name-prefixed
+:class:`~repro.obs.trace.Tracer` (``shard0``, ``shard1``, …) shared with
+its service, wraps every group's execution in a ``shard-execute`` span
+parented under the front door's request span, and piggybacks the
+collected span records on the group leader's reply.  Plain groups keep
+the stacked vectorized pass even when traced — one span per group is
+opened around the shared batch and annotated with that group's own
+Eq. 3 result fields, so tracing does not forfeit the batch throughput
+(the overhead benchmark holds it to <10%); the batch's flat service
+events (cache hits, plan builds) ride along once, on the first group's
+leader reply.  Faulted groups execute one at a time with the service's
+events nested under their span.  Every successful group's Eq. 3 total
+cost is also added to the ``acquisition_cost_total`` gauge — the
+recorded side of the trace-vs-ledger conservation check in
+:mod:`repro.obs.waterfall`.
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
+from typing import Any, Callable
 
 import numpy as np
 
@@ -37,8 +54,14 @@ from repro.cluster.messages import (
     ExecuteRequest,
     ShardConfig,
 )
-from repro.engine.engine import AcquisitionalEngine, PlannerFactory
+from repro.engine.engine import (
+    AcquisitionalEngine,
+    PlannerFactory,
+    QueryResult,
+    ResilientQueryResult,
+)
 from repro.exceptions import ClusterError, ReproError
+from repro.obs.trace import Tracer
 from repro.planning.base import Planner
 from repro.planning.corrseq import CorrSeqPlanner
 from repro.planning.greedy_conditional import GreedyConditionalPlanner
@@ -51,6 +74,38 @@ from repro.service.service import AcquisitionalService
 __all__ = ["ShardServer", "readings_key"]
 
 _SEED_MASK = (1 << 32) - 1
+
+
+def _result_fields(payload: object) -> dict[str, Any]:
+    """Span attribution for one execution outcome (Eq. 3 quantities).
+
+    ``retry_cost`` is reported as an annotation only — it is already a
+    slice of ``where_cost`` (see :class:`~repro.engine.engine.
+    ResilientQueryResult`), so the waterfall's attributed side sums
+    ``where_cost + projection_cost`` exactly like the shard's ledger
+    gauge records ``total_cost``.
+    """
+    if isinstance(payload, ResilientQueryResult):
+        result = payload.result
+        return {
+            "rows": len(result.rows),
+            "tuples": result.tuples_scanned,
+            "where_cost": result.where_cost,
+            "projection_cost": result.projection_cost,
+            "retry_cost": payload.retry_cost,
+            "failed": payload.acquisitions_failed,
+            "retries": payload.retries_total,
+            "degraded": payload.tuples_degraded,
+            "abstained": payload.tuples_abstained,
+        }
+    if isinstance(payload, QueryResult):
+        return {
+            "rows": len(payload.rows),
+            "tuples": payload.tuples_scanned,
+            "where_cost": payload.where_cost,
+            "projection_cost": payload.projection_cost,
+        }
+    return {}
 
 
 def readings_key(readings: np.ndarray) -> str:
@@ -94,9 +149,31 @@ class ShardServer:
     by the front door serializing calls per shard.
     """
 
-    def __init__(self, shard_id: int, config: ShardConfig) -> None:
+    def __init__(
+        self,
+        shard_id: int,
+        config: ShardConfig,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         self.shard_id = int(shard_id)
         self._config = config
+        self.tracer: Tracer | None = None
+        if config.tracing:
+            # The shard-id prefix keeps span ids globally unique in the
+            # merged trace file; ``clock`` (in-process backend only)
+            # makes traces byte-reproducible under test.  Without an
+            # injected clock the Tracer's own allowlisted default
+            # applies — this module must not name a wall clock (DET002).
+            # ``capacity=0``: a shard tracer exists to mint ids and feed
+            # span export (``Span.end`` returns / ``collect()`` buckets
+            # capture the events) — its in-memory buffer is unreadable
+            # from outside a worker process, and retaining thousands of
+            # event objects only feeds GC sweeps on the serving path.
+            name = f"shard{self.shard_id}"
+            if clock is not None:
+                self.tracer = Tracer(name=name, clock=clock, capacity=0)
+            else:
+                self.tracer = Tracer(name=name, capacity=0)
         engine = AcquisitionalEngine(
             config.schema,
             config.history,
@@ -109,6 +186,7 @@ class ShardServer:
             cache_policy=config.cache_policy,
             verify_admission=config.verify_admission,
             profiling=config.profiling,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -149,24 +227,52 @@ class ShardServer:
             groups[key].append(request)
 
         payloads: dict[tuple, tuple[bool, object, str, float]] = {}
+        exported: dict[tuple, tuple[str, ...]] = {}
         plain = [key for key in order if key[2] is None]
         faulted = [key for key in order if key[2] is not None]
-
-        if plain:
-            payloads.update(self._execute_plain(plain, groups))
-        for key in faulted:
-            payloads[key] = self._execute_faulted(
-                groups[key][0], digests[key], key
-            )
+        if self.tracer is None:
+            if plain:
+                payloads.update(self._execute_plain(plain, groups))
+            for key in faulted:
+                payloads[key] = self._execute_faulted(
+                    groups[key][0], digests[key], key
+                )
+        else:
+            if plain:
+                outcomes, spans = self._execute_plain_traced(
+                    plain, groups, digests
+                )
+                payloads.update(outcomes)
+                exported.update(spans)
+            for key in faulted:
+                payloads[key], exported[key] = self._execute_traced(
+                    key, groups[key], digests[key]
+                )
 
         replies: list[ExecuteReply] = []
         version = self.service.engine.statistics_version
+        ledger = self.service.metrics.gauge("acquisition_cost_total")
         for key in order:
             ok, payload, error, elapsed = payloads[key]
             members = groups[key]
             expected = 0.0
             if ok:
                 expected = self._expected_cost(members[0].text)
+                # Every executed group charges its Eq. 3 total exactly
+                # once — the recorded side of the trace-vs-ledger
+                # conservation check (repro.obs.waterfall).
+                result = (
+                    payload.result
+                    if isinstance(payload, ResilientQueryResult)
+                    else payload
+                )
+                if isinstance(result, QueryResult):
+                    ledger.increment(result.total_cost)
+            leader = members[0]
+            trace_id = (
+                leader.trace.trace_id if leader.trace is not None else ""
+            )
+            spans = exported.get(key, ())
             for request in members:
                 replies.append(
                     ExecuteReply(
@@ -179,6 +285,8 @@ class ShardServer:
                         group_size=len(members),
                         expected_where_cost=expected,
                         elapsed_seconds=elapsed,
+                        trace_id=trace_id,
+                        spans=spans if request is leader else (),
                     )
                 )
         order_index = {
@@ -206,32 +314,136 @@ class ShardServer:
             # to per-group execution so one bad request cannot poison the
             # whole drained batch.
             for key in keys:
-                request = groups[key][0]
-                one_start = time.perf_counter()
-                try:
-                    result = self.service.execute(
-                        request.text, request.readings
-                    )
-                except ReproError as group_error:
-                    outcomes[key] = (
-                        False,
-                        None,
-                        str(group_error),
-                        time.perf_counter() - one_start,
-                    )
-                else:
-                    outcomes[key] = (
-                        True,
-                        result,
-                        "",
-                        time.perf_counter() - one_start,
-                    )
+                outcomes[key] = self._execute_one(groups[key][0])
             del error
             return outcomes
         elapsed = time.perf_counter() - start
         for key, result in zip(keys, results):
             outcomes[key] = (True, result, "", elapsed)
         return outcomes
+
+    def _group_span_fields(
+        self, request: ExecuteRequest, group_size: int
+    ) -> dict[str, Any]:
+        """The shard/group/queue-delay annotations every group span carries."""
+        tracer = self.tracer
+        assert tracer is not None
+        fields: dict[str, Any] = {
+            "shard": self.shard_id,
+            "group_size": group_size,
+        }
+        context = request.trace
+        if context is not None:
+            sent = context.baggage_value("sent_ts")
+            if sent:
+                try:
+                    fields["queue_ms"] = round(
+                        max(0.0, (tracer.now() - float(sent)) * 1e3), 3
+                    )
+                except ValueError:
+                    pass
+        return fields
+
+    def _execute_plain_traced(
+        self,
+        keys: list[tuple],
+        groups: dict[tuple, list[ExecuteRequest]],
+        digests: dict[tuple, str],
+    ) -> tuple[
+        dict[tuple, tuple[bool, object, str, float]],
+        dict[tuple, tuple[str, ...]],
+    ]:
+        """The stacked vectorized pass with one exported span per group.
+
+        Tracing must not forfeit batching: every plain group still
+        executes through the service's shared cross-fingerprint pass,
+        and each group gets its own ``shard-execute`` span — opened
+        before the pass, closed after it (``ms`` therefore measures the
+        shared batch), annotated with that group's *own* result fields
+        so the Eq. 3 reconciliation stays exact per trace.  The batch's
+        flat service events (cache hits/misses, plan builds) cannot be
+        attributed to a single trace and would never leave the
+        shard-local buffer, so :meth:`AcquisitionalService.
+        quiet_tracing` suppresses them outright — the merged file
+        carries the span tree, the metrics counters carry the cache
+        hit/miss tallies.
+        """
+        tracer = self.tracer
+        assert tracer is not None
+        spans: dict[tuple, Any] = {}
+        for key in keys:
+            leader = groups[key][0]
+            context = leader.trace
+            spans[key] = tracer.start_span(
+                "shard-execute",
+                trace=context.trace_id if context is not None else "",
+                parent=context.parent_span if context is not None else "",
+                fingerprint=digests[key],
+                batched=len(keys),
+                **self._group_span_fields(leader, len(groups[key])),
+            )
+        with self.service.quiet_tracing():
+            outcomes = self._execute_plain(keys, groups)
+        exported: dict[tuple, tuple[str, ...]] = {}
+        for key in keys:
+            ok, payload, error, _elapsed = outcomes[key]
+            span = spans[key]
+            span.annotate(ok=ok, **_result_fields(payload))
+            if error:
+                span.annotate(error=error)
+            closing = span.end()
+            exported[key] = (closing.to_json(),) if closing is not None else ()
+        return outcomes, exported
+
+    def _execute_one(
+        self, request: ExecuteRequest
+    ) -> tuple[bool, object, str, float]:
+        """Serve a single plain group through the service."""
+        start = time.perf_counter()
+        try:
+            result = self.service.execute(request.text, request.readings)
+        except ReproError as error:
+            return False, None, str(error), time.perf_counter() - start
+        return True, result, "", time.perf_counter() - start
+
+    def _execute_traced(
+        self,
+        key: tuple,
+        members: list[ExecuteRequest],
+        digest: str,
+    ) -> tuple[tuple[bool, object, str, float], tuple[str, ...]]:
+        """Serve one group under a ``shard-execute`` span and export it.
+
+        The span is parented under the leader's wire
+        :class:`~repro.obs.trace.TraceContext`; every service-level event
+        the execution emits (plan / verify / cache-* / execute) nests
+        under it via the tracer's context binding.  The collected events
+        come back as plain dicts ready to piggyback on the reply.
+        """
+        tracer = self.tracer
+        assert tracer is not None
+        leader = members[0]
+        context = leader.trace
+        trace_id = context.trace_id if context is not None else ""
+        parent = context.parent_span if context is not None else ""
+        fields = self._group_span_fields(leader, len(members))
+        with tracer.collect() as events:
+            with tracer.span(
+                "shard-execute",
+                trace=trace_id,
+                parent=parent,
+                fingerprint=digest,
+                **fields,
+            ) as span:
+                if key[2] is None:
+                    outcome = self._execute_one(leader)
+                else:
+                    outcome = self._execute_faulted(leader, digest, key)
+                ok, payload, error, _elapsed = outcome
+                span.annotate(ok=ok, **_result_fields(payload))
+                if error:
+                    span.annotate(error=error)
+        return outcome, tuple(event.to_json() for event in events)
 
     def _execute_faulted(
         self, request: ExecuteRequest, digest: str, key: tuple

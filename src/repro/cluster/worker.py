@@ -8,6 +8,12 @@ requests becomes one coalesced, vectorized execution instead of N
 round-trips — the multiprocessing analogue of the front door's
 event-loop coalescing window.
 
+Distributed tracing needs no code here: ``config.tracing`` makes the
+ShardServer build its own shard-named :class:`~repro.obs.trace.Tracer`,
+the incoming :class:`~repro.cluster.messages.TraceContext` rides on each
+``ExecuteRequest``, and the shard's spans travel back piggybacked on the
+group leader's ``ExecuteReply`` — the worker just moves the records.
+
 Control messages are handled in arrival order relative to the execute
 batches around them; ``shutdown`` acknowledges and exits the process.
 A crashed batch never kills the loop silently: the exception is turned

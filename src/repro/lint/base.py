@@ -82,6 +82,9 @@ class LintConfig:
         "repro.verify",
         "repro.engine",
         "repro.cluster.admission",
+        # The trace-vs-ledger conservation audit re-derives Eq. 3 sums
+        # from span attributions on purpose — that IS its job.
+        "repro.obs.waterfall",
     )
     enabled: frozenset[str] | None = None
 

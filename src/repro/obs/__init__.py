@@ -12,7 +12,14 @@ they run.  This package watches what plans *actually do*:
   (:func:`predict_plan`) and scored against observations
   (:class:`DriftMonitor`), the signal behind profile-drift replans;
 - :mod:`repro.obs.trace` — JSON-lines trace events from the serving
-  layer (:class:`Tracer`);
+  layer (:class:`Tracer`), plus the distributed-tracing primitives the
+  sharded tier propagates across processes (:class:`TraceContext`,
+  hierarchical :class:`Span` handles, span collection/ingestion);
+- :mod:`repro.obs.waterfall` — trace-tree assembly, waterfall and
+  critical-path analysis of merged distributed traces, and the
+  trace-vs-ledger Eq. 3 conservation check behind ``repro obs-report``;
+- :mod:`repro.obs.slo` — latency/error SLO budgets with burn-rate
+  counters fed through the metrics registry;
 - :mod:`repro.obs.exposition` — Prometheus text rendering of metrics
   snapshots (:func:`render_prometheus`);
 - :mod:`repro.obs.report` — the EXPLAIN-ANALYZE-style
@@ -36,7 +43,26 @@ from repro.obs.profile import (
     profiled_evaluate,
 )
 from repro.obs.report import profile_report_dict, render_profile_report
-from repro.obs.trace import TRACE_PHASES, TraceEvent, Tracer
+from repro.obs.slo import SLOPolicy, SLOTracker
+from repro.obs.trace import (
+    TRACE_PHASES,
+    Span,
+    TraceContext,
+    TraceEvent,
+    Tracer,
+)
+from repro.obs.waterfall import (
+    SEGMENTS,
+    TraceTree,
+    assemble_traces,
+    attributed_costs,
+    critical_paths,
+    latency_decomposition,
+    reconcile_costs,
+    segments,
+    shed_costs_avoided,
+    trace_summary,
+)
 
 __all__ = [
     "DEFAULT_DRIFT_THRESHOLD",
@@ -57,4 +83,18 @@ __all__ = [
     "TRACE_PHASES",
     "TraceEvent",
     "Tracer",
+    "Span",
+    "TraceContext",
+    "SLOPolicy",
+    "SLOTracker",
+    "SEGMENTS",
+    "TraceTree",
+    "assemble_traces",
+    "attributed_costs",
+    "critical_paths",
+    "latency_decomposition",
+    "reconcile_costs",
+    "segments",
+    "shed_costs_avoided",
+    "trace_summary",
 ]

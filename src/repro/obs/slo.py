@@ -1,0 +1,146 @@
+"""SLO tracking: latency/error budgets with burn-rate counters.
+
+An :class:`SLOPolicy` states the promises the serving tier makes —
+"``latency_objective`` of requests answer within ``latency_target_ms``"
+and "``error_objective`` of requests succeed".  An :class:`SLOTracker`
+feeds per-request outcomes into a
+:class:`~repro.service.metrics.MetricsRegistry` (cumulative counters,
+refreshing burn-rate gauges on snapshot) so SLO state travels through
+the same snapshot/merge/Prometheus machinery as every other metric.
+
+Burn rate is the classic SRE ratio: the observed bad fraction divided
+by the budgeted bad fraction (``1 - objective``).  1.0 means the error
+budget is being consumed exactly at the sustainable rate; above 1.0 the
+budget runs out before the window does.  Counters are cumulative over
+the tracker's life (one serving run) and no wall clock is involved —
+this module is on the lint's deterministic path, and snapshots must be
+reproducible given the same request outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import ServiceError
+
+if TYPE_CHECKING:
+    from repro.service.metrics import MetricsRegistry
+
+__all__ = ["SLOPolicy", "SLOTracker"]
+
+
+def _burn_rate(bad: float, total: float, budget: float) -> float:
+    """Observed bad fraction over budgeted bad fraction (0 when idle)."""
+    if total <= 0:
+        return 0.0
+    return round((bad / total) / budget, 4)
+
+
+def _budget_remaining(bad: float, total: float, budget: float) -> float:
+    """Fraction of the allowance still unspent (negative = blown)."""
+    if total <= 0:
+        return 1.0
+    allowed = budget * total
+    return round(1.0 - bad / allowed, 4)
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """The serving tier's promises, as fractions of requests."""
+
+    latency_target_ms: float = 250.0
+    latency_objective: float = 0.99
+    error_objective: float = 0.999
+
+    def __post_init__(self) -> None:
+        if self.latency_target_ms <= 0:
+            raise ServiceError(
+                f"latency_target_ms must be positive, "
+                f"got {self.latency_target_ms}"
+            )
+        for name, value in (
+            ("latency_objective", self.latency_objective),
+            ("error_objective", self.error_objective),
+        ):
+            if not 0.0 < value < 1.0:
+                raise ServiceError(
+                    f"{name} must be strictly between 0 and 1, got {value}"
+                )
+
+    @property
+    def latency_allowance(self) -> float:
+        """Allowed fraction of slow requests (``1 - objective``)."""
+        return 1.0 - self.latency_objective
+
+    @property
+    def error_allowance(self) -> float:
+        """Allowed fraction of failed requests (``1 - objective``)."""
+        return 1.0 - self.error_objective
+
+
+class SLOTracker:
+    """Feed request outcomes in; read burn rates out of the registry.
+
+    ``record`` is O(1) counter work on the hot path; ``snapshot`` does
+    the divisions and refreshes the ``slo_latency_burn_rate`` /
+    ``slo_error_burn_rate`` gauges so Prometheus exposition shows them
+    without a separate scrape path.  Shed requests count against the
+    error objective (the client did not get an answer) under the
+    ``shed`` outcome label, keeping honest degradation distinguishable
+    from hard failures.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        policy: SLOPolicy | None = None,
+    ) -> None:
+        self._registry = registry
+        self.policy = policy if policy is not None else SLOPolicy()
+
+    def record(
+        self, latency_ms: float, ok: bool, shed: bool = False
+    ) -> None:
+        """Account one answered request against both objectives."""
+        self._registry.counter("slo_requests").increment()
+        if latency_ms > self.policy.latency_target_ms:
+            self._registry.counter("slo_latency_violations").increment()
+        if not ok:
+            self._registry.counter("slo_errors").increment()
+            outcome = "shed" if shed else "error"
+            self._registry.labeled_counter(
+                "slo_bad_outcomes", "outcome"
+            ).labels(outcome=outcome).increment()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time SLO state; refreshes the burn-rate gauges."""
+        requests = self._registry.counter("slo_requests").value
+        slow = self._registry.counter("slo_latency_violations").value
+        errors = self._registry.counter("slo_errors").value
+        latency_burn = _burn_rate(
+            slow, requests, self.policy.latency_allowance
+        )
+        error_burn = _burn_rate(errors, requests, self.policy.error_allowance)
+        self._registry.gauge("slo_latency_burn_rate").set(latency_burn)
+        self._registry.gauge("slo_error_burn_rate").set(error_burn)
+        return {
+            "requests": requests,
+            "latency": {
+                "target_ms": self.policy.latency_target_ms,
+                "objective": self.policy.latency_objective,
+                "violations": slow,
+                "burn_rate": latency_burn,
+                "budget_remaining": _budget_remaining(
+                    slow, requests, self.policy.latency_allowance
+                ),
+            },
+            "errors": {
+                "objective": self.policy.error_objective,
+                "violations": errors,
+                "burn_rate": error_burn,
+                "budget_remaining": _budget_remaining(
+                    errors, requests, self.policy.error_allowance
+                ),
+            },
+        }

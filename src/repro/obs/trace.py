@@ -1,22 +1,41 @@
-"""Structured JSON-lines tracing for the serving layer.
+"""Structured JSON-lines tracing for the serving and cluster layers.
 
 Every interesting moment in a query's life — parse/plan, verification,
 cache hit or miss, execution, replan — becomes one :class:`TraceEvent`:
-a flat, JSON-serializable record carrying a span id (grouping all events
-of one service call), the query fingerprint, the phase name, a duration
-in milliseconds where one applies, and free-form extra fields.
+a flat, JSON-serializable record carrying a span id, the query
+fingerprint, the phase name, a duration in milliseconds where one
+applies, and free-form extra fields.
+
+Since the sharded tier (PR 6) a request's life spans *processes*, so
+events also carry distributed-trace coordinates:
+
+- a **trace id** grouping every event of one front-door request,
+- a **parent span id** wiring events into a tree (the front door's
+  ``request`` span is the root; each shard's ``shard-execute`` span and
+  the service phases underneath it are children),
+- and a :class:`TraceContext` — ``(trace_id, parent_span, baggage)`` —
+  the picklable capsule those coordinates travel in inside
+  :mod:`repro.cluster.messages` wire records.
 
 A :class:`Tracer` both buffers recent events in a bounded deque (for
-tests and the ``stats()``-style introspection) and, when given a stream,
+tests and ``stats()``-style introspection) and, when given a stream,
 appends each event as one JSON line the moment it is emitted — the
-format ``repro serve-bench --trace-out`` writes and
-``docs/OBSERVABILITY.md`` documents.  Timestamps come from the tracer's
-*injectable clock* — a zero-argument callable handed to the
-constructor, defaulting to wall-clock ``time.time`` — so tests replay
-traces deterministically by injecting a fake clock; durations are
-measured by callers with a monotonic clock and passed in.  The default
-parameter below is the one allowlisted wall-clock site the ``DET002``
-lint rule permits (``docs/LINTING.md``).
+format ``repro serve-bench --trace-out`` and ``repro serve-sharded
+--trace-out`` write and ``docs/OBSERVABILITY.md`` documents.  Tracers
+are *named*: span and trace ids are prefixed with the tracer's name
+(``shard1-s3``, ``fd-t17``), so ids minted by different processes can
+never collide in a merged trace file.  Timestamps and span durations
+come from the tracer's *injectable clock* — a zero-argument callable
+handed to the constructor, defaulting to wall-clock ``time.time`` — so
+tests replay traces byte-identically by injecting a fake clock.  The
+default parameter below is the one allowlisted wall-clock site the
+``DET002`` lint rule permits (``docs/LINTING.md``).
+
+Concurrency note: the context stack behind :meth:`Tracer.span` assumes
+single-owner synchronous use (one shard server, one service call at a
+time).  Code that interleaves on an event loop — the front door — must
+use :meth:`Tracer.start_span` / :meth:`Span.end` with explicit parents
+instead of the context manager.
 """
 
 from __future__ import annotations
@@ -25,33 +44,99 @@ import itertools
 import json
 import time
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, IO, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import IO, Any, Callable, Iterable, Iterator, Mapping
 
-__all__ = ["TRACE_PHASES", "TraceEvent", "Tracer"]
+__all__ = ["TRACE_PHASES", "Span", "TraceContext", "TraceEvent", "Tracer"]
 
-# The phase vocabulary emitted by AcquisitionalService.  Tracers accept
-# arbitrary phase strings (the schema is open), but these are the ones a
-# dashboard can rely on.
+# The phase vocabulary emitted by AcquisitionalService and the sharded
+# front door.  Tracers accept arbitrary phase strings (the schema is
+# open), but these are the ones a dashboard can rely on.
+# One shared encoder for the JSON-lines stream: ``json.dumps`` builds a
+# fresh JSONEncoder per call, which is measurable at cluster event rates
+# (the overhead benchmark holds distributed tracing to <10% of qps).
+# Output bytes are identical to ``json.dumps(..., sort_keys=True)``.
+_ENCODE = json.JSONEncoder(sort_keys=True).encode
+
 TRACE_PHASES = (
+    # service phases (single-process serving)
     "plan",
     "verify",
     "cache-hit",
     "cache-miss",
+    "cache-reject",
     "execute",
+    "execute-resilient",
     "replan",
+    # distributed span taxonomy (sharded tier); routing and coalesce
+    # bookkeeping ride as *fields* on the request root span (shard,
+    # inflight, coalesced) rather than as zero-duration child events —
+    # per-request emission cost is what the overhead benchmark bounds.
+    "request",
+    "coalesce-attach",
+    "shard-coalesce",
+    "shard-execute",
+    "reroute",
+    "outage-shed",
+    "shed",
 )
 
 
 @dataclass(frozen=True)
+class TraceContext:
+    """The distributed-trace coordinates one request carries on the wire.
+
+    ``baggage`` is a sorted tuple of ``(key, value)`` string pairs —
+    immutable and picklable, so the context crosses ``multiprocessing``
+    queues unchanged.  The front door stamps ``sent_ts`` baggage at
+    dispatch time; the shard turns it into the ``queue_ms`` segment.
+    """
+
+    trace_id: str
+    parent_span: str = ""
+    baggage: tuple[tuple[str, str], ...] = ()
+
+    def __reduce__(
+        self,
+    ) -> tuple[type["TraceContext"], tuple[object, ...]]:
+        # Positional-args pickling: a context rides on every traced wire
+        # record, and the dataclass default (__getstate__ dict) costs
+        # measurably more per message on the process backend.
+        return (TraceContext, (self.trace_id, self.parent_span, self.baggage))
+
+    def child(self, parent_span: str) -> "TraceContext":
+        """The same trace, re-parented under ``parent_span``."""
+        return replace(self, parent_span=parent_span)
+
+    def with_baggage(self, **items: str) -> "TraceContext":
+        merged = dict(self.baggage)
+        merged.update(items)
+        return replace(self, baggage=tuple(sorted(merged.items())))
+
+    def baggage_value(self, key: str, default: str = "") -> str:
+        for name, value in self.baggage:
+            if name == key:
+                return value
+        return default
+
+
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
-    """One structured trace record."""
+    """One structured trace record.
+
+    ``trace`` and ``parent`` are the distributed-tree coordinates; both
+    empty on flat (single-process) events, which keeps the PR 3 format a
+    strict subset of the distributed one.
+    """
 
     ts: float
     span: str
     phase: str
     fingerprint: str = ""
     ms: float | None = None
+    trace: str = ""
+    parent: str = ""
     fields: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
@@ -60,6 +145,10 @@ class TraceEvent:
             "span": self.span,
             "phase": self.phase,
         }
+        if self.trace:
+            record["trace"] = self.trace
+        if self.parent:
+            record["parent"] = self.parent
         if self.fingerprint:
             record["fingerprint"] = self.fingerprint
         if self.ms is not None:
@@ -68,7 +157,108 @@ class TraceEvent:
         return record
 
     def to_json(self) -> str:
-        return json.dumps(self.as_dict(), sort_keys=True)
+        return _ENCODE(self.as_dict())
+
+
+def _parse_event(data: dict[str, Any]) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from an ``as_dict`` payload.
+
+    The known keys are popped; whatever remains is the event's free-form
+    ``fields`` mapping, so the round trip is lossless.
+    """
+    return TraceEvent(
+        ts=float(data.pop("ts", 0.0)),
+        span=str(data.pop("span", "")),
+        phase=str(data.pop("phase", "")),
+        fingerprint=str(data.pop("fingerprint", "")),
+        ms=data.pop("ms", None),
+        trace=str(data.pop("trace", "")),
+        parent=str(data.pop("parent", "")),
+        fields=data,
+    )
+
+
+class Span:
+    """An open hierarchical span; :meth:`end` emits its closing event.
+
+    The span's duration is measured on the owning tracer's injectable
+    clock, so traces stay byte-reproducible under a fake clock.  A span
+    is emitted exactly once — :meth:`end` is idempotent.
+    """
+
+    __slots__ = (
+        "_tracer",
+        "phase",
+        "span_id",
+        "trace_id",
+        "parent_id",
+        "fingerprint",
+        "fields",
+        "_start",
+        "_closed",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        phase: str,
+        span_id: str,
+        trace_id: str,
+        parent_id: str,
+        fingerprint: str,
+        fields: dict[str, Any],
+        start: float,
+    ) -> None:
+        self._tracer = tracer
+        self.phase = phase
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.fingerprint = fingerprint
+        self.fields = fields
+        self._start = start
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def context(self) -> TraceContext:
+        """A wire context making remote spans children of this span."""
+        return TraceContext(trace_id=self.trace_id, parent_span=self.span_id)
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach extra fields to the closing event."""
+        self.fields.update(fields)
+
+    def end(self, **fields: Any) -> TraceEvent | None:
+        """Close the span, emitting one event with its measured duration.
+
+        The closing event is built directly rather than routed through
+        :meth:`Tracer.emit` — span coordinates are already explicit, so
+        the context-stack check and the keyword re-packing would be pure
+        per-request overhead on the cluster's serving path.  One clock
+        read supplies both the event timestamp and the duration.
+        """
+        if self._closed:
+            return None
+        self._closed = True
+        if fields:
+            self.fields.update(fields)
+        tracer = self._tracer
+        now = tracer.now()
+        event = TraceEvent(
+            ts=now,
+            span=self.span_id,
+            phase=self.phase,
+            fingerprint=self.fingerprint,
+            ms=max(0.0, (now - self._start) * 1e3),
+            trace=self.trace_id,
+            parent=self.parent_id,
+            fields=self.fields,
+        )
+        tracer._record(event)
+        return event
 
 
 class Tracer:
@@ -77,8 +267,11 @@ class Tracer:
     ``capacity`` bounds the in-memory buffer (oldest events fall off);
     the output stream, when given, sees *every* event regardless of the
     buffer.  The tracer never closes the stream it was handed.
-    ``clock`` supplies event timestamps (seconds); inject a
-    deterministic callable to make traces reproducible under test.
+    ``clock`` supplies event timestamps and span durations (seconds);
+    inject a deterministic callable to make traces reproducible under
+    test.  ``name`` prefixes every minted span/trace id — give each
+    shard's tracer a distinct name (``shard0``, ``shard1``, …) so two
+    processes can never both emit ``s1``.
     """
 
     def __init__(
@@ -86,16 +279,40 @@ class Tracer:
         stream: IO[str] | None = None,
         capacity: int = 4096,
         clock: Callable[[], float] = time.time,
+        name: str = "",
     ) -> None:
         self._stream = stream
-        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        # Ingested JSON lines stay undecoded (`str`) until first access:
+        # the front door ingests one line per reply on the serving hot
+        # path, while the buffer is only read after the fact.
+        self._events: deque[TraceEvent | str] = deque(maxlen=capacity)
+        self._lazy = False
         self._spans = itertools.count(1)
+        self._traces = itertools.count(1)
         self._emitted = 0
         self._clock = clock
+        self._name = str(name)
+        self._prefix = f"{self._name}-" if self._name else ""
+        # (trace_id, span_id) stack behind the span() context manager;
+        # synchronous single-owner use only (see module docstring).
+        self._context: list[tuple[str, str]] = []
+        self._collectors: list[list[TraceEvent]] = []
+
+    @property
+    def name(self) -> str:
+        return self._name
 
     def new_span(self) -> str:
-        """A fresh span id grouping the events of one service call."""
-        return f"s{next(self._spans)}"
+        """A fresh (tracer-name-prefixed) span id."""
+        return f"{self._prefix}s{next(self._spans)}"
+
+    def new_trace(self) -> str:
+        """A fresh (tracer-name-prefixed) trace id."""
+        return f"{self._prefix}t{next(self._traces)}"
+
+    def now(self) -> float:
+        """The tracer's clock reading (seconds)."""
+        return float(self._clock())
 
     def emit(
         self,
@@ -104,26 +321,179 @@ class Tracer:
         span: str = "",
         fingerprint: str = "",
         ms: float | None = None,
+        trace: str = "",
+        parent: str = "",
         **fields: Any,
     ) -> TraceEvent:
+        """Record one event.
+
+        When neither ``trace`` nor ``parent`` is given and a
+        :meth:`span` context is active, the event inherits the innermost
+        open span's coordinates — this is how service-layer events nest
+        under the shard's ``shard-execute`` span without the service
+        knowing it runs inside a cluster.
+        """
+        if not trace and not parent and self._context:
+            trace, parent = self._context[-1]
         event = TraceEvent(
             ts=self._clock(),
             span=span,
             phase=phase,
             fingerprint=fingerprint,
             ms=ms,
+            trace=trace,
+            parent=parent,
             fields=fields,
         )
-        self._events.append(event)
-        self._emitted += 1
-        if self._stream is not None:
-            self._stream.write(event.to_json() + "\n")
+        self._record(event)
         return event
+
+    def start_span(
+        self,
+        phase: str,
+        *,
+        trace: str = "",
+        parent: str = "",
+        fingerprint: str = "",
+        **fields: Any,
+    ) -> Span:
+        """Open a span (no context binding); close it with ``Span.end``.
+
+        Without an explicit ``trace`` (or an active :meth:`span`
+        context) a fresh trace id is minted — this is how the front door
+        roots one trace per request.
+        """
+        if not trace and not parent and self._context:
+            trace, parent = self._context[-1]
+        if not trace:
+            trace = self.new_trace()
+        # ``fields`` is this call's own kwargs dict — safe to hand to the
+        # span without a defensive copy.
+        return Span(
+            self,
+            phase,
+            self.new_span(),
+            trace,
+            parent,
+            fingerprint,
+            fields,
+            self.now(),
+        )
+
+    @contextmanager
+    def span(
+        self,
+        phase: str,
+        *,
+        trace: str = "",
+        parent: str = "",
+        fingerprint: str = "",
+        **fields: Any,
+    ) -> Iterator[Span]:
+        """Open a span and bind it as the parent of nested emits.
+
+        Synchronous code only: the binding is a plain stack, so
+        interleaving open spans across event-loop tasks would corrupt
+        parentage (use :meth:`start_span` there).
+        """
+        handle = self.start_span(
+            phase, trace=trace, parent=parent, fingerprint=fingerprint, **fields
+        )
+        self._context.append((handle.trace_id, handle.span_id))
+        try:
+            yield handle
+        finally:
+            self._context.pop()
+            handle.end()
+
+    @contextmanager
+    def collect(self) -> Iterator[list[TraceEvent]]:
+        """Capture every event emitted while the context is open.
+
+        The shard server wraps each traced execution in a collector and
+        piggybacks the captured events on the reply — span export
+        without sharing the tracer across the process boundary.
+        """
+        bucket: list[TraceEvent] = []
+        self._collectors.append(bucket)
+        try:
+            yield bucket
+        finally:
+            self._collectors.remove(bucket)
+
+    def ingest(self, records: Iterable[Mapping[str, Any] | str]) -> int:
+        """Replay foreign event records (reply-piggybacked shard spans).
+
+        Records pass through verbatim — timestamps, ids, and fields are
+        the emitting tracer's — so the merged stream round-trips
+        byte-identically.  A record is either an ``as_dict`` mapping or
+        a pre-encoded ``to_json`` line; shards export the latter so the
+        encode happens in the worker process and the front door's reply
+        path (where every microsecond is serving overhead — see the
+        observability overhead benchmark) only writes the line verbatim
+        and parses it for the in-memory buffer.  Returns the number of
+        records ingested.
+        """
+        stream = self._stream
+        count = 0
+        for record in records:
+            if isinstance(record, str):
+                if stream is not None:
+                    stream.write(record + "\n")
+                if self._collectors:
+                    event = _parse_event(json.loads(record))
+                    self._events.append(event)
+                    for bucket in self._collectors:
+                        bucket.append(event)
+                else:
+                    # Hot path: defer the decode until the buffer is read.
+                    self._events.append(record)
+                    self._lazy = True
+            else:
+                data = dict(record)
+                if stream is not None:
+                    stream.write(_ENCODE(data) + "\n")
+                event = _parse_event(data)
+                self._events.append(event)
+                for bucket in self._collectors:
+                    bucket.append(event)
+            self._emitted += 1
+            count += 1
+        return count
+
+    def _record(self, event: TraceEvent) -> None:
+        self._emitted += 1
+        for bucket in self._collectors:
+            bucket.append(event)
+        if self._stream is not None:
+            line = event.to_json()
+            self._stream.write(line + "\n")
+            # Buffer the encoded line rather than the event object:
+            # strings are not GC-tracked, so a full buffer of them adds
+            # nothing to collector sweeps on the serving path (retained
+            # event/dict objects churn through the GC generations and
+            # measurably tax cluster throughput).  ``events`` decodes
+            # lazily on first read.
+            self._events.append(line)
+            self._lazy = True
+        else:
+            self._events.append(event)
 
     @property
     def events(self) -> tuple[TraceEvent, ...]:
         """The buffered (most recent) events, oldest first."""
-        return tuple(self._events)
+        if self._lazy:
+            decoded = [
+                _parse_event(json.loads(entry))
+                if isinstance(entry, str)
+                else entry
+                for entry in self._events
+            ]
+            self._events = deque(decoded, maxlen=self._events.maxlen)
+            self._lazy = False
+        return tuple(
+            entry for entry in self._events if isinstance(entry, TraceEvent)
+        )
 
     @property
     def emitted(self) -> int:
@@ -131,7 +501,7 @@ class Tracer:
         return self._emitted
 
     def phases(self) -> Iterator[str]:
-        for event in self._events:
+        for event in self.events:
             yield event.phase
 
     def clear(self) -> None:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.attributes import Schema
 from repro.core.boolean import And, BooleanQuery, Formula, Leaf, Or
@@ -57,11 +58,22 @@ class QueryFingerprint:
 
     @property
     def digest(self) -> str:
-        payload = f"SELECT {','.join(self.select)} WHERE {self.where}"
-        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+        return _digest(self.select, self.where)
 
     def __str__(self) -> str:
         return self.digest
+
+
+@lru_cache(maxsize=4096)
+def _digest(select: tuple[str, ...], where: str) -> str:
+    """The short hash behind :attr:`QueryFingerprint.digest`.
+
+    Memoized on the canonical fields: a skewed workload stamps the same
+    handful of digests onto metrics labels and trace events over and
+    over, and the sha256 would otherwise be recomputed per event.
+    """
+    payload = f"SELECT {','.join(select)} WHERE {where}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
 def _predicate_key(

@@ -33,7 +33,8 @@ version stamp tracks.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Any, Sequence
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -162,11 +163,25 @@ class AcquisitionalService:
         self._active_span = ""
         engine.add_statistics_listener(self._on_statistics_version)
 
+    def _timer(self) -> "Callable[[], float]":
+        """The clock trace durations are measured on.
+
+        With a tracer attached, durations come off the tracer's
+        injectable clock so traces stay byte-reproducible under a fake
+        clock; without one (no trace events to stamp anyway) the
+        monotonic clock is the right tool.  Metrics histograms always
+        observe real ``perf_counter`` elapsed time regardless.
+        """
+        if self._tracer is not None:
+            return self._tracer.now
+        return time.perf_counter
+
     def _admit_plan(
         self, _fingerprint: QueryFingerprint, prepared: PreparedQuery
     ) -> bool:
         """Cache-admission gate: statically verify the prepared plan."""
-        start = time.perf_counter()
+        timer = self._timer()
+        start = timer()
         report = verify_plan(
             prepared.plan,
             self._engine.schema,
@@ -179,11 +194,18 @@ class AcquisitionalService:
                 "verify",
                 span=self._active_span,
                 fingerprint=str(_fingerprint),
-                ms=(time.perf_counter() - start) * 1e3,
+                ms=(timer() - start) * 1e3,
                 ok=report.ok,
             )
         if not report.ok:
             self._metrics.counter("plans_rejected").increment()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "cache-reject",
+                    span=self._active_span,
+                    fingerprint=str(_fingerprint),
+                    errors=len(report.errors),
+                )
         return report.ok
 
     # ------------------------------------------------------------------
@@ -213,6 +235,24 @@ class AcquisitionalService:
     @property
     def tracer(self) -> "Tracer | None":
         return self._tracer
+
+    @contextmanager
+    def quiet_tracing(self) -> Iterator[None]:
+        """Suppress the service's own trace events for the duration.
+
+        The sharded tier's batched execution path provides its own
+        span-level attribution (one ``shard-execute`` span per request
+        group, carrying the Eq. 3 result fields); the service's flat
+        per-group events would land in the shard-local buffer unseen —
+        never exported on replies, never streamed — so emitting them is
+        pure per-request overhead there.  Single-owner synchronous use
+        only, like the tracer itself.
+        """
+        tracer, self._tracer = self._tracer, None
+        try:
+            yield
+        finally:
+            self._tracer = tracer
 
     def fingerprint(self, text: str) -> QueryFingerprint:
         """Canonical fingerprint of a statement under the engine's schema."""
@@ -255,7 +295,10 @@ class AcquisitionalService:
                 self._tracer.emit(
                     "cache-miss", span=span, fingerprint=str(fingerprint)
                 )
+        timer = self._timer()
+        build_start = timer()
         prepared = self._engine.prepare_parsed(parsed, text=text)
+        build_ms = (timer() - build_start) * 1e3
         self._metrics.counter("plans_built").increment()
         self._metrics.histogram("planning").observe(prepared.planning_seconds)
         if self._tracer is not None:
@@ -263,7 +306,7 @@ class AcquisitionalService:
                 "plan",
                 span=span,
                 fingerprint=str(fingerprint),
-                ms=prepared.planning_seconds * 1e3,
+                ms=build_ms,
                 planner=prepared.planner,
             )
         if self._cache_enabled:
@@ -309,7 +352,9 @@ class AcquisitionalService:
         fingerprint = fingerprint_parsed(parsed, self._engine.schema)
         prepared = self._prepared_for(parsed, fingerprint, text, span)
         observer = self._observer(fingerprint, prepared)
+        timer = self._timer()
         start = time.perf_counter()
+        trace_start = timer()
         result = self._engine.execute_prepared(
             prepared, readings, observer=observer
         )
@@ -320,7 +365,7 @@ class AcquisitionalService:
                 "execute",
                 span=span,
                 fingerprint=str(fingerprint),
-                ms=elapsed * 1e3,
+                ms=(timer() - trace_start) * 1e3,
                 rows=len(result.rows),
                 tuples=result.tuples_scanned,
             )
@@ -362,7 +407,9 @@ class AcquisitionalService:
         if not report.ok:
             self._metrics.counter("plans_rejected").increment()
             raise PlanVerificationError(report.format(), report=report)
+        timer = self._timer()
         start = time.perf_counter()
+        trace_start = timer()
         outcome = self._engine.execute_prepared_resilient(
             prepared, readings, schedule, rng, policy=effective
         )
@@ -383,7 +430,7 @@ class AcquisitionalService:
                 "execute-resilient",
                 span=span,
                 fingerprint=str(fingerprint),
-                ms=elapsed * 1e3,
+                ms=(timer() - trace_start) * 1e3,
                 rows=len(outcome.result.rows),
                 tuples=outcome.result.tuples_scanned,
                 failed=outcome.acquisitions_failed,
@@ -454,7 +501,9 @@ class AcquisitionalService:
             )
             observer = self._observer(fingerprint, prepared)
             matrices = [parsed_requests[p][1] for p in positions]
+            timer = self._timer()
             start = time.perf_counter()
+            trace_start = timer()
             group_results = self._engine.execute_prepared_many(
                 prepared, matrices, observer=observer
             )
@@ -465,7 +514,7 @@ class AcquisitionalService:
                     "execute",
                     span=span,
                     fingerprint=str(fingerprint),
-                    ms=elapsed * 1e3,
+                    ms=(timer() - trace_start) * 1e3,
                     requests=len(positions),
                 )
             for position, result in zip(positions, group_results):

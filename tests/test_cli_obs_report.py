@@ -1,0 +1,222 @@
+"""The ``repro obs-report`` verb and traced ``serve-sharded`` runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-obs") / "trace"
+    assert (
+        main(
+            [
+                "generate",
+                "garden",
+                "--rows",
+                "1500",
+                "--motes",
+                "2",
+                "--out-dir",
+                str(out),
+                "--seed",
+                "5",
+            ]
+        )
+        == 0
+    )
+    return out
+
+
+@pytest.fixture(scope="module")
+def traced_run(trace_dir, tmp_path_factory):
+    """One traced inproc serve-sharded run shared by the read-side tests."""
+    out = tmp_path_factory.mktemp("traced-run")
+    report = out / "report.json"
+    trace = out / "traced.jsonl"
+    slo = out / "slo.json"
+    argv = [
+        "serve-sharded",
+        "--schema",
+        str(trace_dir / "schema.json"),
+        "--trace",
+        str(trace_dir / "train.csv"),
+        "--live",
+        str(trace_dir / "test.csv"),
+        "--workers",
+        "2",
+        "--backend",
+        "inproc",
+        "--shapes",
+        "6",
+        "--requests",
+        "60",
+        "--concurrency",
+        "20",
+        "--rows-per-request",
+        "16",
+        "--seed",
+        "11",
+        "--out",
+        str(report),
+        "--trace-out",
+        str(trace),
+        "--slo-out",
+        str(slo),
+    ]
+    assert main(argv) == 0
+    return {"report": report, "trace": trace, "slo": slo}
+
+
+class TestTracedServeSharded:
+    def test_trace_out_is_json_lines_with_trees(self, traced_run) -> None:
+        lines = traced_run["trace"].read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records
+        roots = [
+            r
+            for r in records
+            if r["phase"] == "request" and not r.get("parent")
+        ]
+        assert len(roots) == 60  # one root per request, followers included
+        # Shard spans were ingested into the same merged stream.
+        assert any(r["phase"] == "shard-execute" for r in records)
+        assert all("ts" in r and "phase" in r for r in records)
+
+    def test_slo_out_snapshot(self, traced_run) -> None:
+        slo = json.loads(traced_run["slo"].read_text())
+        assert slo["requests"] == 60
+        assert 0.0 <= slo["latency"]["burn_rate"]
+        assert slo["errors"]["violations"] == 0
+        # The same snapshot rides in the main report.
+        report = json.loads(traced_run["report"].read_text())
+        assert report["front_door"]["slo"] == slo
+
+
+class TestObsReport:
+    def test_text_report_renders_and_exits_zero(
+        self, traced_run, capsys
+    ) -> None:
+        assert (
+            main(
+                [
+                    "obs-report",
+                    "--trace",
+                    str(traced_run["trace"]),
+                    "--report",
+                    str(traced_run["report"]),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "traces: 60 (60 complete)" in out
+        assert "waterfall" in out
+        assert "critical paths" in out
+        assert "Eq. 3 reconciliation: ok" in out
+        assert "slo:" in out
+
+    def test_json_report_reconciles(self, traced_run, tmp_path, capsys) -> None:
+        out_path = tmp_path / "obs.json"
+        assert (
+            main(
+                [
+                    "obs-report",
+                    "--trace",
+                    str(traced_run["trace"]),
+                    "--report",
+                    str(traced_run["report"]),
+                    "--json",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(out_path.read_text())
+        assert payload["ok"] is True
+        summary = payload["summary"]
+        assert summary["traces"] == summary["complete"] == 60
+        assert payload["reconciliation"]["ok"] is True
+        assert payload["latency"]["requests"] == 60
+        assert len(payload["critical_paths"]) == 5
+        assert payload["slo"]["requests"] == 60
+
+    def test_standalone_trace_needs_no_report(self, traced_run) -> None:
+        assert (
+            main(["obs-report", "--trace", str(traced_run["trace"])]) == 0
+        )
+
+    def test_incomplete_trace_fails(self, tmp_path, capsys) -> None:
+        trace = tmp_path / "broken.jsonl"
+        trace.write_text(
+            json.dumps(
+                {
+                    "ts": 1.0,
+                    "span": "x",
+                    "phase": "plan",
+                    "trace": "t1",
+                    "parent": "never-seen",
+                }
+            )
+            + "\n"
+        )
+        assert main(["obs-report", "--trace", str(trace), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert any("incomplete" in f for f in payload["findings"])
+
+    def test_ledger_drift_fails(self, traced_run, tmp_path, capsys) -> None:
+        # Corrupt one shard's ledger and the reconciliation must notice.
+        report = json.loads(traced_run["report"].read_text())
+        for shard in report["shards"].values():
+            shard["gauges"]["acquisition_cost_total"] += 1.0
+        drifted = tmp_path / "drifted.json"
+        drifted.write_text(json.dumps(report))
+        assert (
+            main(
+                [
+                    "obs-report",
+                    "--trace",
+                    str(traced_run["trace"]),
+                    "--report",
+                    str(drifted),
+                    "--json",
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reconciliation"]["ok"] is False
+
+    def test_empty_trace_fails(self, tmp_path) -> None:
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        assert main(["obs-report", "--trace", str(trace)]) == 1
+
+    def test_bad_json_is_a_usage_error(self, tmp_path, capsys) -> None:
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text("not json\n")
+        assert main(["obs-report", "--trace", str(trace)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_bad_percentile_is_a_usage_error(self, tmp_path) -> None:
+        trace = tmp_path / "t.jsonl"
+        trace.write_text("")
+        assert (
+            main(
+                [
+                    "obs-report",
+                    "--trace",
+                    str(trace),
+                    "--percentile",
+                    "150",
+                ]
+            )
+            == 2
+        )

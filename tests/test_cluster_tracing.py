@@ -1,0 +1,343 @@
+"""Distributed tracing across the sharded tier, driven in-process.
+
+Every request — leaders, coalesced followers, shed, re-routed, chaos —
+must come back with a ``trace_id`` naming a *complete single-root span
+tree* in the front door's merged tracer, and the acquisition cost those
+spans attribute must reconcile with each shard's Eq. 3 ledger.  With an
+injected counting clock the whole merged trace is byte-identical across
+runs, chaos included.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+
+from tests.conftest import make_day_night_data
+from repro.cluster import ClusterConfig, ShardConfig, ShardedServiceCluster
+from repro.core import Attribute, Schema
+from repro.obs import Tracer, assemble_traces, reconcile_costs, segments
+
+SCHEMA = Schema(
+    [
+        Attribute("hour", 2, 0.0),
+        Attribute("temp", 2, 1.0),
+        Attribute("light", 2, 1.0),
+    ]
+)
+HISTORY = make_day_night_data()
+READINGS = HISTORY[:40]
+QUERY = "SELECT temp WHERE temp = 2 AND light = 2"
+CHAOS = {"faults": {"temp": {"drop_rate": 0.4}}}
+SHAPES = [
+    "SELECT temp WHERE temp = 2",
+    "SELECT light WHERE light = 2",
+    "SELECT temp WHERE temp = 1 AND light = 2",
+    "SELECT light WHERE temp = 2 AND light = 1",
+    "SELECT temp, light WHERE temp = 2 AND light = 2",
+    "SELECT hour WHERE hour = 2",
+]
+
+
+def counting_clock():
+    """A deterministic clock: each read advances 1ms."""
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += 0.001
+        return state["now"]
+
+    return clock
+
+
+def make_cluster(
+    stream: io.StringIO | None = None, **overrides
+) -> ShardedServiceCluster:
+    clock = overrides.pop("clock", None) or counting_clock()
+    config = ClusterConfig(
+        shard_config=ShardConfig(schema=SCHEMA, history=HISTORY),
+        shards=overrides.pop("shards", 2),
+        backend="inproc",
+        tracing=True,
+        trace_clock=clock,
+        **overrides,
+    )
+    tracer = Tracer(stream=stream, name="fd", clock=clock)
+    return ShardedServiceCluster(config, tracer=tracer)
+
+
+def trees_of(cluster: ShardedServiceCluster) -> dict:
+    return assemble_traces(
+        event.as_dict() for event in cluster.tracer.events
+    )
+
+
+def _shard_of(query: str) -> int:
+    async def main() -> int:
+        async with make_cluster() as cluster:
+            return (await cluster.execute(query, READINGS)).shard
+
+    return asyncio.run(main())
+
+
+def test_every_request_is_a_complete_single_root_tree() -> None:
+    async def main() -> None:
+        async with make_cluster() as cluster:
+            wave = [(QUERY, READINGS)] * 6 + [
+                (shape, READINGS) for shape in SHAPES
+            ]
+            responses = await cluster.execute_many(wave)
+            assert all(r.ok for r in responses)
+            trees = trees_of(cluster)
+            # One tree per request, including coalesced followers.
+            assert len(trees) == len(responses)
+            for response in responses:
+                assert response.trace_id
+                tree = trees[response.trace_id]
+                assert tree.complete, tree.trace_id
+                root = tree.root
+                assert root["phase"] == "request"
+                assert bool(root.get("coalesced")) == response.coalesced
+            # Leaders carry the shard's execution span; followers point
+            # at their leader's trace instead.
+            leaders = [r for r in responses if not r.coalesced]
+            followers = [r for r in responses if r.coalesced]
+            assert followers, "wave should have coalesced"
+            for leader in leaders:
+                tree = trees[leader.trace_id]
+                executes = tree.phase_events("shard-execute")
+                assert len(executes) == 1
+                assert executes[0]["shard"] == leader.shard
+                assert executes[0]["parent"] in tree.span_ids
+            leader_traces = {r.trace_id for r in leaders}
+            for follower in followers:
+                tree = trees[follower.trace_id]
+                assert not tree.phase_events("shard-execute")
+                (attach,) = tree.phase_events("coalesce-attach")
+                assert attach["leader_trace"] in leader_traces
+
+    asyncio.run(main())
+
+
+def test_shed_request_tree_carries_avoided_cost() -> None:
+    async def main() -> None:
+        async with make_cluster(
+            soft_limit=2, hard_limit=4, shed_mode="abstain"
+        ) as cluster:
+            # Warm one shape so its Eq. 3 cost is known to the front door.
+            warm = await cluster.execute(SHAPES[0], READINGS)
+            assert warm.ok
+            responses = await cluster.execute_many(
+                [(shape, READINGS) for shape in SHAPES]
+            )
+            shed = [r for r in responses if r.shed]
+            assert shed
+            trees = trees_of(cluster)
+            stats = cluster.front_door_stats()
+            total_avoided = 0.0
+            for response in shed:
+                tree = trees[response.trace_id]
+                assert tree.complete
+                assert tree.root["shed"] is True
+                (event,) = tree.phase_events("shed")
+                assert event["reason"] == response.shed_reason
+                total_avoided += float(event["cost_avoided"])
+            # The events mirror the admission ledger exactly.
+            assert total_avoided == stats["admission"]["shed_cost_avoided"]
+
+    asyncio.run(main())
+
+
+def test_chaos_execution_spans_annotate_degradation() -> None:
+    async def main() -> None:
+        async with make_cluster() as cluster:
+            response = await cluster.execute(
+                QUERY,
+                READINGS,
+                fault_schedule=CHAOS,
+                fault_seed=23,
+                degradation="skip",
+            )
+            assert response.ok
+            trees = trees_of(cluster)
+            tree = trees[response.trace_id]
+            assert tree.complete
+            (execute,) = tree.phase_events("shard-execute")
+            # The resilient path's story is on the span: retries,
+            # degraded tuples, the retry slice of where_cost.
+            assert "retries" in execute
+            assert "degraded" in execute
+            assert "retry_cost" in execute
+            assert execute["ok"] is True
+
+    asyncio.run(main())
+
+
+def test_outage_reroute_span_parents_under_original_root() -> None:
+    victim = _shard_of(QUERY)
+
+    async def main() -> None:
+        async with make_cluster(outage_mode="skip") as cluster:
+            tasks = [
+                asyncio.ensure_future(cluster.execute(QUERY, READINGS))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0)  # let requests open + dispatch
+            cluster.induce_outage(victim)
+            responses = await asyncio.gather(*tasks)
+            assert all(r.ok for r in responses)
+            assert all(r.shard == 1 - victim for r in responses)
+            trees = trees_of(cluster)
+            leaders = [r for r in responses if not r.coalesced]
+            assert len(leaders) == 1
+            tree = trees[leaders[0].trace_id]
+            assert tree.complete
+            root = tree.root
+            (reroute,) = tree.phase_events("reroute")
+            assert reroute["parent"] == root["span"]
+            assert reroute["from_shard"] == victim
+            assert reroute["to_shard"] == 1 - victim
+            # The re-dispatched execution hangs under the reroute span,
+            # keeping the whole story in one tree.
+            (execute,) = tree.phase_events("shard-execute")
+            assert execute["parent"] == reroute["span"]
+            assert execute["shard"] == 1 - victim
+            # Followers still close as complete coalesced trees.
+            for follower in (r for r in responses if r.coalesced):
+                assert trees[follower.trace_id].complete
+
+    asyncio.run(main())
+
+
+def test_outage_abstain_shed_tree_stays_complete() -> None:
+    victim = _shard_of(QUERY)
+
+    async def main() -> None:
+        async with make_cluster(outage_mode="abstain") as cluster:
+            warm = await cluster.execute(QUERY, READINGS)
+            assert warm.ok
+            tasks = [
+                asyncio.ensure_future(cluster.execute(QUERY, READINGS))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            cluster.induce_outage(victim)
+            responses = await asyncio.gather(*tasks)
+            assert all(r.shed and r.shed_reason == "outage" for r in responses)
+            trees = trees_of(cluster)
+            leader_tree = trees[responses[0].trace_id]
+            assert leader_tree.complete
+            (event,) = leader_tree.phase_events("outage-shed")
+            assert event["parent"] == leader_tree.root["span"]
+            assert event["shard"] == victim
+            assert event["waiters"] == 3
+            # The avoided cost on the event mirrors the admission ledger
+            # (the shape was warmed, so the cost is known and non-zero).
+            stats = cluster.front_door_stats()
+            assert event["cost_avoided"] > 0
+            assert (
+                event["cost_avoided"]
+                == stats["admission"]["shed_cost_avoided"]
+            )
+
+    asyncio.run(main())
+
+
+def test_span_costs_reconcile_with_shard_ledgers() -> None:
+    async def main() -> None:
+        async with make_cluster(shards=3) as cluster:
+            await cluster.execute_many(
+                [(shape, READINGS) for shape in SHAPES] * 2
+            )
+            await cluster.execute(
+                QUERY,
+                READINGS,
+                fault_schedule=CHAOS,
+                fault_seed=7,
+                degradation="skip",
+            )
+            stats = await cluster.stats()
+            trees = list(trees_of(cluster).values())
+            report = reconcile_costs(
+                trees,
+                stats["shards"],
+                stats["front_door"]["admission"],
+            )
+            assert report["ok"], report
+            # Something was actually attributed on every live shard that
+            # executed work, and at least one shard saw real cost.
+            attributed = [
+                row["attributed"] for row in report["shards"].values()
+            ]
+            assert sum(attributed) > 0
+
+    asyncio.run(main())
+
+
+def test_queue_time_flows_from_sent_ts_baggage() -> None:
+    async def main() -> None:
+        async with make_cluster() as cluster:
+            response = await cluster.execute(QUERY, READINGS)
+            trees = trees_of(cluster)
+            tree = trees[response.trace_id]
+            (execute,) = tree.phase_events("shard-execute")
+            # The counting clock advances 1ms per read, so the dispatch
+            # -> execution gap is a positive, deterministic queue time.
+            assert execute["queue_ms"] > 0
+            row = segments(tree)
+            assert row["queue"] == execute["queue_ms"]
+            assert row["total"] > 0
+
+    asyncio.run(main())
+
+
+def test_traces_are_byte_identical_under_fixed_clock() -> None:
+    def run() -> str:
+        stream = io.StringIO()
+
+        async def main() -> None:
+            async with make_cluster(stream=stream) as cluster:
+                wave = [(QUERY, READINGS)] * 4 + [
+                    (shape, READINGS) for shape in SHAPES
+                ]
+                responses = await cluster.execute_many(wave)
+                assert all(r.ok for r in responses)
+                chaos = await cluster.execute(
+                    QUERY,
+                    READINGS,
+                    fault_schedule=CHAOS,
+                    fault_seed=23,
+                    degradation="skip",
+                )
+                assert chaos.ok
+
+        asyncio.run(main())
+        return stream.getvalue()
+
+    first = run()
+    second = run()
+    assert first, "trace stream should not be empty"
+    assert first == second
+
+    async def main() -> None:
+        async with make_cluster() as cluster:
+            response = await cluster.execute(QUERY, READINGS)
+            assert response.ok
+
+    asyncio.run(main())
+
+
+def test_untraced_cluster_has_no_tracer_overhead_hooks() -> None:
+    async def main() -> None:
+        config = ClusterConfig(
+            shard_config=ShardConfig(schema=SCHEMA, history=HISTORY),
+            shards=2,
+            backend="inproc",
+        )
+        async with ShardedServiceCluster(config) as cluster:
+            response = await cluster.execute(QUERY, READINGS)
+            assert response.ok
+            assert response.trace_id == ""
+            assert cluster.tracer is None
+
+    asyncio.run(main())

@@ -1,0 +1,91 @@
+"""SLO budgets and burn rates (repro.obs.slo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.obs import SLOPolicy, SLOTracker
+from repro.service.metrics import MetricsRegistry
+
+
+def make_tracker(**policy_overrides) -> SLOTracker:
+    policy = SLOPolicy(**policy_overrides)
+    return SLOTracker(MetricsRegistry(), policy)
+
+
+class TestPolicy:
+    def test_allowances_complement_objectives(self):
+        policy = SLOPolicy(latency_objective=0.99, error_objective=0.999)
+        assert policy.latency_allowance == pytest.approx(0.01)
+        assert policy.error_allowance == pytest.approx(0.001)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ServiceError):
+            SLOPolicy(latency_target_ms=0.0)
+        with pytest.raises(ServiceError):
+            SLOPolicy(latency_objective=1.0)
+        with pytest.raises(ServiceError):
+            SLOPolicy(error_objective=0.0)
+
+
+class TestTracker:
+    def test_idle_tracker_has_full_budget(self):
+        snapshot = make_tracker().snapshot()
+        assert snapshot["requests"] == 0
+        assert snapshot["latency"]["burn_rate"] == 0.0
+        assert snapshot["latency"]["budget_remaining"] == 1.0
+        assert snapshot["errors"]["burn_rate"] == 0.0
+
+    def test_burn_rate_one_at_exactly_the_allowance(self):
+        # 1 violation in 100 requests against a 99% objective burns the
+        # budget at exactly the sustainable rate.
+        tracker = make_tracker(latency_target_ms=10.0, latency_objective=0.99)
+        for index in range(100):
+            tracker.record(20.0 if index == 0 else 1.0, ok=True)
+        snapshot = tracker.snapshot()
+        assert snapshot["latency"]["violations"] == 1
+        assert snapshot["latency"]["burn_rate"] == pytest.approx(1.0)
+        assert snapshot["latency"]["budget_remaining"] == pytest.approx(0.0)
+
+    def test_errors_and_sheds_burn_the_error_budget(self):
+        tracker = make_tracker(error_objective=0.9)
+        tracker.record(1.0, ok=True)
+        tracker.record(1.0, ok=False)
+        tracker.record(1.0, ok=False, shed=True)
+        snapshot = tracker.snapshot()
+        assert snapshot["errors"]["violations"] == 2
+        # 2 bad out of 3 against a 10% allowance.
+        assert snapshot["errors"]["burn_rate"] == pytest.approx(
+            (2 / 3) / 0.1, abs=1e-3
+        )
+        assert snapshot["errors"]["budget_remaining"] < 0  # budget blown
+
+    def test_outcome_labels_split_sheds_from_errors(self):
+        tracker = make_tracker()
+        tracker.record(1.0, ok=False)
+        tracker.record(1.0, ok=False, shed=True)
+        tracker.record(1.0, ok=False, shed=True)
+        registry = tracker._registry
+        family = registry.labeled_counter("slo_bad_outcomes", "outcome")
+        assert family.labels(outcome="error").value == 1
+        assert family.labels(outcome="shed").value == 2
+
+    def test_snapshot_refreshes_gauges(self):
+        tracker = make_tracker(latency_target_ms=1.0)
+        tracker.record(5.0, ok=True)
+        tracker.snapshot()
+        registry = tracker._registry
+        assert registry.gauge("slo_latency_burn_rate").value > 0
+        assert registry.gauge("slo_error_burn_rate").value == 0.0
+
+    def test_snapshot_is_deterministic(self):
+        def run() -> dict:
+            tracker = make_tracker()
+            for index in range(50):
+                tracker.record(
+                    float(index * 7 % 300), ok=index % 9 != 0, shed=index % 18 == 0
+                )
+            return tracker.snapshot()
+
+        assert run() == run()

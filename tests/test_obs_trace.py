@@ -4,7 +4,7 @@ import io
 import json
 import time
 
-from repro.obs import TRACE_PHASES, TraceEvent, Tracer
+from repro.obs import TRACE_PHASES, Span, TraceContext, TraceEvent, Tracer
 
 
 class TestTraceEvent:
@@ -94,3 +94,98 @@ class TestTracer:
         before = time.time()
         event = Tracer().emit("plan")
         assert before <= event.ts <= time.time()
+
+    def test_named_tracers_prefix_ids(self):
+        # Two tracers with distinct names can never collide on span or
+        # trace ids, even though both count from 1.
+        front = Tracer(name="fd")
+        shard = Tracer(name="shard0")
+        assert front.new_span() == "fd-s1"
+        assert shard.new_span() == "shard0-s1"
+        assert front.new_trace() == "fd-t1"
+        assert shard.new_trace() == "shard0-t1"
+        # The unnamed tracer keeps the legacy un-prefixed format.
+        assert Tracer().new_span() == "s1"
+
+
+class TestTraceContext:
+    def test_child_reparents_and_keeps_baggage(self):
+        context = TraceContext(
+            trace_id="fd-t1",
+            parent_span="fd-s1",
+            baggage=(("sent_ts", "3.5"),),
+        )
+        child = context.child("fd-s9")
+        assert child.trace_id == "fd-t1"
+        assert child.parent_span == "fd-s9"
+        assert child.baggage == context.baggage
+
+    def test_baggage_value_lookup(self):
+        context = TraceContext(trace_id="t", baggage=(("sent_ts", "3.5"),))
+        assert context.baggage_value("sent_ts") == "3.5"
+        assert context.baggage_value("missing") == ""
+        assert context.baggage_value("missing", "x") == "x"
+
+    def test_with_baggage_appends(self):
+        context = TraceContext(trace_id="t").with_baggage(k="v")
+        assert context.baggage_value("k") == "v"
+
+
+class TestSpans:
+    def test_start_span_mints_trace_and_measures_duration(self):
+        ticks = iter([10.0, 10.25, 10.25])
+        tracer = Tracer(name="fd", clock=lambda: next(ticks))
+        span = tracer.start_span("request", fingerprint="ff")
+        assert isinstance(span, Span)
+        assert span.trace_id == "fd-t1"
+        assert span.span_id == "fd-s1"
+        span.end(ok=True)
+        (event,) = tracer.events
+        assert event.phase == "request"
+        assert event.ms == 250.0
+        assert event.trace == "fd-t1"
+        assert event.parent == ""
+        assert event.fields["ok"] is True
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer(clock=lambda: 1.0)
+        span = tracer.start_span("request")
+        span.end()
+        span.end()
+        assert span.closed
+        assert tracer.emitted == 1
+
+    def test_span_context_binds_children(self):
+        # Events emitted inside a span() block inherit its coordinates;
+        # explicit trace/parent still wins.
+        tracer = Tracer(name="sh", clock=lambda: 1.0)
+        with tracer.span("shard-execute", trace="fd-t1", parent="fd-s1"):
+            tracer.emit("plan", ms=1.0)
+        plan, execute = tracer.events
+        assert execute.phase == "shard-execute"
+        assert execute.trace == "fd-t1" and execute.parent == "fd-s1"
+        assert plan.trace == "fd-t1"
+        assert plan.parent == execute.span
+
+    def test_collect_and_ingest_round_trip(self):
+        source = Tracer(name="shard0", clock=lambda: 2.0)
+        with source.collect() as exported:
+            with source.span("shard-execute", trace="fd-t1", parent="fd-s1"):
+                source.emit("plan", ms=0.5)
+        records = [event.as_dict() for event in exported]
+        sink = Tracer(clock=lambda: 9.0)
+        assert sink.ingest(records) == 2
+        # The merged events keep their original coordinates and fields.
+        assert [event.as_dict() for event in sink.events] == records
+
+    def test_ingest_streams_merged_lines(self):
+        stream = io.StringIO()
+        sink = Tracer(stream=stream, clock=lambda: 1.0)
+        sink.ingest(
+            [{"ts": 7.0, "span": "sh-s1", "phase": "shard-execute",
+              "trace": "fd-t1", "parent": "fd-s1", "ms": 2.0, "shard": 3}]
+        )
+        record = json.loads(stream.getvalue())
+        assert record["ts"] == 7.0
+        assert record["shard"] == 3
+        assert record["trace"] == "fd-t1"
