@@ -187,6 +187,7 @@ class ShardServer:
             verify_admission=config.verify_admission,
             profiling=config.profiling,
             tracer=self.tracer,
+            exec_backend=config.exec_backend,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,58 @@
+"""The translation-validated columnar compile tier.
+
+Lowers verified plan trees into a small typed kernel IR
+(:mod:`repro.compile.ir`), executes kernels columnar-batch-at-a-time
+(:mod:`repro.compile.executor`), and — before any kernel may run —
+*proves* it equivalent to its source plan with a static translation
+validator (:mod:`repro.compile.validate`) that emits stable ``TV*``
+diagnostics into the verifier's reporting model.  A seeded
+miscompilation corpus (:mod:`repro.compile.mutants`) self-tests the
+validator.
+
+The module is deterministic by construction: kernels are pure functions
+of (plan, schema, statistics version), no RNG state is created or
+consumed anywhere in the package, and repro-lint's ``DET004`` rule
+enforces that at the AST level.
+"""
+
+from repro.compile.executor import execute_compiled
+from repro.compile.ir import (
+    ChargeOp,
+    CompiledPlan,
+    EnterOp,
+    KernelOp,
+    SplitOp,
+    StepOp,
+    VerdictOp,
+    op_from_dict,
+)
+from repro.compile.lower import compile_plan, lower_plan
+from repro.compile.mutants import (
+    MiscompilationCase,
+    clean_cases,
+    default_corpus_query,
+    miscompilation_cases,
+    run_corpus,
+)
+from repro.compile.validate import DEFAULT_TV_TOLERANCE, validate_translation
+
+__all__ = [
+    "DEFAULT_TV_TOLERANCE",
+    "ChargeOp",
+    "CompiledPlan",
+    "EnterOp",
+    "KernelOp",
+    "MiscompilationCase",
+    "SplitOp",
+    "StepOp",
+    "VerdictOp",
+    "clean_cases",
+    "compile_plan",
+    "default_corpus_query",
+    "execute_compiled",
+    "lower_plan",
+    "miscompilation_cases",
+    "op_from_dict",
+    "run_corpus",
+    "validate_translation",
+]

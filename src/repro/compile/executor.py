@@ -1,0 +1,177 @@
+"""Columnar execution of compiled kernels.
+
+:func:`execute_compiled` evaluates a :class:`~repro.compile.ir.CompiledPlan`
+over a readings matrix in one flat pass — no recursion, no per-node
+tree dispatch, columns read at most once — producing the same
+:class:`~repro.core.cost.DatasetExecution` (bit-identical costs and
+verdicts) as the interpreting walker.  The fast path (no observer) does
+no mask counting at all; with an observer attached, per-op batch
+counters reproduce the walker's node events exactly, including the
+"empty batches emit nothing" rule, so
+:class:`~repro.obs.PlanProfile` ledgers are backend-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.compile.ir import (
+    ChargeOp,
+    CompiledPlan,
+    EnterOp,
+    SplitOp,
+    StepOp,
+    VerdictOp,
+)
+from repro.core.cost import DatasetExecution, ExecutionObserver
+from repro.core.plan import ConditionNode, SequentialNode, VerdictLeaf
+from repro.exceptions import CompileError, PlanError
+from repro.verify.paths import node_at
+
+__all__ = ["execute_compiled"]
+
+
+def execute_compiled(
+    compiled: CompiledPlan,
+    data: np.ndarray,
+    observer: ExecutionObserver | None = None,
+) -> DatasetExecution:
+    """Run a compiled kernel over every row of ``data``.
+
+    Observer support requires ``compiled.source`` (the plan the kernel
+    was lowered from) to resolve node objects for the event callbacks;
+    deserialized kernels carry no source and must run observer-free.
+    """
+    matrix = np.asarray(data)
+    if matrix.ndim != 2 or matrix.shape[1] != compiled.schema_width:
+        raise PlanError(
+            f"data shape {matrix.shape} incompatible with compiled schema "
+            f"width {compiled.schema_width}"
+        )
+    if observer is not None and compiled.source is None:
+        raise CompileError(
+            "observer support needs the kernel's source plan; this kernel "
+            "was deserialized without one"
+        )
+    n_rows = matrix.shape[0]
+    costs = np.zeros(n_rows, dtype=np.float64)
+    verdicts = np.zeros(n_rows, dtype=bool)
+    registers: list[np.ndarray] = [
+        np.ones(n_rows, dtype=bool)
+    ] * compiled.register_count
+    columns: dict[int, np.ndarray] = {}
+
+    def column(index: int) -> np.ndarray:
+        cached = columns.get(index)
+        if cached is None:
+            cached = np.ascontiguousarray(matrix[:, index])
+            columns[index] = cached
+        return cached
+
+    if observer is None:
+        for op in compiled.ops:
+            if isinstance(op, ChargeOp):
+                np.add(costs, op.amount, out=costs, where=registers[op.reg])
+            elif isinstance(op, SplitOp):
+                mask = registers[op.reg_in]
+                test = column(op.attribute_index) < op.split_value
+                registers[op.reg_below] = mask & test
+                registers[op.reg_above] = mask & ~test
+            elif isinstance(op, StepOp):
+                mask = registers[op.reg_in]
+                values = column(op.attribute_index)
+                test = (values >= op.low) & (values <= op.high)
+                if op.negate:
+                    test = ~test
+                registers[op.reg_pass] = mask & test
+                registers[op.reg_fail] = mask & ~test
+            elif isinstance(op, VerdictOp):
+                verdicts[registers[op.reg]] = op.value
+            # EnterOp does no mask work on the fast path.
+        return DatasetExecution(costs=costs, verdicts=verdicts)
+
+    _execute_observed(compiled, column, registers, costs, verdicts, observer)
+    return DatasetExecution(costs=costs, verdicts=verdicts)
+
+
+def _owner_path(path: str) -> str:
+    """The sequential node's path owning a ``.../steps[i]`` anchor."""
+    marker = path.rfind("/steps[")
+    return path if marker < 0 else path[:marker]
+
+
+def _execute_observed(
+    compiled: CompiledPlan,
+    column: Callable[[int], np.ndarray],
+    registers: list[np.ndarray],
+    costs: np.ndarray,
+    verdicts: np.ndarray,
+    observer: ExecutionObserver,
+) -> None:
+    """The metered path: identical mask math plus walker-shaped events."""
+    plan = compiled.source
+    assert plan is not None
+    nodes: dict[str, object] = {}
+
+    def node_for(path: str) -> object:
+        resolved = nodes.get(path)
+        if resolved is None:
+            resolved = node_at(plan, path)
+            nodes[path] = resolved
+        return resolved
+
+    for op in compiled.ops:
+        if isinstance(op, ChargeOp):
+            np.add(costs, op.amount, out=costs, where=registers[op.reg])
+        elif isinstance(op, SplitOp):
+            mask = registers[op.reg_in]
+            test = column(op.attribute_index) < op.split_value
+            below = mask & test
+            registers[op.reg_below] = below
+            registers[op.reg_above] = mask & ~test
+            visits = int(mask.sum())
+            if visits:
+                node = node_for(op.source_path)
+                assert isinstance(node, ConditionNode)
+                observer.on_condition(
+                    op.source_path, node, visits, int(below.sum()), op.charged
+                )
+        elif isinstance(op, EnterOp):
+            visits = int(registers[op.reg_in].sum())
+            if visits:
+                node = node_for(op.source_path)
+                assert isinstance(node, SequentialNode)
+                observer.on_sequential(op.source_path, node, visits)
+        elif isinstance(op, StepOp):
+            mask = registers[op.reg_in]
+            values = column(op.attribute_index)
+            test = (values >= op.low) & (values <= op.high)
+            if op.negate:
+                test = ~test
+            passed = mask & test
+            registers[op.reg_pass] = passed
+            registers[op.reg_fail] = mask & ~test
+            evaluated = int(mask.sum())
+            if evaluated:
+                owner = _owner_path(op.source_path)
+                node = node_for(owner)
+                assert isinstance(node, SequentialNode)
+                observer.on_step(
+                    owner,
+                    node,
+                    op.step_index,
+                    evaluated,
+                    int(passed.sum()),
+                    op.charged,
+                )
+        elif isinstance(op, VerdictOp):
+            mask = registers[op.reg]
+            verdicts[mask] = op.value
+            if op.leaf:
+                visits = int(mask.sum())
+                if visits:
+                    node = node_for(op.source_path)
+                    assert isinstance(node, VerdictLeaf)
+                    observer.on_verdict(op.source_path, node, visits)

@@ -1,0 +1,244 @@
+"""The typed kernel IR the compile tier lowers plan trees into.
+
+A :class:`CompiledPlan` is a straight-line, register-based program over
+boolean *row masks*: register 0 is the entry mask (every scanned row),
+and each op narrows, charges, or decides a mask.  The op set mirrors
+exactly what :func:`repro.core.cost.dataset_execution` does per node —
+nothing more — so a compiled kernel can be proven equivalent to its
+source plan node-by-node:
+
+- :class:`SplitOp` — a :class:`~repro.core.plan.ConditionNode` routing:
+  ``reg_below = reg_in & (column < split_value)`` and
+  ``reg_above = reg_in & ~(column < split_value)``;
+- :class:`EnterOp` — a :class:`~repro.core.plan.SequentialNode` entry
+  marker (no mask work; anchors the node for validation and profiling);
+- :class:`StepOp` — one sequential step:
+  ``reg_pass = reg_in & predicate(column)`` and
+  ``reg_fail = reg_in & ~predicate(column)`` where the predicate is the
+  closed range ``[low, high]``, complemented when ``negate`` is set;
+- :class:`ChargeOp` — Eq. 3 cost accumulation:
+  ``costs[reg] += amount``.  Chargedness is *static*: whether a node's
+  attribute was already acquired is fully determined by the
+  root-to-node path, so the compiler bakes each charge (and its
+  amount) into the program;
+- :class:`VerdictOp` — ``verdicts[reg] = value``; ``leaf`` marks ops
+  realizing an actual :class:`~repro.core.plan.VerdictLeaf` (sequential
+  accept/reject verdicts carry ``leaf=False``).
+
+Every op is annotated with ``source_path`` — the verifier node path
+(:mod:`repro.verify.paths`) of the plan node it implements.  That
+annotation *is* the simulation relation the translation validator
+checks: it ties each register to a program point of the source plan,
+where the PR 4 abstract domain supplies the facts.
+
+``CompiledPlan.source`` optionally keeps the plan tree the kernel was
+lowered from (excluded from serialization and equality); the executor
+uses it to resolve nodes for :class:`~repro.core.cost.ExecutionObserver`
+events so profiling works unchanged on the compiled path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Union
+
+from repro.core.plan import PlanNode
+from repro.exceptions import CompileError
+
+__all__ = [
+    "ChargeOp",
+    "CompiledPlan",
+    "EnterOp",
+    "KernelOp",
+    "SplitOp",
+    "StepOp",
+    "VerdictOp",
+    "op_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class SplitOp:
+    """Route ``reg_in`` by ``column[attribute_index] < split_value``."""
+
+    reg_in: int
+    attribute_index: int
+    split_value: int
+    reg_below: int
+    reg_above: int
+    charged: bool
+    source_path: str
+    kind: str = field(default="split", init=False, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "split",
+            "reg_in": self.reg_in,
+            "attribute_index": self.attribute_index,
+            "split_value": self.split_value,
+            "reg_below": self.reg_below,
+            "reg_above": self.reg_above,
+            "charged": self.charged,
+            "source_path": self.source_path,
+        }
+
+
+@dataclass(frozen=True)
+class EnterOp:
+    """Anchor a sequential node's entry on ``reg_in`` (no mask work)."""
+
+    reg_in: int
+    source_path: str
+    kind: str = field(default="enter", init=False, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "enter",
+            "reg_in": self.reg_in,
+            "source_path": self.source_path,
+        }
+
+
+@dataclass(frozen=True)
+class StepOp:
+    """Evaluate one sequential step's range predicate on ``reg_in``."""
+
+    reg_in: int
+    attribute_index: int
+    low: int
+    high: int
+    negate: bool
+    reg_pass: int
+    reg_fail: int
+    charged: bool
+    step_index: int
+    source_path: str
+    kind: str = field(default="step", init=False, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "step",
+            "reg_in": self.reg_in,
+            "attribute_index": self.attribute_index,
+            "low": self.low,
+            "high": self.high,
+            "negate": self.negate,
+            "reg_pass": self.reg_pass,
+            "reg_fail": self.reg_fail,
+            "charged": self.charged,
+            "step_index": self.step_index,
+            "source_path": self.source_path,
+        }
+
+
+@dataclass(frozen=True)
+class ChargeOp:
+    """Accumulate ``amount`` into ``costs`` for every row in ``reg``."""
+
+    reg: int
+    attribute_index: int
+    amount: float
+    source_path: str
+    kind: str = field(default="charge", init=False, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "charge",
+            "reg": self.reg,
+            "attribute_index": self.attribute_index,
+            "amount": self.amount,
+            "source_path": self.source_path,
+        }
+
+
+@dataclass(frozen=True)
+class VerdictOp:
+    """Decide every row in ``reg``: ``verdicts[reg] = value``."""
+
+    reg: int
+    value: bool
+    leaf: bool
+    source_path: str
+    kind: str = field(default="verdict", init=False, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "verdict",
+            "reg": self.reg,
+            "value": self.value,
+            "leaf": self.leaf,
+            "source_path": self.source_path,
+        }
+
+
+KernelOp = Union[SplitOp, EnterOp, StepOp, ChargeOp, VerdictOp]
+
+_OP_TYPES: dict[str, type] = {
+    "split": SplitOp,
+    "enter": EnterOp,
+    "step": StepOp,
+    "charge": ChargeOp,
+    "verdict": VerdictOp,
+}
+
+
+def op_from_dict(payload: Mapping[str, Any]) -> KernelOp:
+    """Reconstruct one kernel op from its :meth:`to_dict` payload."""
+    kind = payload.get("kind")
+    op_type = _OP_TYPES.get(str(kind))
+    if op_type is None:
+        raise CompileError(f"unknown kernel op kind {kind!r}")
+    fields = {key: value for key, value in payload.items() if key != "kind"}
+    try:
+        return op_type(**fields)  # type: ignore[no-any-return]
+    except TypeError as exc:
+        raise CompileError(f"malformed {kind} op payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A lowered plan: ops, register budget, and its statistics stamp.
+
+    ``statistics_version`` records the engine-statistics generation the
+    source plan was trained under; the translation validator's ``TV010``
+    rule refuses kernels whose stamp trails the engine's current
+    version (a stale-statistics kernel would faithfully execute a plan
+    the cache has already invalidated).  ``source`` is a convenience
+    back-reference for observer support — never serialized, ignored by
+    equality, absent after :meth:`from_dict`.
+    """
+
+    ops: tuple[KernelOp, ...]
+    register_count: int
+    schema_width: int
+    statistics_version: int = 1
+    source: PlanNode | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    def with_ops(self, ops: tuple[KernelOp, ...]) -> "CompiledPlan":
+        """A copy with a different op sequence (mutant construction)."""
+        return replace(self, ops=ops)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ops": [op.to_dict() for op in self.ops],
+            "register_count": self.register_count,
+            "schema_width": self.schema_width,
+            "statistics_version": self.statistics_version,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CompiledPlan":
+        try:
+            ops = tuple(op_from_dict(entry) for entry in payload["ops"])
+            return cls(
+                ops=ops,
+                register_count=int(payload["register_count"]),
+                schema_width=int(payload["schema_width"]),
+                statistics_version=int(payload.get("statistics_version", 1)),
+            )
+        except (KeyError, ValueError) as exc:
+            raise CompileError(
+                f"malformed compiled-plan payload: {exc!r}"
+            ) from exc

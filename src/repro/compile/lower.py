@@ -1,0 +1,224 @@
+"""Lowering: plan trees to kernel IR.
+
+The lowering is a single pre-order walk that mirrors
+:func:`repro.core.cost.dataset_execution` op-for-op: each node charges
+(when its attribute is not yet acquired on the path), then routes.
+Because the acquired-so-far set is fully determined by the
+root-to-node path, chargedness and charge amounts are compile-time
+constants, and because ops are emitted in the walker's pre-order, every
+row accumulates its charges in the same order as the interpreter —
+making the compiled per-row cost vector *bit-identical*, not merely
+numerically close.
+
+Only range-shaped predicates (:class:`~repro.core.predicates.RangePredicate`
+and :class:`~repro.core.predicates.NotRangePredicate`) are compilable —
+they are the only predicate classes the kernel's mask ops can express.
+Exotic predicate classes raise :class:`~repro.exceptions.CompileError`;
+callers (the serving tier) fall back to the interpreter.
+
+:func:`compile_plan` is the one-call front door: lower, then run the
+translation validator, returning ``(compiled, report)``.  A kernel is
+only admissible when ``report.ok``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.compile.ir import (
+    ChargeOp,
+    CompiledPlan,
+    EnterOp,
+    KernelOp,
+    SplitOp,
+    StepOp,
+    VerdictOp,
+)
+from repro.core.attributes import Schema
+from repro.core.cost_models import AcquisitionCostModel
+from repro.core.plan import (
+    ConditionNode,
+    PlanNode,
+    SequentialNode,
+    VerdictLeaf,
+)
+from repro.core.predicates import NotRangePredicate, RangePredicate
+from repro.exceptions import CompileError
+from repro.verify.paths import ROOT_PATH, step_path
+
+if TYPE_CHECKING:
+    from repro.analysis.certificates import CostCertificate
+    from repro.probability.base import Distribution
+    from repro.verify.diagnostics import VerificationReport
+
+__all__ = ["compile_plan", "lower_plan"]
+
+
+def lower_plan(
+    plan: PlanNode,
+    schema: Schema,
+    statistics_version: int = 1,
+    cost_model: AcquisitionCostModel | None = None,
+) -> CompiledPlan:
+    """Lower a plan tree into a :class:`CompiledPlan`.
+
+    The emitted program reproduces ``dataset_execution(plan, ...)``
+    exactly: same routing, same verdicts, same per-row charge sequence.
+    """
+    ops: list[KernelOp] = []
+    next_register = 1  # register 0 is the entry mask
+
+    def fresh() -> int:
+        nonlocal next_register
+        register = next_register
+        next_register += 1
+        return register
+
+    def charge_amount(index: int, acquired: frozenset[int]) -> float:
+        if cost_model is None:
+            return float(schema[index].cost)
+        return float(cost_model.cost(index, acquired))
+
+    def walk(
+        node: PlanNode, register: int, acquired: frozenset[int], path: str
+    ) -> None:
+        if isinstance(node, VerdictLeaf):
+            ops.append(
+                VerdictOp(
+                    reg=register,
+                    value=node.verdict,
+                    leaf=True,
+                    source_path=path,
+                )
+            )
+            return
+        if isinstance(node, ConditionNode):
+            index = node.attribute_index
+            charged = index not in acquired
+            if charged:
+                ops.append(
+                    ChargeOp(
+                        reg=register,
+                        attribute_index=index,
+                        amount=charge_amount(index, acquired),
+                        source_path=path,
+                    )
+                )
+                acquired = acquired | {index}
+            reg_below, reg_above = fresh(), fresh()
+            ops.append(
+                SplitOp(
+                    reg_in=register,
+                    attribute_index=index,
+                    split_value=node.split_value,
+                    reg_below=reg_below,
+                    reg_above=reg_above,
+                    charged=charged,
+                    source_path=path,
+                )
+            )
+            walk(node.below, reg_below, acquired, path + "/below")
+            walk(node.above, reg_above, acquired, path + "/above")
+            return
+        if isinstance(node, SequentialNode):
+            ops.append(EnterOp(reg_in=register, source_path=path))
+            alive = register
+            local = set(acquired)
+            for position, step in enumerate(node.steps):
+                index = step.attribute_index
+                anchor = step_path(path, position)
+                charged = index not in local
+                if charged:
+                    ops.append(
+                        ChargeOp(
+                            reg=alive,
+                            attribute_index=index,
+                            amount=charge_amount(index, frozenset(local)),
+                            source_path=anchor,
+                        )
+                    )
+                    local.add(index)
+                predicate = step.predicate
+                if isinstance(predicate, NotRangePredicate):
+                    negate = True
+                elif isinstance(predicate, RangePredicate):
+                    negate = False
+                else:
+                    raise CompileError(
+                        f"step {anchor} uses predicate class "
+                        f"{type(predicate).__name__}, which the kernel's "
+                        f"range masks cannot express"
+                    )
+                reg_pass, reg_fail = fresh(), fresh()
+                ops.append(
+                    StepOp(
+                        reg_in=alive,
+                        attribute_index=index,
+                        low=int(predicate.low),
+                        high=int(predicate.high),
+                        negate=negate,
+                        reg_pass=reg_pass,
+                        reg_fail=reg_fail,
+                        charged=charged,
+                        step_index=position,
+                        source_path=anchor,
+                    )
+                )
+                ops.append(
+                    VerdictOp(
+                        reg=reg_fail,
+                        value=False,
+                        leaf=False,
+                        source_path=anchor,
+                    )
+                )
+                alive = reg_pass
+            ops.append(
+                VerdictOp(reg=alive, value=True, leaf=False, source_path=path)
+            )
+            return
+        raise CompileError(f"unknown plan node type {type(node).__name__}")
+
+    walk(plan, 0, frozenset(), ROOT_PATH)
+    return CompiledPlan(
+        ops=tuple(ops),
+        register_count=next_register,
+        schema_width=len(schema),
+        statistics_version=statistics_version,
+        source=plan,
+    )
+
+
+def compile_plan(
+    plan: PlanNode,
+    schema: Schema,
+    statistics_version: int = 1,
+    distribution: "Distribution | None" = None,
+    certificate: "CostCertificate | None" = None,
+    expected_statistics_version: int | None = None,
+    cost_model: AcquisitionCostModel | None = None,
+) -> "tuple[CompiledPlan, VerificationReport]":
+    """Lower a plan and prove the lowering: ``(compiled, TV report)``.
+
+    The kernel is admissible only when the report is ``ok`` — callers
+    that gate execution (the serving tier, the shards) fall back to the
+    interpreter otherwise.
+    """
+    from repro.compile.validate import validate_translation
+
+    compiled = lower_plan(
+        plan,
+        schema,
+        statistics_version=statistics_version,
+        cost_model=cost_model,
+    )
+    report = validate_translation(
+        compiled,
+        plan,
+        schema,
+        distribution=distribution,
+        certificate=certificate,
+        expected_statistics_version=expected_statistics_version,
+        cost_model=cost_model,
+    )
+    return compiled, report

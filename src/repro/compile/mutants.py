@@ -1,0 +1,586 @@
+"""A seeded miscompilation corpus that self-tests the validator.
+
+Each :class:`MiscompilationCase` is a *correct* plan paired with a
+*defective* kernel — one specific, realistic way a compiler could
+miscompile it: flipped mask polarity, a reordered short-circuit chain,
+a dropped cost charge, a kernel built under stale statistics, a swapped
+branch, and so on.  The corpus proves the translation validator's
+teeth: every case must be rejected with its ``expected_code``, and the
+matching clean kernels (:func:`clean_cases`) must validate silently.
+
+Mutants are built by transforming the output of the real lowering pass
+rather than hand-writing IR, so they stay faithful to the compiler's
+actual register conventions as it evolves.  The transforms locate ops
+dynamically (first ``ChargeOp``, the split anchored at ``root``, ...);
+none of them hard-code op positions.
+
+This module generates no data and holds no RNG state — it is covered
+by the repro-lint ``DET004`` module-level-randomness rule like the rest
+of ``repro.compile``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.compile.ir import (
+    ChargeOp,
+    CompiledPlan,
+    EnterOp,
+    KernelOp,
+    SplitOp,
+    StepOp,
+    VerdictOp,
+)
+from repro.compile.lower import lower_plan
+from repro.compile.validate import validate_translation
+from repro.core.attributes import Attribute, Schema
+from repro.core.cost import expected_cost
+from repro.core.plan import PlanNode
+from repro.core.predicates import NotRangePredicate, RangePredicate
+from repro.core.query import ConjunctiveQuery
+from repro.exceptions import CompileError
+from repro.verify.mutations import (
+    canonical_conditional_plan,
+    canonical_sequential_plan,
+)
+from repro.verify.paths import ROOT_PATH
+
+if TYPE_CHECKING:
+    from repro.analysis.certificates import CostCertificate
+    from repro.probability.base import Distribution
+
+__all__ = [
+    "MiscompilationCase",
+    "clean_cases",
+    "default_corpus_query",
+    "miscompilation_cases",
+    "run_corpus",
+]
+
+
+@dataclass(frozen=True)
+class MiscompilationCase:
+    """One seeded compiler defect the validator must catch.
+
+    ``expected_code`` is the ``TV*`` rule that owns the defect; the
+    corpus asserts the validator's report is not-ok *and* carries that
+    code (other codes may fire too — a dropped verdict also un-anchors
+    its leaf, for instance).
+    """
+
+    name: str
+    description: str
+    expected_code: str
+    plan: PlanNode
+    compiled: CompiledPlan
+    expected_statistics_version: int = 1
+    certificate_bound: float | None = None
+
+
+def default_corpus_query() -> ConjunctiveQuery:
+    """A three-conjunct query with room for every mutation class."""
+    schema = Schema(
+        [
+            Attribute("a", 8, 100.0),
+            Attribute("b", 8, 60.0),
+            Attribute("c", 8, 20.0),
+        ]
+    )
+    return ConjunctiveQuery(
+        schema,
+        [
+            RangePredicate("a", 3, 6),
+            RangePredicate("b", 2, 7),
+            NotRangePredicate("c", 4, 8),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Op-surgery helpers (locate ops dynamically, never by position)
+# ----------------------------------------------------------------------
+
+
+def _first(
+    ops: tuple[KernelOp, ...], match: Callable[[KernelOp], bool]
+) -> tuple[int, KernelOp]:
+    for position, op in enumerate(ops):
+        if match(op):
+            return position, op
+    raise CompileError("mutation target op not found; corpus is stale")
+
+
+def _replace_at(
+    compiled: CompiledPlan, position: int, op: KernelOp
+) -> CompiledPlan:
+    ops = list(compiled.ops)
+    ops[position] = op
+    return compiled.with_ops(tuple(ops))
+
+
+def _remove_at(compiled: CompiledPlan, position: int) -> CompiledPlan:
+    ops = list(compiled.ops)
+    del ops[position]
+    return compiled.with_ops(tuple(ops))
+
+
+def _insert_at(
+    compiled: CompiledPlan, position: int, op: KernelOp
+) -> CompiledPlan:
+    ops = list(compiled.ops)
+    ops.insert(position, op)
+    return compiled.with_ops(tuple(ops))
+
+
+def _remap_registers(
+    ops: Iterable[KernelOp], mapping: dict[int, int]
+) -> tuple[KernelOp, ...]:
+    """Rewrite every register reference through ``mapping``."""
+
+    def remap(register: int) -> int:
+        return mapping.get(register, register)
+
+    rewritten: list[KernelOp] = []
+    for op in ops:
+        if isinstance(op, SplitOp):
+            rewritten.append(
+                dataclasses.replace(
+                    op,
+                    reg_in=remap(op.reg_in),
+                    reg_below=remap(op.reg_below),
+                    reg_above=remap(op.reg_above),
+                )
+            )
+        elif isinstance(op, StepOp):
+            rewritten.append(
+                dataclasses.replace(
+                    op,
+                    reg_in=remap(op.reg_in),
+                    reg_pass=remap(op.reg_pass),
+                    reg_fail=remap(op.reg_fail),
+                )
+            )
+        elif isinstance(op, EnterOp):
+            rewritten.append(dataclasses.replace(op, reg_in=remap(op.reg_in)))
+        elif isinstance(op, ChargeOp):
+            rewritten.append(dataclasses.replace(op, reg=remap(op.reg)))
+        else:
+            rewritten.append(dataclasses.replace(op, reg=remap(op.reg)))
+    return tuple(rewritten)
+
+
+# ----------------------------------------------------------------------
+# The corpus
+# ----------------------------------------------------------------------
+
+
+def miscompilation_cases(
+    query: ConjunctiveQuery | None = None,
+    distribution: "Distribution | None" = None,
+) -> list[MiscompilationCase]:
+    """All seeded miscompilation classes for ``query``.
+
+    The certificate-forgery class needs a ``distribution`` to price the
+    plan; it is omitted when none is given.
+    """
+    if query is None:
+        query = default_corpus_query()
+    schema = query.schema
+    conditional = canonical_conditional_plan(query)
+    sequential = canonical_sequential_plan(query)
+    cond_kernel = lower_plan(conditional, schema)
+    seq_kernel = lower_plan(sequential, schema)
+    cases: list[MiscompilationCase] = []
+
+    def case(
+        name: str,
+        description: str,
+        expected_code: str,
+        plan: PlanNode,
+        compiled: CompiledPlan,
+        **extra: object,
+    ) -> None:
+        cases.append(
+            MiscompilationCase(
+                name=name,
+                description=description,
+                expected_code=expected_code,
+                plan=plan,
+                compiled=compiled,
+                **extra,  # type: ignore[arg-type]
+            )
+        )
+
+    # 1. wrong-mask-polarity: the split writes its below-mask into the
+    # register the above-child consumes and vice versa.
+    position, op = _first(cond_kernel.ops, lambda o: isinstance(o, SplitOp))
+    assert isinstance(op, SplitOp)
+    case(
+        "wrong-mask-polarity",
+        "split op's below/above output registers are swapped",
+        "TV002",
+        conditional,
+        _replace_at(
+            cond_kernel,
+            position,
+            dataclasses.replace(
+                op, reg_below=op.reg_above, reg_above=op.reg_below
+            ),
+        ),
+    )
+
+    # 2. branch-swap: the split is correct but everything downstream
+    # consumes the sibling's register (children compiled onto the wrong
+    # sides).
+    swapped_children = _remap_registers(
+        cond_kernel.ops, {op.reg_below: op.reg_above, op.reg_above: op.reg_below}
+    )
+    restored = list(swapped_children)
+    restored[position] = op  # the split itself keeps its true wiring
+    case(
+        "branch-swap",
+        "below/above subtrees each consume the sibling branch's mask",
+        "TV002",
+        conditional,
+        cond_kernel.with_ops(tuple(restored)),
+    )
+
+    # 3. reordered-short-circuit: steps 0 and 1 of the sequential chain
+    # evaluate in the wrong order (labels kept, registers rewired).
+    step_ops = [o for o in seq_kernel.ops if isinstance(o, StepOp)]
+    first_step, second_step = step_ops[0], step_ops[1]
+    reordered = list(seq_kernel.ops)
+    i0 = reordered.index(first_step)
+    i1 = reordered.index(second_step)
+    reordered[i0] = dataclasses.replace(
+        second_step,
+        reg_in=first_step.reg_in,
+        reg_pass=first_step.reg_pass,
+        reg_fail=first_step.reg_fail,
+    )
+    reordered[i1] = dataclasses.replace(
+        first_step,
+        reg_in=second_step.reg_in,
+        reg_pass=second_step.reg_pass,
+        reg_fail=second_step.reg_fail,
+    )
+    case(
+        "reordered-short-circuit",
+        "the first two conjuncts evaluate in swapped order",
+        "TV003",
+        sequential,
+        seq_kernel.with_ops(tuple(reordered)),
+    )
+
+    # 4. dropped-step: the chain silently skips the second conjunct —
+    # its step, fail verdict, and charge all vanish; the survivors of
+    # step 0 feed step 2 directly.
+    dropped = [
+        o
+        for o in seq_kernel.ops
+        if getattr(o, "source_path", "") != second_step.source_path
+    ]
+    remapped = _remap_registers(dropped, {second_step.reg_pass: second_step.reg_in})
+    case(
+        "dropped-step",
+        "one conjunct is never evaluated; its rows sail through",
+        "TV003",
+        sequential,
+        seq_kernel.with_ops(remapped),
+    )
+
+    # 5. dropped-cost-charge: the kernel reads the attribute but never
+    # bills it.
+    position, op = _first(cond_kernel.ops, lambda o: isinstance(o, ChargeOp))
+    case(
+        "dropped-cost-charge",
+        "an acquisition is performed but never charged",
+        "TV007",
+        conditional,
+        _remove_at(cond_kernel, position),
+    )
+
+    # 6. double-cost-charge: the same acquisition is billed twice.
+    case(
+        "double-cost-charge",
+        "one acquisition charged twice",
+        "TV007",
+        conditional,
+        _insert_at(cond_kernel, position, op),
+    )
+
+    # 7. wrong-charge-amount: billed at a different price than the
+    # schema's acquisition cost.
+    assert isinstance(op, ChargeOp)
+    case(
+        "wrong-charge-amount",
+        "acquisition billed at twice the schema cost",
+        "TV007",
+        conditional,
+        _replace_at(
+            cond_kernel, position, dataclasses.replace(op, amount=op.amount * 2.0)
+        ),
+    )
+
+    # 8. charge-after-route: the charge is moved below the split onto
+    # one branch's register — only some visiting rows get billed.
+    split_position, split_op = _first(
+        cond_kernel.ops, lambda o: isinstance(o, SplitOp)
+    )
+    assert isinstance(split_op, SplitOp)
+    moved = _remove_at(cond_kernel, position)
+    case(
+        "charge-after-route",
+        "the charge lands after routing, billing only the below branch",
+        "TV007",
+        conditional,
+        _insert_at(
+            moved,
+            split_position,  # split shifted up one after the removal
+            dataclasses.replace(op, reg=split_op.reg_below),
+        ),
+    )
+
+    # 9. stale-statistics: a faithful kernel stamped one statistics
+    # generation behind the engine.
+    case(
+        "stale-statistics",
+        "kernel compiled before the last statistics bump",
+        "TV010",
+        conditional,
+        dataclasses.replace(cond_kernel, statistics_version=1),
+        expected_statistics_version=2,
+    )
+
+    # 10. flipped-verdict: a leaf decides the opposite of the plan.
+    position, op = _first(
+        cond_kernel.ops,
+        lambda o: isinstance(o, VerdictOp) and o.leaf,
+    )
+    assert isinstance(op, VerdictOp)
+    case(
+        "flipped-verdict",
+        "a verdict leaf accepts what the plan rejects",
+        "TV005",
+        conditional,
+        _replace_at(
+            cond_kernel, position, dataclasses.replace(op, value=not op.value)
+        ),
+    )
+
+    # 11. dropped-verdict: a leaf's rows are never decided — a gap in
+    # the partition (the leaf also loses its anchor).
+    case(
+        "dropped-verdict",
+        "one leaf's rows receive no verdict at all",
+        "TV006",
+        conditional,
+        _remove_at(cond_kernel, position),
+    )
+
+    # 12. overlapping-verdicts: the chain-final register is decided
+    # twice — each verdict individually justified, jointly a double
+    # termination.
+    final_position, final_op = _first(
+        seq_kernel.ops,
+        lambda o: isinstance(o, VerdictOp) and not o.leaf and o.value,
+    )
+    case(
+        "overlapping-verdicts",
+        "the chain-final mask is decided twice",
+        "TV006",
+        sequential,
+        _insert_at(seq_kernel, final_position, final_op),
+    )
+
+    # 13. wrong-split-value: the split tests a different threshold than
+    # the plan node.
+    case(
+        "wrong-split-value",
+        "split threshold off by one",
+        "TV004",
+        conditional,
+        _replace_at(
+            cond_kernel,
+            split_position,
+            dataclasses.replace(split_op, split_value=split_op.split_value + 1),
+        ),
+    )
+
+    # 14. wrong-attribute-column: the split reads the wrong column.
+    other_index = (split_op.attribute_index + 1) % len(schema)
+    case(
+        "wrong-attribute-column",
+        "split reads a different attribute's column",
+        "TV004",
+        conditional,
+        _replace_at(
+            cond_kernel,
+            split_position,
+            dataclasses.replace(split_op, attribute_index=other_index),
+        ),
+    )
+
+    # 15. foreign-predicate-bounds: a step evaluates a widened range —
+    # not the plan's predicate.
+    step_position = seq_kernel.ops.index(first_step)
+    case(
+        "foreign-predicate-bounds",
+        "step evaluates a widened range, admitting extra rows",
+        "TV004",
+        sequential,
+        _replace_at(
+            seq_kernel,
+            step_position,
+            dataclasses.replace(first_step, high=first_step.high + 1),
+        ),
+    )
+
+    # 16. undefined-register: an op reads a register no op ever writes.
+    case(
+        "undefined-register",
+        "verdict consumes a register outside the declared budget",
+        "TV009",
+        sequential,
+        seq_kernel.with_ops(
+            seq_kernel.ops
+            + (
+                VerdictOp(
+                    reg=seq_kernel.register_count,
+                    value=True,
+                    leaf=False,
+                    source_path=ROOT_PATH,
+                ),
+            )
+        ),
+    )
+
+    # 17. missing-node-kernel: the sequential node's entry anchor is
+    # gone — the plan node has no kernel realization.
+    position, _enter = _first(
+        seq_kernel.ops, lambda o: isinstance(o, EnterOp)
+    )
+    case(
+        "missing-node-kernel",
+        "a plan node has no anchoring kernel op",
+        "TV001",
+        sequential,
+        _remove_at(seq_kernel, position),
+    )
+
+    # 18. fail-path-true-verdict: rows failing the first conjunct are
+    # accepted.
+    fail_position, fail_op = _first(
+        seq_kernel.ops,
+        lambda o: isinstance(o, VerdictOp) and not o.leaf and not o.value,
+    )
+    assert isinstance(fail_op, VerdictOp)
+    case(
+        "fail-path-true-verdict",
+        "rows rejected by a conjunct are marked accepted",
+        "TV005",
+        sequential,
+        _replace_at(
+            seq_kernel, fail_position, dataclasses.replace(fail_op, value=True)
+        ),
+    )
+
+    # 19. wrong-cost-certificate: a structurally clean kernel whose
+    # claimed cost bound is forged — only the conservation pass can
+    # catch it, so it needs a distribution.
+    if distribution is not None:
+        true_cost = expected_cost(conditional, distribution)
+        case(
+            "wrong-cost-certificate",
+            "clean kernel checked against a forged cost certificate",
+            "TV008",
+            conditional,
+            cond_kernel,
+            certificate_bound=true_cost * 1.5 + 1.0,
+        )
+
+    return cases
+
+
+def clean_cases(
+    query: ConjunctiveQuery | None = None,
+) -> list[tuple[str, PlanNode, CompiledPlan]]:
+    """Faithful (plan, kernel) pairs that must validate silently."""
+    if query is None:
+        query = default_corpus_query()
+    schema = query.schema
+    conditional = canonical_conditional_plan(query)
+    sequential = canonical_sequential_plan(query)
+    return [
+        ("clean-conditional", conditional, lower_plan(conditional, schema)),
+        ("clean-sequential", sequential, lower_plan(sequential, schema)),
+    ]
+
+
+class _ForgedCertificate:
+    """A certificate stub claiming an arbitrary root bound."""
+
+    def __init__(self, bound: float) -> None:
+        self._bound = bound
+
+    @property
+    def root_bound(self) -> float:
+        return self._bound
+
+
+def run_corpus(
+    query: ConjunctiveQuery | None = None,
+    distribution: "Distribution | None" = None,
+) -> list[str]:
+    """Run every case; return human-readable failure strings (empty = pass).
+
+    A mutant fails when the validator misses it (report ok) or misses
+    its owning rule (``expected_code`` absent).  A clean case fails on
+    *any* diagnostic — the validator must not cry wolf.
+    """
+    if query is None:
+        query = default_corpus_query()
+    failures: list[str] = []
+    for mutant in miscompilation_cases(query, distribution):
+        certificate: "CostCertificate | None" = None
+        if mutant.certificate_bound is not None:
+            certificate = _ForgedCertificate(  # type: ignore[assignment]
+                mutant.certificate_bound
+            )
+        report = validate_translation(
+            mutant.compiled,
+            mutant.plan,
+            query.schema,
+            distribution=distribution,
+            certificate=certificate,
+            expected_statistics_version=mutant.expected_statistics_version,
+            subject=mutant.name,
+        )
+        if report.ok:
+            failures.append(
+                f"{mutant.name}: validator accepted a miscompiled kernel "
+                f"({mutant.description})"
+            )
+        elif not report.has(mutant.expected_code):
+            failures.append(
+                f"{mutant.name}: expected {mutant.expected_code}, got "
+                f"{sorted(report.codes())}"
+            )
+    for name, plan, compiled in clean_cases(query):
+        report = validate_translation(
+            compiled,
+            plan,
+            query.schema,
+            distribution=distribution,
+            expected_statistics_version=compiled.statistics_version,
+            subject=name,
+        )
+        if len(report) > 0:
+            failures.append(
+                f"{name}: validator flagged a faithful kernel: "
+                f"{sorted(report.codes())}"
+            )
+    return failures

@@ -1,0 +1,888 @@
+"""The translation validator: per-kernel equivalence proofs.
+
+Rather than trusting the lowering pass, every compiled kernel is
+*proven* equivalent to its source plan before it may execute — the
+translation-validation discipline.  :func:`validate_translation` runs
+four static passes over the IR and emits stable ``TV*`` diagnostics
+into the verifier's :class:`~repro.verify.diagnostics.VerificationReport`
+model, so ``verify_plan``, plan-cache admission, ``lint-plan``, and the
+shards gate on kernels exactly as they gate on plans:
+
+- **Well-formedness** (``TV009``): single-assignment registers, reads
+  after writes, indices within the schema, finite charge amounts.  A
+  malformed program is rejected before any interpretation.
+- **Simulation** (``TV001``–``TV006``): the IR is abstract-interpreted
+  with the PR 4 interval+observed-set domain
+  (:class:`~repro.analysis.domain.AbstractState`), registers tied to
+  plan program points through each op's ``source_path`` annotation.
+  Every plan node must be anchored by exactly one op of the right kind
+  (``TV001``); child anchors must consume the registers their parent's
+  split produced (``TV002`` — this is what catches mask-polarity flips
+  and branch swaps); sequential chains must evaluate the plan's steps
+  in order, each consuming the previous step's pass register
+  (``TV003``); op parameters must match the node's (``TV004``);
+  verdicts must decide what the plan decides — leaf values, rejection
+  on fail registers, acceptance for full-chain survivors (``TV005``);
+  and every live register must be consumed by exactly one decision op,
+  so the kernel's verdict masks partition the batch with neither gaps
+  nor overlaps (``TV006``).
+- **Chargedness** (``TV007``): the expected charge schedule is
+  re-derived from the plan by replaying the interpreter's path-static
+  acquired-set discipline; the kernel's ``ChargeOp`` set must match it
+  exactly — anchor, register, attribute, and amount.
+- **Conservation** (``TV008``, given a distribution): the Eq. 3
+  expected cost is re-derived *from the IR alone* — each charge
+  weighted by its register's reach probability, computed by pushing
+  split and sequential-pass probabilities through the register graph —
+  and checked against the plan's cost certificate (or a fresh Eq. 3
+  recomputation) within tolerance.
+
+``TV010`` separately rejects kernels whose statistics stamp trails the
+engine's current version: a stale kernel faithfully executes a plan the
+cache already invalidated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.analysis.domain import AbstractState
+from repro.compile.ir import (
+    ChargeOp,
+    CompiledPlan,
+    EnterOp,
+    KernelOp,
+    SplitOp,
+    StepOp,
+    VerdictOp,
+)
+from repro.core.attributes import Schema
+from repro.core.cost import expected_cost
+from repro.core.cost_models import AcquisitionCostModel
+from repro.core.plan import (
+    ConditionNode,
+    PlanNode,
+    SequentialNode,
+    SequentialStep,
+    VerdictLeaf,
+)
+from repro.core.predicates import NotRangePredicate, RangePredicate
+from repro.exceptions import ReproError
+from repro.verify.diagnostics import (
+    Diagnostic,
+    Severity,
+    VerificationReport,
+    make_diagnostic,
+)
+from repro.verify.paths import ROOT_PATH, iter_plan_paths, step_path
+
+if TYPE_CHECKING:
+    from repro.analysis.certificates import CostCertificate
+    from repro.probability.base import Distribution
+
+__all__ = ["DEFAULT_TV_TOLERANCE", "validate_translation"]
+
+# Relative tolerance of the TV008 conservation check, matching the
+# verifier's cost-conservation and certificate tolerances.
+DEFAULT_TV_TOLERANCE = 1e-6
+
+
+def validate_translation(
+    compiled: CompiledPlan,
+    plan: PlanNode,
+    schema: Schema,
+    distribution: "Distribution | None" = None,
+    certificate: "CostCertificate | None" = None,
+    expected_statistics_version: int | None = None,
+    cost_model: AcquisitionCostModel | None = None,
+    tolerance: float = DEFAULT_TV_TOLERANCE,
+    subject: str = "compiled plan",
+) -> VerificationReport:
+    """Prove (or refute) that ``compiled`` implements ``plan``.
+
+    Returns a :class:`VerificationReport`; the kernel is admissible only
+    when the report is ``ok``.  The conservation pass (``TV008``) runs
+    only when a ``distribution`` is supplied and every structural pass
+    came back clean — reach probabilities are meaningless over a
+    miswired register graph.
+    """
+    findings = _check_wellformed(compiled, schema)
+    if findings:
+        return VerificationReport.from_findings(findings, subject)
+
+    if (
+        expected_statistics_version is not None
+        and compiled.statistics_version != expected_statistics_version
+    ):
+        findings.append(
+            make_diagnostic(
+                "TV010",
+                ROOT_PATH,
+                f"kernel compiled under statistics version "
+                f"{compiled.statistics_version}, engine is at "
+                f"{expected_statistics_version}",
+                hint="recompile the plan after a statistics bump; stale "
+                "kernels execute invalidated plans",
+            )
+        )
+
+    simulation = _Simulation(compiled, plan, schema)
+    findings.extend(simulation.run())
+    findings.extend(_check_charges(compiled, plan, schema, cost_model))
+
+    structurally_sound = not any(
+        finding.severity is Severity.ERROR for finding in findings
+    )
+    if distribution is not None and structurally_sound:
+        findings.extend(
+            _check_conservation(
+                compiled,
+                plan,
+                simulation,
+                distribution,
+                certificate,
+                cost_model,
+                tolerance,
+            )
+        )
+    return VerificationReport.from_findings(findings, subject)
+
+
+# ----------------------------------------------------------------------
+# Pass 0: well-formedness (TV009)
+# ----------------------------------------------------------------------
+
+
+def _check_wellformed(
+    compiled: CompiledPlan, schema: Schema
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+
+    def bad(path: str, message: str, hint: str = "") -> None:
+        findings.append(make_diagnostic("TV009", path, message, hint=hint))
+
+    if compiled.register_count < 1:
+        bad(ROOT_PATH, "kernel declares no registers")
+        return findings
+    if compiled.schema_width != len(schema):
+        bad(
+            ROOT_PATH,
+            f"kernel schema width {compiled.schema_width} does not match "
+            f"the schema's {len(schema)} attributes",
+        )
+    written = {0}
+    for position, op in enumerate(compiled.ops):
+        path = op.source_path
+        reads, writes = _op_registers(op)
+        for register in reads + writes:
+            if not 0 <= register < compiled.register_count:
+                bad(
+                    path,
+                    f"op {position} references register r{register} outside "
+                    f"the declared budget of {compiled.register_count}",
+                )
+                return findings
+        for register in reads:
+            if register not in written:
+                bad(
+                    path,
+                    f"op {position} reads register r{register} before any "
+                    f"op writes it",
+                    hint="kernel programs are single-assignment and "
+                    "straight-line; definitions must precede uses",
+                )
+        for register in writes:
+            if register in written:
+                bad(
+                    path,
+                    f"op {position} rewrites register r{register}; "
+                    f"registers are single-assignment",
+                )
+            written.add(register)
+        index = _op_attribute(op)
+        if index is not None and not 0 <= index < len(schema):
+            bad(
+                path,
+                f"op {position} reads attribute index {index} outside the "
+                f"schema",
+            )
+        if isinstance(op, ChargeOp) and not (
+            math.isfinite(op.amount) and op.amount >= 0.0
+        ):
+            bad(path, f"charge amount {op.amount!r} is not a finite cost")
+    return findings
+
+
+def _op_registers(op: KernelOp) -> tuple[list[int], list[int]]:
+    """``(reads, writes)`` register lists of one op."""
+    if isinstance(op, SplitOp):
+        return [op.reg_in], [op.reg_below, op.reg_above]
+    if isinstance(op, StepOp):
+        return [op.reg_in], [op.reg_pass, op.reg_fail]
+    if isinstance(op, EnterOp):
+        return [op.reg_in], []
+    if isinstance(op, ChargeOp):
+        return [op.reg], []
+    return [op.reg], []
+
+
+def _op_attribute(op: KernelOp) -> int | None:
+    if isinstance(op, (SplitOp, StepOp, ChargeOp)):
+        return op.attribute_index
+    return None
+
+
+# ----------------------------------------------------------------------
+# Passes 1–2: anchors, wiring, chains, verdicts, partition
+# ----------------------------------------------------------------------
+
+
+class _Simulation:
+    """One symbolic forward pass over the IR, shared by the checks.
+
+    Computes per-register abstract states (from the ops' *actual*
+    parameters — the program as written, not as intended) and groups ops
+    by role, then verifies the simulation relation the ``source_path``
+    annotations claim.
+    """
+
+    def __init__(
+        self, compiled: CompiledPlan, plan: PlanNode, schema: Schema
+    ) -> None:
+        self.compiled = compiled
+        self.plan = plan
+        self.schema = schema
+        self.plan_nodes = dict(iter_plan_paths(plan))
+        self.states: dict[int, AbstractState] = {
+            0: AbstractState.top(schema)
+        }
+        # Producer path per register, for anchoring diagnostics.
+        self.producers: dict[int, str] = {0: ROOT_PATH}
+        self.splits: dict[str, list[SplitOp]] = {}
+        self.enters: dict[str, list[EnterOp]] = {}
+        self.steps: dict[str, list[StepOp]] = {}
+        self.leaf_verdicts: dict[str, list[VerdictOp]] = {}
+        self.free_verdicts: list[VerdictOp] = []
+        self.terminator_uses: dict[int, list[str]] = {}
+        self.expected_register: dict[str, int] = {ROOT_PATH: 0}
+
+    def run(self) -> list[Diagnostic]:
+        self._interpret()
+        findings: list[Diagnostic] = []
+        findings.extend(self._check_anchors())
+        findings.extend(self._check_wiring())
+        findings.extend(self._check_chains())
+        findings.extend(self._check_partition())
+        return findings
+
+    # -- symbolic interpretation ---------------------------------------
+
+    def _interpret(self) -> None:
+        for op in self.compiled.ops:
+            if isinstance(op, SplitOp):
+                self.splits.setdefault(op.source_path, []).append(op)
+                self._terminate(op.reg_in, op.source_path)
+                state = self.states.get(op.reg_in, AbstractState.bottom())
+                below, above = state.assume_split(
+                    op.attribute_index, op.split_value
+                )
+                self.states[op.reg_below] = below
+                self.states[op.reg_above] = above
+                self.producers[op.reg_below] = op.source_path + "/below"
+                self.producers[op.reg_above] = op.source_path + "/above"
+            elif isinstance(op, EnterOp):
+                self.enters.setdefault(op.source_path, []).append(op)
+            elif isinstance(op, StepOp):
+                self.steps.setdefault(op.source_path, []).append(op)
+                self._terminate(op.reg_in, op.source_path)
+                state = self.states.get(op.reg_in, AbstractState.bottom())
+                predicate = _op_predicate(op, self.schema)
+                self.states[op.reg_pass] = state.assume_pass(
+                    predicate, op.attribute_index
+                )
+                self.states[op.reg_fail] = state.observe(op.attribute_index)
+                self.producers[op.reg_pass] = op.source_path
+                self.producers[op.reg_fail] = op.source_path
+            elif isinstance(op, VerdictOp):
+                self._terminate(op.reg, op.source_path)
+                if op.leaf:
+                    self.leaf_verdicts.setdefault(
+                        op.source_path, []
+                    ).append(op)
+                else:
+                    self.free_verdicts.append(op)
+
+    def _terminate(self, register: int, path: str) -> None:
+        self.terminator_uses.setdefault(register, []).append(path)
+
+    # -- TV001: node coverage ------------------------------------------
+
+    def _check_anchors(self) -> list[Diagnostic]:
+        findings: list[Diagnostic] = []
+        anchor_maps: dict[str, Mapping[str, Sequence[KernelOp]]] = {
+            "condition": self.splits,
+            "sequential": self.enters,
+            "verdict": self.leaf_verdicts,
+        }
+        expected_kind = {
+            ConditionNode: "condition",
+            SequentialNode: "sequential",
+            VerdictLeaf: "verdict",
+        }
+        covered: set[str] = set()
+        for path, node in self.plan_nodes.items():
+            kind = expected_kind[type(node)]
+            anchors = anchor_maps[kind].get(path, [])
+            covered.add(path)
+            if not anchors:
+                findings.append(
+                    make_diagnostic(
+                        "TV001",
+                        path,
+                        f"plan {kind} node has no matching kernel op",
+                        hint="every plan node must be realized by exactly "
+                        "one anchor op carrying its path",
+                    )
+                )
+            elif len(anchors) > 1:
+                findings.append(
+                    make_diagnostic(
+                        "TV001",
+                        path,
+                        f"plan {kind} node is anchored by {len(anchors)} "
+                        f"kernel ops; expected exactly one",
+                    )
+                )
+        for kind, by_path in anchor_maps.items():
+            for path, anchors in by_path.items():
+                node = self.plan_nodes.get(path)
+                if node is None or expected_kind[type(node)] != kind:
+                    findings.append(
+                        make_diagnostic(
+                            "TV001",
+                            path,
+                            f"kernel {kind} op anchored at a path with no "
+                            f"matching plan node",
+                        )
+                    )
+        return findings
+
+    # -- TV002 + TV004: wiring and parameters --------------------------
+
+    def _check_wiring(self) -> list[Diagnostic]:
+        findings: list[Diagnostic] = []
+        # Expected registers flow from the unique split anchors.
+        for path, ops in self.splits.items():
+            if len(ops) != 1:
+                continue
+            op = ops[0]
+            self.expected_register[path + "/below"] = op.reg_below
+            self.expected_register[path + "/above"] = op.reg_above
+        for path, node in self.plan_nodes.items():
+            expected = self.expected_register.get(path)
+            anchor = self._anchor_for(path, node)
+            if anchor is None or expected is None:
+                continue
+            actual = _op_registers(anchor)[0][0]
+            if actual != expected:
+                findings.append(
+                    make_diagnostic(
+                        "TV002",
+                        path,
+                        f"anchor op consumes register r{actual} but the "
+                        f"plan's branch structure routes r{expected} here",
+                        hint="a below/above child consuming its sibling's "
+                        "mask is a polarity flip or branch swap",
+                    )
+                )
+            if isinstance(node, ConditionNode) and isinstance(
+                anchor, SplitOp
+            ):
+                if (
+                    anchor.attribute_index != node.attribute_index
+                    or anchor.split_value != node.split_value
+                ):
+                    findings.append(
+                        make_diagnostic(
+                            "TV004",
+                            path,
+                            f"split op tests attribute "
+                            f"{anchor.attribute_index} at "
+                            f"{anchor.split_value}; the plan node splits "
+                            f"attribute {node.attribute_index} at "
+                            f"{node.split_value}",
+                        )
+                    )
+        return findings
+
+    def _anchor_for(self, path: str, node: PlanNode) -> KernelOp | None:
+        ops: list[KernelOp]
+        if isinstance(node, ConditionNode):
+            ops = list(self.splits.get(path, []))
+        elif isinstance(node, SequentialNode):
+            ops = list(self.enters.get(path, []))
+        else:
+            ops = list(self.leaf_verdicts.get(path, []))
+        return ops[0] if len(ops) == 1 else None
+
+    # -- TV003 + TV004 + TV005: sequential chains ----------------------
+
+    def _check_chains(self) -> list[Diagnostic]:
+        findings: list[Diagnostic] = []
+        justified_false: set[int] = set()
+        justified_true: set[int] = set()
+        sequential_paths = {
+            path
+            for path, node in self.plan_nodes.items()
+            if isinstance(node, SequentialNode)
+        }
+        # Step ops must belong to a known sequential node and step slot.
+        known_steps: set[str] = set()
+        for path, node in self.plan_nodes.items():
+            if isinstance(node, SequentialNode):
+                for position in range(len(node.steps)):
+                    known_steps.add(step_path(path, position))
+        for anchor, ops in self.steps.items():
+            if anchor not in known_steps:
+                findings.append(
+                    make_diagnostic(
+                        "TV003",
+                        anchor,
+                        "step op does not correspond to any plan step",
+                    )
+                )
+            elif len(ops) > 1:
+                findings.append(
+                    make_diagnostic(
+                        "TV003",
+                        anchor,
+                        f"plan step realized by {len(ops)} kernel ops",
+                    )
+                )
+        for path in sorted(sequential_paths):
+            node = self.plan_nodes[path]
+            assert isinstance(node, SequentialNode)
+            current = self.expected_register.get(path)
+            enters = self.enters.get(path, [])
+            if len(enters) == 1 and current is None:
+                # Wiring above is broken (flagged there); follow the
+                # program as written so chain checks stay meaningful.
+                current = enters[0].reg_in
+            for position, step in enumerate(node.steps):
+                anchor = step_path(path, position)
+                ops = self.steps.get(anchor, [])
+                if len(ops) != 1:
+                    if not ops:
+                        findings.append(
+                            make_diagnostic(
+                                "TV003",
+                                anchor,
+                                "plan step has no kernel op: the compiled "
+                                "chain skips a conjunct",
+                            )
+                        )
+                    current = None
+                    break
+                op = ops[0]
+                if current is not None and op.reg_in != current:
+                    findings.append(
+                        make_diagnostic(
+                            "TV003",
+                            anchor,
+                            f"step op consumes register r{op.reg_in} but "
+                            f"the short-circuit chain routes r{current} "
+                            f"here; steps are reordered or rewired",
+                        )
+                    )
+                if op.step_index != position:
+                    findings.append(
+                        make_diagnostic(
+                            "TV003",
+                            anchor,
+                            f"step op carries step_index {op.step_index}; "
+                            f"expected {position}",
+                        )
+                    )
+                findings.extend(_check_step_params(op, step, anchor))
+                justified_false.add(op.reg_fail)
+                current = op.reg_pass
+            if current is not None:
+                justified_true.add(current)
+        # Non-leaf verdicts must decide exactly what the chains justify.
+        for op in self.free_verdicts:
+            if op.reg in justified_false:
+                if op.value:
+                    findings.append(
+                        make_diagnostic(
+                            "TV005",
+                            op.source_path,
+                            "rows failing a conjunct are accepted by the "
+                            "kernel; the plan rejects them",
+                        )
+                    )
+            elif op.reg in justified_true:
+                if not op.value:
+                    findings.append(
+                        make_diagnostic(
+                            "TV005",
+                            op.source_path,
+                            "rows surviving every conjunct are rejected "
+                            "by the kernel; the plan accepts them",
+                        )
+                    )
+            else:
+                findings.append(
+                    make_diagnostic(
+                        "TV005",
+                        op.source_path,
+                        f"verdict on register r{op.reg} is not justified "
+                        f"by any plan decision point",
+                    )
+                )
+        # Leaf verdicts must echo their plan leaf.
+        for path, ops in self.leaf_verdicts.items():
+            node = self.plan_nodes.get(path)
+            if not isinstance(node, VerdictLeaf):
+                continue  # TV001 already covers misanchored leaves
+            for op in ops:
+                if op.value != node.verdict:
+                    findings.append(
+                        make_diagnostic(
+                            "TV005",
+                            path,
+                            f"kernel decides {op.value} where the plan "
+                            f"leaf decides {node.verdict}",
+                        )
+                    )
+        return findings
+
+    # -- TV006: partition ----------------------------------------------
+
+    def _check_partition(self) -> list[Diagnostic]:
+        findings: list[Diagnostic] = []
+        for register in sorted(self.producers):
+            uses = self.terminator_uses.get(register, [])
+            anchor = self.producers[register]
+            if not uses:
+                findings.append(
+                    make_diagnostic(
+                        "TV006",
+                        anchor,
+                        f"rows routed into register r{register} never "
+                        f"receive a verdict: the kernel's decision masks "
+                        f"leave a gap",
+                    )
+                )
+            elif len(uses) > 1:
+                findings.append(
+                    make_diagnostic(
+                        "TV006",
+                        anchor,
+                        f"register r{register} is decided or routed "
+                        f"{len(uses)} times: the kernel's decision masks "
+                        f"overlap",
+                    )
+                )
+        return findings
+
+
+def _op_predicate(
+    op: StepOp, schema: Schema
+) -> RangePredicate | NotRangePredicate:
+    """The predicate a step op actually evaluates, rebuilt from its fields."""
+    name = schema[op.attribute_index].name
+    if op.negate:
+        return NotRangePredicate(name, op.low, op.high)
+    return RangePredicate(name, op.low, op.high)
+
+
+def _check_step_params(
+    op: StepOp, step: SequentialStep, anchor: str
+) -> list[Diagnostic]:
+    predicate = step.predicate
+    attribute_index = step.attribute_index
+    expected_negate = isinstance(predicate, NotRangePredicate)
+    low = getattr(predicate, "low", None)
+    high = getattr(predicate, "high", None)
+    if low is None or high is None:
+        return [
+            make_diagnostic(
+                "TV004",
+                anchor,
+                f"plan step predicate {type(predicate).__name__} is not "
+                f"range-shaped; the kernel cannot have compiled it",
+            )
+        ]
+    if (
+        op.attribute_index != attribute_index
+        or op.low != low
+        or op.high != high
+        or op.negate != expected_negate
+    ):
+        return [
+            make_diagnostic(
+                "TV004",
+                anchor,
+                f"step op evaluates attribute {op.attribute_index} in "
+                f"[{op.low}, {op.high}] (negate={op.negate}); the plan "
+                f"step evaluates attribute {attribute_index} in "
+                f"[{low}, {high}] (negate={expected_negate})",
+            )
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Pass 3: chargedness (TV007)
+# ----------------------------------------------------------------------
+
+
+def _expected_charges(
+    plan: PlanNode,
+    schema: Schema,
+    cost_model: AcquisitionCostModel | None,
+) -> dict[str, tuple[int, float]]:
+    """The interpreter's charge schedule: anchor path -> (attr, amount).
+
+    Replays :func:`repro.core.cost.dataset_execution`'s path-static
+    acquired-set discipline, so the kernel's charges are compared
+    against exactly what the walker would bill.
+    """
+    expected: dict[str, tuple[int, float]] = {}
+
+    def amount(index: int, acquired: frozenset[int]) -> float:
+        if cost_model is None:
+            return float(schema[index].cost)
+        return float(cost_model.cost(index, acquired))
+
+    def walk(node: PlanNode, acquired: frozenset[int], path: str) -> None:
+        if isinstance(node, VerdictLeaf):
+            return
+        if isinstance(node, ConditionNode):
+            index = node.attribute_index
+            if index not in acquired:
+                expected[path] = (index, amount(index, acquired))
+                acquired = acquired | {index}
+            walk(node.below, acquired, path + "/below")
+            walk(node.above, acquired, path + "/above")
+            return
+        if isinstance(node, SequentialNode):
+            local = set(acquired)
+            for position, step in enumerate(node.steps):
+                index = step.attribute_index
+                if index not in local:
+                    expected[step_path(path, position)] = (
+                        index,
+                        amount(index, frozenset(local)),
+                    )
+                    local.add(index)
+            return
+
+    walk(plan, frozenset(), ROOT_PATH)
+    return expected
+
+
+def _check_charges(
+    compiled: CompiledPlan,
+    plan: PlanNode,
+    schema: Schema,
+    cost_model: AcquisitionCostModel | None,
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    expected = _expected_charges(plan, schema, cost_model)
+    # The register each charge must hit: its anchor op's input mask.
+    anchor_registers: dict[str, int] = {}
+    anchor_charged: dict[str, bool] = {}
+    for op in compiled.ops:
+        if isinstance(op, SplitOp):
+            anchor_registers.setdefault(op.source_path, op.reg_in)
+            anchor_charged.setdefault(op.source_path, op.charged)
+        elif isinstance(op, StepOp):
+            anchor_registers.setdefault(op.source_path, op.reg_in)
+            anchor_charged.setdefault(op.source_path, op.charged)
+    actual: dict[str, list[ChargeOp]] = {}
+    for op in compiled.ops:
+        if isinstance(op, ChargeOp):
+            actual.setdefault(op.source_path, []).append(op)
+
+    for path, (index, amount) in sorted(expected.items()):
+        charges = actual.pop(path, [])
+        if not charges:
+            findings.append(
+                make_diagnostic(
+                    "TV007",
+                    path,
+                    f"the plan charges attribute {index} "
+                    f"({amount:g}/tuple) here; the kernel charges nothing",
+                    hint="a dropped charge under-reports Eq. 3 cost while "
+                    "still reading the attribute",
+                )
+            )
+            continue
+        if len(charges) > 1:
+            findings.append(
+                make_diagnostic(
+                    "TV007",
+                    path,
+                    f"the kernel charges this acquisition {len(charges)} "
+                    f"times; the plan charges once",
+                )
+            )
+        op = charges[0]
+        if op.attribute_index != index:
+            findings.append(
+                make_diagnostic(
+                    "TV007",
+                    path,
+                    f"kernel charges attribute {op.attribute_index}; the "
+                    f"plan acquires attribute {index} here",
+                )
+            )
+        if abs(op.amount - amount) > 1e-9 * max(1.0, abs(amount)):
+            findings.append(
+                make_diagnostic(
+                    "TV007",
+                    path,
+                    f"kernel charges {op.amount:g} per tuple; the plan's "
+                    f"acquisition costs {amount:g}",
+                )
+            )
+        wanted_register = anchor_registers.get(path)
+        if wanted_register is not None and op.reg != wanted_register:
+            findings.append(
+                make_diagnostic(
+                    "TV007",
+                    path,
+                    f"kernel charges register r{op.reg}; the acquisition "
+                    f"is billed to every visiting row (r{wanted_register})",
+                    hint="charging after routing bills only one branch's "
+                    "rows for a read every visitor performs",
+                )
+            )
+    for path, charges in sorted(actual.items()):
+        for op in charges:
+            findings.append(
+                make_diagnostic(
+                    "TV007",
+                    path,
+                    f"kernel charges attribute {op.attribute_index} at a "
+                    f"point where the plan's path already acquired it (or "
+                    f"no plan node exists)",
+                )
+            )
+    for path, charged in sorted(anchor_charged.items()):
+        if charged != (path in expected):
+            findings.append(
+                make_diagnostic(
+                    "TV007",
+                    path,
+                    f"op's charged flag says {charged} but the plan's "
+                    f"path-static chargedness says {path in expected}",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Pass 4: Eq. 3 conservation (TV008)
+# ----------------------------------------------------------------------
+
+
+def _check_conservation(
+    compiled: CompiledPlan,
+    plan: PlanNode,
+    simulation: _Simulation,
+    distribution: "Distribution",
+    certificate: "CostCertificate | None",
+    cost_model: AcquisitionCostModel | None,
+    tolerance: float,
+) -> list[Diagnostic]:
+    """Re-derive Eq. 3 from the IR's charge counters and check it.
+
+    Register reach probabilities are pushed through the (already
+    structurally verified) register graph: split probabilities from the
+    model, sequential pass probabilities from a conditioner threaded
+    along each chain — exactly the quantities
+    :func:`repro.core.cost.expected_cost` uses, so a faithful kernel
+    conserves the decomposition to rounding.
+    """
+    from repro.probability.base import SequentialConditioner
+
+    try:
+        reach: dict[int, float] = {0: 1.0}
+        conditioners: dict[int, SequentialConditioner] = {}
+        for op in compiled.ops:
+            if isinstance(op, SplitOp):
+                probability_in = reach.get(op.reg_in, 0.0)
+                state = simulation.states.get(op.reg_in)
+                if probability_in <= 0.0 or state is None or state.ranges is None:
+                    reach[op.reg_below] = 0.0
+                    reach[op.reg_above] = 0.0
+                    continue
+                below = distribution.split_probability(
+                    op.attribute_index, op.split_value, state.ranges
+                )
+                reach[op.reg_below] = probability_in * below
+                reach[op.reg_above] = probability_in * (1.0 - below)
+            elif isinstance(op, EnterOp):
+                state = simulation.states.get(op.reg_in)
+                if state is not None and state.ranges is not None:
+                    conditioners[op.reg_in] = (
+                        distribution.sequential_conditioner(state.ranges)
+                    )
+            elif isinstance(op, StepOp):
+                probability_in = reach.get(op.reg_in, 0.0)
+                conditioner = conditioners.get(op.reg_in)
+                node = simulation.plan_nodes.get(
+                    _owner_of(op.source_path)
+                )
+                if (
+                    probability_in <= 0.0
+                    or conditioner is None
+                    or not isinstance(node, SequentialNode)
+                ):
+                    reach[op.reg_pass] = 0.0
+                    reach[op.reg_fail] = 0.0
+                    continue
+                step = node.steps[op.step_index]
+                binding = (step.predicate, step.attribute_index)
+                passed = conditioner.pass_probability(binding)
+                conditioner.condition_on(binding)
+                reach[op.reg_pass] = probability_in * passed
+                reach[op.reg_fail] = probability_in * (1.0 - passed)
+                conditioners[op.reg_pass] = conditioner
+        kernel_cost = 0.0
+        for op in compiled.ops:
+            if isinstance(op, ChargeOp):
+                kernel_cost += op.amount * reach.get(op.reg, 0.0)
+        if certificate is not None and certificate.root_bound is not None:
+            claimed = float(certificate.root_bound)
+            source = "the plan's cost certificate"
+        else:
+            claimed = expected_cost(
+                plan, distribution, cost_model=cost_model
+            )
+            source = "a fresh Eq. 3 recomputation"
+    except ReproError:
+        # A plan the Eq. 3 machinery itself rejects (unreachable splits,
+        # model domain errors) is the plan verifier's finding, not a
+        # translation defect — the structural TV passes stay in force.
+        return []
+    if abs(kernel_cost - claimed) > tolerance * max(1.0, abs(claimed)):
+        return [
+            make_diagnostic(
+                "TV008",
+                ROOT_PATH,
+                f"the kernel's charge counters expect {kernel_cost:.9g} "
+                f"per tuple; {source} expects {claimed:.9g}",
+                hint="every acquisition the plan bills must be charged at "
+                "the same reach probability in the kernel",
+            )
+        ]
+    return []
+
+
+def _owner_of(path: str) -> str:
+    marker = path.rfind("/steps[")
+    return path if marker < 0 else path[:marker]

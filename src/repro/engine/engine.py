@@ -35,6 +35,7 @@ from repro.planning.split_points import SplitPointPolicy
 from repro.probability.empirical import EmpiricalDistribution
 
 if TYPE_CHECKING:
+    from repro.compile.ir import CompiledPlan
     from repro.faults.model import FaultSchedule
     from repro.faults.policy import FaultPolicy
 
@@ -292,18 +293,28 @@ class AcquisitionalEngine:
         prepared: PreparedQuery,
         readings: np.ndarray,
         observer: ExecutionObserver | None = None,
+        kernel: "CompiledPlan | None" = None,
     ) -> QueryResult:
         """Run an already-prepared statement over live readings.
 
         ``observer`` (usually a :class:`repro.obs.PlanProfile`) meters the
         WHERE plan's per-node behaviour; post-WHERE projection
         acquisitions are accounted in ``projection_cost`` but are not
-        node events, so they stay outside the profile.
+        node events, so they stay outside the profile.  A ``kernel``
+        (a translation-validated :class:`~repro.compile.CompiledPlan`
+        lowered from ``prepared.plan``) routes the WHERE clause through
+        the columnar compiled tier instead of the interpreting walker;
+        results are identical by the validator's proof.
         """
         matrix = self._validated(readings)
-        outcome = dataset_execution(
-            prepared.plan, matrix, self._schema, observer=observer
-        )
+        if kernel is not None:
+            from repro.compile.executor import execute_compiled
+
+            outcome = execute_compiled(kernel, matrix, observer=observer)
+        else:
+            outcome = dataset_execution(
+                prepared.plan, matrix, self._schema, observer=observer
+            )
         extra = self._projection_extra(prepared, matrix)
         return self._build_result(
             prepared, matrix, outcome.costs, outcome.verdicts, extra
@@ -372,6 +383,7 @@ class AcquisitionalEngine:
         prepared: PreparedQuery,
         readings_list: list[np.ndarray],
         observer: ExecutionObserver | None = None,
+        kernel: "CompiledPlan | None" = None,
     ) -> list[QueryResult]:
         """Run one prepared statement over many batches in a single pass.
 
@@ -379,15 +391,21 @@ class AcquisitionalEngine:
         vectorized tree walk amortizes across every request sharing the
         plan — then per-batch results are sliced back out.  This is the
         serving layer's same-fingerprint admission path.  ``observer``
-        meters the WHERE plan exactly as in :meth:`execute_prepared`.
+        meters the WHERE plan exactly as in :meth:`execute_prepared`,
+        and ``kernel`` selects the compiled tier the same way.
         """
         matrices = [self._validated(readings) for readings in readings_list]
         if not matrices:
             return []
         stacked = np.vstack(matrices)
-        outcome = dataset_execution(
-            prepared.plan, stacked, self._schema, observer=observer
-        )
+        if kernel is not None:
+            from repro.compile.executor import execute_compiled
+
+            outcome = execute_compiled(kernel, stacked, observer=observer)
+        else:
+            outcome = dataset_execution(
+                prepared.plan, stacked, self._schema, observer=observer
+            )
         extra = self._projection_extra(prepared, stacked)
         results: list[QueryResult] = []
         start = 0

@@ -59,6 +59,7 @@ class LintConfig:
         "repro.faults",
         "repro.verify",
         "repro.analysis",
+        "repro.compile",
         "repro.obs",
         "repro.service.fingerprint",
         "repro.cluster.hashring",
@@ -80,6 +81,7 @@ class LintConfig:
         "repro.faults",
         "repro.analysis",
         "repro.verify",
+        "repro.compile",
         "repro.engine",
         "repro.cluster.admission",
         # The trace-vs-ledger conservation audit re-derives Eq. 3 sums

@@ -105,6 +105,35 @@ def violation_cases() -> list[LintCase]:
             "DET002",
         ),
         _case(
+            "det004-module-level-generator",
+            "a compile-tier module binds a seeded generator at import",
+            "repro.compile.example",
+            """
+            import numpy as np
+
+            _RNG = np.random.default_rng(42)
+
+            def shuffle_ops(ops):
+                order = _RNG.permutation(len(ops))
+                return [ops[i] for i in order]
+            """,
+            "DET004",
+        ),
+        _case(
+            "det004-module-level-random-instance",
+            "random.Random at module scope is shared RNG state even seeded",
+            "repro.core.example",
+            """
+            import random
+
+            _JITTER = random.Random(7)
+
+            def jitter():
+                return _JITTER.random()
+            """,
+            "DET004",
+        ),
+        _case(
             "det003-set-iteration",
             "iterating a set literal leaks hash order into output",
             "repro.core.example",
@@ -322,6 +351,19 @@ def clean_cases() -> list[LintCase]:
             def jitter(n, seed):
                 rng = np.random.default_rng(seed)
                 return rng.normal(size=n)
+            """,
+        ),
+        _case(
+            "clean-compile-function-scoped-rng",
+            "compile-tier code may build seeded generators inside "
+            "functions — only import-time state is banned",
+            "repro.compile.example",
+            """
+            import numpy as np
+
+            def sample_rows(n, seed):
+                rng = np.random.default_rng(seed)
+                return rng.integers(1, 10, n)
             """,
         ),
         _case(

@@ -13,7 +13,13 @@ reduces to three source-level disciplines:
 - nothing iterates an unordered set where the order can leak into
   output — set iteration order varies across processes under hash
   randomization, which is exactly the cross-shard situation the cluster
-  runs in (``DET003``).
+  runs in (``DET003``);
+- deterministic modules construct no RNG state at import time — not
+  even *seeded* state (``DET004``).  A module-level generator is shared
+  mutable state: whichever import-order-dependent caller draws first
+  shifts every later draw.  The compile tier is the motivating case:
+  kernels must be pure functions of (plan, schema, statistics version),
+  so ``repro.compile`` must hold no generator for anything to consume.
 """
 
 from __future__ import annotations
@@ -85,6 +91,12 @@ _WALLCLOCK = frozenset(
 
 _ORDER_SENSITIVE_CONSUMERS = frozenset({"list", "tuple", "iter", "enumerate"})
 
+# DET004: constructors/entry points that create or consume RNG state.
+# At module level in a deterministic module, *any* of these — seeded or
+# not — is import-time generator state.
+_RNG_STATE_PREFIXES = ("numpy.random.",)
+_RNG_STATE_CALLS = frozenset({"random.Random", "random.SystemRandom"})
+
 
 def _is_set_expression(node: ast.AST, context: ModuleContext) -> bool:
     """Does ``node`` evaluate to a ``set``/``frozenset`` syntactically?"""
@@ -134,6 +146,37 @@ def check_determinism(context: ModuleContext) -> list[LintFinding]:
                         "entropy",
                         hint="pass an explicit seed (or a SeedSequence "
                         "derived from one)",
+                    )
+                )
+
+        # DET004 — module-level RNG construction in deterministic
+        # modules.  Fires on the import-time execution scope only
+        # (qualname ""): a generator bound at module scope is shared
+        # mutable state even when seeded, and the compile tier must not
+        # create or consume any RNG at import.
+        if (
+            config.wants("DET004")
+            and deterministic
+            and qualname == ""
+            and isinstance(node, ast.Call)
+        ):
+            callee = context.resolve(node.func)
+            if callee is not None and (
+                callee.startswith(_RNG_STATE_PREFIXES)
+                or callee in _RNG_STATE_CALLS
+            ):
+                findings.append(
+                    make_finding(
+                        "DET004",
+                        context.module,
+                        context.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"module-level call to {callee}() creates RNG "
+                        f"state at import time",
+                        hint="construct generators inside the function "
+                        "that needs them, seeded from an explicit "
+                        "argument",
                     )
                 )
 

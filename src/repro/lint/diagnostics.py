@@ -43,6 +43,7 @@ LINT_CATALOG: dict[str, tuple[Severity, str]] = {
     "DET001": (Severity.ERROR, "unseeded random-number generation"),
     "DET002": (Severity.ERROR, "wall-clock read in a deterministic path"),
     "DET003": (Severity.WARNING, "order-sensitive iteration over an unordered set"),
+    "DET004": (Severity.ERROR, "module-level RNG state in a deterministic module"),
     # Race conditions / locking discipline
     "RC001": (Severity.ERROR, "unlocked write to lock-guarded shared state"),
     "RC002": (Severity.ERROR, "lock-acquisition-order cycle between classes"),

@@ -29,6 +29,7 @@ from repro.verify.rules import check_cost, check_tree
 
 if TYPE_CHECKING:
     from repro.analysis.certificates import CostCertificate
+    from repro.compile.ir import CompiledPlan
     from repro.faults.policy import FaultPolicy
 
 __all__ = [
@@ -60,6 +61,7 @@ def verify_plan(
     subject: str = "plan",
     certificate: "CostCertificate | None" = None,
     fault_policy: "FaultPolicy | None" = None,
+    compiled: "CompiledPlan | None" = None,
 ) -> VerificationReport:
     """Statically verify a plan tree; nothing is executed.
 
@@ -71,7 +73,11 @@ def verify_plan(
     distribution) additionally re-derives its cost-bound claims
     (``DF101``).  A ``fault_policy`` enables the fault-tolerance rules
     (``FT001``-``FT003``): the degraded paths the policy selects must
-    remain semantically sound.
+    remain semantically sound.  A ``compiled`` kernel (from
+    :func:`repro.compile.lower_plan`) additionally runs the translation
+    validator (``TV001``-``TV010``): the kernel must be provably
+    equivalent to the plan before the compiled execution tier may use
+    it.
     """
     # Imported lazily: repro.analysis imports this package's submodules.
     from repro.analysis.certificates import check_certificate
@@ -123,6 +129,19 @@ def verify_plan(
         else:
             byte_findings, _decoded = check_bytecode(code, schema)
             findings.extend(byte_findings)
+    if compiled is not None and structurally_sound:
+        from repro.compile.validate import validate_translation
+
+        tv_report = validate_translation(
+            compiled,
+            plan,
+            schema,
+            distribution=distribution,
+            certificate=certificate,
+            cost_model=cost_model,
+            subject=subject,
+        )
+        findings.extend(tv_report.diagnostics)
     return VerificationReport.from_findings(findings, subject=subject)
 
 
@@ -216,6 +235,7 @@ class PlanVerifier:
         subject: str = "plan",
         certificate: "CostCertificate | None" = None,
         fault_policy: "FaultPolicy | None" = None,
+        compiled: "CompiledPlan | None" = None,
     ) -> VerificationReport:
         return verify_plan(
             plan,
@@ -229,6 +249,7 @@ class PlanVerifier:
             subject=subject,
             certificate=certificate,
             fault_policy=fault_policy,
+            compiled=compiled,
         )
 
     def verify_bytecode(

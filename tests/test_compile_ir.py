@@ -1,0 +1,155 @@
+"""Kernel IR mechanics: serialization, determinism, lowering limits.
+
+The compile tier's IR is an interchange format (``repro compile --out``
+writes it; a basestation could ship it to a gateway), so round-trips
+must be exact, malformed payloads must fail loudly with
+:class:`~repro.exceptions.CompileError`, and lowering must be a pure
+function of (plan, schema, statistics version).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.compile import (
+    CompiledPlan,
+    compile_plan,
+    execute_compiled,
+    lower_plan,
+    op_from_dict,
+)
+from repro.compile.mutants import default_corpus_query
+from repro.core.plan import SequentialNode, SequentialStep
+from repro.core.predicates import Predicate, Truth
+from repro.exceptions import CompileError, PlanError
+from repro.verify.mutations import (
+    canonical_conditional_plan,
+    canonical_sequential_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    query = default_corpus_query()
+    return query.schema, query
+
+
+@pytest.fixture(
+    scope="module", params=["conditional", "sequential"]
+)
+def lowered(request, corpus):
+    schema, query = corpus
+    if request.param == "conditional":
+        plan = canonical_conditional_plan(query)
+    else:
+        plan = canonical_sequential_plan(query)
+    return schema, plan, lower_plan(plan, schema, statistics_version=3)
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self, lowered):
+        _schema, _plan, compiled = lowered
+        payload = json.loads(json.dumps(compiled.to_dict()))
+        restored = CompiledPlan.from_dict(payload)
+        assert restored == compiled  # source is excluded from equality
+        assert restored.ops == compiled.ops
+        assert restored.register_count == compiled.register_count
+        assert restored.schema_width == compiled.schema_width
+        assert restored.statistics_version == 3
+        assert restored.source is None
+
+    def test_every_op_round_trips(self, lowered):
+        _schema, _plan, compiled = lowered
+        for op in compiled.ops:
+            assert op_from_dict(op.to_dict()) == op
+
+    def test_unknown_op_kind_rejected(self):
+        with pytest.raises(CompileError, match="unknown kernel op kind"):
+            op_from_dict({"kind": "teleport", "reg": 0})
+
+    def test_malformed_op_payload_rejected(self):
+        with pytest.raises(CompileError, match="malformed"):
+            op_from_dict({"kind": "charge", "reg": 0})  # missing fields
+
+    def test_malformed_plan_payload_rejected(self):
+        with pytest.raises(CompileError, match="malformed compiled-plan"):
+            CompiledPlan.from_dict({"ops": []})  # missing register_count
+
+    def test_deserialized_kernel_executes_but_rejects_observers(
+        self, lowered
+    ):
+        schema, _plan, compiled = lowered
+        restored = CompiledPlan.from_dict(compiled.to_dict())
+        rng = np.random.default_rng(3)
+        data = rng.integers(1, 9, size=(50, len(schema)))
+        outcome = execute_compiled(restored, data)
+        direct = execute_compiled(compiled, data)
+        assert np.array_equal(outcome.verdicts, direct.verdicts)
+        assert np.array_equal(outcome.costs, direct.costs)
+
+        class _Observer:
+            def on_condition(self, *args):  # pragma: no cover
+                pass
+
+        with pytest.raises(CompileError, match="source plan"):
+            execute_compiled(restored, data, observer=_Observer())
+
+
+class TestLowering:
+    def test_lowering_is_deterministic(self, lowered):
+        schema, plan, compiled = lowered
+        again = lower_plan(plan, schema, statistics_version=3)
+        assert again == compiled
+        assert again.to_dict() == compiled.to_dict()
+
+    def test_entry_register_is_zero_and_budget_is_tight(self, lowered):
+        _schema, _plan, compiled = lowered
+        first = compiled.ops[0]
+        assert getattr(first, "reg_in", getattr(first, "reg", None)) == 0
+        touched = set()
+        for op in compiled.ops:
+            for name in (
+                "reg", "reg_in", "reg_below", "reg_above", "reg_pass",
+                "reg_fail",
+            ):
+                register = getattr(op, name, None)
+                if register is not None:
+                    touched.add(register)
+        assert touched == set(range(compiled.register_count))
+
+    def test_compile_plan_returns_proof(self, lowered):
+        schema, plan, _compiled = lowered
+        compiled, report = compile_plan(plan, schema)
+        assert report.ok
+        assert not report.diagnostics
+        assert compiled.source is plan
+
+    def test_exotic_predicate_is_not_compilable(self, corpus):
+        schema, _query = corpus
+
+        @dataclass(frozen=True)
+        class ParityPredicate(Predicate):
+            def satisfied_by(self, value: int) -> bool:
+                return value % 2 == 0
+
+            def truth_under(self, interval) -> Truth:
+                return Truth.UNDETERMINED
+
+            def describe(self) -> str:
+                return f"{self.attribute} is even"
+
+        plan = SequentialNode(
+            steps=(SequentialStep(ParityPredicate("a"), 0),)
+        )
+        with pytest.raises(CompileError, match="range masks"):
+            lower_plan(plan, schema)
+
+    def test_shape_mismatch_rejected(self, lowered):
+        schema, _plan, compiled = lowered
+        bad = np.ones((10, len(schema) + 1), dtype=np.int64)
+        with pytest.raises(PlanError, match="incompatible"):
+            execute_compiled(compiled, bad)

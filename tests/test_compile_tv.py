@@ -1,0 +1,214 @@
+"""Translation validator: mutant detection, integration, and fallback.
+
+Three layers of assurance for the compile tier:
+
+- the seeded miscompilation corpus — every defect class the compiler
+  could plausibly introduce must be caught by its owning ``TV*`` rule,
+  and faithful kernels must validate with *zero* diagnostics;
+- verifier integration — ``verify_plan(compiled=...)`` merges TV
+  findings into the same report that gates plan-cache admission;
+- the serving tier — a TV-rejected plan silently falls back to the
+  interpreting walker (counted by ``tv_rejected``), and the compiled
+  path feeds :class:`~repro.obs.PlanProfile` the walker's exact events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.compile as compile_pkg
+from repro.compile import (
+    compile_plan,
+    execute_compiled,
+    lower_plan,
+    validate_translation,
+)
+from repro.compile.mutants import (
+    clean_cases,
+    default_corpus_query,
+    miscompilation_cases,
+    run_corpus,
+)
+from repro.core.cost import dataset_execution
+from repro.engine import AcquisitionalEngine
+from repro.obs import PlanProfile
+from repro.probability import EmpiricalDistribution
+from repro.service import AcquisitionalService
+from repro.verify import verify_plan
+from repro.verify.diagnostics import VerificationReport, make_diagnostic
+from repro.verify.mutations import canonical_conditional_plan
+
+_CASES = {case.name: case for case in miscompilation_cases()}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    query = default_corpus_query()
+    schema = query.schema
+    rng = np.random.default_rng(23)
+    data = rng.integers(1, 9, size=(500, len(schema)))
+    distribution = EmpiricalDistribution(schema, data, smoothing=0.5)
+    return schema, query, distribution
+
+
+class TestMutantCorpus:
+    def test_at_least_twelve_mutant_classes(self, corpus):
+        _schema, query, distribution = corpus
+        cases = miscompilation_cases(query, distribution)
+        assert len(cases) >= 12
+        # The corpus exercises every structural rule plus staleness and
+        # conservation.
+        assert {case.expected_code for case in cases} >= {
+            f"TV{i:03d}" for i in range(1, 11)
+        }
+
+    @pytest.mark.parametrize("name", sorted(_CASES))
+    def test_mutant_is_caught_by_its_owning_rule(self, name, corpus):
+        schema, _query, _distribution = corpus
+        case = _CASES[name]
+        report = validate_translation(
+            case.compiled,
+            case.plan,
+            schema,
+            expected_statistics_version=case.expected_statistics_version,
+            subject=case.name,
+        )
+        assert not report.ok
+        assert report.has(case.expected_code), (
+            f"{name}: expected {case.expected_code}, "
+            f"got {sorted(report.codes())}"
+        )
+
+    def test_corpus_passes_without_distribution(self):
+        assert run_corpus() == []
+
+    def test_corpus_passes_with_distribution(self, corpus):
+        _schema, query, distribution = corpus
+        assert run_corpus(query, distribution=distribution) == []
+
+    def test_clean_kernels_validate_with_zero_diagnostics(self, corpus):
+        schema, query, distribution = corpus
+        for name, plan, compiled in clean_cases(query):
+            report = validate_translation(
+                compiled, plan, schema, distribution=distribution,
+                subject=name,
+            )
+            assert len(report) == 0, f"{name}: {report.format()}"
+
+    def test_stale_statistics_rejected(self, corpus):
+        schema, query, _distribution = corpus
+        plan = canonical_conditional_plan(query)
+        compiled = lower_plan(plan, schema, statistics_version=1)
+        report = validate_translation(
+            compiled, plan, schema, expected_statistics_version=2
+        )
+        assert not report.ok
+        assert report.has("TV010")
+
+
+class TestVerifierIntegration:
+    def test_verify_plan_accepts_a_proven_kernel(self, corpus):
+        schema, query, distribution = corpus
+        plan = canonical_conditional_plan(query)
+        compiled = lower_plan(plan, schema)
+        report = verify_plan(
+            plan,
+            schema,
+            query=query,
+            distribution=distribution,
+            compiled=compiled,
+        )
+        assert report.ok
+        assert not any(d.code.startswith("TV") for d in report.diagnostics)
+
+    def test_verify_plan_rejects_a_miscompiled_kernel(self, corpus):
+        schema, _query, _distribution = corpus
+        case = _CASES["wrong-mask-polarity"]
+        report = verify_plan(
+            case.plan, schema, compiled=case.compiled
+        )
+        assert not report.ok
+        assert report.has(case.expected_code)
+
+
+@pytest.fixture
+def served():
+    schema = default_corpus_query().schema
+    rng = np.random.default_rng(11)
+    history = rng.integers(1, 9, size=(3000, len(schema)))
+    live = rng.integers(1, 9, size=(200, len(schema)))
+    return schema, history, live
+
+
+class TestServingTier:
+    TEXT = "SELECT * WHERE a >= 3 AND a <= 6 AND b >= 2 AND b <= 7"
+
+    def test_compiled_backend_agrees_with_interpreter(self, served):
+        _schema, history, live = served
+        results = {}
+        for backend in ("interp", "compiled"):
+            engine = AcquisitionalEngine(
+                default_corpus_query().schema, history
+            )
+            service = AcquisitionalService(engine, exec_backend=backend)
+            results[backend] = service.execute(self.TEXT, live)
+            if backend == "compiled":
+                counters = service.stats()["counters"]
+                assert counters["plans_compiled"] == 1
+                assert counters["tv_rejected"] == 0
+        interp, compiled = results["interp"], results["compiled"]
+        assert np.array_equal(interp.rows, compiled.rows)
+        assert interp.where_cost == compiled.where_cost
+
+    def test_tv_rejected_plan_falls_back_to_interpreter(
+        self, served, monkeypatch
+    ):
+        schema, history, live = served
+
+        def forged(plan, schema_, **kwargs):
+            compiled = lower_plan(plan, schema_)
+            finding = make_diagnostic(
+                "TV002", "root", "forced rejection for the fallback test"
+            )
+            return compiled, VerificationReport.from_findings(
+                [finding], "forged"
+            )
+
+        monkeypatch.setattr(compile_pkg, "compile_plan", forged)
+        engine = AcquisitionalEngine(schema, history)
+        service = AcquisitionalService(engine, exec_backend="compiled")
+        reference = AcquisitionalService(engine, exec_backend="interp")
+        served_result = service.execute(self.TEXT, live)
+        expected = reference.execute(self.TEXT, live)
+        assert np.array_equal(served_result.rows, expected.rows)
+        assert served_result.where_cost == expected.where_cost
+        counters = service.stats()["counters"]
+        assert counters["tv_rejected"] == 1
+        assert counters["plans_compiled"] == 0
+
+    def test_invalid_backend_rejected(self, served):
+        schema, history, _live = served
+        engine = AcquisitionalEngine(schema, history)
+        from repro.exceptions import ServiceError
+
+        with pytest.raises(ServiceError, match="exec_backend"):
+            AcquisitionalService(engine, exec_backend="jit")
+
+
+class TestObserverParity:
+    def test_compiled_profile_matches_walker_profile(self, corpus):
+        schema, query, _distribution = corpus
+        plan = canonical_conditional_plan(query)
+        compiled, report = compile_plan(plan, schema)
+        assert report.ok
+        rng = np.random.default_rng(5)
+        data = rng.integers(1, 9, size=(400, len(schema)))
+        walker_profile = PlanProfile(schema)
+        walker = dataset_execution(plan, data, schema, observer=walker_profile)
+        kernel_profile = PlanProfile(schema)
+        kernel = execute_compiled(compiled, data, observer=kernel_profile)
+        assert np.array_equal(walker.verdicts, kernel.verdicts)
+        assert np.array_equal(walker.costs, kernel.costs)
+        assert walker_profile.tuples == kernel_profile.tuples
+        assert walker_profile.nodes == kernel_profile.nodes

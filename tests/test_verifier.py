@@ -85,6 +85,7 @@ class TestCatalog:
                 "DF0",
                 "DF1",
                 "FT0",
+                "TV0",
             )
             assert isinstance(severity, Severity)
             assert title
