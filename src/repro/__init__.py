@@ -67,6 +67,7 @@ from repro.exceptions import (
     DiscretizationError,
     DistributionError,
     FaultConfigError,
+    LearningError,
     PlanError,
     PlanningError,
     PlanVerificationError,
@@ -74,6 +75,14 @@ from repro.exceptions import (
     ReproError,
     SchemaError,
     ServiceError,
+)
+from repro.learn import (
+    BanditPlanner,
+    BanditStateStore,
+    LearnedStreamExecutor,
+    LearnedStreamReport,
+    OrderBanditEnsemble,
+    RegretLedger,
 )
 from repro.faults import (
     AttributeFaults,
@@ -207,6 +216,13 @@ __all__ = [
     "PlanCache",
     "QueryFingerprint",
     "fingerprint_statement",
+    # learning
+    "BanditPlanner",
+    "BanditStateStore",
+    "LearnedStreamExecutor",
+    "LearnedStreamReport",
+    "OrderBanditEnsemble",
+    "RegretLedger",
     # observability
     "PlanProfile",
     "DriftMonitor",
@@ -226,5 +242,6 @@ __all__ = [
     "AcquisitionFailure",
     "FaultConfigError",
     "DiscretizationError",
+    "LearningError",
     "ServiceError",
 ]

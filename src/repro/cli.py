@@ -719,6 +719,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json", help="JSON report output"
     )
 
+    learn_bench = commands.add_parser(
+        "learn-bench",
+        help="run the learned-planner benchmark: bandit vs oracle, "
+        "never-replan, and chi-square-refit baselines",
+        description="Generate the adversarial drifting stream (the "
+        "optimal predicate order flips every segment), run the oracle / "
+        "never-replan / chi-square-refit / bandit strategies over it, "
+        "and report totals, cumulative-regret curves, the regret "
+        "ledger, and the PR's hard gates (bandit beats both non-oracle "
+        "baselines, ledger conserved, exploration within budget, LRN "
+        "provenance verified).  Exit status: 0 when every gate passes, "
+        "1 otherwise, 2 on usage errors.",
+    )
+    learn_bench.add_argument(
+        "--segments", type=int, default=6, help="number of regime segments"
+    )
+    learn_bench.add_argument(
+        "--segment-length", type=int, default=500, help="tuples per segment"
+    )
+    learn_bench.add_argument("--seed", type=int, default=0)
+    learn_bench.add_argument(
+        "--window", type=int, default=96, help="statistics window / warmup"
+    )
+    learn_bench.add_argument("--smoothing", type=float, default=0.5)
+    learn_bench.add_argument(
+        "--delta", type=float, default=0.2, help="PAO confidence parameter"
+    )
+    learn_bench.add_argument(
+        "--burst-pulls",
+        type=int,
+        default=8,
+        help="minimum full-information pulls per exploration burst",
+    )
+    learn_bench.add_argument(
+        "--posterior-decay",
+        type=float,
+        default=0.95,
+        help="D-UCB observation-weight discount",
+    )
+    learn_bench.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=8.0,
+        help="normalized chi-square refit trigger",
+    )
+    learn_bench.add_argument(
+        "--regret-budget",
+        type=float,
+        default=None,
+        help="exploration budget in Eq. 3 units (default: 64 worst-case "
+        "pulls)",
+    )
+    learn_bench.add_argument(
+        "--out", type=Path, default=None, help="write the JSON report here"
+    )
+    learn_bench.add_argument(
+        "--json", action="store_true", dest="as_json", help="JSON report output"
+    )
+
     return parser
 
 
@@ -2134,6 +2193,50 @@ def _command_compile(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _command_learn_bench(args: argparse.Namespace) -> int:
+    from repro.learn import run_learned_bench
+
+    report = run_learned_bench(
+        n_segments=args.segments,
+        segment_length=args.segment_length,
+        seed=args.seed,
+        window=args.window,
+        smoothing=args.smoothing,
+        delta=args.delta,
+        burst_pulls=args.burst_pulls,
+        posterior_decay=args.posterior_decay,
+        drift_threshold=args.drift_threshold,
+        regret_budget=args.regret_budget,
+    )
+    payload = report.as_dict()
+    if args.out is not None:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        logger.info("learned benchmark report written to %s", args.out)
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"adversarial stream: {report.tuples} tuples, "
+            f"{report.segments} segments, seed {report.seed}"
+        )
+        print(f"{'strategy':<18} {'total':>12} {'mean':>9} {'replans':>8}")
+        for run in report.strategies:
+            print(
+                f"{run.name:<18} {run.total_cost:>12.0f} "
+                f"{run.mean_cost:>9.2f} {run.replans:>8}"
+            )
+        ledger = payload["ledger"]
+        print(
+            f"ledger: warmup {ledger['warmup_cost']:.0f} + conditioning "
+            f"{ledger['conditioning_cost']:.0f} + base "
+            f"{ledger['base_cost']:.0f} + exploration "
+            f"{ledger['exploration_cost']:.0f} (budget {ledger['budget']:.0f})"
+        )
+        for gate, passed in report.gates.items():
+            print(f"  gate {gate}: {'pass' if passed else 'FAIL'}")
+    return 0 if report.all_gates_pass else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -2162,6 +2265,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": _command_metrics,
         "chaos": _command_chaos,
         "compile": _command_compile,
+        "learn-bench": _command_learn_bench,
     }
     try:
         return handlers[args.command](args)

@@ -80,6 +80,10 @@ class DiscretizationError(ReproError):
     """Real-valued data could not be mapped onto a discrete domain."""
 
 
+class LearningError(ReproError):
+    """The online learning layer was configured or used inconsistently."""
+
+
 class ServiceError(ReproError):
     """The serving layer was configured or used inconsistently."""
 

@@ -1,0 +1,164 @@
+"""Arms: the branch-local predicate orders the bandit chooses among.
+
+Within one branch of the conditioning skeleton the remaining decision is
+exactly the paper's Section 4.1 problem — pick an order for the
+predicates the branch context leaves undetermined.  Each permutation is
+one *arm*; its plan is the :class:`~repro.core.plan.SequentialNode` for
+that order, and its Eq. 3 cost under a fitted distribution (conditioned
+on the branch context) is the arm's *prior* — the optimistic starting
+point the posterior blends observations into.
+
+Enumeration is deterministic (``itertools.permutations`` over predicate
+positions in query order), and capped: a branch with more than
+``max_predicates`` undetermined predicates would explode factorially, so
+:class:`ArmSpace` refuses it rather than silently sampling.  A branch
+whose context already decides the query has a single verdict-leaf arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+from repro.core.cost import expected_cost
+from repro.core.cost_models import AcquisitionCostModel
+from repro.core.plan import PlanNode, SequentialNode
+from repro.core.query import ConjunctiveQuery
+from repro.core.ranges import RangeVector
+from repro.exceptions import LearningError
+from repro.planning.base import (
+    resolved_leaf,
+    sequential_node_from_order,
+)
+from repro.probability.base import Distribution
+
+__all__ = ["Arm", "ArmSpace", "DEFAULT_MAX_ARM_PREDICATES"]
+
+DEFAULT_MAX_ARM_PREDICATES = 6
+
+
+@dataclass(frozen=True)
+class Arm:
+    """One candidate predicate order and its plan.
+
+    ``order`` is the tuple of schema attribute indices in evaluation
+    order — the stable identity the verifier's ``LRN005`` rule matches
+    against the emitted plan; ``arm_id`` is the arm's position in its
+    :class:`ArmSpace` enumeration.
+    """
+
+    arm_id: int
+    order: tuple[int, ...]
+    plan: PlanNode
+
+
+class ArmSpace:
+    """Every predicate order available within one branch context."""
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        context: RangeVector,
+        max_predicates: int = DEFAULT_MAX_ARM_PREDICATES,
+    ) -> None:
+        self._query = query
+        self._context = context
+        leaf = resolved_leaf(query, context)
+        if leaf is not None:
+            self._arms: tuple[Arm, ...] = (Arm(arm_id=0, order=(), plan=leaf),)
+            self._span_indices: tuple[int, ...] = ()
+            return
+        bindings = query.undetermined_predicates(context)
+        if len(bindings) > max_predicates:
+            raise LearningError(
+                f"branch has {len(bindings)} undetermined predicates; "
+                f"{len(bindings)}! orders exceed the max_predicates="
+                f"{max_predicates} arm cap"
+            )
+        arms = []
+        for arm_id, ordering in enumerate(permutations(range(len(bindings)))):
+            order = [bindings[position] for position in ordering]
+            arms.append(
+                Arm(
+                    arm_id=arm_id,
+                    order=tuple(index for _, index in order),
+                    plan=sequential_node_from_order(order),
+                )
+            )
+        self._arms = tuple(arms)
+        self._span_indices = tuple(index for _, index in bindings)
+
+    @property
+    def context(self) -> RangeVector:
+        return self._context
+
+    @property
+    def arms(self) -> tuple[Arm, ...]:
+        return self._arms
+
+    def __len__(self) -> int:
+        return len(self._arms)
+
+    def __getitem__(self, arm_id: int) -> Arm:
+        return self._arms[arm_id]
+
+    def span(
+        self,
+        schema,
+        cost_model: AcquisitionCostModel | None = None,
+    ) -> float:
+        """The largest leaf cost any arm can realize on one tuple.
+
+        Every arm reads a subset of the branch's undetermined attributes,
+        so the sum of their (context-effective) costs bounds any pull —
+        the bound the ledger's :meth:`~repro.learn.ledger.RegretLedger
+        .can_explore` gate and the Hoeffding radius both need.
+        """
+        total = 0.0
+        for index in self._span_indices:
+            if self._context.is_acquired(index):
+                continue
+            if cost_model is None:
+                total += schema[index].cost
+            else:
+                total += cost_model.cost(index, self._context.acquired_indices())
+        return total
+
+    def priors(
+        self,
+        distribution: Distribution,
+        cost_model: AcquisitionCostModel | None = None,
+    ) -> tuple[float, ...]:
+        """Eq. 3 cost of every arm under ``distribution`` in this context."""
+        return tuple(
+            expected_cost(arm.plan, distribution, self._context, cost_model)
+            for arm in self._arms
+        )
+
+    def step_rates(
+        self, distribution: Distribution
+    ) -> tuple[tuple[float, ...], ...]:
+        """Model-predicted conditional pass rate of every arm's steps.
+
+        For each arm, the probability that step ``i`` passes *given* that
+        every earlier step in that order passed, under ``distribution``
+        conditioned on the branch context — the per-step selectivities
+        the Eq. 3 walk uses.  The bandit's change detector compares the
+        served order's observed pass rates against these: selectivity is
+        a Bernoulli statistic with bounded variance, so drift shows up
+        orders of magnitude faster than in per-tuple cost means.
+        Verdict-leaf arms have no steps and contribute an empty tuple.
+        """
+        rates: list[tuple[float, ...]] = []
+        for arm in self._arms:
+            if not isinstance(arm.plan, SequentialNode):
+                rates.append(())
+                continue
+            conditioner = distribution.sequential_conditioner(self._context)
+            arm_rates: list[float] = []
+            for step in arm.plan.steps:
+                binding = (step.predicate, step.attribute_index)
+                arm_rates.append(conditioner.pass_probability(binding))
+                conditioner.condition_on(binding)
+            rates.append(tuple(arm_rates))
+        return tuple(rates)

@@ -1,0 +1,168 @@
+"""`BanditPlanner`: the Planner-shaped face of the order bandit.
+
+``plan`` is one-shot and side-effect free like every other planner: it
+builds a fresh :class:`~repro.learn.bandit.OrderBanditEnsemble` from the
+planner's distribution, emits the prior-best composite plan, and stamps
+the full :class:`~repro.learn.bandit.LearnedProvenance` onto the
+:class:`~repro.planning.base.PlanningResult` so the verifier's ``LRN``
+rules can audit it.  The reported ``expected_cost`` is the honest Eq. 3
+expectation of the emitted plan under the planner's distribution — the
+same contract every static planner honors, so the verifier's cost
+conservation rule (``COST001``) holds unchanged.
+
+Learning happens when the same ensemble is *driven*: the streaming layer
+(:class:`~repro.learn.stream.LearnedStreamExecutor`) builds ensembles
+via :meth:`BanditPlanner.build_ensemble` and feeds realized per-tuple
+costs back through the bandit loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.cost_models import AcquisitionCostModel
+from repro.core.plan import PlanNode
+from repro.core.query import ConjunctiveQuery
+from repro.exceptions import LearningError
+from repro.learn.arms import DEFAULT_MAX_ARM_PREDICATES
+from repro.learn.bandit import OrderBanditEnsemble
+from repro.learn.ledger import RegretLedger
+from repro.planning.base import (
+    Planner,
+    PlannerStats,
+    PlanningResult,
+    require_conjunctive,
+)
+from repro.probability.base import Distribution
+
+__all__ = ["BanditPlanner", "DEFAULT_REGRET_PULLS", "default_regret_budget"]
+
+# Default exploration allowance: enough budget for this many full-price
+# "worst possible" pulls.  Streams that want tighter control pass an
+# explicit regret_budget.
+DEFAULT_REGRET_PULLS = 64
+
+SkeletonFactory = Callable[[Distribution], Planner]
+
+
+def default_regret_budget(schema, query: ConjunctiveQuery) -> float:
+    """``DEFAULT_REGRET_PULLS`` times the worst-case per-tuple cost."""
+    per_tuple = sum(
+        float(schema[index].cost) for index in query.attribute_indices
+    )
+    return DEFAULT_REGRET_PULLS * per_tuple
+
+
+class BanditPlanner(Planner):
+    """Online planner over branch-local predicate orders.
+
+    Parameters
+    ----------
+    distribution:
+        The statistics arms are priored from (and skeletons built from).
+    regret_budget:
+        Hard cap on exploration spend charged to the Eq. 3 ledger;
+        ``None`` derives :func:`default_regret_budget` per query.
+    skeleton_planner:
+        Optional factory building the conditioning-skeleton planner from
+        a distribution (e.g. ``lambda d: GreedyConditionalPlanner(d,
+        CorrSeqPlanner(d), max_splits=3)``).  ``None`` plans flat:
+        one bandit over full-query orders.
+    delta:
+        PAO confidence parameter for swap/commit decisions.
+    burst_pulls:
+        Minimum full-information pulls per exploration burst before the
+        paired evidence may settle the burst.
+    posterior_decay:
+        Per-round discount on observation weight (D-UCB); 1.0 keeps
+        plain running means (the convergent, stationary setting).
+    """
+
+    name = "bandit"
+
+    def __init__(
+        self,
+        distribution: Distribution,
+        cost_model: AcquisitionCostModel | None = None,
+        *,
+        regret_budget: float | None = None,
+        skeleton_planner: SkeletonFactory | None = None,
+        delta: float = 0.05,
+        burst_pulls: int = 12,
+        posterior_decay: float = 1.0,
+        max_arm_predicates: int = DEFAULT_MAX_ARM_PREDICATES,
+        prior_weight: float = 1.0,
+    ) -> None:
+        super().__init__(distribution, cost_model)
+        if regret_budget is not None and regret_budget < 0.0:
+            raise LearningError(
+                f"regret_budget must be non-negative: {regret_budget}"
+            )
+        self._regret_budget = regret_budget
+        self._skeleton_planner = skeleton_planner
+        self._delta = delta
+        self._burst_pulls = burst_pulls
+        self._posterior_decay = posterior_decay
+        self._max_arm_predicates = max_arm_predicates
+        self._prior_weight = prior_weight
+
+    def budget_for(self, query: ConjunctiveQuery) -> float:
+        if self._regret_budget is not None:
+            return self._regret_budget
+        return default_regret_budget(self.schema, query)
+
+    def skeleton_for(self, query: ConjunctiveQuery) -> PlanNode | None:
+        """The conditioning skeleton the branch bandits hang off."""
+        if self._skeleton_planner is None:
+            return None
+        return self._skeleton_planner(self._distribution).plan(query).plan
+
+    def build_ensemble(
+        self,
+        query: ConjunctiveQuery,
+        *,
+        distribution: Distribution | None = None,
+        span_inflation: float = 1.0,
+        ledger: RegretLedger | None = None,
+    ) -> OrderBanditEnsemble:
+        """A fresh ensemble for ``query`` (the stream executor's entry)."""
+        require_conjunctive(query)
+        statistics = (
+            distribution if distribution is not None else self._distribution
+        )
+        skeleton = (
+            self._skeleton_planner(statistics).plan(query).plan
+            if self._skeleton_planner is not None
+            else None
+        )
+        return OrderBanditEnsemble(
+            self.schema,
+            query,
+            statistics,
+            budget=self.budget_for(query),
+            skeleton=skeleton,
+            delta=self._delta,
+            burst_pulls=self._burst_pulls,
+            decay=self._posterior_decay,
+            max_arm_predicates=self._max_arm_predicates,
+            cost_model=self._cost_model,
+            span_inflation=span_inflation,
+            prior_weight=self._prior_weight,
+            ledger=ledger,
+        )
+
+    def plan(self, query: ConjunctiveQuery) -> PlanningResult:
+        ensemble = self.build_ensemble(query)
+        plan = ensemble.composite_plan()
+        stats = PlannerStats(
+            sequential_plans_built=sum(
+                len(branch.arm_space) for branch in ensemble.branches
+            )
+        )
+        return PlanningResult(
+            plan=plan,
+            expected_cost=ensemble.expected_cost(self._distribution),
+            planner=self.name,
+            stats=stats,
+            provenance=ensemble.provenance(),
+        )

@@ -1,0 +1,156 @@
+"""Synthetic drifting / adversarial stream generators for learning.
+
+The adversarial workload is built so that *no static plan is ever safe*:
+two expensive predicate attributes alternate roles segment by segment —
+in odd segments ``p`` is the killer (fails 90% of tuples) and ``q``
+mostly passes; in even segments the roles flip.  The optimal predicate
+order therefore flips with every segment, any fixed order is wrong half
+the time, and — critically — no cheap attribute is correlated with the
+regime, so conditioning skeletons cannot learn the flip either.  Only
+something that watches realized costs online can track it.
+
+Everything is generated from one seeded ``numpy`` generator, so a given
+``(n_segments, segment_length, seed)`` triple is a byte-stable dataset —
+the determinism the replay tests and the benchmark gates stand on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.attributes import Attribute, Schema
+from repro.core.predicates import RangePredicate
+from repro.core.query import ConjunctiveQuery
+from repro.exceptions import LearningError
+
+__all__ = ["DriftingWorkload", "adversarial_stream", "drifting_stream"]
+
+# Probability the active (killer) attribute fails its predicate, and the
+# probability the dormant attribute passes its predicate.  The gap is
+# what makes order choice matter: killer-first ~ C + 0.1*C, dormant
+# -first ~ C + 0.7*C per tuple.
+_KILL_FAIL = 0.9
+_DORMANT_PASS = 0.7
+
+
+@dataclass(frozen=True)
+class DriftingWorkload:
+    """A generated stream plus the ground truth about its regimes.
+
+    ``boundaries`` are the positions where a new regime begins (the
+    first segment implicitly starts at 0); ``regimes[i]`` names the
+    killer attribute of segment ``i`` (``"p"`` or ``"q"``).
+    """
+
+    schema: Schema
+    query: ConjunctiveQuery
+    data: np.ndarray
+    boundaries: tuple[int, ...]
+    regimes: tuple[str, ...]
+
+    def segment_slices(self) -> tuple[slice, ...]:
+        starts = (0,) + self.boundaries
+        stops = self.boundaries + (self.data.shape[0],)
+        return tuple(slice(a, b) for a, b in zip(starts, stops))
+
+
+def _learning_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("mode", 4, 1.0),
+            Attribute("p", 5, 100.0),
+            Attribute("q", 5, 100.0),
+        ]
+    )
+
+
+def _learning_query(schema: Schema) -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        schema,
+        [
+            RangePredicate("mode", 1, 3),
+            RangePredicate("p", 1, 2),
+            RangePredicate("q", 1, 2),
+        ],
+    )
+
+
+def _sample_segment(
+    rng: np.random.Generator, length: int, killer: str
+) -> np.ndarray:
+    """One regime's tuples: ``killer`` mostly fails, the other passes."""
+    rows = np.empty((length, 3), dtype=np.int64)
+    rows[:, 0] = rng.integers(1, 5, size=length)  # mode: uniform noise
+    for column, name in ((1, "p"), (2, "q")):
+        if name == killer:
+            failing = rng.random(length) < _KILL_FAIL
+            values = np.where(
+                failing,
+                rng.integers(3, 6, size=length),
+                rng.integers(1, 3, size=length),
+            )
+        else:
+            passing = rng.random(length) < _DORMANT_PASS
+            values = np.where(
+                passing,
+                rng.integers(1, 3, size=length),
+                rng.integers(3, 6, size=length),
+            )
+        rows[:, column] = values
+    return rows
+
+
+def adversarial_stream(
+    n_segments: int = 6,
+    segment_length: int = 500,
+    seed: int = 0,
+) -> DriftingWorkload:
+    """Alternating-killer stream: the optimal order flips every segment."""
+    if n_segments < 1 or segment_length < 1:
+        raise LearningError(
+            f"need >= 1 segment of >= 1 tuple: {n_segments} x {segment_length}"
+        )
+    rng = np.random.default_rng(seed)
+    schema = _learning_schema()
+    regimes = tuple("p" if i % 2 == 0 else "q" for i in range(n_segments))
+    segments = [
+        _sample_segment(rng, segment_length, killer) for killer in regimes
+    ]
+    boundaries = tuple(
+        segment_length * i for i in range(1, n_segments)
+    )
+    return DriftingWorkload(
+        schema=schema,
+        query=_learning_query(schema),
+        data=np.vstack(segments),
+        boundaries=boundaries,
+        regimes=regimes,
+    )
+
+
+def drifting_stream(
+    n_tuples: int = 2000,
+    flip_at: float = 0.5,
+    seed: int = 0,
+) -> DriftingWorkload:
+    """A single regime flip part-way through — the gentle drift case."""
+    if n_tuples < 2 or not 0.0 < flip_at < 1.0:
+        raise LearningError(
+            f"need >= 2 tuples and flip_at in (0, 1): {n_tuples}, {flip_at}"
+        )
+    rng = np.random.default_rng(seed)
+    schema = _learning_schema()
+    first = int(n_tuples * flip_at)
+    segments = [
+        _sample_segment(rng, first, "p"),
+        _sample_segment(rng, n_tuples - first, "q"),
+    ]
+    return DriftingWorkload(
+        schema=schema,
+        query=_learning_query(schema),
+        data=np.vstack(segments),
+        boundaries=(first,),
+        regimes=("p", "q"),
+    )

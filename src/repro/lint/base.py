@@ -60,6 +60,7 @@ class LintConfig:
         "repro.verify",
         "repro.analysis",
         "repro.compile",
+        "repro.learn",
         "repro.obs",
         "repro.service.fingerprint",
         "repro.cluster.hashring",
@@ -83,6 +84,7 @@ class LintConfig:
         "repro.verify",
         "repro.compile",
         "repro.engine",
+        "repro.learn",
         "repro.cluster.admission",
         # The trace-vs-ledger conservation audit re-derives Eq. 3 sums
         # from span attributions on purpose — that IS its job.

@@ -151,9 +151,13 @@ class DriftReport:
     tuples: int
     drifted: bool
     worst: tuple[CellDrift, ...] = field(default=())
+    debounced: bool = False
 
     def describe(self) -> str:
-        status = "DRIFTED" if self.drifted else "ok"
+        if self.debounced:
+            status = "debounced (already fired)"
+        else:
+            status = "DRIFTED" if self.drifted else "ok"
         return (
             f"drift {status}: score {self.normalized:.2f} over {self.cells} "
             f"cells ({self.tuples} tuples); cost/tuple predicted "
@@ -175,6 +179,7 @@ class DriftReport:
             ),
             "tuples": self.tuples,
             "drifted": self.drifted,
+            "debounced": self.debounced,
             "worst": [cell.as_dict() for cell in self.worst],
         }
 
@@ -192,6 +197,14 @@ class DriftMonitor:
     with too few observations to be meaningful; ``threshold`` is compared
     against the *normalized* score (per-cell mean chi-square term, ~1
     under no drift).
+
+    A threshold crossing is edge-triggered, not level-triggered: the
+    first :meth:`assess` that crosses reports ``drifted=True`` and
+    latches; until :meth:`rearm` is called (the replan landing), further
+    crossings report ``drifted=False`` with ``debounced=True``.  Without
+    the latch, a crossed threshold re-fires on every window between the
+    alert and the replan, and every consumer double-counts the same
+    drift.  ``debounce=False`` restores the raw level-triggered signal.
     """
 
     def __init__(
@@ -201,6 +214,7 @@ class DriftMonitor:
         expected: float | None = None,
         min_visits: int = 32,
         threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        debounce: bool = True,
     ) -> None:
         self._plan = plan
         self._predictions = predict_plan(plan, distribution)
@@ -211,6 +225,8 @@ class DriftMonitor:
         )
         self._min_visits = min_visits
         self._threshold = threshold
+        self._debounce = debounce
+        self._fired = False
 
     @property
     def plan(self) -> PlanNode:
@@ -227,6 +243,15 @@ class DriftMonitor:
     @property
     def threshold(self) -> float:
         return self._threshold
+
+    @property
+    def fired(self) -> bool:
+        """Has a crossing been reported and not yet re-armed?"""
+        return self._fired
+
+    def rearm(self) -> None:
+        """Reset the debounce latch — call when the replan has landed."""
+        self._fired = False
 
     def cell_drifts(self, profile: PlanProfile) -> list[CellDrift]:
         """Per-cell divergence terms for every sufficiently-visited cell."""
@@ -277,6 +302,11 @@ class DriftMonitor:
         worst = tuple(
             sorted(cells, key=lambda cell: cell.term, reverse=True)[:3]
         )
+        crossed = bool(cells) and normalized > self._threshold
+        debounced = crossed and self._debounce and self._fired
+        drifted = crossed and not debounced
+        if drifted:
+            self._fired = True
         return DriftReport(
             score=score,
             cells=len(cells),
@@ -285,7 +315,8 @@ class DriftMonitor:
             observed_cost=observed,
             cost_ratio=ratio,
             tuples=profile.tuples,
-            drifted=bool(cells) and normalized > self._threshold,
+            drifted=drifted,
+            debounced=debounced,
             worst=worst,
         )
 

@@ -31,6 +31,7 @@ from repro.probability.base import Distribution, PredicateBinding
 
 if TYPE_CHECKING:
     from repro.analysis.certificates import CostCertificate
+    from repro.learn.bandit import LearnedProvenance
 
 __all__ = [
     "PlannerStats",
@@ -73,7 +74,10 @@ class PlanningResult:
     whether a plan is worth caching.  ``certificate`` (when the planner
     issues one) carries per-subtree Eq. 3 cost-bound claims the verifier
     re-derives independently (``DF101``); the exhaustive planner exports
-    it straight from its DP cache.
+    it straight from its DP cache.  ``provenance`` is populated by the
+    learned planner (:class:`repro.learn.BanditPlanner`): the arm
+    posteriors and regret-ledger snapshot behind the emitted plan, which
+    the verifier's ``LRN`` rule family audits.
     """
 
     plan: PlanNode
@@ -82,6 +86,7 @@ class PlanningResult:
     stats: PlannerStats = field(default_factory=PlannerStats)
     planning_seconds: float = 0.0
     certificate: "CostCertificate | None" = None
+    provenance: "LearnedProvenance | None" = None
 
 
 class Planner(ABC):

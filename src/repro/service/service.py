@@ -57,6 +57,8 @@ if TYPE_CHECKING:
     from repro.compile.ir import CompiledPlan
     from repro.faults.model import FaultSchedule
     from repro.faults.policy import FaultPolicy
+    from repro.learn.state import BanditStateStore
+    from repro.learn.stream import LearnedStreamExecutor
     from repro.obs.drift import DriftMonitor, DriftReport
     from repro.obs.profile import PlanProfile
     from repro.obs.trace import Tracer
@@ -204,6 +206,7 @@ class AcquisitionalService:
             self._metrics.counter("plans_compiled")
             self._metrics.counter("tv_rejected")
         self._profiles: dict[QueryFingerprint, _PlanObservability] = {}
+        self._bandit_store: "BanditStateStore | None" = None
         self._active_span = ""
         engine.add_statistics_listener(self._on_statistics_version)
 
@@ -686,6 +689,102 @@ class AcquisitionalService:
             **kwargs,
         )
 
+    def learned_stream_executor(
+        self, text: str, **kwargs: Any
+    ) -> "LearnedStreamExecutor":
+        """A bandit-learning stream executor wired into the service.
+
+        The learned twin of :meth:`stream_executor`: instead of replan-
+        from-scratch on drift, the returned executor runs the
+        :class:`~repro.learn.LearnedStreamExecutor` loop — incremental
+        PAO order swaps, warm-started chi-square refits, and a regret
+        ledger — while the service supplies the glue:
+
+        - plan-affecting events land in the metrics registry
+          (``learned_order_swaps`` / ``learned_drift_refits`` /
+          ``learned_commits``) and, when a tracer is attached, as
+          ``learn`` trace events; the ``learned_regret_remaining`` gauge
+          tracks the unspent exploration budget;
+        - a drift refit is the same staleness signal the adaptive path
+          treats as a cache-invalidation event, so it bumps the
+          statistics version;
+        - bandit state is stored in the service-owned
+          :class:`~repro.learn.BanditStateStore` keyed by the
+          statement's fingerprint digest and the engine's statistics
+          version.  The store is deliberately *not* cleared on version
+          bumps: posteriors are evidence, not derived artifacts, and a
+          new executor for the same statement warm-starts (discounted)
+          from the latest stored generation.
+
+        ``kwargs`` pass through to
+        :class:`~repro.learn.LearnedStreamExecutor`; the service owns
+        ``on_replan``, ``state_store``, ``state_key``, and
+        ``version_provider``.
+        """
+        from repro.learn import LearnedStreamExecutor
+        from repro.learn.stream import LearnedReplanEvent
+
+        parsed = parse_query(text, self._engine.schema)
+        if not parsed.is_conjunctive:
+            raise QueryError(
+                "learned streaming requires a conjunctive WHERE clause"
+            )
+        for owned in (
+            "on_replan",
+            "state_store",
+            "state_key",
+            "version_provider",
+        ):
+            if owned in kwargs:
+                raise ServiceError(
+                    f"{owned} is owned by the service's learned-stream "
+                    "integration; it wires metrics, tracing, and the "
+                    "fingerprint-keyed bandit state store itself"
+                )
+        fingerprint = fingerprint_parsed(parsed, self._engine.schema)
+
+        def on_replan(event: LearnedReplanEvent) -> None:
+            if event.reason == "order-swap":
+                self._metrics.counter("learned_order_swaps").increment()
+            elif event.reason == "commit":
+                self._metrics.counter("learned_commits").increment()
+            elif event.reason in ("drift-refit", "outage"):
+                self._metrics.counter("learned_drift_refits").increment()
+                self._engine.bump_statistics_version()
+            self._metrics.gauge("learned_regret_remaining").set(
+                event.budget_remaining
+            )
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "learn",
+                    fingerprint=str(fingerprint),
+                    reason=event.reason,
+                    position=event.position,
+                    branch=event.branch,
+                    arm=event.arm,
+                    expected_cost=event.expected_cost,
+                    budget_remaining=event.budget_remaining,
+                )
+
+        return LearnedStreamExecutor(
+            self._engine.schema,
+            parsed.query,
+            on_replan=on_replan,
+            state_store=self.bandit_store,
+            state_key=str(fingerprint),
+            version_provider=lambda: self._engine.statistics_version,
+            **kwargs,
+        )
+
+    @property
+    def bandit_store(self) -> "BanditStateStore":
+        """The service-owned bandit state store (created on first use)."""
+        if self._bandit_store is None:
+            from repro.learn import BanditStateStore
+
+            self._bandit_store = BanditStateStore()
+        return self._bandit_store
+
     def _on_statistics_version(self, version: int) -> None:
         self._metrics.counter("statistics_bumps").increment()
         self._cache.invalidate_stale(version)
@@ -695,6 +794,9 @@ class AcquisitionalService:
         # Kernels carry the old statistics stamp (TV010 would reject
         # them anyway); drop them with the plans they were lowered from.
         self._compiled.clear()
+        # The bandit state store survives on purpose: learned posteriors
+        # are evidence (adopted with a discount), not artifacts derived
+        # from the outgoing statistics generation.
 
     # ------------------------------------------------------------------
     # Drift monitoring

@@ -29,7 +29,11 @@ Six rule families:
   non-overlapping node layouts and round-trip losslessly (``BC*``);
 - **fault tolerance** — when a plan will run under a
   :class:`~repro.faults.FaultPolicy`, its degraded paths must remain
-  semantically sound (``FT*``, :mod:`repro.verify.ft`).
+  semantically sound (``FT*``, :mod:`repro.verify.ft`);
+- **learned provenance** — a plan emitted by the bandit planner must
+  carry a regret ledger that conserves the budget and well-formed arm
+  posteriors that agree with the emitted tree (``LRN*``,
+  :mod:`repro.verify.learn`).
 
 Entry points: :func:`verify_plan`, :func:`verify_bytecode`,
 :func:`assert_valid_plan`, and :class:`PlanVerifier` for callers that
@@ -44,6 +48,7 @@ from repro.verify.diagnostics import (
     VerificationReport,
 )
 from repro.verify.ft import check_fault_tolerance
+from repro.verify.learn import check_learned
 from repro.verify.mutations import MutationCase, bytecode_mutations, plan_mutations
 from repro.verify.paths import ROOT_PATH, iter_plan_paths, node_at, step_path
 from repro.verify.verifier import (
@@ -63,6 +68,7 @@ __all__ = [
     "verify_bytecode",
     "assert_valid_plan",
     "check_fault_tolerance",
+    "check_learned",
     "MutationCase",
     "plan_mutations",
     "bytecode_mutations",

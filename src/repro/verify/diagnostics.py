@@ -94,6 +94,12 @@ CODE_CATALOG: dict[str, tuple[Severity, str]] = {
     "TV008": (Severity.ERROR, "kernel cost counters do not conserve the Eq. 3 decomposition"),
     "TV009": (Severity.ERROR, "malformed kernel IR"),
     "TV010": (Severity.ERROR, "kernel compiled under stale statistics"),
+    # Learned-planner provenance (bandit posteriors + regret ledger)
+    "LRN001": (Severity.ERROR, "exploration spend exceeds the regret budget"),
+    "LRN002": (Severity.ERROR, "regret-ledger sides do not reconcile with the observed total"),
+    "LRN003": (Severity.ERROR, "malformed arm posterior"),
+    "LRN004": (Severity.ERROR, "served arm missing from the branch's arm set"),
+    "LRN005": (Severity.ERROR, "emitted plan disagrees with the served arm's order"),
 }
 
 

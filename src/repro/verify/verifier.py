@@ -31,6 +31,7 @@ if TYPE_CHECKING:
     from repro.analysis.certificates import CostCertificate
     from repro.compile.ir import CompiledPlan
     from repro.faults.policy import FaultPolicy
+    from repro.learn.bandit import LearnedProvenance
 
 __all__ = [
     "PlanVerifier",
@@ -62,6 +63,7 @@ def verify_plan(
     certificate: "CostCertificate | None" = None,
     fault_policy: "FaultPolicy | None" = None,
     compiled: "CompiledPlan | None" = None,
+    provenance: "LearnedProvenance | None" = None,
 ) -> VerificationReport:
     """Statically verify a plan tree; nothing is executed.
 
@@ -77,7 +79,11 @@ def verify_plan(
     :func:`repro.compile.lower_plan`) additionally runs the translation
     validator (``TV001``-``TV010``): the kernel must be provably
     equivalent to the plan before the compiled execution tier may use
-    it.
+    it.  A learned-planner ``provenance`` (from
+    :class:`repro.learn.planner.BanditPlanner` or the learned stream
+    executor) additionally runs the ``LRN`` rules: regret-budget
+    conservation, arm-posterior well-formedness, and plan/served-arm
+    agreement.
     """
     # Imported lazily: repro.analysis imports this package's submodules.
     from repro.analysis.certificates import check_certificate
@@ -129,6 +135,10 @@ def verify_plan(
         else:
             byte_findings, _decoded = check_bytecode(code, schema)
             findings.extend(byte_findings)
+    if provenance is not None and structurally_sound:
+        from repro.verify.learn import check_learned
+
+        findings.extend(check_learned(plan, provenance, tolerance=tolerance))
     if compiled is not None and structurally_sound:
         from repro.compile.validate import validate_translation
 
@@ -186,6 +196,7 @@ def assert_valid_plan(
     subject: str = "plan",
     certificate: "CostCertificate | None" = None,
     fault_policy: "FaultPolicy | None" = None,
+    provenance: "LearnedProvenance | None" = None,
 ) -> VerificationReport:
     """Verify and raise :class:`PlanVerificationError` on any ERROR."""
     report = verify_plan(
@@ -199,6 +210,7 @@ def assert_valid_plan(
         subject=subject,
         certificate=certificate,
         fault_policy=fault_policy,
+        provenance=provenance,
     )
     if not report.ok:
         raise PlanVerificationError(report.format(), report=report)
@@ -236,6 +248,7 @@ class PlanVerifier:
         certificate: "CostCertificate | None" = None,
         fault_policy: "FaultPolicy | None" = None,
         compiled: "CompiledPlan | None" = None,
+        provenance: "LearnedProvenance | None" = None,
     ) -> VerificationReport:
         return verify_plan(
             plan,
@@ -250,6 +263,7 @@ class PlanVerifier:
             certificate=certificate,
             fault_policy=fault_policy,
             compiled=compiled,
+            provenance=provenance,
         )
 
     def verify_bytecode(

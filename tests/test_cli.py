@@ -609,3 +609,42 @@ class TestLintPlan:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestLearnBench:
+    ARGS = ["learn-bench", "--segments", "3", "--segment-length", "250"]
+
+    def test_gates_pass_and_json_written(self, tmp_path, capsys):
+        out = tmp_path / "learned.json"
+        code = main(self.ARGS + ["--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "bandit" in captured and "gate" in captured
+        report = json.loads(out.read_text())
+        strategies = {run["name"]: run for run in report["strategies"]}
+        assert set(strategies) == {
+            "oracle",
+            "never-replan",
+            "chi-square-refit",
+            "bandit",
+        }
+        assert (
+            strategies["bandit"]["total_cost"]
+            < strategies["never-replan"]["total_cost"]
+        )
+        assert all(report["gates"].values())
+        # Regret curves are present for plotting, sampled on a shared axis.
+        assert set(report["regret_curves"]) == {
+            "never-replan",
+            "chi-square-refit",
+            "bandit",
+        }
+        for curve in report["regret_curves"].values():
+            assert len(curve) == len(report["curve_positions"])
+
+    def test_json_flag_prints_the_report(self, capsys):
+        code = main(self.ARGS + ["--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ledger"]["budget"] > 0
+        assert report["ledger"]["exploration_cost"] <= report["ledger"]["budget"]

@@ -1,0 +1,146 @@
+"""Unit tests for branch-local arm enumeration (repro.learn.arms)."""
+
+import pytest
+
+from repro.core import ConjunctiveQuery, RangePredicate
+from repro.core.cost import expected_cost
+from repro.core.plan import SequentialNode, VerdictLeaf
+from repro.core.ranges import Range, RangeVector
+from repro.exceptions import LearningError
+from repro.learn.arms import DEFAULT_MAX_ARM_PREDICATES, ArmSpace
+from repro.planning import ExhaustivePlanner
+from repro.probability import EmpiricalDistribution
+
+
+@pytest.fixture
+def query(day_night_schema):
+    return ConjunctiveQuery(
+        day_night_schema,
+        [RangePredicate("temp", 2, 2), RangePredicate("light", 2, 2)],
+    )
+
+
+@pytest.fixture
+def full_context(day_night_schema):
+    return RangeVector.full(day_night_schema)
+
+
+class TestEnumeration:
+    def test_all_orders_enumerated(self, query, full_context):
+        space = ArmSpace(query, full_context)
+        assert len(space) == 2  # 2 predicates -> 2! orders
+        orders = {arm.order for arm in space.arms}
+        assert orders == {(1, 2), (2, 1)}
+
+    def test_enumeration_is_deterministic(self, query, full_context):
+        first = ArmSpace(query, full_context)
+        second = ArmSpace(query, full_context)
+        assert [arm.order for arm in first.arms] == [
+            arm.order for arm in second.arms
+        ]
+        assert [arm.arm_id for arm in first.arms] == [0, 1]
+
+    def test_arm_plans_are_sequential(self, query, full_context):
+        space = ArmSpace(query, full_context)
+        for arm in space.arms:
+            assert isinstance(arm.plan, SequentialNode)
+            assert tuple(
+                step.attribute_index for step in arm.plan.steps
+            ) == arm.order
+
+    def test_getitem_matches_arm_id(self, query, full_context):
+        space = ArmSpace(query, full_context)
+        for arm in space.arms:
+            assert space[arm.arm_id] is arm
+
+    def test_resolved_context_yields_single_verdict_leaf(
+        self, day_night_schema, query
+    ):
+        # Restricting temp to its failing bucket decides the query: the
+        # conjunction can never hold, so the branch needs no acquisitions.
+        context = RangeVector.full(day_night_schema).with_range(1, Range(1, 1))
+        space = ArmSpace(query, context)
+        assert len(space) == 1
+        assert space[0].order == ()
+        assert isinstance(space[0].plan, VerdictLeaf)
+
+    def test_factorial_explosion_refused(self):
+        import math
+
+        from repro.core import Attribute, Schema
+
+        n = DEFAULT_MAX_ARM_PREDICATES + 1
+        schema = Schema([Attribute(f"a{i}", 2, 1.0) for i in range(n)])
+        wide_query = ConjunctiveQuery(
+            schema, [RangePredicate(f"a{i}", 2, 2) for i in range(n)]
+        )
+        with pytest.raises(LearningError, match="arm cap"):
+            ArmSpace(wide_query, RangeVector.full(schema))
+        # The cap is a parameter, not a constant.
+        space = ArmSpace(wide_query, RangeVector.full(schema), max_predicates=n)
+        assert len(space) == math.factorial(n)
+
+
+class TestCostHooks:
+    def test_span_sums_undetermined_attribute_costs(
+        self, day_night_schema, query, full_context
+    ):
+        space = ArmSpace(query, full_context)
+        assert space.span(day_night_schema) == pytest.approx(2.0)  # temp + light
+
+    def test_priors_match_expected_cost(
+        self, day_night_schema, query, full_context, day_night_distribution
+    ):
+        space = ArmSpace(query, full_context)
+        priors = space.priors(day_night_distribution)
+        for arm, prior in zip(space.arms, priors):
+            assert prior == pytest.approx(
+                expected_cost(arm.plan, day_night_distribution, full_context)
+            )
+
+    def test_best_prior_matches_exhaustive_planner(
+        self, day_night_schema, query, full_context, day_night_distribution
+    ):
+        space = ArmSpace(query, full_context)
+        best = min(space.priors(day_night_distribution))
+        optimal = ExhaustivePlanner(day_night_distribution).plan(query)
+        # Sequential arms cannot beat the conditioning skeleton, but on a
+        # single branch the best order's cost equals the exhaustive cost
+        # restricted to sequential plans, so it upper-bounds the optimum.
+        assert best >= expected_cost(
+            optimal.plan, day_night_distribution, full_context
+        ) - 1e-9
+
+    def test_step_rates_shape_and_range(
+        self, query, full_context, day_night_distribution
+    ):
+        space = ArmSpace(query, full_context)
+        rates = space.step_rates(day_night_distribution)
+        assert len(rates) == len(space)
+        for arm_rates, arm in zip(rates, space.arms):
+            assert len(arm_rates) == len(arm.order)
+            assert all(0.0 <= rate <= 1.0 for rate in arm_rates)
+
+    def test_step_rates_condition_on_earlier_steps(
+        self, day_night_schema, day_night_data
+    ):
+        # With the day/night correlation, P(light | temp passed) differs
+        # from the marginal P(light): the conditioner must be walked.
+        distribution = EmpiricalDistribution(day_night_schema, day_night_data)
+        query = ConjunctiveQuery(
+            day_night_schema,
+            [RangePredicate("temp", 2, 2), RangePredicate("light", 2, 2)],
+        )
+        space = ArmSpace(query, RangeVector.full(day_night_schema))
+        rates = space.step_rates(distribution)
+        by_order = {arm.order: arm_rates for arm, arm_rates in zip(space.arms, rates)}
+        marginal_light = by_order[(2, 1)][0]
+        conditional_light = by_order[(1, 2)][1]
+        assert conditional_light != pytest.approx(marginal_light)
+
+    def test_verdict_leaf_has_empty_rates(
+        self, day_night_schema, query, day_night_distribution
+    ):
+        context = RangeVector.full(day_night_schema).with_range(1, Range(1, 1))
+        space = ArmSpace(query, context)
+        assert space.step_rates(day_night_distribution) == ((),)

@@ -1,0 +1,221 @@
+"""BanditPlanner contract tests plus the verifier's LRN rule family."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import ConjunctiveQuery, RangePredicate
+from repro.core.cost import expected_cost
+from repro.core.plan import ConditionNode
+from repro.exceptions import LearningError
+from repro.learn import BanditPlanner, default_regret_budget
+from repro.learn.planner import DEFAULT_REGRET_PULLS
+from repro.planning import CorrSeqPlanner, GreedyConditionalPlanner
+from repro.verify import verify_plan
+from repro.verify.learn import check_learned
+
+
+def codes(diagnostics):
+    return {diagnostic.code for diagnostic in diagnostics}
+
+
+class TestBanditPlanner:
+    def test_plan_carries_learned_provenance(
+        self, day_night_query, day_night_distribution
+    ):
+        result = BanditPlanner(day_night_distribution).plan(day_night_query)
+        assert result.planner == "bandit"
+        assert result.provenance is not None
+        assert len(result.provenance.branches) == 1
+        assert result.expected_cost == pytest.approx(
+            expected_cost(result.plan, day_night_distribution, None)
+        )
+
+    def test_plan_serves_the_prior_best_order(
+        self, day_night_query, day_night_distribution
+    ):
+        from repro.core.ranges import RangeVector
+        from repro.learn.arms import ArmSpace
+
+        result = BanditPlanner(day_night_distribution).plan(day_night_query)
+        space = ArmSpace(
+            day_night_query,
+            RangeVector.full(day_night_distribution.schema),
+        )
+        assert result.expected_cost == pytest.approx(
+            min(space.priors(day_night_distribution))
+        )
+
+    def test_default_regret_budget_scale(
+        self, day_night_schema, day_night_query, day_night_distribution
+    ):
+        planner = BanditPlanner(day_night_distribution)
+        per_tuple = sum(
+            day_night_schema[index].cost
+            for index in day_night_query.attribute_indices
+        )
+        assert planner.budget_for(day_night_query) == pytest.approx(
+            DEFAULT_REGRET_PULLS * per_tuple
+        )
+        assert default_regret_budget(
+            day_night_schema, day_night_query
+        ) == planner.budget_for(day_night_query)
+        explicit = BanditPlanner(day_night_distribution, regret_budget=7.5)
+        assert explicit.budget_for(day_night_query) == 7.5
+
+    def test_negative_budget_rejected(self, day_night_distribution):
+        with pytest.raises(LearningError):
+            BanditPlanner(day_night_distribution, regret_budget=-1.0)
+
+    def test_skeleton_planner_builds_conditioned_composite(
+        self, day_night_query, day_night_distribution
+    ):
+        planner = BanditPlanner(
+            day_night_distribution,
+            skeleton_planner=lambda d: GreedyConditionalPlanner(
+                d, CorrSeqPlanner(d), max_splits=2
+            ),
+        )
+        result = planner.plan(day_night_query)
+        # The Figure 2 setup makes the hour split free and profitable.
+        assert isinstance(result.plan, ConditionNode)
+        assert len(result.provenance.branches) >= 2
+        flat = BanditPlanner(day_night_distribution).plan(day_night_query)
+        assert result.expected_cost <= flat.expected_cost + 1e-9
+
+    def test_non_conjunctive_query_rejected(self, day_night_distribution):
+        from repro.exceptions import PlanningError
+
+        class FakeQuery:
+            pass
+
+        with pytest.raises(PlanningError, match="not conjunctive"):
+            BanditPlanner(day_night_distribution).build_ensemble(FakeQuery())
+
+
+class TestLRNRules:
+    @pytest.fixture
+    def planned(self, day_night_query, day_night_distribution):
+        result = BanditPlanner(day_night_distribution).plan(day_night_query)
+        return result.plan, result.provenance
+
+    def test_honest_provenance_is_clean(
+        self, planned, day_night_schema, day_night_query, day_night_distribution
+    ):
+        plan, provenance = planned
+        assert check_learned(plan, provenance) == []
+        report = verify_plan(
+            plan,
+            day_night_schema,
+            query=day_night_query,
+            distribution=day_night_distribution,
+            provenance=provenance,
+        )
+        assert not report.errors
+
+    def test_lrn001_budget_overrun(self, planned):
+        plan, provenance = planned
+        cooked = dataclasses.replace(
+            provenance,
+            ledger=dataclasses.replace(
+                provenance.ledger,
+                exploration_cost=provenance.ledger.budget * 2.0 + 1.0,
+            ),
+        )
+        assert "LRN001" in codes(check_learned(plan, cooked))
+
+    def test_lrn002_negative_side(self, planned):
+        plan, provenance = planned
+        cooked = dataclasses.replace(
+            provenance,
+            ledger=dataclasses.replace(provenance.ledger, warmup_cost=-1.0),
+        )
+        assert "LRN002" in codes(check_learned(plan, cooked))
+
+    def test_lrn002_unreconciled_total(self, planned):
+        plan, provenance = planned
+        cooked = dataclasses.replace(
+            provenance, observed_total=provenance.ledger.total_cost + 5.0
+        )
+        assert "LRN002" in codes(check_learned(plan, cooked))
+
+    def test_lrn003_mean_outside_bounds(self, planned):
+        plan, provenance = planned
+        branch = provenance.branches[0]
+        arms = list(branch.arms)
+        arms[0] = dataclasses.replace(
+            arms[0], mean=arms[0].ucb + 10.0, lcb=0.0
+        )
+        cooked = dataclasses.replace(
+            provenance,
+            branches=(dataclasses.replace(branch, arms=tuple(arms)),),
+        )
+        assert "LRN003" in codes(check_learned(plan, cooked))
+
+    def test_lrn004_served_arm_missing(self, planned):
+        plan, provenance = planned
+        branch = provenance.branches[0]
+        cooked = dataclasses.replace(
+            provenance,
+            branches=(dataclasses.replace(branch, served_arm=99),),
+        )
+        assert "LRN004" in codes(check_learned(plan, cooked))
+
+    def test_lrn004_empty_arm_set(self, planned):
+        plan, provenance = planned
+        branch = provenance.branches[0]
+        cooked = dataclasses.replace(
+            provenance, branches=(dataclasses.replace(branch, arms=()),)
+        )
+        assert "LRN004" in codes(check_learned(plan, cooked))
+
+    def test_lrn005_plan_disagrees_with_served_order(self, planned):
+        plan, provenance = planned
+        branch = provenance.branches[0]
+        other = next(
+            arm.arm_id
+            for arm in branch.arms
+            if arm.arm_id != branch.served_arm
+        )
+        cooked = dataclasses.replace(
+            provenance,
+            branches=(dataclasses.replace(branch, served_arm=other),),
+        )
+        assert "LRN005" in codes(check_learned(plan, cooked))
+
+    def test_lrn005_dangling_branch_path(self, planned):
+        plan, provenance = planned
+        branch = provenance.branches[0]
+        cooked = dataclasses.replace(
+            provenance,
+            branches=(dataclasses.replace(branch, path="root/ghost"),),
+        )
+        assert "LRN005" in codes(check_learned(plan, cooked))
+
+    def test_verify_plan_reports_lrn_errors(
+        self, planned, day_night_schema
+    ):
+        plan, provenance = planned
+        cooked = dataclasses.replace(
+            provenance,
+            ledger=dataclasses.replace(
+                provenance.ledger,
+                exploration_cost=provenance.ledger.budget * 2.0 + 1.0,
+            ),
+        )
+        report = verify_plan(
+            plan, day_night_schema, provenance=cooked
+        )
+        assert "LRN001" in codes(report.errors)
+
+
+class TestQueryFixture:
+    """Keep the conftest shape honest for the other learn tests."""
+
+    def test_two_predicate_query(self, day_night_query):
+        assert isinstance(day_night_query, ConjunctiveQuery)
+        assert len(day_night_query.predicates) == 2
+        assert all(
+            isinstance(predicate, RangePredicate)
+            for predicate in day_night_query.predicates
+        )

@@ -1,0 +1,115 @@
+"""Replay determinism: identical seeds must give byte-identical runs.
+
+The learned executor's decision machinery is pure float arithmetic on
+posterior statistics — no wall clocks, no unseeded randomness — so two
+runs over the same (workload, parameters, seed) triple must agree on
+*everything*: per-tuple costs, verdicts, arm pulls, replan points, and
+the final ledger, byte for byte.  The same holds under fault injection
+when the two runs share the fault generator's seed.  This is the
+contract the repro-lint determinism rules and the benchmark gates stand
+on: a nondeterministic learner cannot be benchmarked, audited, or
+debugged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.model import AttributeFaults, FaultSchedule
+from repro.learn import (
+    BanditPlanner,
+    LearnedStreamExecutor,
+    adversarial_stream,
+)
+
+
+def run_stream(seed, *, fault_seed=None):
+    workload = adversarial_stream(n_segments=3, segment_length=150, seed=seed)
+    kwargs = {}
+    if fault_seed is not None:
+        kwargs["fault_schedule"] = FaultSchedule(
+            profiles={
+                1: AttributeFaults(drop_rate=0.08, noise_rate=0.05),
+                2: AttributeFaults(stuck_rate=0.05),
+            }
+        )
+        kwargs["fault_rng"] = np.random.default_rng(fault_seed)
+    executor = LearnedStreamExecutor(
+        workload.schema,
+        workload.query,
+        window=96,
+        warmup=32,
+        smoothing=0.5,
+        delta=0.2,
+        burst_pulls=6,
+        drift_check_every=32,
+        drift_min_tuples=64,
+        **kwargs,
+    )
+    return executor.process(workload.data)
+
+
+def assert_identical(first, second):
+    assert first.costs.tobytes() == second.costs.tobytes()
+    assert first.verdicts.tobytes() == second.verdicts.tobytes()
+    assert first.pulls.tobytes() == second.pulls.tobytes()
+    assert first.replans == second.replans
+    assert first.ledger == second.ledger
+    assert first.plan == second.plan
+    assert first.committed == second.committed
+    if first.abstained is not None or second.abstained is not None:
+        assert first.abstained.tobytes() == second.abstained.tobytes()
+    if first.faults is not None or second.faults is not None:
+        assert first.faults == second.faults
+
+
+class TestStreamReplay:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fault_free_runs_replay_byte_identically(self, seed):
+        assert_identical(run_stream(seed), run_stream(seed))
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_faulted_runs_replay_byte_identically(self, seed):
+        assert_identical(
+            run_stream(seed, fault_seed=seed + 100),
+            run_stream(seed, fault_seed=seed + 100),
+        )
+
+    def test_different_workload_seeds_actually_differ(self):
+        first = run_stream(0)
+        second = run_stream(1)
+        assert first.costs.tobytes() != second.costs.tobytes()
+
+    def test_fault_seed_changes_the_trace(self):
+        first = run_stream(0, fault_seed=100)
+        second = run_stream(0, fault_seed=101)
+        assert (
+            first.costs.tobytes() != second.costs.tobytes()
+            or first.faults != second.faults
+        )
+
+    def test_decision_trace_is_self_consistent(self):
+        """Replans reference real positions; pulls mark warmup exactly."""
+        report = run_stream(0)
+        n = report.costs.size
+        for event in report.replans:
+            assert 0 < event.position <= n
+        warmup_mask = report.pulls == -1
+        assert warmup_mask[:32].all()
+        assert not warmup_mask[32:].any()
+
+
+class TestPlannerReplay:
+    def test_one_shot_planning_is_deterministic(self):
+        workload = adversarial_stream(
+            n_segments=1, segment_length=300, seed=4
+        )
+        from repro.probability import EmpiricalDistribution
+
+        distribution = EmpiricalDistribution(
+            workload.schema, workload.data, smoothing=0.5
+        )
+        first = BanditPlanner(distribution).plan(workload.query)
+        second = BanditPlanner(distribution).plan(workload.query)
+        assert first.plan == second.plan
+        assert first.expected_cost == second.expected_cost
+        assert first.provenance == second.provenance

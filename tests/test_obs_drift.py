@@ -183,3 +183,65 @@ class TestDriftMonitor:
             observer=profile,
         )
         assert not lax.assess(profile).drifted
+
+
+class TestDebounce:
+    """The latch: one crossing fires once, not once per assessment window."""
+
+    def drifted_profile(self, schema, planned, seed=7) -> PlanProfile:
+        profile = PlanProfile(schema)
+        dataset_execution(
+            planned.plan,
+            regime_data(2000, flipped=True, seed=seed),
+            schema,
+            observer=profile,
+        )
+        return profile
+
+    def test_crossing_fires_exactly_once(self, schema, planned, distribution):
+        monitor = DriftMonitor(planned.plan, distribution)
+        profile = self.drifted_profile(schema, planned)
+        first = monitor.assess(profile)
+        assert first.drifted
+        assert not first.debounced
+        assert monitor.fired
+        second = monitor.assess(profile)
+        assert not second.drifted
+        assert second.debounced
+        # The underlying score is unchanged — only the edge is filtered.
+        assert second.normalized == pytest.approx(first.normalized)
+        assert "debounced" in second.describe()
+        assert second.as_dict()["debounced"] is True
+
+    def test_rearm_restores_the_trigger(self, schema, planned, distribution):
+        monitor = DriftMonitor(planned.plan, distribution)
+        profile = self.drifted_profile(schema, planned)
+        assert monitor.assess(profile).drifted
+        monitor.rearm()
+        assert not monitor.fired
+        report = monitor.assess(profile)
+        assert report.drifted
+        assert not report.debounced
+
+    def test_level_triggered_mode_refires(self, schema, planned, distribution):
+        monitor = DriftMonitor(planned.plan, distribution, debounce=False)
+        profile = self.drifted_profile(schema, planned)
+        for _ in range(3):
+            report = monitor.assess(profile)
+            assert report.drifted
+            assert not report.debounced
+
+    def test_quiet_profile_never_latches(self, schema, planned, distribution):
+        monitor = DriftMonitor(planned.plan, distribution)
+        profile = PlanProfile(schema)
+        dataset_execution(
+            planned.plan,
+            regime_data(3000, flipped=False, seed=8),
+            schema,
+            observer=profile,
+        )
+        for _ in range(2):
+            report = monitor.assess(profile)
+            assert not report.drifted
+            assert not report.debounced
+        assert not monitor.fired

@@ -86,6 +86,7 @@ class TestCatalog:
                 "DF1",
                 "FT0",
                 "TV0",
+                "LRN",
             )
             assert isinstance(severity, Severity)
             assert title
